@@ -1,0 +1,100 @@
+//! Criterion benches over the figure-regeneration pipeline at reduced
+//! scale: one representative point per paper figure, exercising the full
+//! generate → plan → simulate path. (Full-scale regeneration lives in the
+//! `repro_*` binaries; these benches keep the pipeline itself honest and
+//! measurable.)
+
+use bst_chem::{CcsdProblem, Molecule, ScreeningParams, TilingSpec};
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_sim::dbcsr::simulate_dbcsr;
+use bst_sim::{simulate, Platform};
+use bst_sparse::generate::{generate, SyntheticParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2_point(c: &mut Criterion) {
+    // One synthetic Fig-2 point at reduced scale.
+    let prob = generate(&SyntheticParams {
+        m: 4_000,
+        n: 24_000,
+        k: 24_000,
+        density: 0.5,
+        tile_min: 256,
+        tile_max: 1024,
+        seed: 42,
+    });
+    let spec = ProblemSpec::new(prob.a, prob.b, None);
+    let platform = Platform::summit(2);
+    let config = PlannerConfig::paper(
+        GridConfig::from_nodes(2, 1),
+        DeviceConfig {
+            gpus_per_node: 6,
+            gpu_mem_bytes: platform.gpu_mem_bytes,
+        },
+    );
+    let mut group = c.benchmark_group("fig2_point");
+    group.sample_size(10);
+    group.bench_function("parsec_plan_and_simulate", |b| {
+        b.iter(|| {
+            let plan = ExecutionPlan::build(&spec, config).unwrap();
+            simulate(&spec, &plan, &platform)
+        });
+    });
+    group.bench_function("dbcsr_model", |b| {
+        b.iter(|| simulate_dbcsr(&spec, &platform).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_scaling_point(c: &mut Criterion) {
+    // One C65H132-style scaling point at reduced molecule size.
+    let molecule = Molecule::alkane(20);
+    let problem = CcsdProblem::build(
+        &molecule,
+        TilingSpec::v2().scaled_for(&molecule),
+        ScreeningParams::default(),
+        42,
+    );
+    let spec = ProblemSpec::new(
+        problem.t.clone(),
+        problem.v.clone(),
+        Some(problem.r.shape().clone()),
+    );
+    let platform = Platform::summit(2);
+    let config = PlannerConfig::paper(
+        GridConfig::from_nodes(2, 1),
+        DeviceConfig {
+            gpus_per_node: 6,
+            gpu_mem_bytes: platform.gpu_mem_bytes,
+        },
+    );
+    let mut group = c.benchmark_group("scaling_point");
+    group.sample_size(10);
+    group.bench_function("ccsd_plan_and_simulate", |b| {
+        b.iter(|| {
+            let plan = ExecutionPlan::build(&spec, config).unwrap();
+            simulate(&spec, &plan, &platform)
+        });
+    });
+    group.finish();
+}
+
+fn bench_problem_build(c: &mut Criterion) {
+    // Workload-generation cost: molecule → screened structures.
+    let molecule = Molecule::alkane(20);
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    group.bench_function("ccsd_problem_build", |b| {
+        b.iter(|| {
+            CcsdProblem::build(
+                &molecule,
+                TilingSpec::v1().scaled_for(&molecule),
+                ScreeningParams::default(),
+                42,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_point, bench_scaling_point, bench_problem_build);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches of the tile GEMM kernels — the compute substrate the
+//! simulated GPU executors run on. Measures the naive / blocked / parallel
+//! kernels across the tile shapes the paper cares about (small irregular
+//! tiles up to the ~728-edge "peak" tile).
+
+use bst_tile::gemm::{gemm_blocked, gemm_naive, gemm_packed, gemm_parallel};
+use bst_tile::Tile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_gemm");
+    for &edge in &[32usize, 64, 128, 256] {
+        let a = Tile::random(edge, edge, 1);
+        let b = Tile::random(edge, edge, 2);
+        let flops = 2 * (edge as u64).pow(3);
+        group.throughput(Throughput::Elements(flops));
+        group.bench_with_input(BenchmarkId::new("naive", edge), &edge, |bench, _| {
+            let mut out = Tile::zeros(edge, edge);
+            bench.iter(|| gemm_naive(1.0, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", edge), &edge, |bench, _| {
+            let mut out = Tile::zeros(edge, edge);
+            bench.iter(|| gemm_blocked(1.0, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("packed", edge), &edge, |bench, _| {
+            let mut out = Tile::zeros(edge, edge);
+            bench.iter(|| gemm_packed(1.0, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", edge), &edge, |bench, _| {
+            let mut out = Tile::zeros(edge, edge);
+            bench.iter(|| gemm_parallel(1.0, &a, &b, &mut out));
+        });
+    }
+    group.finish();
+
+    // The paper's skinny shapes: short-and-wide destination tiles.
+    let mut group = c.benchmark_group("tile_gemm_skinny");
+    for &(m, n, k) in &[(16usize, 256usize, 256usize), (64, 512, 128)] {
+        let a = Tile::random(m, k, 1);
+        let b = Tile::random(k, n, 2);
+        group.throughput(Throughput::Elements(2 * (m * n * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{n}x{k}")),
+            &m,
+            |bench, _| {
+                let mut out = Tile::zeros(m, n);
+                bench.iter(|| gemm_blocked(1.0, &a, &b, &mut out));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

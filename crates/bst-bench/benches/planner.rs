@@ -1,0 +1,58 @@
+//! Criterion benches of the inspector — validating the paper's §3.2.4
+//! claim that the inspection phase costs
+//! `O(N^(t) log N^(t) + nnz_B)`, i.e. stays linear in the number of
+//! non-zero B tiles and "has a negligible cost on execution".
+
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_sparse::generate::{generate, SyntheticParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn spec(nk: u64, density: f64) -> ProblemSpec {
+    let prob = generate(&SyntheticParams {
+        m: 2_000,
+        n: nk,
+        k: nk,
+        density,
+        tile_min: 64,
+        tile_max: 256,
+        seed: 17,
+    });
+    ProblemSpec::new(prob.a, prob.b, None)
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let config = PlannerConfig::paper(
+        GridConfig { p: 1, q: 4 },
+        DeviceConfig {
+            gpus_per_node: 6,
+            gpu_mem_bytes: 256 << 20,
+        },
+    );
+
+    // Inspection cost as the problem (hence nnz_B) grows.
+    let mut group = c.benchmark_group("inspector_scaling");
+    group.sample_size(10);
+    for &nk in &[8_000u64, 16_000, 32_000] {
+        let s = spec(nk, 0.5);
+        let nnz_b = s.b.nnz_tiles() as u64;
+        group.throughput(Throughput::Elements(nnz_b));
+        group.bench_with_input(BenchmarkId::new("plan", nk), &s, |bench, s| {
+            bench.iter(|| ExecutionPlan::build(s, config).unwrap());
+        });
+    }
+    group.finish();
+
+    // Inspection cost across densities at fixed size.
+    let mut group = c.benchmark_group("inspector_density");
+    group.sample_size(10);
+    for &d in &[1.0f64, 0.5, 0.1] {
+        let s = spec(16_000, d);
+        group.bench_with_input(BenchmarkId::new("plan", format!("{d}")), &s, |bench, s| {
+            bench.iter(|| ExecutionPlan::build(s, config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Developer diagnostic: prints replay breakdowns for a given synthetic
+//! configuration. Not part of the reproduction harness.
+
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_sim::{simulate, Platform};
+use bst_sparse::generate::{generate, SyntheticParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let m: u64 = args.first().map(|s| s.parse().unwrap()).unwrap_or(48_000);
+    let nk: u64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(48_000);
+    let density: f64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(1.0);
+    let nodes: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(16);
+    let p: usize = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(1);
+
+    let prob = generate(&SyntheticParams {
+        m,
+        n: nk,
+        k: nk,
+        density,
+        tile_min: 512,
+        tile_max: 2048,
+        seed: 3,
+    });
+    let spec = ProblemSpec::new(prob.a, prob.b, None);
+    let platform = Platform::summit(nodes);
+    let config = PlannerConfig::paper(
+        GridConfig::from_nodes(nodes, p),
+        DeviceConfig {
+            gpus_per_node: 6,
+            gpu_mem_bytes: platform.gpu_mem_bytes,
+        },
+    );
+    let plan = ExecutionPlan::build(&spec, config).unwrap();
+    let stats = plan.stats(&spec);
+    let r = simulate(&spec, &plan, &platform);
+    println!("tile cols B: {}, tile rows A: {}", spec.b.tile_cols(), spec.a.tile_rows());
+    println!("blocks={} chunks={} maxblock={:.2}GB", stats.num_blocks, stats.num_chunks, stats.max_block_bytes as f64 / 1e9);
+    println!("imbalance={:.3}", stats.load_imbalance);
+    println!(
+        "makespan={:.3}s tflops={:.1} perGPU={:.2}",
+        r.makespan_s,
+        r.tflops(),
+        r.tflops_per_gpu(platform.total_gpus())
+    );
+    println!(
+        "bounds: compute={:.3}s h2d={:.3}s nic={:.3}s bgen={:.3}s",
+        r.compute_bound_s, r.h2d_bound_s, r.nic_bound_s, r.bgen_bound_s
+    );
+    println!(
+        "h2d={:.2}GB a_net={:.2}GB flops={:.2}T tasks={}",
+        r.h2d_bytes as f64 / 1e9,
+        r.a_network_bytes as f64 / 1e9,
+        r.total_flops as f64 / 1e12,
+        r.total_tasks
+    );
+}

@@ -1,0 +1,143 @@
+//! Ablation study of the algorithm's design choices (not a paper figure —
+//! it quantifies the §3.2 decisions the paper motivates in prose):
+//!
+//! 1. **column assignment** — mirrored-cyclic (paper) vs plain cyclic vs
+//!    LPT greedy: load imbalance and simulated time;
+//! 2. **block packing** — worst-fit (paper) vs first-fit vs best-fit:
+//!    block counts, A re-transfer volume and simulated time;
+//! 3. **prefetch depth** — 0 (no overlap) vs 1 (paper) vs 2: simulated
+//!    time (depth 2 shrinks the chunk fraction to stay within memory);
+//! 4. **the grid-row parameter p** — the §3.2 trade-off between `B`
+//!    replication and `A` broadcast volume.
+//!
+//! Usage: `repro_ablations [--quick]`
+
+use bst_bench::{ccsd_spec, synthetic_spec, Args};
+use bst_chem::{CcsdProblem, TilingSpec};
+use bst_contract::config::{AssignPolicy, PackPolicy};
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_sim::{simulate, Platform};
+
+fn base_config(platform: &Platform, p: usize) -> PlannerConfig {
+    PlannerConfig::paper(
+        GridConfig::from_nodes(platform.nodes, p),
+        DeviceConfig {
+            gpus_per_node: platform.gpus_per_node,
+            gpu_mem_bytes: platform.gpu_mem_bytes,
+        },
+    )
+}
+
+fn run(spec: &ProblemSpec, platform: &Platform, config: PlannerConfig) -> (f64, f64, u64, u64) {
+    let plan = ExecutionPlan::build(spec, config).expect("plan");
+    let stats = plan.stats(spec);
+    let report = simulate(spec, &plan, platform);
+    (
+        report.makespan_s,
+        stats.load_imbalance,
+        stats.num_blocks,
+        stats.a_h2d_bytes,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let nk = if args.quick { 96_000 } else { 192_000 };
+    let platform = Platform::summit(16);
+    let spec = synthetic_spec(nk, 0.5, 42);
+    println!("# Ablations — synthetic N=K={nk}, density 0.5, 16 nodes of Summit");
+
+    println!("\n## 1. Column assignment (§3.2.1)");
+    println!(
+        "{:<16} {:>10} {:>12}",
+        "policy", "time (s)", "imbalance"
+    );
+    for (name, policy) in [
+        ("mirrored-cyclic", AssignPolicy::MirroredCyclic),
+        ("cyclic", AssignPolicy::Cyclic),
+        ("LPT greedy", AssignPolicy::Lpt),
+    ] {
+        let mut config = base_config(&platform, 2);
+        config.assign_policy = policy;
+        let (t, imb, _, _) = run(&spec, &platform, config);
+        println!("{name:<16} {t:>10.3} {imb:>12.3}");
+    }
+
+    println!("\n## 2. Block packing (§3.2.2)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>14}",
+        "policy", "time (s)", "#blocks", "A h2d (GB)"
+    );
+    for (name, policy) in [
+        ("worst-fit", PackPolicy::WorstFit),
+        ("first-fit", PackPolicy::FirstFit),
+        ("best-fit", PackPolicy::BestFit),
+    ] {
+        let mut config = base_config(&platform, 2);
+        config.pack_policy = policy;
+        let (t, _, blocks, a_h2d) = run(&spec, &platform, config);
+        println!(
+            "{name:<16} {t:>10.3} {blocks:>10} {:>14.1}",
+            a_h2d as f64 / 1e9
+        );
+    }
+
+    println!("\n## 3. Prefetch depth (§3.2.3)");
+    println!("{:<16} {:>10}", "depth", "time (s)");
+    for depth in [0usize, 1, 2] {
+        let mut config = base_config(&platform, 2);
+        config.prefetch_depth = depth;
+        // Keep total chunk memory at 50%: fraction = 0.5 / (depth + 1).
+        config.chunk_mem_fraction = 0.5 / (depth as f64 + 1.0);
+        let (t, _, _, _) = run(&spec, &platform, config);
+        let label = if depth == 1 { format!("{depth} (paper)") } else { depth.to_string() };
+        println!("{label:<16} {t:>10.3}");
+    }
+
+    println!("\n## 4. The rejected alternative of §3.1: C reductions vs column replication");
+    // "Technically, this amounts to simulating the product B <- A^T x C and
+    // to perform a final reduction of C tiles across grid columns. To avoid
+    // these costly reductions, an alternative is to distribute full columns
+    // of B to processors..." — quantify both C volumes for C65H132 v2.
+    {
+        let problem = CcsdProblem::c65h132(TilingSpec::v2(), 42);
+        let cspec = ccsd_spec(&problem);
+        let c_bytes = problem.r.bytes();
+        let q = 16u64;
+        println!(
+            "reduction variant: every C tile reduced across q=16 grid columns: {:.2} GB of C traffic",
+            ((q - 1) * c_bytes) as f64 / 1e9
+        );
+        let config = base_config(&platform, 1);
+        let plan = ExecutionPlan::build(&cspec, config).expect("plan");
+        let stats = plan.stats(&cspec);
+        println!(
+            "the paper's variant: final C moves only: {:.2} GB (C is produced where it lives or moved once)",
+            stats.c_network_bytes as f64 / 1e9
+        );
+    }
+
+    println!("\n## 5. Grid rows p (§3.2 trade-off) — C65H132 v2 on 16 nodes");
+    let problem = CcsdProblem::c65h132(TilingSpec::v2(), 42);
+    let cspec = ccsd_spec(&problem);
+    println!(
+        "{:<8} {:>10} {:>16} {:>16}",
+        "p", "time (s)", "A network (GB)", "B generated (GB)"
+    );
+    for p in [1usize, 2, 4, 8, 16] {
+        let config = base_config(&platform, p);
+        match ExecutionPlan::build(&cspec, config) {
+            Ok(plan) => {
+                let stats = plan.stats(&cspec);
+                let report = simulate(&cspec, &plan, &platform);
+                println!(
+                    "{p:<8} {:>10.2} {:>16.2} {:>16.2}",
+                    report.makespan_s,
+                    stats.a_network_bytes as f64 / 1e9,
+                    stats.b_generated_bytes as f64 / 1e9
+                );
+            }
+            Err(e) => println!("{p:<8} plan failed: {e}"),
+        }
+    }
+}

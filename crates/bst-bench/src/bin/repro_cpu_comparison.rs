@@ -1,0 +1,44 @@
+//! Reproduces the **§5.2 CPU comparison**: the CPU-only MPQC evaluation of
+//! the C65H132 ABCD term on {8, 16} Summit nodes (measured {308, 158} s in
+//! the paper) against the GPU implementation with the most performant
+//! tiling (v3) on the same nodes — the paper reports a ≈10× speedup.
+//!
+//! Usage: `repro_cpu_comparison`
+
+use bst_bench::{c65h132_problems, ccsd_spec};
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig};
+use bst_sim::cpu::simulate_cpu_only;
+use bst_sim::{simulate, Platform};
+
+fn main() {
+    println!("# §5.2 — CPU-only (MPQC model) vs GPU (tiling v3), C65H132");
+    let problems = c65h132_problems(42);
+    let (_, v3) = problems.into_iter().find(|(l, _)| *l == "v3").unwrap();
+    let spec = ccsd_spec(&v3);
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "nodes", "CPU-only (s)", "GPU v3 (s)", "speedup"
+    );
+    for nodes in [8usize, 16] {
+        let platform = Platform::summit(nodes);
+        let cpu = simulate_cpu_only(&spec, &platform);
+        let config = PlannerConfig::paper(
+            GridConfig::from_nodes(nodes, 1),
+            DeviceConfig {
+                gpus_per_node: platform.gpus_per_node,
+                gpu_mem_bytes: platform.gpu_mem_bytes,
+            },
+        );
+        let plan = ExecutionPlan::build(&spec, config).expect("plan");
+        let gpu = simulate(&spec, &plan, &platform).makespan_s;
+        println!(
+            "{:>6} {:>14.1} {:>14.1} {:>9.1}x",
+            nodes,
+            cpu,
+            gpu,
+            cpu / gpu
+        );
+    }
+    println!("# paper: 308 s (8 nodes), 158 s (16 nodes) CPU-only; ≈10x GPU speedup");
+}

@@ -1,0 +1,58 @@
+//! Reproduces **Figure 2**: performance (Tflop/s) of the block-sparse
+//! product as a function of N = K and density, on 16 Summit nodes
+//! (96 GPUs, aggregate GEMM peak ≈ 672 Tflop/s), for the PaRSEC-style
+//! implementation (left panel) and the libDBCSR baseline (right panel,
+//! including its capacity failures).
+//!
+//! Paper shape targets: density dominates performance; PaRSEC peaks around
+//! 250–300 Tflop/s for large dense problems and stays well below 100 for
+//! density 0.1; libDBCSR runs out of memory from (48k, 192k, 192k) dense
+//! upward and reaches ≈ half of PaRSEC's throughput where it runs
+//! (109 vs 203 Tflop/s at the dense square 48k point).
+//!
+//! Usage: `repro_fig2 [--quick]`
+
+use bst_bench::{synthetic_sweep, Args};
+
+fn main() {
+    let args = Args::parse();
+    let points = synthetic_sweep(args.sizes(), 16, true);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.nk.to_string(),
+                pt.density.to_string(),
+                format!("{:.2}", pt.parsec.tflops()),
+                match &pt.dbcsr {
+                    Ok(r) => format!("{:.2}", r.tflops()),
+                    Err(_) => "OOM".to_string(),
+                },
+            ]
+        })
+        .collect();
+    bst_bench::write_csv("fig2.csv", &["nk", "density", "parsec_tflops", "dbcsr_tflops"], &rows)
+        .expect("write results/fig2.csv");
+
+    println!("# Fig 2 — Performance (Tflop/s) vs N=K and density, 16 nodes of Summit");
+    println!("# aggregate GEMM peak: 672 Tflop/s (16 x 6 x 7 Tflop/s)");
+    println!(
+        "{:>8} {:>8} {:>6} {:>16} {:>16}",
+        "N=K", "density", "p", "PaRSEC (Tf/s)", "libDBCSR (Tf/s)"
+    );
+    for pt in &points {
+        let dbcsr = match &pt.dbcsr {
+            Ok(r) => format!("{:.1}", r.tflops()),
+            Err(oom) => format!("OOM({:.1}GB)", oom.needed as f64 / 1e9),
+        };
+        println!(
+            "{:>8} {:>8} {:>6} {:>16.1} {:>16}",
+            pt.nk,
+            pt.density,
+            pt.best_p,
+            pt.parsec.tflops(),
+            dbcsr
+        );
+    }
+}

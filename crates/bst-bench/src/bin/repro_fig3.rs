@@ -1,0 +1,36 @@
+//! Reproduces **Figure 3**: maximum (theoretical) arithmetic intensity of
+//! the synthetic problem — total flops divided by the aggregate stored
+//! bytes of A, B and C — as a function of N = K and density.
+//!
+//! Paper shape targets: intensity grows with N = K (more operations per
+//! byte of the short-and-wide A) and collapses with density (fewer
+//! operations per loaded tile); the dense curve reaches thousands of
+//! flop/byte while density 0.1 stays far below.
+//!
+//! Usage: `repro_fig3 [--quick]`
+
+use bst_bench::{synthetic_spec, Args, DENSITIES};
+use bst_sparse::structure::{max_arithmetic_intensity, product_structure};
+
+fn main() {
+    let args = Args::parse();
+    println!("# Fig 3 — Theoretical arithmetic intensity (flop/byte) vs N=K and density");
+    println!(
+        "{:>8} {}",
+        "N=K",
+        DENSITIES
+            .iter()
+            .map(|d| format!("{:>12}", format!("d={d}")))
+            .collect::<String>()
+    );
+    for &nk in args.sizes() {
+        let mut row = format!("{nk:>8}");
+        for &density in &DENSITIES {
+            let spec = synthetic_spec(nk, density, 42);
+            let c = product_structure(&spec.a, &spec.b, 0.0);
+            let ai = max_arithmetic_intensity(&spec.a, &spec.b, &c);
+            row.push_str(&format!("{ai:>12.0}"));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproduces **Figure 4**: time to completion (s) of the synthetic
+//! problem as a function of N = K and density, on 16 Summit nodes.
+//!
+//! Paper shape targets: although Tflop/s *drops* with sparsity (Fig. 2),
+//! the flop count drops faster, so the *time to solution decreases with
+//! the density* at every problem size; the dense curve grows steeply with
+//! N = K (up to ~100 s at N = K = 750k).
+//!
+//! Usage: `repro_fig4 [--quick]`
+
+use bst_bench::{synthetic_sweep, Args, DENSITIES};
+
+fn main() {
+    let args = Args::parse();
+    let points = synthetic_sweep(args.sizes(), 16, false);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.nk.to_string(),
+                pt.density.to_string(),
+                format!("{:.4}", pt.parsec.makespan_s),
+            ]
+        })
+        .collect();
+    bst_bench::write_csv("fig4.csv", &["nk", "density", "time_s"], &rows)
+        .expect("write results/fig4.csv");
+
+    println!("# Fig 4 — Time to completion (s) vs N=K and density, 16 nodes of Summit");
+    println!(
+        "{:>8} {}",
+        "N=K",
+        DENSITIES
+            .iter()
+            .map(|d| format!("{:>12}", format!("d={d}")))
+            .collect::<String>()
+    );
+    for &nk in args.sizes() {
+        let mut row = format!("{nk:>8}");
+        for &density in &DENSITIES {
+            let t = points
+                .iter()
+                .find(|p| p.nk == nk && p.density == density)
+                .map(|p| p.parsec.makespan_s)
+                .unwrap();
+            row.push_str(&format!("{t:>12.2}"));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Reproduces **Figure 6**: tile-size distribution (fused-tile megabytes)
+//! for the three tilings of the C65H132 test case.
+//!
+//! Paper shape targets: v1 concentrates around 2.5–5.5 MB tiles, v2 spreads
+//! over 0–40 MB, v3 over 0–200 MB — coarser clustering makes tiles larger
+//! and more irregular.
+//!
+//! Usage: `repro_fig6`
+
+use bst_bench::c65h132_problems;
+
+fn main() {
+    println!("# Fig 6 — Tile size distribution (MB) of the B/C column tiling, C65H132");
+    for (label, p) in c65h132_problems(42) {
+        // Tile bytes of the fused cd x ab grid: row size x col size x 8.
+        let t = p.v.row_tiling().clone();
+        let sizes: Vec<f64> = t
+            .sizes()
+            .flat_map(|r| t.sizes().map(move |c| (r * c * 8) as f64 / 1e6))
+            .collect();
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        let bins = 16usize;
+        let mut hist = vec![0usize; bins];
+        for &s in &sizes {
+            let b = ((s / max) * bins as f64) as usize;
+            hist[b.min(bins - 1)] += 1;
+        }
+        let peak = *hist.iter().max().unwrap();
+        println!(
+            "\n{label}: {} fused tiles, min {:.2} MB, mean {:.2} MB, max {:.2} MB",
+            sizes.len(),
+            sizes.iter().cloned().fold(f64::INFINITY, f64::min),
+            sizes.iter().sum::<f64>() / sizes.len() as f64,
+            max
+        );
+        for (b, &count) in hist.iter().enumerate() {
+            let lo = b as f64 * max / bins as f64;
+            let hi = (b + 1) as f64 * max / bins as f64;
+            let bar = "#".repeat((count * 50).div_ceil(peak.max(1)));
+            println!("  [{lo:7.2},{hi:7.2}) {count:>7} {bar}");
+        }
+    }
+}

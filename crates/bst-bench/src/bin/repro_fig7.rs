@@ -1,0 +1,81 @@
+//! Reproduces **Figure 7**: time to completion (s) of the C65H132 ABCD
+//! contraction vs GPU count (3–108), for tilings v1/v2/v3, with the
+//! perfect-scaling reference from the 3-GPU point.
+//!
+//! Paper shape targets: v1 goes 272 s (3 GPUs) → 34.9 s (108 GPUs) at ≈21%
+//! parallel efficiency; v2 and v3 have similar wall-clock despite v3 doing
+//! ≈34% more flops, both scaling at ≈35% efficiency; all curves fall well
+//! short of the dotted perfect-scaling lines because the A broadcast grows
+//! with the node count.
+//!
+//! Usage: `repro_fig7 [--quick]`
+
+use bst_bench::{scaling_sweep, Args};
+
+fn main() {
+    let args = Args::parse();
+    let points = scaling_sweep(args.gpu_counts(), 42);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.tiling.to_string(),
+                pt.gpus.to_string(),
+                format!("{:.3}", pt.report.makespan_s),
+                format!("{:.3}", pt.report.tflops()),
+                format!("{:.4}", pt.report.tflops_per_gpu(pt.gpus)),
+            ]
+        })
+        .collect();
+    bst_bench::write_csv(
+        "fig789.csv",
+        &["tiling", "gpus", "time_s", "tflops", "tflops_per_gpu"],
+        &rows,
+    )
+    .expect("write results/fig789.csv");
+
+    println!("# Fig 7 — Time to completion (s) vs #GPUs, C65H132");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12}",
+        "#GPUs", "v1", "v2", "v3", "ideal(v1)"
+    );
+    let t3_v1 = points
+        .iter()
+        .find(|p| p.tiling == "v1")
+        .map(|p| (p.gpus, p.report.makespan_s))
+        .unwrap();
+    for &g in args.gpu_counts() {
+        let t = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.tiling == label && p.gpus == g)
+                .map(|p| p.report.makespan_s)
+                .unwrap()
+        };
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.1} {:>12.1}",
+            g,
+            t("v1"),
+            t("v2"),
+            t("v3"),
+            t3_v1.1 * t3_v1.0 as f64 / g as f64
+        );
+    }
+    // Parallel efficiency at the largest point, as quoted in the text.
+    let gmax = *args.gpu_counts().last().unwrap();
+    for label in ["v1", "v2", "v3"] {
+        let t0 = points
+            .iter()
+            .find(|p| p.tiling == label)
+            .map(|p| (p.gpus, p.report.makespan_s))
+            .unwrap();
+        let t1 = points
+            .iter()
+            .find(|p| p.tiling == label && p.gpus == gmax)
+            .map(|p| p.report.makespan_s)
+            .unwrap();
+        let eff = t0.1 * t0.0 as f64 / (t1 * gmax as f64) * 100.0;
+        println!("# parallel efficiency {label} at {gmax} GPUs: {eff:.1}%");
+    }
+}

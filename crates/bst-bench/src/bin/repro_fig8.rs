@@ -1,0 +1,36 @@
+//! Reproduces **Figure 8**: performance *per GPU* (Tflop/s) vs GPU count
+//! for the C65H132 contraction, tilings v1/v2/v3.
+//!
+//! Paper shape targets: per-GPU performance follows the inverse of tiling
+//! fineness — v3 (coarsest, biggest tiles) peaks around 2.5 Tflop/s (≈35%
+//! of practical peak) at few GPUs and degrades to ≈11% at 108 GPUs; v1
+//! (finest) stays lowest throughout. Sparsity limits tile re-use, so GPU
+//! I/O dominates.
+//!
+//! Usage: `repro_fig8 [--quick]`
+
+use bst_bench::{scaling_sweep, Args};
+
+fn main() {
+    let args = Args::parse();
+    let points = scaling_sweep(args.gpu_counts(), 42);
+
+    println!("# Fig 8 — Performance per GPU (Tflop/s) vs #GPUs, C65H132");
+    println!("{:>6} {:>10} {:>10} {:>10}", "#GPUs", "v1", "v2", "v3");
+    for &g in args.gpu_counts() {
+        let v = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.tiling == label && p.gpus == g)
+                .map(|p| p.report.tflops_per_gpu(g))
+                .unwrap()
+        };
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>10.2}",
+            g,
+            v("v1"),
+            v("v2"),
+            v("v3")
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Reproduces **Figure 9**: total performance (Tflop/s) vs GPU count for
+//! the C65H132 contraction, tilings v1/v2/v3.
+//!
+//! Paper shape targets: despite the degrading per-GPU efficiency (Fig. 8),
+//! total performance keeps increasing up to 108 GPUs (to ≈80 Tflop/s for
+//! the coarser tilings), because the added flops of coarser tilings overlap
+//! with the data transfers that dominate the runtime.
+//!
+//! Usage: `repro_fig9 [--quick]`
+
+use bst_bench::{scaling_sweep, Args};
+
+fn main() {
+    let args = Args::parse();
+    let points = scaling_sweep(args.gpu_counts(), 42);
+
+    println!("# Fig 9 — Total performance (Tflop/s) vs #GPUs, C65H132");
+    println!("{:>6} {:>10} {:>10} {:>10}", "#GPUs", "v1", "v2", "v3");
+    for &g in args.gpu_counts() {
+        let v = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.tiling == label && p.gpus == g)
+                .map(|p| p.report.tflops())
+                .unwrap()
+        };
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.1}",
+            g,
+            v("v1"),
+            v("v2"),
+            v("v3")
+        );
+    }
+}

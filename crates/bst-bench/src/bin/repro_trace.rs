@@ -1,0 +1,62 @@
+//! Renders the execution profile behind the paper's §5.2 observation that
+//! "the arithmetic intensity ... is too low to fully exploit the GPUs" and
+//! "GPU I/O dominates the execution time": an ASCII Gantt of the simulated
+//! GPUs (`#` compute, `-` host↔device transfer) for a reduced C65H132-style
+//! run, plus per-GPU compute utilisation.
+//!
+//! Usage: `repro_trace [v1|v2|v3]`
+
+use bst_chem::{CcsdProblem, Molecule, ScreeningParams, TilingSpec};
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_sim::replay::{simulate_traced, Trace};
+use bst_sim::Platform;
+
+fn main() {
+    let tiling = std::env::args().nth(1).unwrap_or_else(|| "v1".to_string());
+    let spec_t = match tiling.as_str() {
+        "v1" => TilingSpec::v1(),
+        "v2" => TilingSpec::v2(),
+        "v3" => TilingSpec::v3(),
+        other => panic!("unknown tiling {other}"),
+    };
+    let molecule = Molecule::alkane(40);
+    let spec_t = spec_t.scaled_for(&molecule);
+    let problem = CcsdProblem::build(&molecule, spec_t, ScreeningParams::default(), 42);
+    let spec = ProblemSpec::new(
+        problem.t.clone(),
+        problem.v.clone(),
+        Some(problem.r.shape().clone()),
+    );
+
+    let platform = Platform::summit(2);
+    let config = PlannerConfig::paper(
+        GridConfig::from_nodes(2, 1),
+        DeviceConfig {
+            gpus_per_node: platform.gpus_per_node,
+            gpu_mem_bytes: platform.gpu_mem_bytes,
+        },
+    );
+    let plan = ExecutionPlan::build(&spec, config).expect("plan");
+    let mut trace = Trace::default();
+    let report = simulate_traced(&spec, &plan, &platform, Some(&mut trace));
+
+    println!(
+        "# GPU execution profile — {} tiling {tiling}, 2 nodes x 6 GPUs",
+        molecule.formula()
+    );
+    println!(
+        "# makespan {:.2} s, {:.1} Tflop/s total ({:.2} per GPU)",
+        report.makespan_s,
+        report.tflops(),
+        report.tflops_per_gpu(platform.total_gpus())
+    );
+    println!("# '#' compute, '-' transfer; right column = compute utilisation");
+    print!("{}", trace.gantt(report.makespan_s, 100));
+    let mean_util: f64 = trace
+        .gpus
+        .iter()
+        .map(|g| g.compute_utilization(report.makespan_s))
+        .sum::<f64>()
+        / trace.gpus.len() as f64;
+    println!("# mean compute utilisation: {:.0}% — the rest is GPU I/O and dependencies", mean_util * 100.0);
+}

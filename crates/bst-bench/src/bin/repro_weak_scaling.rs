@@ -1,0 +1,61 @@
+//! Weak-scaling study (an extension — the paper's Figs. 7–9 are strong
+//! scaling only): grow the molecule with the machine and track the
+//! *per-GPU throughput* — the honest weak-scaling metric here, because the
+//! screened flop count of a chain grows superlinearly with its length
+//! (wider amplitude halos), so time cannot stay flat even on an ideal
+//! machine. Retained per-GPU Tflop/s = the machine scales with the science.
+//!
+//! Usage: `repro_weak_scaling`
+
+use bst_chem::{CcsdProblem, Molecule, ScreeningParams, TilingSpec};
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_sim::{simulate, Platform};
+
+fn main() {
+    println!("# Weak scaling — chain length grows with the node count");
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "molecule", "nodes", "Tflop", "time (s)", "Tflop/s", "Tf/s/GPU", "ret (%)"
+    );
+    let mut base: Option<f64> = None;
+    let cases = [(33usize, 4usize), (65, 8), (130, 16)];
+    for (carbons, nodes) in cases {
+        let molecule = Molecule::alkane(carbons);
+        let spec_t = TilingSpec::v2().scaled_for(&molecule);
+        let problem = CcsdProblem::build(&molecule, spec_t, ScreeningParams::default(), 42);
+        let spec = ProblemSpec::new(
+            problem.t.clone(),
+            problem.v.clone(),
+            Some(problem.r.shape().clone()),
+        );
+        let platform = Platform::summit(nodes);
+        let config = PlannerConfig::paper(
+            GridConfig::from_nodes(nodes, 1),
+            DeviceConfig {
+                gpus_per_node: platform.gpus_per_node,
+                gpu_mem_bytes: platform.gpu_mem_bytes,
+            },
+        );
+        match ExecutionPlan::build(&spec, config) {
+            Ok(plan) => {
+                let r = simulate(&spec, &plan, &platform);
+                let gpus = platform.total_gpus();
+                let per_gpu = r.tflops_per_gpu(gpus);
+                let base_per_gpu = *base.get_or_insert(per_gpu);
+                println!(
+                    "{:>10} {:>8} {:>10.1} {:>12.2} {:>12.1} {:>12.2} {:>10.1}",
+                    molecule.formula(),
+                    nodes,
+                    r.total_flops as f64 / 1e12,
+                    r.makespan_s,
+                    r.tflops(),
+                    per_gpu,
+                    per_gpu / base_per_gpu * 100.0
+                );
+            }
+            Err(e) => println!("{:>10} plan failed: {e}", molecule.formula()),
+        }
+    }
+    println!("# ret = per-GPU throughput retained vs the smallest configuration;");
+    println!("# ~100% means the machine keeps pace with the growing chemistry.");
+}

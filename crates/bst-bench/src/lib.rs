@@ -1,0 +1,206 @@
+//! Shared driver code for the reproduction binaries (`src/bin/repro_*.rs`)
+//! and Criterion benches.
+//!
+//! Each binary regenerates one table or figure of the paper; this library
+//! holds the sweep logic they share:
+//!
+//! * [`synthetic_sweep`] — the §5.1 synthetic benchmark grid (M = 48k, N = K
+//!   swept, densities {1, .75, .5, .25, .1}, 16 Summit nodes) for Figures
+//!   2, 3 and 4;
+//! * [`scaling_sweep`] — the §5.2 C65H132 strong-scaling sweep (3–108 GPUs,
+//!   tilings v1/v2/v3) for Figures 7, 8 and 9.
+
+use bst_chem::{CcsdProblem, TilingSpec};
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_sim::dbcsr::{simulate_dbcsr, DbcsrOom, DbcsrReport};
+use bst_sim::replay::simulate_best_p;
+use bst_sim::{simulate, Platform, SimReport};
+use bst_sparse::generate::{generate, SyntheticParams};
+
+/// The densities of the paper's Fig. 2.
+pub const DENSITIES: [f64; 5] = [1.0, 0.75, 0.5, 0.25, 0.1];
+
+/// The default N = K sweep of Fig. 2 (up to 750k).
+pub const SIZES: [u64; 6] = [48_000, 96_000, 192_000, 384_000, 576_000, 750_000];
+
+/// A reduced sweep for `--quick` runs.
+pub const SIZES_QUICK: [u64; 3] = [48_000, 192_000, 384_000];
+
+/// The GPU counts of Figs. 7–9.
+pub const GPU_COUNTS: [usize; 7] = [3, 6, 12, 24, 48, 96, 108];
+
+/// One measured point of the synthetic sweep.
+pub struct SyntheticPoint {
+    /// `N = K`.
+    pub nk: u64,
+    /// Target density.
+    pub density: f64,
+    /// Best grid-row count `p` for the PaRSEC-style run.
+    pub best_p: usize,
+    /// PaRSEC-style simulated report.
+    pub parsec: SimReport,
+    /// DBCSR simulated report, or the capacity failure.
+    pub dbcsr: Result<DbcsrReport, DbcsrOom>,
+    /// The problem structures (for arithmetic-intensity queries).
+    pub spec: ProblemSpec,
+}
+
+/// Builds the §5.1 synthetic problem for one grid point.
+pub fn synthetic_spec(nk: u64, density: f64, seed: u64) -> ProblemSpec {
+    let prob = generate(&SyntheticParams::paper(nk, density, seed));
+    ProblemSpec::new(prob.a, prob.b, None)
+}
+
+/// Runs the synthetic sweep on `nodes` Summit nodes. `sizes` is the N = K
+/// sweep; every density of [`DENSITIES`] is evaluated.
+pub fn synthetic_sweep(sizes: &[u64], nodes: usize, with_dbcsr: bool) -> Vec<SyntheticPoint> {
+    let platform = Platform::summit(nodes);
+    let device = DeviceConfig {
+        gpus_per_node: platform.gpus_per_node,
+        gpu_mem_bytes: platform.gpu_mem_bytes,
+    };
+    let mut out = Vec::new();
+    for &nk in sizes {
+        for &density in &DENSITIES {
+            let spec = synthetic_spec(nk, density, 42);
+            let (best_p, parsec) =
+                simulate_best_p(&spec, &platform, device).expect("synthetic plan must build");
+            let dbcsr = if with_dbcsr {
+                simulate_dbcsr(&spec, &platform)
+            } else {
+                Err(DbcsrOom {
+                    needed: 0,
+                    capacity: 0,
+                })
+            };
+            eprintln!(
+                "  [sweep] N=K={nk} density={density}: parsec {:.1} Tflop/s (p={best_p}), dbcsr {}",
+                parsec.tflops(),
+                match &dbcsr {
+                    Ok(r) => format!("{:.1} Tflop/s", r.tflops()),
+                    Err(_) => "OOM/skipped".to_string(),
+                }
+            );
+            out.push(SyntheticPoint {
+                nk,
+                density,
+                best_p,
+                parsec,
+                dbcsr,
+                spec,
+            });
+        }
+    }
+    out
+}
+
+/// One measured point of the C65H132 strong-scaling sweep.
+pub struct ScalingPoint {
+    /// Tiling variant label ("v1", "v2", "v3").
+    pub tiling: &'static str,
+    /// GPU count.
+    pub gpus: usize,
+    /// Simulated report.
+    pub report: SimReport,
+}
+
+/// Builds the three C65H132 problems (tilings v1/v2/v3).
+pub fn c65h132_problems(seed: u64) -> Vec<(&'static str, CcsdProblem)> {
+    vec![
+        ("v1", CcsdProblem::c65h132(TilingSpec::v1(), seed)),
+        ("v2", CcsdProblem::c65h132(TilingSpec::v2(), seed)),
+        ("v3", CcsdProblem::c65h132(TilingSpec::v3(), seed)),
+    ]
+}
+
+/// Problem spec of a CCSD problem (T·V with the screened R shape).
+pub fn ccsd_spec(p: &CcsdProblem) -> ProblemSpec {
+    ProblemSpec::new(p.t.clone(), p.v.clone(), Some(p.r.shape().clone()))
+}
+
+/// Runs the strong-scaling sweep of Figs. 7–9 over [`GPU_COUNTS`].
+pub fn scaling_sweep(gpu_counts: &[usize], seed: u64) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for (label, problem) in c65h132_problems(seed) {
+        let spec = ccsd_spec(&problem);
+        for &gpus in gpu_counts {
+            let platform = Platform::summit_gpus(gpus);
+            let config = PlannerConfig::paper(
+                GridConfig::from_nodes(platform.nodes, 1),
+                DeviceConfig {
+                    gpus_per_node: platform.gpus_per_node,
+                    gpu_mem_bytes: platform.gpu_mem_bytes,
+                },
+            );
+            let plan = ExecutionPlan::build(&spec, config).expect("ccsd plan must build");
+            let report = simulate(&spec, &plan, &platform);
+            eprintln!(
+                "  [scaling] {label} on {gpus} GPUs: {:.1} s, {:.1} Tflop/s (bounds: compute {:.1}s h2d {:.1}s nic {:.1}s bgen {:.1}s)",
+                report.makespan_s,
+                report.tflops(),
+                report.compute_bound_s,
+                report.h2d_bound_s,
+                report.nic_bound_s,
+                report.bgen_bound_s
+            );
+            out.push(ScalingPoint {
+                tiling: label,
+                gpus,
+                report,
+            });
+        }
+    }
+    out
+}
+
+/// Writes a CSV file into `results/` (creating the directory), one header
+/// row plus data rows — so every figure can be re-plotted with the gnuplot
+/// script in `results/plot.gp`.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    use std::io::Write;
+    std::fs::create_dir_all("results")?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(format!("results/{name}"))?);
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Parses the common `--quick` / `--carbons N` style flags.
+pub struct Args {
+    /// Reduced sweep requested.
+    pub quick: bool,
+}
+
+impl Args {
+    /// Parses process arguments; panics on unknown flags.
+    pub fn parse() -> Self {
+        let mut quick = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => quick = true,
+                other => panic!("unknown argument {other} (supported: --quick)"),
+            }
+        }
+        Self { quick }
+    }
+
+    /// The size sweep to use.
+    pub fn sizes(&self) -> &'static [u64] {
+        if self.quick {
+            &SIZES_QUICK
+        } else {
+            &SIZES
+        }
+    }
+
+    /// The GPU-count sweep to use.
+    pub fn gpu_counts(&self) -> &'static [usize] {
+        if self.quick {
+            &GPU_COUNTS[..4]
+        } else {
+            &GPU_COUNTS
+        }
+    }
+}

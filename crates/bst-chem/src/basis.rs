@@ -1,0 +1,102 @@
+//! def2-SVP-like basis-set bookkeeping and localised occupied orbitals.
+//!
+//! For the AO-formalism ABCD term, the "unoccupied" indices `a,b,c,d` run
+//! over the full AO range. def2-SVP has `[3s2p1d]` on carbon (3 + 2·3 + 1·5 =
+//! 14 functions) and `[2s1p]` on hydrogen (2 + 3 = 5 functions), so C65H132
+//! has `U = 65·14 + 132·5 = 1570` — exactly the paper's rank.
+//!
+//! The occupied indices `i,j` run over localised valence orbitals. With the
+//! core (carbon 1s) orbitals frozen, the localised valence occupieds of a
+//! saturated hydrocarbon are its two-centre bond orbitals: one per covalent
+//! bond, centred at the bond midpoint. C65H132 has 64 C–C + 132 C–H bonds,
+//! so `O = 196` — again the paper's rank.
+
+use crate::molecule::{Element, Molecule, Point3};
+
+/// Number of def2-SVP basis functions on an element.
+pub fn ao_count(e: Element) -> usize {
+    match e {
+        Element::H => 5,  // [2s1p]
+        Element::C => 14, // [3s2p1d]
+    }
+}
+
+/// One centre per AO (each basis function sits on its atom), ordered along
+/// the chain (atom order). These are the points clustered into `cd`/`ab`
+/// tiles.
+pub fn ao_centers(m: &Molecule) -> Vec<Point3> {
+    // Order atoms by x so that AO index order follows the chain; this mirrors
+    // the paper's clustering of "spatially-close orbitals" and gives the
+    // banded matricised patterns of Fig. 5.
+    let mut order: Vec<usize> = (0..m.atoms.len()).collect();
+    order.sort_by(|&i, &j| m.atoms[i].pos.x.total_cmp(&m.atoms[j].pos.x));
+    let mut centers = Vec::new();
+    for idx in order {
+        let a = &m.atoms[idx];
+        for _ in 0..ao_count(a.element) {
+            centers.push(a.pos);
+        }
+    }
+    centers
+}
+
+/// Total AO rank `U`.
+pub fn ao_rank(m: &Molecule) -> usize {
+    m.atoms.iter().map(|a| ao_count(a.element)).sum()
+}
+
+/// Centres of the localised valence occupied orbitals (bond midpoints),
+/// ordered along the chain. One per bond ⇒ rank `O`.
+pub fn occupied_centers(m: &Molecule) -> Vec<Point3> {
+    let mut centers: Vec<Point3> = m
+        .bonds
+        .iter()
+        .map(|b| m.atoms[b.a].pos.midpoint(&m.atoms[b.b].pos))
+        .collect();
+    centers.sort_by(|p, q| p.x.total_cmp(&q.x));
+    centers
+}
+
+/// Occupied rank `O` (frozen-core localised valence orbitals).
+pub fn occupied_rank(m: &Molecule) -> usize {
+    m.bonds.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ranks_for_c65h132() {
+        let m = Molecule::alkane(65);
+        assert_eq!(ao_rank(&m), 1570, "U must match the paper");
+        assert_eq!(occupied_rank(&m), 196, "O must match the paper");
+    }
+
+    #[test]
+    fn centers_lengths_match_ranks() {
+        let m = Molecule::alkane(10);
+        assert_eq!(ao_centers(&m).len(), ao_rank(&m));
+        assert_eq!(occupied_centers(&m).len(), occupied_rank(&m));
+    }
+
+    #[test]
+    fn centers_sorted_along_chain() {
+        let m = Molecule::alkane(20);
+        let occ = occupied_centers(&m);
+        for w in occ.windows(2) {
+            assert!(w[0].x <= w[1].x + 1e-9);
+        }
+        let aos = ao_centers(&m);
+        for w in aos.windows(2) {
+            assert!(w[0].x <= w[1].x + 1e-9);
+        }
+    }
+
+    #[test]
+    fn methane_ranks() {
+        let m = Molecule::alkane(1);
+        assert_eq!(ao_rank(&m), 14 + 4 * 5);
+        assert_eq!(occupied_rank(&m), 4);
+    }
+}

@@ -1,0 +1,173 @@
+//! Assembly of complete ABCD-contraction problems from a molecule.
+//!
+//! A [`CcsdProblem`] holds the matricised structures of `T` (the `A`
+//! matrix), `V` (the stationary `B` matrix) and `R` (the result `C`), plus
+//! the tilings and dimensions. The paper's three tilings v1–v3 are
+//! reproduced by [`TilingSpec::v1`]/[`v2`](TilingSpec::v2)/[`v3`](TilingSpec::v3),
+//! which differ only in the target k-means cluster counts (finest → coarsest).
+
+use crate::basis::{ao_centers, ao_rank, occupied_centers, occupied_rank};
+use crate::cluster::{kmeans, Clustering};
+use crate::molecule::Molecule;
+use crate::screening::{r_structure, t_structure, v_structure, ScreeningParams};
+use bst_sparse::tensor::ContractionDims;
+use bst_sparse::MatrixStructure;
+
+/// Target cluster counts for the occupied and AO index ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TilingSpec {
+    /// Target number of occupied clusters (per occupied mode).
+    pub occ_clusters: usize,
+    /// Target number of AO clusters (per AO mode).
+    pub ao_clusters: usize,
+}
+
+impl TilingSpec {
+    /// The paper's finest tiling (v1): ~700-element fused tiles for
+    /// C65H132 (≈8 occupied / ≈60 AO clusters ⇒ 64 × 4225 tile grid for T,
+    /// matching Fig. 5).
+    pub fn v1() -> Self {
+        Self {
+            occ_clusters: 8,
+            ao_clusters: 60,
+        }
+    }
+
+    /// The paper's medium tiling (v2): fused tiles of ~[500, 2500] elements.
+    pub fn v2() -> Self {
+        Self {
+            occ_clusters: 6,
+            ao_clusters: 42,
+        }
+    }
+
+    /// The paper's coarsest tiling (v3): fused tiles of ~[1000, 5000]
+    /// elements.
+    pub fn v3() -> Self {
+        Self {
+            occ_clusters: 4,
+            ao_clusters: 28,
+        }
+    }
+
+    /// Scales the spec for a molecule smaller than C65H132, keeping the
+    /// orbitals-per-cluster ratio (useful for laptop-scale tests/examples).
+    pub fn scaled_for(&self, m: &Molecule) -> Self {
+        let o = occupied_rank(m) as f64 / 196.0;
+        let u = ao_rank(m) as f64 / 1570.0;
+        Self {
+            occ_clusters: ((self.occ_clusters as f64 * o).round() as usize).max(1),
+            ao_clusters: ((self.ao_clusters as f64 * u).round() as usize).max(1),
+        }
+    }
+}
+
+/// A fully assembled ABCD-term contraction problem.
+#[derive(Clone, Debug)]
+pub struct CcsdProblem {
+    /// Index-range extents (`O`, `U`).
+    pub dims: ContractionDims,
+    /// Occupied-range clustering (tiling + centroids).
+    pub occ: Clustering,
+    /// AO-range clustering.
+    pub ao: Clustering,
+    /// Matricised `T` — the `A` operand, `O² × U²`.
+    pub t: MatrixStructure,
+    /// Matricised `V` — the stationary `B` operand, `U² × U²`.
+    pub v: MatrixStructure,
+    /// Matricised `R` — the result `C` structure, `O² × U²`, screened.
+    pub r: MatrixStructure,
+    /// The screening parameters used.
+    pub params: ScreeningParams,
+}
+
+impl CcsdProblem {
+    /// Builds the problem for `molecule` under `spec` and `params`;
+    /// deterministic in `seed` (which drives the quasirandom k-means).
+    pub fn build(molecule: &Molecule, spec: TilingSpec, params: ScreeningParams, seed: u64) -> Self {
+        let occ_pts = occupied_centers(molecule);
+        let ao_pts = ao_centers(molecule);
+        let occ = kmeans(&occ_pts, spec.occ_clusters, seed ^ 0x0CC);
+        let ao = kmeans(&ao_pts, spec.ao_clusters, seed ^ 0xA0);
+        let t = t_structure(&occ, &ao, &params);
+        let v = v_structure(&ao, &params);
+        let r = r_structure(&t, &v, &params);
+        Self {
+            dims: ContractionDims {
+                o: occupied_rank(molecule) as u64,
+                u: ao_rank(molecule) as u64,
+            },
+            occ,
+            ao,
+            t,
+            v,
+            r,
+        params,
+        }
+    }
+
+    /// The paper's benchmark problem: C65H132, def2-SVP.
+    pub fn c65h132(spec: TilingSpec, seed: u64) -> Self {
+        Self::build(&Molecule::alkane(65), spec, ScreeningParams::default(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_problem_dims() {
+        let m = Molecule::alkane(8);
+        let p = CcsdProblem::build(&m, TilingSpec::v1().scaled_for(&m), ScreeningParams::default(), 3);
+        assert_eq!(p.dims.o, 7 + 18); // 7 C-C + 18 C-H bonds
+        assert_eq!(p.dims.u, (8 * 14 + 18 * 5) as u64);
+        assert_eq!(p.t.rows(), p.dims.m());
+        assert_eq!(p.t.cols(), p.dims.k());
+        assert_eq!(p.v.rows(), p.dims.k());
+        assert_eq!(p.v.cols(), p.dims.k());
+        assert_eq!(p.r.rows(), p.dims.m());
+        assert_eq!(p.r.cols(), p.dims.k());
+    }
+
+    #[test]
+    fn inner_tilings_conformable() {
+        let m = Molecule::alkane(8);
+        let p = CcsdProblem::build(&m, TilingSpec::v2().scaled_for(&m), ScreeningParams::default(), 3);
+        assert_eq!(p.t.col_tiling(), p.v.row_tiling());
+        assert_eq!(p.r.row_tiling(), p.t.row_tiling());
+        assert_eq!(p.r.col_tiling(), p.v.col_tiling());
+    }
+
+    #[test]
+    fn coarser_tiling_is_denser() {
+        let m = Molecule::alkane(24);
+        let fine = CcsdProblem::build(&m, TilingSpec::v1().scaled_for(&m), ScreeningParams::default(), 3);
+        let coarse = CcsdProblem::build(&m, TilingSpec::v3().scaled_for(&m), ScreeningParams::default(), 3);
+        assert!(
+            coarse.v.element_density() >= fine.v.element_density(),
+            "coarse {} vs fine {}",
+            coarse.v.element_density(),
+            fine.v.element_density()
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let m = Molecule::alkane(8);
+        let spec = TilingSpec::v1().scaled_for(&m);
+        let a = CcsdProblem::build(&m, spec, ScreeningParams::default(), 5);
+        let b = CcsdProblem::build(&m, spec, ScreeningParams::default(), 5);
+        assert_eq!(a.t.shape(), b.t.shape());
+        assert_eq!(a.v.shape(), b.v.shape());
+    }
+
+    #[test]
+    fn scaled_spec_shrinks() {
+        let m = Molecule::alkane(8);
+        let s = TilingSpec::v1().scaled_for(&m);
+        assert!(s.occ_clusters < 8);
+        assert!(s.ao_clusters < 60);
+        assert!(s.occ_clusters >= 1 && s.ao_clusters >= 1);
+    }
+}

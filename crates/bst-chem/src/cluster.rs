@@ -1,0 +1,238 @@
+//! Seeded k-means clustering of orbital centres → irregular tilings.
+//!
+//! The paper (§5.2, citing ref \[29\]) tiles the occupied and AO index ranges
+//! by clustering spatially-close orbitals with a "quasirandom" k-means; the
+//! user controls only the target number of clusters, and the resulting
+//! cluster sizes — hence tile sizes — are irregular. This module reproduces
+//! that: Lloyd's algorithm with jittered quasi-uniform seeding, deterministic
+//! in the seed, with empty clusters dropped.
+
+use crate::molecule::Point3;
+use bst_tile::Tiling;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of clustering a set of orbital centres.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Number of points in each cluster (all non-zero), ordered along the
+    /// chain axis (ascending centroid x).
+    pub sizes: Vec<usize>,
+    /// Cluster centroids, same order.
+    pub centroids: Vec<Point3>,
+    /// Root-mean-square radius of each cluster, same order.
+    pub radii: Vec<f64>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether there are no clusters (never true for non-empty input).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Tiling of the orbital index range induced by the cluster sizes
+    /// (orbitals are implicitly reordered cluster-by-cluster, which is the
+    /// locality-preserving order for a quasi-1-d molecule).
+    pub fn tiling(&self) -> Tiling {
+        let sizes: Vec<u64> = self.sizes.iter().map(|&s| s as u64).collect();
+        Tiling::from_sizes(&sizes)
+    }
+}
+
+/// Runs seeded k-means (Lloyd's algorithm) on `points`, asking for `k`
+/// clusters; empty clusters are dropped, so the result may have fewer.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn kmeans(points: &[Point3], k: usize, seed: u64) -> Clustering {
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    assert!(k > 0, "need at least one cluster");
+    let k = k.min(points.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Quasi-uniform jittered seeding along the chain: pick the point at
+    // roughly every len/k-th position, jittered — "quasirandom" as the paper
+    // describes the clustering.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| points[i].x.total_cmp(&points[j].x));
+    let stride = points.len() as f64 / k as f64;
+    let mut centroids: Vec<Point3> = (0..k)
+        .map(|c| {
+            let jitter: f64 = rng.gen_range(-0.45..0.45);
+            let idx = (((c as f64 + 0.5 + jitter) * stride) as usize).min(points.len() - 1);
+            points[order[idx]]
+        })
+        .collect();
+
+    let mut assign = vec![0usize; points.len()];
+    for _iter in 0..25 {
+        let mut changed = false;
+        for (pi, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = p.dist(c);
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            if assign[pi] != best {
+                assign[pi] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0usize); centroids.len()];
+        for (pi, p) in points.iter().enumerate() {
+            let s = &mut sums[assign[pi]];
+            s.0 += p.x;
+            s.1 += p.y;
+            s.2 += p.z;
+            s.3 += 1;
+        }
+        for (ci, s) in sums.iter().enumerate() {
+            if s.3 > 0 {
+                centroids[ci] = Point3::new(s.0 / s.3 as f64, s.1 / s.3 as f64, s.2 / s.3 as f64);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect non-empty clusters with their member points.
+    let mut clusters: Vec<Vec<Point3>> = vec![Vec::new(); centroids.len()];
+    for (pi, p) in points.iter().enumerate() {
+        clusters[assign[pi]].push(*p);
+    }
+    clusters.retain(|m| !m.is_empty());
+
+    // Balance pass: real clustering codes bound the cluster size so tiles
+    // stay within a narrow band (the paper's Fig. 6 shows v1 tiles within
+    // ~2x of each other). Oversized clusters are split at their median
+    // along the chain axis until none exceeds the cap.
+    let cap = ((1.6 * points.len() as f64 / k as f64).ceil() as usize).max(2);
+    let mut i = 0;
+    while i < clusters.len() {
+        if clusters[i].len() > cap {
+            clusters[i].sort_by(|a, b| a.x.total_cmp(&b.x));
+            let mid = clusters[i].len() / 2;
+            let tail = clusters[i].split_off(mid);
+            clusters.push(tail);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Centroids, radii; order along x.
+    let mut by_cluster: Vec<(Point3, usize, f64)> = clusters
+        .iter()
+        .map(|members| {
+            let n = members.len() as f64;
+            let c = Point3::new(
+                members.iter().map(|p| p.x).sum::<f64>() / n,
+                members.iter().map(|p| p.y).sum::<f64>() / n,
+                members.iter().map(|p| p.z).sum::<f64>() / n,
+            );
+            let r2: f64 = members.iter().map(|p| p.dist(&c).powi(2)).sum::<f64>() / n;
+            (c, members.len(), r2.sqrt())
+        })
+        .collect();
+    by_cluster.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));
+
+    Clustering {
+        sizes: by_cluster.iter().map(|x| x.1).collect(),
+        centroids: by_cluster.iter().map(|x| x.0).collect(),
+        radii: by_cluster.iter().map(|x| x.2).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{ao_centers, occupied_centers};
+    use crate::molecule::Molecule;
+
+    fn line(n: usize) -> Vec<Point3> {
+        (0..n).map(|i| Point3::new(i as f64, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn sizes_sum_to_points() {
+        let pts = line(100);
+        let c = kmeans(&pts, 7, 1);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 100);
+        assert!(c.len() <= 7);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = line(64);
+        let a = kmeans(&pts, 5, 9);
+        let b = kmeans(&pts, 5, 9);
+        assert_eq!(a.sizes, b.sizes);
+    }
+
+    #[test]
+    fn centroids_ordered_along_x() {
+        let pts = line(200);
+        let c = kmeans(&pts, 11, 4);
+        for w in c.centroids.windows(2) {
+            assert!(w[0].x <= w[1].x);
+        }
+    }
+
+    #[test]
+    fn one_cluster_is_everything() {
+        let pts = line(10);
+        let c = kmeans(&pts, 1, 0);
+        assert_eq!(c.sizes, vec![10]);
+        assert!((c.centroids[0].x - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = line(3);
+        let c = kmeans(&pts, 10, 0);
+        assert!(c.len() <= 3);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn tiling_roundtrip() {
+        let pts = line(50);
+        let c = kmeans(&pts, 4, 2);
+        let t = c.tiling();
+        assert_eq!(t.extent(), 50);
+        assert_eq!(t.num_tiles(), c.len());
+    }
+
+    #[test]
+    fn alkane_clusters_are_quasirandom_but_balanced() {
+        let m = Molecule::alkane(65);
+        let aos = ao_centers(&m);
+        let c = kmeans(&aos, 60, 7);
+        // Irregular (not all equal) ...
+        let min = *c.sizes.iter().min().unwrap();
+        let max = *c.sizes.iter().max().unwrap();
+        assert!(max > min, "expected irregular cluster sizes");
+        // ... but no pathological blow-up.
+        assert!(max < 6 * aos.len() / c.len());
+    }
+
+    #[test]
+    fn occupied_clusters_cover_rank() {
+        let m = Molecule::alkane(65);
+        let occ = occupied_centers(&m);
+        let c = kmeans(&occ, 8, 3);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 196);
+    }
+}

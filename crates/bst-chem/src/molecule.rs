@@ -1,0 +1,401 @@
+//! Molecular geometries: linear alkane chains (the paper's C65H132 is
+//! "representative of applications to 1-d polymers and quasi-linear
+//! molecules").
+
+/// A point in 3-d space (Ångström).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point3 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// z coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Constructs a point.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, o: &Point3) -> f64 {
+        let (dx, dy, dz) = (self.x - o.x, self.y - o.y, self.z - o.z);
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Midpoint between two points.
+    pub fn midpoint(&self, o: &Point3) -> Point3 {
+        Point3::new(
+            0.5 * (self.x + o.x),
+            0.5 * (self.y + o.y),
+            0.5 * (self.z + o.z),
+        )
+    }
+}
+
+/// Chemical element (only what alkanes need).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// Hydrogen.
+    H,
+    /// Carbon.
+    C,
+}
+
+/// An atom: element + position.
+#[derive(Clone, Copy, Debug)]
+pub struct Atom {
+    /// The element.
+    pub element: Element,
+    /// Nuclear position (Å).
+    pub pos: Point3,
+}
+
+/// A covalent bond between two atoms (indices into [`Molecule::atoms`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bond {
+    /// First atom index.
+    pub a: usize,
+    /// Second atom index.
+    pub b: usize,
+}
+
+/// A molecule: atoms plus connectivity.
+#[derive(Clone, Debug)]
+pub struct Molecule {
+    /// All atoms.
+    pub atoms: Vec<Atom>,
+    /// All covalent bonds.
+    pub bonds: Vec<Bond>,
+}
+
+/// C–C bond length in Å.
+const CC_BOND: f64 = 1.54;
+/// C–H bond length in Å.
+const CH_BOND: f64 = 1.09;
+/// Tetrahedral half-angle of the zig-zag backbone (≈ 111.6°/2 from the axis).
+const BACKBONE_HALF_ANGLE: f64 = 0.9721; // radians, asin-ish placement factor
+
+impl Molecule {
+    /// Builds a linear alkane CnH(2n+2) in an idealised all-anti (zig-zag)
+    /// conformation along the x axis.
+    ///
+    /// Carbons alternate above/below the axis; interior carbons carry two
+    /// hydrogens (±z), terminal carbons three. The exact hydrogen geometry is
+    /// idealised — only inter-centre *distances along the chain* matter for
+    /// the screening model, and those are correct.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn alkane(n: usize) -> Self {
+        assert!(n >= 1, "need at least one carbon");
+        let mut atoms = Vec::with_capacity(3 * n + 2);
+        let mut bonds = Vec::new();
+
+        // Backbone: zig-zag in the xy plane.
+        let dx = CC_BOND * BACKBONE_HALF_ANGLE.sin();
+        let dy = CC_BOND * BACKBONE_HALF_ANGLE.cos();
+        for i in 0..n {
+            let pos = Point3::new(i as f64 * dx, if i % 2 == 0 { 0.0 } else { dy }, 0.0);
+            atoms.push(Atom {
+                element: Element::C,
+                pos,
+            });
+            if i > 0 {
+                bonds.push(Bond { a: i - 1, b: i });
+            }
+        }
+
+        // Hydrogens.
+        for i in 0..n {
+            let c = atoms[i].pos;
+            let up = if i % 2 == 0 { -1.0 } else { 1.0 };
+            let mut hs: Vec<Point3> = vec![
+                Point3::new(c.x, c.y + up * CH_BOND * 0.35, c.z + CH_BOND * 0.94),
+                Point3::new(c.x, c.y + up * CH_BOND * 0.35, c.z - CH_BOND * 0.94),
+            ];
+            if i == 0 || i == n - 1 {
+                // Terminal CH3: one extra hydrogen pointing outward along x.
+                let sign = if i == 0 { -1.0 } else { 1.0 };
+                hs.push(Point3::new(c.x + sign * CH_BOND * 0.94, c.y + up * CH_BOND * 0.35, c.z));
+            }
+            if n == 1 {
+                // Methane: 4th hydrogen.
+                hs.push(Point3::new(c.x + CH_BOND * 0.94, c.y - up * CH_BOND * 0.35, c.z));
+            }
+            for h in hs {
+                let hi = atoms.len();
+                atoms.push(Atom {
+                    element: Element::H,
+                    pos: h,
+                });
+                bonds.push(Bond { a: i, b: hi });
+            }
+        }
+
+        Self { atoms, bonds }
+    }
+
+    /// Builds a quasi-2-dimensional saturated sheet: an `n × m` grid of CH₂
+    /// units (a crude polyethylene raft). Carbons sit on a square lattice at
+    /// C–C bond distance with bonds along both lattice directions; each
+    /// carbon carries out-of-plane hydrogens so every carbon stays
+    /// 4-coordinated at the interior.
+    ///
+    /// The paper's §7 conjectures that "different molecules have the
+    /// potential to provide much denser and compute-intensive input
+    /// matrices" than the quasi-1-d C65H132; a sheet halves the screening
+    /// opportunities of a chain (distances shrink like √N instead of N).
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn sheet(n: usize, m: usize) -> Self {
+        assert!(n >= 1 && m >= 1);
+        let mut atoms = Vec::new();
+        let mut bonds = Vec::new();
+        let d = CC_BOND;
+        for i in 0..n {
+            for j in 0..m {
+                let idx = atoms.len();
+                atoms.push(Atom {
+                    element: Element::C,
+                    pos: Point3::new(i as f64 * d, j as f64 * d, 0.0),
+                });
+                if i > 0 {
+                    bonds.push(Bond {
+                        a: idx - m,
+                        b: idx,
+                    });
+                }
+                if j > 0 {
+                    bonds.push(Bond {
+                        a: idx - 1,
+                        b: idx,
+                    });
+                }
+            }
+        }
+        // Hydrogens: enough to keep carbons 4-coordinated (2 minus the
+        // missing lattice neighbours, at least 1 so edges stay saturated).
+        let nc = n * m;
+        for i in 0..n {
+            for j in 0..m {
+                let c = i * m + j;
+                let lattice_neighbours = (i > 0) as usize
+                    + (i + 1 < n) as usize
+                    + (j > 0) as usize
+                    + (j + 1 < m) as usize;
+                let hydrogens = 4usize.saturating_sub(lattice_neighbours).min(2);
+                let pos = atoms[c].pos;
+                for h in 0..hydrogens {
+                    let z = if h == 0 { CH_BOND } else { -CH_BOND };
+                    let hi = atoms.len();
+                    atoms.push(Atom {
+                        element: Element::H,
+                        pos: Point3::new(pos.x, pos.y, z),
+                    });
+                    bonds.push(Bond { a: c, b: hi });
+                }
+            }
+        }
+        let _ = nc;
+        Self { atoms, bonds }
+    }
+
+    /// Builds a quasi-0-dimensional (compact) saturated cluster: carbons on
+    /// a cubic `n × n × n` lattice with nearest-neighbour bonds, surface
+    /// carbons hydrogen-capped — a crude diamondoid. This is the paper's
+    /// "high-precision simulation on compact molecules" limit where the
+    /// tensors approach 100% fill.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn cluster3d(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut atoms = Vec::new();
+        let mut bonds = Vec::new();
+        let d = CC_BOND;
+        let at = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let idx = atoms.len();
+                    debug_assert_eq!(idx, at(i, j, k));
+                    atoms.push(Atom {
+                        element: Element::C,
+                        pos: Point3::new(i as f64 * d, j as f64 * d, k as f64 * d),
+                    });
+                    if i > 0 {
+                        bonds.push(Bond { a: at(i - 1, j, k), b: idx });
+                    }
+                    if j > 0 {
+                        bonds.push(Bond { a: at(i, j - 1, k), b: idx });
+                    }
+                    if k > 0 {
+                        bonds.push(Bond { a: at(i, j, k - 1), b: idx });
+                    }
+                }
+            }
+        }
+        // Cap surface carbons to 4-coordination with hydrogens.
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let c = at(i, j, k);
+                    let neighbours = (i > 0) as usize
+                        + (i + 1 < n) as usize
+                        + (j > 0) as usize
+                        + (j + 1 < n) as usize
+                        + (k > 0) as usize
+                        + (k + 1 < n) as usize;
+                    let hydrogens = 4usize.saturating_sub(neighbours.min(4));
+                    let pos = atoms[c].pos;
+                    for h in 0..hydrogens {
+                        let (dx, dy, dz) = match h {
+                            0 => (CH_BOND, 0.3, 0.3),
+                            1 => (-0.3, CH_BOND, -0.3),
+                            2 => (0.3, -0.3, CH_BOND),
+                            _ => (-CH_BOND, -0.3, 0.3),
+                        };
+                        let hi = atoms.len();
+                        atoms.push(Atom {
+                            element: Element::H,
+                            pos: Point3::new(pos.x + dx, pos.y + dy, pos.z + dz),
+                        });
+                        bonds.push(Bond { a: c, b: hi });
+                    }
+                }
+            }
+        }
+        Self { atoms, bonds }
+    }
+
+    /// Number of atoms of the given element.
+    pub fn count(&self, e: Element) -> usize {
+        self.atoms.iter().filter(|a| a.element == e).count()
+    }
+
+    /// Chemical formula, e.g. `"C65H132"`.
+    pub fn formula(&self) -> String {
+        format!("C{}H{}", self.count(Element::C), self.count(Element::H))
+    }
+
+    /// Spatial extent along x (the chain axis), in Å.
+    pub fn length(&self) -> f64 {
+        let xs: Vec<f64> = self.atoms.iter().map(|a| a.pos.x).collect();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alkane_formula() {
+        assert_eq!(Molecule::alkane(1).formula(), "C1H4"); // methane
+        assert_eq!(Molecule::alkane(2).formula(), "C2H6"); // ethane
+        assert_eq!(Molecule::alkane(65).formula(), "C65H132"); // the paper's molecule
+    }
+
+    #[test]
+    fn bond_counts() {
+        // CnH(2n+2): (n-1) C-C bonds + (2n+2) C-H bonds.
+        let m = Molecule::alkane(65);
+        assert_eq!(m.bonds.len(), 64 + 132);
+        let cc = m
+            .bonds
+            .iter()
+            .filter(|b| m.atoms[b.a].element == Element::C && m.atoms[b.b].element == Element::C)
+            .count();
+        assert_eq!(cc, 64);
+    }
+
+    #[test]
+    fn cc_bond_lengths() {
+        let m = Molecule::alkane(10);
+        for b in &m.bonds {
+            let (ea, eb) = (m.atoms[b.a].element, m.atoms[b.b].element);
+            let d = m.atoms[b.a].pos.dist(&m.atoms[b.b].pos);
+            if ea == Element::C && eb == Element::C {
+                assert!((d - CC_BOND).abs() < 1e-9, "C-C bond length {d}");
+            } else {
+                assert!((d - CH_BOND).abs() < 0.05, "C-H bond length {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_quasi_one_dimensional() {
+        let m = Molecule::alkane(65);
+        // Length along x dominates the transverse extent.
+        assert!(m.length() > 70.0);
+        let ys: Vec<f64> = m.atoms.iter().map(|a| a.pos.y).collect();
+        let yspan = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(yspan < 3.0);
+    }
+
+    #[test]
+    fn sheet_counts() {
+        let m = Molecule::sheet(4, 5);
+        assert_eq!(m.count(Element::C), 20);
+        // Interior carbons carry no hydrogens on a 4-neighbour lattice
+        // patch with ≥ 2 rows/cols; corners carry 2, edges 1.
+        // 4x5: corners 4x2 + edge(non-corner) ((4-2)*2 + (5-2)*2)=10 x1.
+        assert_eq!(m.count(Element::H), 8 + 10);
+        // C-C bonds: (n-1)m + n(m-1).
+        let cc = m
+            .bonds
+            .iter()
+            .filter(|b| m.atoms[b.a].element == Element::C && m.atoms[b.b].element == Element::C)
+            .count();
+        assert_eq!(cc, 3 * 5 + 4 * 4);
+    }
+
+    #[test]
+    fn sheet_is_two_dimensional() {
+        let m = Molecule::sheet(6, 6);
+        let span = |f: &dyn Fn(&Atom) -> f64| {
+            let vals: Vec<f64> = m.atoms.iter().map(f).collect();
+            vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - vals.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(span(&|a| a.pos.x) > 5.0);
+        assert!(span(&|a| a.pos.y) > 5.0);
+        assert!(span(&|a| a.pos.z) < 3.0);
+    }
+
+    #[test]
+    fn cluster3d_counts_and_compactness() {
+        let m = Molecule::cluster3d(3);
+        assert_eq!(m.count(Element::C), 27);
+        assert!(m.count(Element::H) > 0);
+        // All three extents comparable (compact).
+        let xs: Vec<f64> = m.atoms.iter().map(|a| a.pos.x).collect();
+        let span = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(span < 6.0);
+        // Interior carbon of a 3x3x3 lattice has 6 neighbours -> no H;
+        // corner has 3 -> one H.
+        let corner_h = m
+            .bonds
+            .iter()
+            .filter(|b| b.a == 0 && m.atoms[b.b].element == Element::H)
+            .count();
+        assert_eq!(corner_h, 1);
+    }
+
+    #[test]
+    fn point_geometry() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 0.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        let mid = a.midpoint(&b);
+        assert_eq!(mid, Point3::new(1.5, 2.0, 0.0));
+    }
+}

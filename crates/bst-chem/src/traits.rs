@@ -1,0 +1,118 @@
+//! Problem-trait computation — the rows of the paper's Table 1.
+
+use crate::ccsd::CcsdProblem;
+use bst_sparse::structure::{gemm_task_count, product_flops_screened, product_structure};
+
+/// The quantities reported in the paper's Table 1 for one tiling variant.
+#[derive(Clone, Debug)]
+pub struct ProblemTraits {
+    /// Element dimensions `M × N × K` of the matricised contraction.
+    pub m: u64,
+    /// Element columns (`N = U²`).
+    pub n: u64,
+    /// Inner element dimension (`K = U²`).
+    pub k: u64,
+    /// Flop count with an unscreened result shape.
+    pub flops: u128,
+    /// Flop count with the screened (optimised) result shape.
+    pub flops_opt: u128,
+    /// Tile-level GEMM task count (unscreened result).
+    pub gemm_tasks: u64,
+    /// GEMM task count with the screened result shape.
+    pub gemm_tasks_opt: u64,
+    /// Mean fused-tile edge (rows) of the `B`/`C` column tiling.
+    pub mean_block_rows: f64,
+    /// Smallest/largest fused-tile edge of the column tiling.
+    pub block_rows_range: (u64, u64),
+    /// Element-wise density of `T`.
+    pub density_t: f64,
+    /// Element-wise density of `V`.
+    pub density_v: f64,
+    /// Element-wise density of the screened `R`.
+    pub density_r_opt: f64,
+}
+
+impl ProblemTraits {
+    /// Computes the traits of a [`CcsdProblem`].
+    pub fn compute(p: &CcsdProblem) -> Self {
+        let unscreened_r = product_structure(&p.t, &p.v, 0.0);
+        Self {
+            m: p.t.rows(),
+            n: p.v.cols(),
+            k: p.t.cols(),
+            flops: product_flops_screened(&p.t, &p.v, unscreened_r.shape()),
+            flops_opt: product_flops_screened(&p.t, &p.v, p.r.shape()),
+            gemm_tasks: gemm_task_count(&p.t, &p.v, None),
+            gemm_tasks_opt: gemm_task_count(&p.t, &p.v, Some(p.r.shape())),
+            mean_block_rows: p.v.row_tiling().mean_size(),
+            block_rows_range: (p.v.row_tiling().min_size(), p.v.row_tiling().max_size()),
+            density_t: p.t.element_density(),
+            density_v: p.v.element_density(),
+            density_r_opt: p.r.element_density(),
+        }
+    }
+
+    /// Renders one aligned text row per trait, as in Table 1.
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "{label}: MxNxK={}x{}x{} flops={:.0}T flops_opt={:.0}T tasks={} tasks_opt={} block_rows={:.0} [{};{}] dT={:.1}% dV={:.1}% dR={:.1}%",
+            self.m,
+            self.n,
+            self.k,
+            self.flops as f64 / 1e12,
+            self.flops_opt as f64 / 1e12,
+            self.gemm_tasks,
+            self.gemm_tasks_opt,
+            self.mean_block_rows,
+            self.block_rows_range.0,
+            self.block_rows_range.1,
+            self.density_t * 100.0,
+            self.density_v * 100.0,
+            self.density_r_opt * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccsd::TilingSpec;
+    use crate::molecule::Molecule;
+    use crate::screening::ScreeningParams;
+
+    fn problem(n: usize, spec: TilingSpec) -> CcsdProblem {
+        let m = Molecule::alkane(n);
+        CcsdProblem::build(&m, spec.scaled_for(&m), ScreeningParams::default(), 1)
+    }
+
+    #[test]
+    fn traits_internally_consistent() {
+        let p = problem(12, TilingSpec::v1());
+        let t = ProblemTraits::compute(&p);
+        assert!(t.flops_opt <= t.flops);
+        assert!(t.gemm_tasks_opt <= t.gemm_tasks);
+        assert!(t.density_t > 0.0 && t.density_t <= 1.0);
+        assert!(t.density_v > 0.0 && t.density_v <= 1.0);
+        assert_eq!(t.m, p.dims.m());
+        assert_eq!(t.k, p.dims.k());
+    }
+
+    #[test]
+    fn coarser_tiling_more_flops_fewer_tasks() {
+        // The paper's central Table-1 trend: coarser tiles increase the flop
+        // count (less sparsity) but drastically reduce the task count.
+        let fine = ProblemTraits::compute(&problem(24, TilingSpec::v1()));
+        let coarse = ProblemTraits::compute(&problem(24, TilingSpec::v3()));
+        assert!(coarse.gemm_tasks < fine.gemm_tasks);
+        assert!(coarse.flops >= fine.flops);
+        assert!(coarse.mean_block_rows > fine.mean_block_rows);
+    }
+
+    #[test]
+    fn table_row_is_printable() {
+        let t = ProblemTraits::compute(&problem(8, TilingSpec::v2()));
+        let row = t.table_row("v2");
+        assert!(row.contains("v2"));
+        assert!(row.contains("dV="));
+    }
+}

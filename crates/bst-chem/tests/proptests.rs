@@ -1,0 +1,122 @@
+//! Property tests for the chemistry workload generator: molecule
+//! invariants, clustering invariants and screening monotonicity.
+
+use bst_chem::basis::{ao_centers, ao_rank, occupied_centers, occupied_rank};
+use bst_chem::cluster::kmeans;
+use bst_chem::molecule::{Element, Molecule, Point3};
+use bst_chem::screening::{t_structure, v_structure, ScreeningParams};
+use proptest::prelude::*;
+
+proptest! {
+    /// CnH(2n+2): formula, bond count, AO and occupied ranks all follow the
+    /// closed forms for every chain length.
+    #[test]
+    fn alkane_closed_forms(n in 1usize..60) {
+        let m = Molecule::alkane(n);
+        prop_assert_eq!(m.count(Element::C), n);
+        prop_assert_eq!(m.count(Element::H), 2 * n + 2);
+        prop_assert_eq!(m.bonds.len(), (n - 1) + (2 * n + 2));
+        prop_assert_eq!(ao_rank(&m), 14 * n + 5 * (2 * n + 2));
+        prop_assert_eq!(occupied_rank(&m), m.bonds.len());
+        prop_assert_eq!(ao_centers(&m).len(), ao_rank(&m));
+        prop_assert_eq!(occupied_centers(&m).len(), occupied_rank(&m));
+    }
+
+    /// Sheets: carbon count and C-C bond count follow the lattice formulas.
+    #[test]
+    fn sheet_closed_forms(a in 1usize..8, b in 1usize..8) {
+        let m = Molecule::sheet(a, b);
+        prop_assert_eq!(m.count(Element::C), a * b);
+        let cc = m
+            .bonds
+            .iter()
+            .filter(|bond| {
+                m.atoms[bond.a].element == Element::C && m.atoms[bond.b].element == Element::C
+            })
+            .count();
+        prop_assert_eq!(cc, (a - 1) * b + a * (b - 1));
+    }
+
+    /// k-means: sizes sum to the input, centroids ordered along x, cluster
+    /// sizes bounded by the balance cap.
+    #[test]
+    fn kmeans_invariants(
+        n in 10usize..300,
+        k in 1usize..20,
+        seed in 0u64..200,
+        spread in 0.1f64..5.0,
+    ) {
+        let pts: Vec<Point3> = (0..n)
+            .map(|i| Point3::new(i as f64 * spread, (i % 3) as f64 * 0.3, 0.0))
+            .collect();
+        let c = kmeans(&pts, k, seed);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), n);
+        for w in c.centroids.windows(2) {
+            prop_assert!(w[0].x <= w[1].x + 1e-9);
+        }
+        let cap = ((1.6 * n as f64 / k as f64).ceil() as usize).max(2);
+        for &s in &c.sizes {
+            prop_assert!(s > 0);
+            prop_assert!(s <= cap, "cluster of {s} exceeds cap {cap}");
+        }
+        prop_assert_eq!(c.centroids.len(), c.sizes.len());
+        prop_assert_eq!(c.radii.len(), c.sizes.len());
+    }
+
+    /// Screening thresholds are monotone: a looser threshold never removes
+    /// tiles that a tighter one keeps.
+    #[test]
+    fn screening_threshold_monotone(
+        carbons in 4usize..16,
+        t_lo in 0.005f32..0.05,
+        step in 1.5f32..4.0,
+    ) {
+        let m = Molecule::alkane(carbons);
+        let occ = kmeans(&occupied_centers(&m), 3, 1);
+        let ao = kmeans(&ao_centers(&m), 10, 2);
+        let loose = ScreeningParams { t_threshold: t_lo, v_threshold: t_lo, ..Default::default() };
+        let tight = ScreeningParams {
+            t_threshold: t_lo * step,
+            v_threshold: t_lo * step,
+            ..Default::default()
+        };
+        let (tl, tt) = (t_structure(&occ, &ao, &loose), t_structure(&occ, &ao, &tight));
+        let (vl, vt) = (v_structure(&ao, &loose), v_structure(&ao, &tight));
+        // Tight support ⊆ loose support, tile by tile.
+        for r in 0..tt.tile_rows() {
+            for c in 0..tt.tile_cols() {
+                if tt.shape().is_nonzero(r, c) {
+                    prop_assert!(tl.shape().is_nonzero(r, c));
+                }
+            }
+        }
+        for r in 0..vt.tile_rows() {
+            for c in 0..vt.tile_cols() {
+                if vt.shape().is_nonzero(r, c) {
+                    prop_assert!(vl.shape().is_nonzero(r, c));
+                }
+            }
+        }
+    }
+
+    /// The V shape is symmetric under the (cd) <-> (ab) pair swap
+    /// (the integral (cd|ab) = (ab|cd)).
+    #[test]
+    fn v_shape_pair_symmetric(carbons in 3usize..12, k_ao in 4usize..12) {
+        let m = Molecule::alkane(carbons);
+        let ao = kmeans(&ao_centers(&m), k_ao, 3);
+        let v = v_structure(&ao, &ScreeningParams::default());
+        let na = ao.len();
+        for c in 0..na {
+            for d in 0..na {
+                for a in 0..na {
+                    for b in 0..na {
+                        let x = v.shape().is_nonzero(c * na + d, a * na + b);
+                        let y = v.shape().is_nonzero(a * na + b, c * na + d);
+                        prop_assert_eq!(x, y, "V pair symmetry broken at ({},{},{},{})", c, d, a, b);
+                    }
+                }
+            }
+        }
+    }
+}

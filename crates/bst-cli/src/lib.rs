@@ -1,0 +1,460 @@
+#![warn(missing_docs)]
+
+//! Command-line interface to the block-sparse contraction stack.
+//!
+//! ```text
+//! bst info     --molecule alkane:65 --tiling v1        # problem traits (Table-1 style)
+//! bst plan     --molecule alkane:40 --nodes 2          # inspector output & §3.2.4 stats
+//! bst simulate --synthetic 48000x192000x192000:0.5 --nodes 16 [--gantt]
+//! bst verify   --synthetic 300x2400x2400:0.5 --nodes 2 # numeric run vs reference
+//! ```
+//!
+//! The argument grammar is deliberately tiny (no external parser): every
+//! subcommand accepts `--molecule KIND:ARGS` *or* `--synthetic MxNxK:D`,
+//! plus machine flags.
+
+use bst_chem::{CcsdProblem, Molecule, ProblemTraits, ScreeningParams, TilingSpec};
+use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_sim::replay::{simulate_traced, Trace};
+use bst_sim::Platform;
+use bst_sparse::generate::{generate, SyntheticParams};
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Problem source.
+    pub problem: ProblemKind,
+    /// Tiling variant for chemistry problems.
+    pub tiling: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Grid-row parameter `p`.
+    pub p: usize,
+    /// GPUs per node.
+    pub gpus: usize,
+    /// Print an ASCII Gantt (simulate only).
+    pub gantt: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The available subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Problem traits.
+    Info,
+    /// Build a plan and print its statistics.
+    Plan,
+    /// Replay a plan on the Summit model.
+    Simulate,
+    /// Execute numerically and verify against the reference.
+    Verify,
+}
+
+/// Where the problem comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProblemKind {
+    /// A generated molecule, e.g. `alkane:65`, `sheet:5x5`, `cluster:3`.
+    Molecule(String),
+    /// A §5.1 synthetic problem `MxNxK:density`.
+    Synthetic {
+        /// Element rows of A/C.
+        m: u64,
+        /// Element columns of B/C.
+        n: u64,
+        /// Inner dimension.
+        k: u64,
+        /// Element-wise density target.
+        density: f64,
+    },
+}
+
+/// Error with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: bst <info|plan|simulate|verify> \
+[--molecule KIND:ARGS | --synthetic MxNxK:D] [--tiling v1|v2|v3] \
+[--nodes N] [--p P] [--gpus G] [--seed S] [--gantt]";
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Cli, CliError> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("info") => Command::Info,
+        Some("plan") => Command::Plan,
+        Some("simulate") => Command::Simulate,
+        Some("verify") => Command::Verify,
+        Some(other) => return Err(err(format!("unknown command {other}\n{USAGE}"))),
+        None => return Err(err(USAGE)),
+    };
+    let mut cli = Cli {
+        command,
+        problem: ProblemKind::Molecule("alkane:20".into()),
+        tiling: "v1".into(),
+        nodes: 2,
+        p: 1,
+        gpus: 6,
+        gantt: false,
+        seed: 42,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--molecule" => cli.problem = ProblemKind::Molecule(value("--molecule")?),
+            "--synthetic" => {
+                let v = value("--synthetic")?;
+                let (dims, density) = v
+                    .split_once(':')
+                    .ok_or_else(|| err("--synthetic wants MxNxK:density"))?;
+                let parts: Vec<&str> = dims.split('x').collect();
+                if parts.len() != 3 {
+                    return Err(err("--synthetic wants MxNxK:density"));
+                }
+                let parse_u = |s: &str| {
+                    s.parse::<u64>()
+                        .map_err(|_| err(format!("bad dimension {s}")))
+                };
+                cli.problem = ProblemKind::Synthetic {
+                    m: parse_u(parts[0])?,
+                    n: parse_u(parts[1])?,
+                    k: parse_u(parts[2])?,
+                    density: density
+                        .parse()
+                        .map_err(|_| err(format!("bad density {density}")))?,
+                };
+            }
+            "--tiling" => cli.tiling = value("--tiling")?,
+            "--nodes" => {
+                cli.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| err("bad --nodes"))?
+            }
+            "--p" => cli.p = value("--p")?.parse().map_err(|_| err("bad --p"))?,
+            "--gpus" => cli.gpus = value("--gpus")?.parse().map_err(|_| err("bad --gpus"))?,
+            "--seed" => cli.seed = value("--seed")?.parse().map_err(|_| err("bad --seed"))?,
+            "--gantt" => cli.gantt = true,
+            other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
+        }
+    }
+    Ok(cli)
+}
+
+/// Builds the molecule named by `spec` (`alkane:N`, `sheet:AxB`, `cluster:N`).
+pub fn build_molecule(spec: &str) -> Result<Molecule, CliError> {
+    let (kind, args) = spec
+        .split_once(':')
+        .ok_or_else(|| err("--molecule wants KIND:ARGS, e.g. alkane:65"))?;
+    match kind {
+        "alkane" => Ok(Molecule::alkane(
+            args.parse().map_err(|_| err("alkane wants a carbon count"))?,
+        )),
+        "sheet" => {
+            let (a, b) = args
+                .split_once('x')
+                .ok_or_else(|| err("sheet wants AxB"))?;
+            Ok(Molecule::sheet(
+                a.parse().map_err(|_| err("bad sheet dims"))?,
+                b.parse().map_err(|_| err("bad sheet dims"))?,
+            ))
+        }
+        "cluster" => Ok(Molecule::cluster3d(
+            args.parse().map_err(|_| err("cluster wants an edge count"))?,
+        )),
+        other => Err(err(format!("unknown molecule kind {other}"))),
+    }
+}
+
+fn tiling_spec(name: &str) -> Result<TilingSpec, CliError> {
+    match name {
+        "v1" => Ok(TilingSpec::v1()),
+        "v2" => Ok(TilingSpec::v2()),
+        "v3" => Ok(TilingSpec::v3()),
+        other => Err(err(format!("unknown tiling {other}"))),
+    }
+}
+
+/// Materialises the problem spec (and its traits when chemistry-based).
+pub fn build_problem(cli: &Cli) -> Result<(ProblemSpec, Option<CcsdProblem>), CliError> {
+    match &cli.problem {
+        ProblemKind::Molecule(m) => {
+            let molecule = build_molecule(m)?;
+            let spec_t = tiling_spec(&cli.tiling)?.scaled_for(&molecule);
+            let problem =
+                CcsdProblem::build(&molecule, spec_t, ScreeningParams::default(), cli.seed);
+            let spec = ProblemSpec::new(
+                problem.t.clone(),
+                problem.v.clone(),
+                Some(problem.r.shape().clone()),
+            );
+            Ok((spec, Some(problem)))
+        }
+        ProblemKind::Synthetic { m, n, k, density } => {
+            let prob = generate(&SyntheticParams {
+                m: *m,
+                n: *n,
+                k: *k,
+                density: *density,
+                tile_min: (*m / 40).clamp(4, 512),
+                tile_max: (*m / 10).clamp(12, 2048),
+                seed: cli.seed,
+            });
+            Ok((ProblemSpec::new(prob.a, prob.b, None), None))
+        }
+    }
+}
+
+/// Runs the parsed command, writing human-readable output to `out`.
+pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+    let (spec, chem) = build_problem(cli)?;
+    let config = PlannerConfig::paper(
+        GridConfig::from_nodes(cli.nodes, cli.p),
+        DeviceConfig {
+            gpus_per_node: cli.gpus,
+            gpu_mem_bytes: 16 << 30,
+        },
+    );
+    match cli.command {
+        Command::Info => {
+            writeln!(
+                out,
+                "A: {} x {} ({} tiles, {:.1}% dense)",
+                spec.a.rows(),
+                spec.a.cols(),
+                spec.a.nnz_tiles(),
+                spec.a.element_density() * 100.0
+            )?;
+            writeln!(
+                out,
+                "B: {} x {} ({} tiles, {:.1}% dense)",
+                spec.b.rows(),
+                spec.b.cols(),
+                spec.b.nnz_tiles(),
+                spec.b.element_density() * 100.0
+            )?;
+            if let Some(problem) = &chem {
+                let traits = ProblemTraits::compute(problem);
+                writeln!(out, "{}", traits.table_row(&cli.tiling))?;
+            }
+        }
+        Command::Plan => {
+            let plan = ExecutionPlan::build(&spec, config)?;
+            let stats = plan.stats(&spec);
+            writeln!(out, "grid {}x{}, {} GPUs/node", cli.p, cli.nodes / cli.p, cli.gpus)?;
+            writeln!(
+                out,
+                "tasks {} | flops {:.3e} | blocks {} | chunks {} | imbalance {:.3}",
+                stats.total_tasks,
+                stats.total_flops as f64,
+                stats.num_blocks,
+                stats.num_chunks,
+                stats.load_imbalance
+            )?;
+            writeln!(
+                out,
+                "A network {:.2} GB | C network {:.2} GB | B generated {:.2} GB | A h2d {:.2} GB",
+                stats.a_network_bytes as f64 / 1e9,
+                stats.c_network_bytes as f64 / 1e9,
+                stats.b_generated_bytes as f64 / 1e9,
+                stats.a_h2d_bytes as f64 / 1e9
+            )?;
+        }
+        Command::Simulate => {
+            let platform = {
+                let mut p = Platform::summit(cli.nodes);
+                p.gpus_per_node = cli.gpus;
+                p
+            };
+            let plan = ExecutionPlan::build(&spec, config)?;
+            let mut trace = Trace::default();
+            let report = simulate_traced(
+                &spec,
+                &plan,
+                &platform,
+                if cli.gantt { Some(&mut trace) } else { None },
+            );
+            writeln!(
+                out,
+                "makespan {:.3} s | {:.1} Tflop/s total | {:.2} Tflop/s per GPU",
+                report.makespan_s,
+                report.tflops(),
+                report.tflops_per_gpu(platform.total_gpus())
+            )?;
+            writeln!(
+                out,
+                "bounds: compute {:.3} s | h2d {:.3} s | nic {:.3} s | bgen {:.3} s",
+                report.compute_bound_s, report.h2d_bound_s, report.nic_bound_s, report.bgen_bound_s
+            )?;
+            if cli.gantt {
+                write!(out, "{}", trace.gantt(report.makespan_s, 100))?;
+            }
+        }
+        Command::Verify => {
+            use bst_sparse::matrix::tile_seed;
+            use bst_sparse::BlockSparseMatrix;
+            let plan = ExecutionPlan::build(&spec, config)?;
+            let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), cli.seed);
+            let seed = cli.seed ^ 0xB;
+            let b_gen = move |k: usize, j: usize, r: usize, c: usize| {
+                bst_tile::Tile::random(r, c, tile_seed(seed, k, j))
+            };
+            let (c, report) =
+                bst_contract::exec::execute_numeric(&spec, &plan, &a, &b_gen);
+            let b = BlockSparseMatrix::from_structure(spec.b.clone(), |k, j, r, cc| {
+                bst_tile::Tile::random(r, cc, tile_seed(seed, k, j))
+            });
+            let mut c_ref = BlockSparseMatrix::zeros(
+                spec.a.row_tiling().clone(),
+                spec.b.col_tiling().clone(),
+            );
+            c_ref.gemm_acc_reference(&a, &b);
+            // Mask to the screened shape when present.
+            let diff = if let Some(cs) = &spec.c_shape {
+                let mut masked = BlockSparseMatrix::zeros(
+                    spec.a.row_tiling().clone(),
+                    spec.b.col_tiling().clone(),
+                );
+                for (&(i, j), t) in c_ref.iter_tiles() {
+                    if cs.is_nonzero(i, j) {
+                        masked.insert_tile(i, j, t.clone());
+                    }
+                }
+                c.max_abs_diff(&masked)
+            } else {
+                c.max_abs_diff(&c_ref)
+            };
+            writeln!(
+                out,
+                "executed {} GEMMs on {} simulated devices; max |C - C_ref| = {diff:.3e}",
+                report.gemm_tasks,
+                report.devices.len()
+            )?;
+            if diff > 1e-9 {
+                return Err(Box::new(err("verification FAILED")));
+            }
+            writeln!(out, "verification OK")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_info_defaults() {
+        let cli = parse(&args("info")).unwrap();
+        assert_eq!(cli.command, Command::Info);
+        assert_eq!(cli.tiling, "v1");
+        assert_eq!(cli.nodes, 2);
+    }
+
+    #[test]
+    fn parse_synthetic() {
+        let cli = parse(&args("simulate --synthetic 48000x192000x192000:0.5 --nodes 16")).unwrap();
+        assert_eq!(cli.command, Command::Simulate);
+        assert_eq!(
+            cli.problem,
+            ProblemKind::Synthetic {
+                m: 48_000,
+                n: 192_000,
+                k: 192_000,
+                density: 0.5
+            }
+        );
+        assert_eq!(cli.nodes, 16);
+    }
+
+    #[test]
+    fn parse_molecule_and_flags() {
+        let cli =
+            parse(&args("plan --molecule sheet:4x5 --tiling v2 --p 2 --gpus 4 --seed 9")).unwrap();
+        assert_eq!(cli.problem, ProblemKind::Molecule("sheet:4x5".into()));
+        assert_eq!(cli.tiling, "v2");
+        assert_eq!(cli.p, 2);
+        assert_eq!(cli.gpus, 4);
+        assert_eq!(cli.seed, 9);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&args("")).is_err());
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("info --synthetic nope")).is_err());
+        assert!(parse(&args("info --nodes")).is_err());
+        assert!(parse(&args("info --bogus 3")).is_err());
+    }
+
+    #[test]
+    fn build_molecules() {
+        assert_eq!(build_molecule("alkane:5").unwrap().formula(), "C5H12");
+        assert_eq!(build_molecule("sheet:2x3").unwrap().formula(), "C6H10");
+        assert!(build_molecule("cluster:2").is_ok());
+        assert!(build_molecule("dna:1").is_err());
+        assert!(build_molecule("alkane").is_err());
+    }
+
+    #[test]
+    fn run_info_molecule() {
+        let cli = parse(&args("info --molecule alkane:8")).unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("A: 625 x 40804"), "{s}");
+        assert!(s.contains("v1:"), "{s}");
+    }
+
+    #[test]
+    fn run_plan_synthetic() {
+        let cli = parse(&args("plan --synthetic 200x1600x1600:0.5 --nodes 2")).unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("tasks"), "{s}");
+        assert!(s.contains("imbalance"), "{s}");
+    }
+
+    #[test]
+    fn run_simulate_with_gantt() {
+        let cli =
+            parse(&args("simulate --synthetic 2000x12000x12000:0.5 --nodes 2 --gantt")).unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("makespan"), "{s}");
+        assert!(s.contains("n00g0"), "{s}");
+    }
+
+    #[test]
+    fn run_verify_small() {
+        let cli = parse(&args("verify --synthetic 100x800x800:0.6 --nodes 2 --gpus 2")).unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("verification OK"), "{s}");
+    }
+}

@@ -1,0 +1,17 @@
+//! `bst` — CLI entry point. See [`bst_cli`] for the grammar.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match bst_cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut out = std::io::stdout();
+    if let Err(e) = bst_cli::run(&cli, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

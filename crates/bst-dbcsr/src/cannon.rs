@@ -1,0 +1,248 @@
+//! Cannon's algorithm over block-sparse panels.
+//!
+//! An `s × s` process grid partitions the tile grids into contiguous panel
+//! groups: process `(pi, pj)` owns the `C` panel `(rows pi, cols pj)` and,
+//! at step `t`, multiplies the `A` panel `(pi, kg)` with the `B` panel
+//! `(kg, pj)` where `kg = (pi + pj + t) mod s` — the skewed schedule that
+//! makes every process busy every step while `A` rotates along grid rows
+//! and `B` along grid columns. After `s` steps every contribution has been
+//! accumulated exactly once.
+
+use bst_sparse::structure::check_product_dims;
+use bst_sparse::BlockSparseMatrix;
+use bst_tile::gemm::gemm_blocked;
+use bst_tile::Tile;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Communication/computation statistics of one Cannon run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CannonStats {
+    /// Grid edge `s` (grid is `s × s`).
+    pub grid: usize,
+    /// Number of shift steps executed.
+    pub steps: usize,
+    /// Bytes of `A` panels moved between processes (all steps).
+    pub a_shift_bytes: u64,
+    /// Bytes of `B` panels moved between processes (all steps).
+    pub b_shift_bytes: u64,
+    /// Tile-level GEMMs executed.
+    pub local_gemms: u64,
+}
+
+/// Splits `n` tile indices into `s` contiguous groups; returns the group
+/// boundaries (length `s + 1`).
+fn panel_bounds(n: usize, s: usize) -> Vec<usize> {
+    (0..=s).map(|g| g * n / s).collect()
+}
+
+/// Multiplies block-sparse `a · b` with Cannon's algorithm on an `s × s`
+/// grid, returning the product and the communication statistics.
+///
+/// # Panics
+/// Panics if the matrices are not conformable or `s` is zero or larger than
+/// any tile-grid dimension.
+pub fn cannon_multiply(
+    a: &BlockSparseMatrix,
+    b: &BlockSparseMatrix,
+    s: usize,
+) -> (BlockSparseMatrix, CannonStats) {
+    check_product_dims(a.structure(), b.structure());
+    let (mt, kt) = (a.structure().tile_rows(), a.structure().tile_cols());
+    let nt = b.structure().tile_cols();
+    assert!(s >= 1, "grid edge must be positive");
+    assert!(
+        s <= mt && s <= kt && s <= nt,
+        "grid {s} larger than tile grid {mt}x{kt}x{nt}"
+    );
+
+    let rows = panel_bounds(mt, s);
+    let inner = panel_bounds(kt, s);
+    let cols = panel_bounds(nt, s);
+
+    // Panel byte volumes, for shift accounting.
+    let a_panel_bytes = |pi: usize, pk: usize| -> u64 {
+        (rows[pi]..rows[pi + 1])
+            .map(|i| {
+                (inner[pk]..inner[pk + 1])
+                    .map(|k| a.structure().tile_bytes(i, k))
+                    .sum::<u64>()
+            })
+            .sum()
+    };
+    let b_panel_bytes = |pk: usize, pj: usize| -> u64 {
+        (inner[pk]..inner[pk + 1])
+            .map(|k| {
+                (cols[pj]..cols[pj + 1])
+                    .map(|j| b.structure().tile_bytes(k, j))
+                    .sum::<u64>()
+            })
+            .sum()
+    };
+
+    let mut stats = CannonStats {
+        grid: s,
+        steps: s,
+        ..Default::default()
+    };
+
+    // Each process accumulates its local C tiles privately; processes run
+    // in parallel within a step (BSP: barrier between steps is implicit in
+    // the collect).
+    let mut locals: Vec<HashMap<(usize, usize), Tile>> = (0..s * s).map(|_| HashMap::new()).collect();
+
+    for t in 0..s {
+        // Shift accounting: after the initial alignment (t = 0 data is
+        // where it must be), each subsequent step moves every panel once.
+        if t > 0 {
+            for pi in 0..s {
+                for pj in 0..s {
+                    let kg = (pi + pj + t) % s;
+                    stats.a_shift_bytes += a_panel_bytes(pi, kg);
+                    stats.b_shift_bytes += b_panel_bytes(kg, pj);
+                }
+            }
+        }
+        let gemms: u64 = locals
+            .par_iter_mut()
+            .enumerate()
+            .map(|(pid, local)| {
+                let (pi, pj) = (pid / s, pid % s);
+                let kg = (pi + pj + t) % s;
+                let mut n_gemms = 0u64;
+                for k in inner[kg]..inner[kg + 1] {
+                    for i in (rows[pi]..rows[pi + 1])
+                        .filter(|&i| a.structure().shape().is_nonzero(i, k))
+                    {
+                        let at = a.tile(i, k).expect("A tile present");
+                        for j in (cols[pj]..cols[pj + 1])
+                            .filter(|&j| b.structure().shape().is_nonzero(k, j))
+                        {
+                            let bt = b.tile(k, j).expect("B tile present");
+                            let ct = local.entry((i, j)).or_insert_with(|| {
+                                Tile::zeros(at.rows(), bt.cols())
+                            });
+                            gemm_blocked(1.0, at, bt, ct);
+                            n_gemms += 1;
+                        }
+                    }
+                }
+                n_gemms
+            })
+            .sum();
+        stats.local_gemms += gemms;
+    }
+
+    // Gather the distributed C.
+    let mut c = BlockSparseMatrix::zeros(
+        a.structure().row_tiling().clone(),
+        b.structure().col_tiling().clone(),
+    );
+    for local in locals {
+        for ((i, j), tile) in local {
+            c.insert_tile(i, j, tile);
+        }
+    }
+    (c, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bst_sparse::generate::{generate, SyntheticParams};
+    use bst_sparse::MatrixStructure;
+    use bst_tile::Tiling;
+
+    fn reference(a: &BlockSparseMatrix, b: &BlockSparseMatrix) -> BlockSparseMatrix {
+        let mut c = BlockSparseMatrix::zeros(
+            a.structure().row_tiling().clone(),
+            b.structure().col_tiling().clone(),
+        );
+        c.gemm_acc_reference(a, b);
+        c
+    }
+
+    #[test]
+    fn panel_bounds_cover() {
+        assert_eq!(panel_bounds(10, 3), vec![0, 3, 6, 10]);
+        assert_eq!(panel_bounds(4, 4), vec![0, 1, 2, 3, 4]);
+        assert_eq!(panel_bounds(7, 1), vec![0, 7]);
+    }
+
+    #[test]
+    fn dense_matches_reference() {
+        let sa = MatrixStructure::dense(Tiling::uniform(12, 3), Tiling::uniform(12, 3));
+        let sb = MatrixStructure::dense(Tiling::uniform(12, 3), Tiling::uniform(12, 3));
+        let a = BlockSparseMatrix::random_from_structure(sa, 1);
+        let b = BlockSparseMatrix::random_from_structure(sb, 2);
+        for s in [1, 2, 4] {
+            let (c, stats) = cannon_multiply(&a, &b, s);
+            assert!(c.max_abs_diff(&reference(&a, &b)) < 1e-10, "grid {s}");
+            assert_eq!(stats.local_gemms, 64, "every triple exactly once");
+        }
+    }
+
+    #[test]
+    fn sparse_irregular_matches_reference() {
+        let prob = generate(&SyntheticParams {
+            m: 60,
+            n: 60,
+            k: 60,
+            density: 0.4,
+            tile_min: 4,
+            tile_max: 12,
+            seed: 11,
+        });
+        let a = BlockSparseMatrix::random_from_structure(prob.a, 3);
+        let b = BlockSparseMatrix::random_from_structure(prob.b, 4);
+        for s in [1, 2, 3] {
+            let (c, _) = cannon_multiply(&a, &b, s);
+            assert!(c.max_abs_diff(&reference(&a, &b)) < 1e-10, "grid {s}");
+        }
+    }
+
+    #[test]
+    fn rectangular_matches_reference() {
+        let sa = MatrixStructure::dense(Tiling::uniform(6, 2), Tiling::uniform(20, 4));
+        let sb = MatrixStructure::dense(Tiling::uniform(20, 4), Tiling::uniform(30, 5));
+        let a = BlockSparseMatrix::random_from_structure(sa, 5);
+        let b = BlockSparseMatrix::random_from_structure(sb, 6);
+        let (c, _) = cannon_multiply(&a, &b, 3);
+        assert!(c.max_abs_diff(&reference(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn single_process_shifts_nothing() {
+        let sa = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
+        let sb = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
+        let a = BlockSparseMatrix::random_from_structure(sa, 1);
+        let b = BlockSparseMatrix::random_from_structure(sb, 2);
+        let (_, stats) = cannon_multiply(&a, &b, 1);
+        assert_eq!(stats.a_shift_bytes, 0);
+        assert_eq!(stats.b_shift_bytes, 0);
+        assert_eq!(stats.steps, 1);
+    }
+
+    #[test]
+    fn shift_volume_is_s_minus_1_times_matrix() {
+        // Dense, evenly divisible: each of the s−1 shifting steps moves the
+        // whole of A and the whole of B once.
+        let sa = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
+        let sb = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
+        let a = BlockSparseMatrix::random_from_structure(sa, 1);
+        let b = BlockSparseMatrix::random_from_structure(sb, 2);
+        let (_, stats) = cannon_multiply(&a, &b, 4);
+        assert_eq!(stats.a_shift_bytes, 3 * a.structure().bytes());
+        assert_eq!(stats.b_shift_bytes, 3 * b.structure().bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than tile grid")]
+    fn oversized_grid_panics() {
+        let sa = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
+        let sb = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
+        let a = BlockSparseMatrix::random_from_structure(sa, 1);
+        let b = BlockSparseMatrix::random_from_structure(sb, 2);
+        cannon_multiply(&a, &b, 3);
+    }
+}

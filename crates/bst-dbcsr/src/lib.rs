@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! DBCSR-like baseline: block-sparse matrix multiplication with Cannon's
+//! algorithm on a square process grid.
+//!
+//! The paper compares its PaRSEC implementation against libDBCSR (CP2K's
+//! Distributed Block Compressed Sparse Row library), which "uses the Cannon
+//! algorithm to schedule communications between nodes" with one GPU per MPI
+//! process (§5.1, §6.2). This crate implements that baseline *numerically*:
+//!
+//! * [`cannon`] — the Cannon schedule itself: panels of `A` shift along grid
+//!   rows and panels of `B` along grid columns, one local block-sparse
+//!   multiply per step, processes running in parallel (rayon) with a
+//!   bulk-synchronous barrier between steps, communication volumes
+//!   accounted per shift;
+//! * the local multiply reuses the `bst-sparse` tile kernels, so results are
+//!   bit-comparable with the reference and with the PaRSEC-style executor.
+//!
+//! The corresponding *performance/capacity model* (used for Fig. 2's right
+//! panel, including the out-of-memory failures) lives in `bst-sim::dbcsr`.
+
+pub mod cannon;
+
+pub use cannon::{cannon_multiply, CannonStats};

@@ -1,0 +1,85 @@
+//! Property tests for the Cannon baseline: correctness against the
+//! reference for arbitrary shapes/grids, and shift-volume accounting.
+
+use bst_dbcsr::cannon_multiply;
+use bst_sparse::generate::{generate, SyntheticParams};
+use bst_sparse::BlockSparseMatrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cannon equals the reference product for random block-sparse problems
+    /// on every feasible grid.
+    #[test]
+    fn cannon_matches_reference(
+        m in 20u64..60,
+        nk in 20u64..80,
+        density in 0.2f64..1.0,
+        s in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let prob = generate(&SyntheticParams {
+            m,
+            n: nk,
+            k: nk,
+            density,
+            tile_min: 3,
+            tile_max: 9,
+            seed,
+        });
+        // The grid edge must not exceed any tile-grid dimension.
+        let max_s = prob
+            .a
+            .tile_rows()
+            .min(prob.a.tile_cols())
+            .min(prob.b.tile_cols());
+        let s = s.min(max_s).max(1);
+        let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), seed);
+        let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), seed ^ 7);
+        let (c, stats) = cannon_multiply(&a, &b, s);
+        let mut c_ref = BlockSparseMatrix::zeros(
+            prob.a.row_tiling().clone(),
+            prob.b.col_tiling().clone(),
+        );
+        c_ref.gemm_acc_reference(&a, &b);
+        prop_assert!(c.max_abs_diff(&c_ref) < 1e-9);
+        // Every (i,k,j) triple multiplied exactly once.
+        let expect = bst_sparse::structure::gemm_task_count(&prob.a, &prob.b, None);
+        prop_assert_eq!(stats.local_gemms, expect);
+        prop_assert_eq!(stats.steps, s);
+    }
+
+    /// Shift volumes are bounded by (s-1) x the matrix bytes and are zero
+    /// on a single process.
+    #[test]
+    fn shift_volume_bounds(
+        nk in 24u64..72,
+        density in 0.3f64..1.0,
+        s in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let prob = generate(&SyntheticParams {
+            m: nk,
+            n: nk,
+            k: nk,
+            density,
+            tile_min: 4,
+            tile_max: 8,
+            seed,
+        });
+        let max_s = prob.a.tile_rows().min(prob.a.tile_cols()).min(prob.b.tile_cols());
+        let s = s.min(max_s).max(1);
+        let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), seed);
+        let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), seed ^ 7);
+        let (_c, stats) = cannon_multiply(&a, &b, s);
+        if s == 1 {
+            prop_assert_eq!(stats.a_shift_bytes, 0);
+            prop_assert_eq!(stats.b_shift_bytes, 0);
+        } else {
+            prop_assert!(stats.a_shift_bytes <= (s as u64 - 1) * prob.a.bytes());
+            prop_assert!(stats.b_shift_bytes <= (s as u64 - 1) * prob.b.bytes());
+            prop_assert!(stats.a_shift_bytes > 0);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-node tile stores with PaRSEC-style data life-cycle management.
+//!
+//! Every simulated node owns a [`TileStore`] — its private host memory.
+//! Producers [`TileStore::put`] a tile together with the number of consumer
+//! tasks that will read it; each consumer calls [`TileStore::consume`] when
+//! done, and the tile is dropped after its last consumer (PaRSEC §4: data is
+//! "cached as long as needed by any task, and discarded after this").
+//!
+//! A tile crossing node boundaries must be `put` into the destination store
+//! by an explicit communication task; nothing in this module shares state
+//! between stores.
+
+use bst_tile::Tile;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of a datum in the contraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataKey {
+    /// Tile `(i, k)` of `A`.
+    A(u32, u32),
+    /// Tile `(k, j)` of `B`.
+    B(u32, u32),
+    /// Tile `(i, j)` of `C`.
+    C(u32, u32),
+}
+
+struct Entry {
+    tile: Arc<Tile>,
+    remaining: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<DataKey, Entry>,
+    current_bytes: u64,
+    peak_bytes: u64,
+}
+
+/// A node-private host-memory tile store with consumer reference counting.
+#[derive(Default)]
+pub struct TileStore {
+    inner: Mutex<Inner>,
+}
+
+impl TileStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `tile` under `key`, to be read by `consumers` tasks. With
+    /// `consumers == 0` the tile is retained until [`Self::remove`] (used
+    /// for result tiles awaiting collection).
+    ///
+    /// # Panics
+    /// Panics if `key` is already present — each datum has exactly one
+    /// producer per node.
+    pub fn put(&self, key: DataKey, tile: Arc<Tile>, consumers: usize) {
+        let mut inner = self.inner.lock();
+        inner.current_bytes += tile.bytes();
+        inner.peak_bytes = inner.peak_bytes.max(inner.current_bytes);
+        let prev = inner.entries.insert(
+            key,
+            Entry {
+                tile,
+                remaining: consumers,
+            },
+        );
+        assert!(prev.is_none(), "duplicate producer for {key:?}");
+    }
+
+    /// Reads the tile under `key` without consuming it.
+    ///
+    /// # Panics
+    /// Panics if absent — the task DAG must guarantee availability.
+    pub fn get(&self, key: DataKey) -> Arc<Tile> {
+        self.inner
+            .lock()
+            .entries
+            .get(&key)
+            .unwrap_or_else(|| panic!("datum {key:?} not in store (missing dataflow edge?)"))
+            .tile
+            .clone()
+    }
+
+    /// Declares one consumer of `key` done; drops the tile after the last.
+    /// Returns `true` if the tile was dropped.
+    ///
+    /// # Panics
+    /// Panics if absent or already fully consumed.
+    pub fn consume(&self, key: DataKey) -> bool {
+        let mut inner = self.inner.lock();
+        let e = inner
+            .entries
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("consume of absent datum {key:?}"));
+        assert!(e.remaining > 0, "over-consumption of {key:?}");
+        e.remaining -= 1;
+        if e.remaining == 0 {
+            let bytes = e.tile.bytes();
+            inner.entries.remove(&key);
+            inner.current_bytes -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns a tile regardless of its consumer count (used to
+    /// collect result tiles).
+    pub fn remove(&self, key: DataKey) -> Option<Arc<Tile>> {
+        let mut inner = self.inner.lock();
+        inner.entries.remove(&key).map(|e| {
+            inner.current_bytes -= e.tile.bytes();
+            e.tile
+        })
+    }
+
+    /// Whether `key` is currently present.
+    pub fn contains(&self, key: DataKey) -> bool {
+        self.inner.lock().entries.contains_key(&key)
+    }
+
+    /// All keys currently present (unspecified order).
+    pub fn keys(&self) -> Vec<DataKey> {
+        self.inner.lock().entries.keys().copied().collect()
+    }
+
+    /// Bytes currently resident.
+    pub fn current_bytes(&self) -> u64 {
+        self.inner.lock().current_bytes
+    }
+
+    /// High-water mark of resident bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.inner.lock().peak_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile() -> Arc<Tile> {
+        Arc::new(Tile::zeros(2, 2))
+    }
+
+    #[test]
+    fn put_get_consume_lifecycle() {
+        let s = TileStore::new();
+        let k = DataKey::A(1, 2);
+        s.put(k, tile(), 2);
+        assert!(s.contains(k));
+        assert_eq!(s.current_bytes(), 32);
+        let _t = s.get(k);
+        assert!(!s.consume(k), "first consumer should not drop");
+        assert!(s.contains(k));
+        assert!(s.consume(k), "last consumer drops");
+        assert!(!s.contains(k));
+        assert_eq!(s.current_bytes(), 0);
+        assert_eq!(s.peak_bytes(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate producer")]
+    fn double_put_panics() {
+        let s = TileStore::new();
+        s.put(DataKey::B(0, 0), tile(), 1);
+        s.put(DataKey::B(0, 0), tile(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in store")]
+    fn get_missing_panics() {
+        TileStore::new().get(DataKey::C(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "over-consumption")]
+    fn over_consume_panics() {
+        let s = TileStore::new();
+        s.put(DataKey::A(0, 0), tile(), 1);
+        s.consume(DataKey::A(0, 0));
+        // Tile was dropped at refcount 0; consuming again is "absent".
+        s.put(DataKey::A(0, 0), tile(), 0);
+        s.consume(DataKey::A(0, 0));
+    }
+
+    #[test]
+    fn zero_consumers_retained_until_removed() {
+        let s = TileStore::new();
+        let k = DataKey::C(3, 4);
+        s.put(k, tile(), 0);
+        assert!(s.contains(k));
+        let t = s.remove(k).unwrap();
+        assert_eq!(t.bytes(), 32);
+        assert!(!s.contains(k));
+        assert!(s.remove(k).is_none());
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let s = TileStore::new();
+        s.put(DataKey::A(0, 0), tile(), 1);
+        s.put(DataKey::A(0, 1), tile(), 1);
+        s.consume(DataKey::A(0, 0));
+        s.put(DataKey::A(0, 2), tile(), 1);
+        assert_eq!(s.peak_bytes(), 64);
+        assert_eq!(s.current_bytes(), 64);
+    }
+
+    #[test]
+    fn keys_lists_contents() {
+        let s = TileStore::new();
+        s.put(DataKey::A(0, 0), tile(), 1);
+        s.put(DataKey::B(1, 1), tile(), 1);
+        let mut keys = s.keys();
+        keys.sort_by_key(|k| format!("{k:?}"));
+        assert_eq!(keys.len(), 2);
+    }
+}

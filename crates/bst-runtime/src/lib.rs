@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! A PaRSEC-like dataflow runtime substrate.
+//!
+//! The paper implements its algorithm as a Parameterized Task Graph over the
+//! PaRSEC distributed task runtime (§4): the *inspector* materialises the
+//! task DAG (dataflow edges carrying tiles, plus architecture-specific
+//! *control-flow* edges that throttle GPU memory use), and the runtime
+//! schedules tasks as their inputs become available, moving data in the
+//! background.
+//!
+//! This crate reproduces that architecture in shared memory with honest
+//! distributed-memory discipline:
+//!
+//! * [`graph`] — a generic task DAG ([`graph::TaskGraph`]) whose edges are
+//!   dependencies (dataflow or control flow — the scheduler treats them
+//!   uniformly, exactly like PTG control flows) and an engine with one OS
+//!   thread per *worker* (a CPU lane or a GPU lane of a simulated node);
+//! * [`data`] — per-node [`data::TileStore`]s with consumer reference
+//!   counts: a tile is retained while tasks still need it and dropped after
+//!   its last consumer, reproducing PaRSEC's data life-cycle management;
+//!   nodes never read each other's stores — inter-node edges must go
+//!   through explicit send tasks;
+//! * [`device`] — [`device::DeviceMemory`], a strict accounting of simulated
+//!   GPU memory (loads fail rather than silently exceed capacity) plus a
+//!   node-level residency registry enabling device-to-device transfers when
+//!   a sibling GPU already holds a tile (the NVLink path of §4).
+
+pub mod data;
+pub mod device;
+pub mod graph;
+pub mod ptg;
+
+pub use data::{DataKey, TileStore};
+pub use device::{DeviceMemory, NodeResidency};
+pub use graph::{TaskGraph, WorkerId};
+pub use ptg::PtgProgram;

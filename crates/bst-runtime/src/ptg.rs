@@ -1,0 +1,353 @@
+//! A miniature Parameterized Task Graph (PTG) layer.
+//!
+//! The paper's implementation is written in PaRSEC's PTG domain-specific
+//! language (§4, ref \[13\]): the DAG is declared as "a concise and
+//! parameterized collection of tasks that exchange data through flows" —
+//! task *classes* indexed by integer parameters, with per-instance
+//! conditions deciding which flows (dependencies) are enabled. Because the
+//! block-sparse problem is irregular, the paper computes an execution plan
+//! in an inspection phase and feeds it to a *generic* PTG whose conditions
+//! consult the plan.
+//!
+//! This module reproduces that programming model: [`PtgProgram`] holds
+//! [`TaskClass`]es whose parameter spaces and dependency conditions are
+//! closures (free to consult any inspector product), and
+//! [`PtgProgram::compile`] enumerates the instances into a concrete
+//! [`TaskGraph`] for the engine in [`crate::graph`]. The contraction
+//! executor in `bst-contract` lowers its plan directly for efficiency; this
+//! layer exists for expressing *other* algorithms over the same runtime and
+//! is exercised by wavefront/pipeline tests.
+
+use crate::graph::{TaskGraph, WorkerId};
+use std::collections::HashMap;
+
+/// Parameters of one task instance.
+pub type Params = Vec<i64>;
+
+/// A reference to a task instance of some class: `(class index, params)`.
+pub type InstanceRef = (usize, Params);
+
+/// Maps an instance's parameters to its execution lane.
+pub type WorkerFn = Box<dyn Fn(&[i64]) -> WorkerId>;
+
+/// Maps an instance's parameters to its predecessor instances.
+pub type DepsFn = Box<dyn Fn(&[i64]) -> Vec<InstanceRef>>;
+
+/// A parameterized family of tasks.
+pub struct TaskClass {
+    /// Class name (diagnostics).
+    pub name: String,
+    /// Enumerates the parameter tuples of all instances of this class.
+    pub space: Box<dyn Fn() -> Vec<Params>>,
+    /// Maps an instance to its execution lane.
+    pub worker: WorkerFn,
+    /// Input flows: for an instance, the predecessor instances whose
+    /// completion it awaits (dataflow and control flow alike).
+    pub deps: DepsFn,
+}
+
+/// A program: a list of task classes.
+#[derive(Default)]
+pub struct PtgProgram {
+    classes: Vec<TaskClass>,
+}
+
+/// A compiled program: a concrete task graph whose payloads identify the
+/// original instances.
+pub struct CompiledPtg {
+    /// The concrete DAG; payloads are `(class index, params)`.
+    pub graph: TaskGraph<InstanceRef>,
+    /// Class names, indexed by class index.
+    pub class_names: Vec<String>,
+}
+
+impl PtgProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task class; returns its class index for use in dependency
+    /// references.
+    pub fn add_class(
+        &mut self,
+        name: impl Into<String>,
+        space: impl Fn() -> Vec<Params> + 'static,
+        worker: impl Fn(&[i64]) -> WorkerId + 'static,
+        deps: impl Fn(&[i64]) -> Vec<InstanceRef> + 'static,
+    ) -> usize {
+        self.classes.push(TaskClass {
+            name: name.into(),
+            space: Box::new(space),
+            worker: Box::new(worker),
+            deps: Box::new(deps),
+        });
+        self.classes.len() - 1
+    }
+
+    /// Enumerates every instance and resolves the flows into a concrete
+    /// [`TaskGraph`].
+    ///
+    /// Instances are created class by class in declaration order; a
+    /// dependency may reference any instance (forward references across
+    /// classes are resolved in a second pass).
+    ///
+    /// # Panics
+    /// Panics if a dependency references a non-existent instance, or if the
+    /// dependency relation has a cycle.
+    pub fn compile(&self) -> CompiledPtg {
+        // Enumerate instances and assign ids.
+        let mut instances: Vec<InstanceRef> = Vec::new();
+        let mut ids: HashMap<InstanceRef, usize> = HashMap::new();
+        for (ci, class) in self.classes.iter().enumerate() {
+            for params in (class.space)() {
+                let inst = (ci, params);
+                let id = instances.len();
+                let prev = ids.insert(inst.clone(), id);
+                assert!(
+                    prev.is_none(),
+                    "duplicate instance {}({:?})",
+                    class.name,
+                    inst.1
+                );
+                instances.push(inst);
+            }
+        }
+
+        // Resolve dependencies (may point forward), then emit the tasks in
+        // a topological order so TaskGraph's dep<task invariant holds.
+        let deps: Vec<Vec<usize>> = instances
+            .iter()
+            .map(|(ci, params)| {
+                (self.classes[*ci].deps)(params)
+                    .into_iter()
+                    .map(|d| {
+                        *ids.get(&d).unwrap_or_else(|| {
+                            panic!(
+                                "{}({:?}) depends on unknown instance {}({:?})",
+                                self.classes[*ci].name,
+                                params,
+                                self.classes
+                                    .get(d.0)
+                                    .map(|c| c.name.as_str())
+                                    .unwrap_or("<bad class>"),
+                                d.1
+                            )
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Kahn topological sort.
+        let n = instances.len();
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (t, ds) in deps.iter().enumerate() {
+            indeg[t] = ds.len();
+            for &d in ds {
+                succ[d].push(t);
+            }
+        }
+        let mut order: Vec<usize> = (0..n).filter(|&t| indeg[t] == 0).collect();
+        let mut head = 0;
+        while head < order.len() {
+            let t = order[head];
+            head += 1;
+            for &s in &succ[t] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    order.push(s);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "cycle in the PTG dependency relation");
+
+        let mut graph: TaskGraph<InstanceRef> = TaskGraph::new();
+        let mut new_id = vec![usize::MAX; n];
+        for &old in &order {
+            let (ci, params) = &instances[old];
+            let w = (self.classes[*ci].worker)(params);
+            new_id[old] = graph.add_task((*ci, params.clone()), w);
+        }
+        for (old, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                graph.add_dep(new_id[old], new_id[d]);
+            }
+        }
+
+        CompiledPtg {
+            graph,
+            class_names: self.classes.iter().map(|c| c.name.clone()).collect(),
+        }
+    }
+}
+
+/// Helper: the rectangular parameter space `0..a × 0..b`.
+pub fn space_2d(a: i64, b: i64) -> impl Fn() -> Vec<Params> {
+    move || {
+        let mut out = Vec::with_capacity((a * b) as usize);
+        for i in 0..a {
+            for j in 0..b {
+                out.push(vec![i, j]);
+            }
+        }
+        out
+    }
+}
+
+/// Helper: the linear parameter space `0..n`.
+pub fn space_1d(n: i64) -> impl Fn() -> Vec<Params> {
+    move || (0..n).map(|i| vec![i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    fn w(node: usize, lane: usize) -> WorkerId {
+        WorkerId { node, lane }
+    }
+
+    #[test]
+    fn pipeline_class() {
+        // One class: chain(i) depends on chain(i-1).
+        let mut prog = PtgProgram::new();
+        let chain = prog.add_class(
+            "chain",
+            space_1d(20),
+            |p| w(p[0] as usize % 3, 0),
+            |p| {
+                if p[0] > 0 {
+                    vec![(0, vec![p[0] - 1])]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        assert_eq!(chain, 0);
+        let compiled = prog.compile();
+        assert_eq!(compiled.graph.len(), 20);
+        let log = Mutex::new(Vec::new());
+        compiled.graph.execute(
+            &[w(0, 0), w(1, 0), w(2, 0)],
+            |_| (),
+            |(_, params), _, _| log.lock().push(params[0]),
+        );
+        assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wavefront_two_classes() {
+        // gen(i) produces row seeds; cell(i,j) depends on cell(i-1,j),
+        // cell(i,j-1) and (for j == 0) on gen(i) — a classic wavefront.
+        let n = 6i64;
+        let mut prog = PtgProgram::new();
+        let gen = prog.add_class("gen", space_1d(n), |_| w(0, 0), |_| vec![]);
+        let _cell = prog.add_class(
+            "cell",
+            space_2d(n, n),
+            |p| w((p[0] + p[1]) as usize % 2, 1),
+            move |p| {
+                let (i, j) = (p[0], p[1]);
+                let mut d = Vec::new();
+                if i > 0 {
+                    d.push((1, vec![i - 1, j]));
+                }
+                if j > 0 {
+                    d.push((1, vec![i, j - 1]));
+                } else {
+                    d.push((gen, vec![i]));
+                }
+                d
+            },
+        );
+        let compiled = prog.compile();
+        assert_eq!(compiled.graph.len(), (n + n * n) as usize);
+        assert_eq!(compiled.class_names, vec!["gen", "cell"]);
+
+        let done = Mutex::new(std::collections::HashSet::new());
+        compiled.graph.execute(
+            &[w(0, 0), w(0, 1), w(1, 1)],
+            |_| (),
+            |(ci, params), _, _| {
+                let mut done = done.lock();
+                if *ci == 1 {
+                    let (i, j) = (params[0], params[1]);
+                    // All wavefront predecessors must already be done.
+                    if i > 0 {
+                        assert!(done.contains(&(1usize, vec![i - 1, j])));
+                    }
+                    if j > 0 {
+                        assert!(done.contains(&(1usize, vec![i, j - 1])));
+                    } else {
+                        assert!(done.contains(&(0usize, vec![i])));
+                    }
+                }
+                done.insert((*ci, params.clone()));
+            },
+        );
+        assert_eq!(done.lock().len(), (n + n * n) as usize);
+    }
+
+    #[test]
+    fn irregular_space_from_inspector() {
+        // The paper's pattern: the parameter space and flows come from an
+        // inspector product (here: a sparsity list).
+        let nonzeros: std::sync::Arc<Vec<(i64, i64)>> =
+            std::sync::Arc::new(vec![(0, 1), (1, 0), (2, 2), (2, 0)]);
+        let mut prog = PtgProgram::new();
+        let nz = nonzeros.clone();
+        let _work = prog.add_class(
+            "work",
+            move || nz.iter().map(|&(i, j)| vec![i, j]).collect(),
+            |p| w(p[0] as usize % 2, 0),
+            |_| vec![],
+        );
+        let nz = nonzeros.clone();
+        let _reduce = prog.add_class(
+            "reduce",
+            || vec![vec![0]],
+            |_| w(0, 0),
+            move |_| nz.iter().map(|&(i, j)| (0usize, vec![i, j])).collect(),
+        );
+        let compiled = prog.compile();
+        assert_eq!(compiled.graph.len(), 5);
+        let count = Mutex::new(0usize);
+        compiled.graph.execute(&[w(0, 0), w(1, 0)], |_| (), |(ci, _), _, _| {
+            let mut c = count.lock();
+            if *ci == 1 {
+                assert_eq!(*c, 4, "reduce must run last");
+            }
+            *c += 1;
+        });
+        assert_eq!(*count.lock(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown instance")]
+    fn dangling_flow_panics() {
+        let mut prog = PtgProgram::new();
+        prog.add_class("a", space_1d(1), |_| w(0, 0), |_| vec![(0, vec![99])]);
+        prog.compile();
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let mut prog = PtgProgram::new();
+        prog.add_class("a", space_1d(2), |_| w(0, 0), |p| {
+            vec![(0, vec![1 - p[0]])] // 0 <-> 1
+        });
+        prog.compile();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate instance")]
+    fn duplicate_instances_rejected() {
+        let mut prog = PtgProgram::new();
+        prog.add_class("a", || vec![vec![0], vec![0]], |_| w(0, 0), |_| vec![]);
+        prog.compile();
+    }
+}

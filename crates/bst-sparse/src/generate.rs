@@ -1,0 +1,199 @@
+//! Synthetic block-sparse problem generator — the paper's §5.1 setup.
+//!
+//! "Irregularity of tiling is set randomly to be uniform between 512 and
+//! 2048 (in each dimension), and both input matrices (A and B) have the
+//! target density (the density of C being computed from the shape and
+//! non-zero tiles of A and B). To decide which tiles are zero in A and B, an
+//! iterative algorithm selects uniformly a non-zero tile to eliminate, until
+//! eliminating another tile would draw the density of the matrix
+//! (element-wise) under the threshold."
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::structure::{product_structure, MatrixStructure};
+use bst_tile::Tiling;
+
+/// Parameters of a synthetic problem `C (M×N) += A (M×K) · B (K×N)`.
+#[derive(Clone, Debug)]
+pub struct SyntheticParams {
+    /// Element rows of `A`/`C`.
+    pub m: u64,
+    /// Element columns of `B`/`C`.
+    pub n: u64,
+    /// Inner element dimension.
+    pub k: u64,
+    /// Target element-wise density of `A` and `B` in `(0, 1]`.
+    pub density: f64,
+    /// Smallest tile edge.
+    pub tile_min: u64,
+    /// Largest tile edge.
+    pub tile_max: u64,
+    /// RNG seed (tilings and sparsity patterns are pure functions of it).
+    pub seed: u64,
+}
+
+impl SyntheticParams {
+    /// The paper's §5.1 configuration: `M = 48k`, `N = K`, tiles uniform in
+    /// `[512, 2048]`.
+    pub fn paper(n_and_k: u64, density: f64, seed: u64) -> Self {
+        Self {
+            m: 48_000,
+            n: n_and_k,
+            k: n_and_k,
+            density,
+            tile_min: 512,
+            tile_max: 2048,
+            seed,
+        }
+    }
+}
+
+/// A generated problem: structures of `A`, `B` and the derived `C`.
+#[derive(Clone, Debug)]
+pub struct SyntheticProblem {
+    /// Structure of the short-and-wide input `A` (M×K).
+    pub a: MatrixStructure,
+    /// Structure of the large stationary input `B` (K×N).
+    pub b: MatrixStructure,
+    /// Structure of the result `C = A·B` (from the sparse-shape product).
+    pub c: MatrixStructure,
+    /// The parameters the problem was generated from.
+    pub params: SyntheticParams,
+}
+
+/// Generates a synthetic problem per §5.1. Deterministic in `params.seed`.
+///
+/// # Panics
+/// Panics if the density is outside `(0, 1]` or dimensions are zero.
+pub fn generate(params: &SyntheticParams) -> SyntheticProblem {
+    assert!(params.density > 0.0 && params.density <= 1.0, "density must be in (0,1]");
+    let row_a = Tiling::random_in_range(params.m, params.tile_min, params.tile_max, params.seed ^ 0x01);
+    let inner = Tiling::random_in_range(params.k, params.tile_min, params.tile_max, params.seed ^ 0x02);
+    let col_b = Tiling::random_in_range(params.n, params.tile_min, params.tile_max, params.seed ^ 0x03);
+
+    let mut a = MatrixStructure::dense(row_a, inner.clone());
+    let mut b = MatrixStructure::dense(inner, col_b);
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x5EED);
+    sparsify(&mut a, params.density, &mut rng);
+    sparsify(&mut b, params.density, &mut rng);
+    let c = product_structure(&a, &b, 0.0);
+    SyntheticProblem {
+        a,
+        b,
+        c,
+        params: params.clone(),
+    }
+}
+
+/// The paper's iterative elimination: repeatedly select a non-zero tile
+/// uniformly at random and remove it, stopping when removing the selected
+/// tile would push the element-wise density below `target`.
+pub fn sparsify(m: &mut MatrixStructure, target: f64, rng: &mut impl Rng) {
+    assert!((0.0..=1.0).contains(&target));
+    if target >= 1.0 {
+        return;
+    }
+    let total = m.rows() as f64 * m.cols() as f64;
+    let mut nnz_elems = m.element_nnz() as f64;
+    // Live list of non-zero tile coordinates; swap-remove keeps selection O(1).
+    let mut live: Vec<(usize, usize)> = m.shape().iter_nonzero().collect();
+    while !live.is_empty() {
+        let pick = rng.gen_range(0..live.len());
+        let (r, c) = live[pick];
+        let area = m.tile_area(r, c) as f64;
+        if (nnz_elems - area) / total < target {
+            break;
+        }
+        m.shape_mut().zero_out(r, c);
+        nnz_elems -= area;
+        live.swap_remove(pick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params(density: f64) -> SyntheticParams {
+        SyntheticParams {
+            m: 500,
+            n: 4_000,
+            k: 4_000,
+            density,
+            tile_min: 64,
+            tile_max: 256,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn dense_generation() {
+        let p = generate(&small_params(1.0));
+        assert!((p.a.element_density() - 1.0).abs() < 1e-12);
+        assert!((p.b.element_density() - 1.0).abs() < 1e-12);
+        assert_eq!(p.a.rows(), 500);
+        assert_eq!(p.b.cols(), 4_000);
+        // Inner tilings conformable by construction.
+        assert_eq!(p.a.col_tiling(), p.b.row_tiling());
+    }
+
+    #[test]
+    fn density_close_to_target_from_above() {
+        for &d in &[0.75, 0.5, 0.25, 0.1] {
+            let p = generate(&small_params(d));
+            for s in [&p.a, &p.b] {
+                let got = s.element_density();
+                assert!(got >= d, "density {got} below target {d}");
+                // Within one max-tile area of the target.
+                let max_tile = (256.0 * 256.0) / (s.rows() as f64 * s.cols() as f64);
+                assert!(got <= d + max_tile, "density {got} too far above {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&small_params(0.5));
+        let b = generate(&small_params(0.5));
+        assert_eq!(a.a.shape(), b.a.shape());
+        assert_eq!(a.b.shape(), b.b.shape());
+        let mut p2 = small_params(0.5);
+        p2.seed = 12;
+        let c = generate(&p2);
+        assert_ne!(a.a.shape(), c.a.shape());
+    }
+
+    #[test]
+    fn c_shape_is_reachable_product() {
+        let p = generate(&small_params(0.25));
+        // Every non-zero C tile must have at least one contributing pair.
+        for (i, j) in p.c.shape().iter_nonzero() {
+            let found = (0..p.a.tile_cols()).any(|k| {
+                p.a.shape().is_nonzero(i, k) && p.b.shape().is_nonzero(k, j)
+            });
+            assert!(found, "C tile ({i},{j}) has no contribution");
+        }
+    }
+
+    #[test]
+    fn sparsify_never_undershoots() {
+        let mut m = MatrixStructure::dense(
+            Tiling::uniform(1000, 100),
+            Tiling::uniform(1000, 100),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        sparsify(&mut m, 0.33, &mut rng);
+        assert!(m.element_density() >= 0.33);
+        assert!(m.element_density() <= 0.34 + 0.01);
+    }
+
+    #[test]
+    fn sparsify_noop_for_full_density() {
+        let mut m = MatrixStructure::dense(Tiling::uniform(100, 10), Tiling::uniform(100, 10));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        sparsify(&mut m, 1.0, &mut rng);
+        assert_eq!(m.nnz_tiles(), 100);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Block-sparse matrices and tensors.
+//!
+//! The paper's matrices are *block-sparse*: a matrix is a 2-d grid of tiles
+//! (under an irregular [`bst_tile::Tiling`] per dimension) where a subset of
+//! tiles is structurally zero and the remaining tiles are dense.
+//!
+//! Two layers are provided:
+//!
+//! * **Structure** ([`MatrixStructure`], [`shape::SparseShape`]) — tilings
+//!   plus the zero/non-zero pattern and per-tile norms, *without* element
+//!   data. The planner (`bst-contract`) and the performance simulator
+//!   (`bst-sim`) operate purely on structures, which is what lets this
+//!   reproduction handle Summit-scale problems (a dense 48k × 750k `f64`
+//!   matrix would be 288 GB) on a laptop.
+//! * **Data** ([`matrix::BlockSparseMatrix`]) — a structure plus actual
+//!   dense tiles, used by the numeric runtime for correctness testing at
+//!   small scale.
+//!
+//! [`generate`] implements the synthetic problem generator of the paper's
+//! §5.1 and [`tensor`] the 4-d tensor matricisation used by the ABCD term.
+
+pub mod dense;
+pub mod generate;
+pub mod matrix;
+pub mod shape;
+pub mod structure;
+pub mod tensor;
+
+pub use dense::DenseMatrix;
+pub use matrix::BlockSparseMatrix;
+pub use shape::SparseShape;
+pub use structure::MatrixStructure;
+pub use tensor::{ContractionDims, Tensor4Meta};

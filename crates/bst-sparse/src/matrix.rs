@@ -1,0 +1,269 @@
+//! Block-sparse matrices with element data.
+//!
+//! [`BlockSparseMatrix`] pairs a [`MatrixStructure`] with the dense tiles of
+//! its non-zero blocks. It is the container used by the numeric execution
+//! paths (runtime, baseline, references); the planner and simulator use the
+//! structure alone.
+
+use std::collections::HashMap;
+
+use crate::dense::DenseMatrix;
+use crate::shape::SparseShape;
+use crate::structure::MatrixStructure;
+use bst_tile::{Tile, Tiling};
+
+/// A block-sparse matrix: structure + dense tiles for each non-zero block.
+#[derive(Clone, Debug)]
+pub struct BlockSparseMatrix {
+    structure: MatrixStructure,
+    tiles: HashMap<(usize, usize), Tile>,
+}
+
+impl BlockSparseMatrix {
+    /// An all-zero matrix over the given tilings (empty shape, no tiles).
+    pub fn zeros(row_tiling: Tiling, col_tiling: Tiling) -> Self {
+        let shape = SparseShape::empty(row_tiling.num_tiles(), col_tiling.num_tiles());
+        Self {
+            structure: MatrixStructure::new(row_tiling, col_tiling, shape),
+            tiles: HashMap::new(),
+        }
+    }
+
+    /// Materialises a matrix from a structure, filling each non-zero tile by
+    /// calling `gen(r, c, rows, cols)`.
+    pub fn from_structure(
+        structure: MatrixStructure,
+        mut gen: impl FnMut(usize, usize, usize, usize) -> Tile,
+    ) -> Self {
+        let mut tiles = HashMap::with_capacity(structure.nnz_tiles());
+        let coords: Vec<_> = structure.shape().iter_nonzero().collect();
+        for (r, c) in coords {
+            let rows = structure.row_tiling().size(r) as usize;
+            let cols = structure.col_tiling().size(c) as usize;
+            let t = gen(r, c, rows, cols);
+            assert_eq!((t.rows(), t.cols()), (rows, cols), "generator shape mismatch at ({r},{c})");
+            tiles.insert((r, c), t);
+        }
+        Self { structure, tiles }
+    }
+
+    /// Materialises with deterministic pseudo-random tiles; `seed` makes each
+    /// tile a pure function of `(seed, r, c)`.
+    pub fn random_from_structure(structure: MatrixStructure, seed: u64) -> Self {
+        Self::from_structure(structure, |r, c, rows, cols| {
+            Tile::random(rows, cols, tile_seed(seed, r, c))
+        })
+    }
+
+    /// The data-free structure.
+    #[inline]
+    pub fn structure(&self) -> &MatrixStructure {
+        &self.structure
+    }
+
+    /// Shorthand for `structure().row_tiling()`.
+    #[inline]
+    pub fn row_tiling(&self) -> &Tiling {
+        self.structure.row_tiling()
+    }
+
+    /// Shorthand for `structure().col_tiling()`.
+    #[inline]
+    pub fn col_tiling(&self) -> &Tiling {
+        self.structure.col_tiling()
+    }
+
+    /// The tile at `(r, c)`, if non-zero.
+    pub fn tile(&self, r: usize, c: usize) -> Option<&Tile> {
+        self.tiles.get(&(r, c))
+    }
+
+    /// Inserts (or replaces) a tile, updating the shape norm to the tile's
+    /// Frobenius norm.
+    ///
+    /// # Panics
+    /// Panics if the tile shape disagrees with the tilings.
+    pub fn insert_tile(&mut self, r: usize, c: usize, tile: Tile) {
+        assert_eq!(tile.rows() as u64, self.structure.row_tiling().size(r));
+        assert_eq!(tile.cols() as u64, self.structure.col_tiling().size(c));
+        let norm = tile.frobenius_norm() as f32;
+        self.structure.shape_mut().set_norm(r, c, norm.max(f32::MIN_POSITIVE));
+        self.tiles.insert((r, c), tile);
+    }
+
+    /// Accumulates `tile` into block `(r, c)`, creating it if absent.
+    pub fn accumulate_tile(&mut self, r: usize, c: usize, tile: &Tile) {
+        match self.tiles.get_mut(&(r, c)) {
+            Some(existing) => existing.add_assign(tile),
+            None => {
+                self.insert_tile(r, c, tile.clone());
+                return;
+            }
+        }
+        let norm = self.tiles[&(r, c)].frobenius_norm() as f32;
+        self.structure.shape_mut().set_norm(r, c, norm.max(f32::MIN_POSITIVE));
+    }
+
+    /// Number of stored tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Iterator over `((r, c), tile)` pairs in unspecified order.
+    pub fn iter_tiles(&self) -> impl Iterator<Item = (&(usize, usize), &Tile)> {
+        self.tiles.iter()
+    }
+
+    /// Expands to a dense matrix (testing/reference only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.structure.rows() as usize, self.structure.cols() as usize);
+        for (&(r, c), tile) in &self.tiles {
+            let r0 = self.structure.row_tiling().offset(r) as usize;
+            let c0 = self.structure.col_tiling().offset(c) as usize;
+            out.set_block(r0, c0, tile);
+        }
+        out
+    }
+
+    /// Largest absolute difference to another block-sparse matrix of the same
+    /// element dimensions (compares dense expansions — testing only).
+    pub fn max_abs_diff(&self, other: &BlockSparseMatrix) -> f64 {
+        self.to_dense().max_abs_diff(&other.to_dense())
+    }
+
+    /// Naive (single-threaded, undistributed) block-sparse product
+    /// `self += a · b` — the semantic reference every optimised execution
+    /// path is validated against.
+    pub fn gemm_acc_reference(&mut self, a: &BlockSparseMatrix, b: &BlockSparseMatrix) {
+        crate::structure::check_product_dims(a.structure(), b.structure());
+        assert_eq!(self.row_tiling(), a.row_tiling());
+        assert_eq!(self.col_tiling(), b.col_tiling());
+        for k in 0..a.structure().tile_cols() {
+            let arows: Vec<usize> = a.structure().shape().nonzero_rows_in_col(k).collect();
+            if arows.is_empty() {
+                continue;
+            }
+            let bcols: Vec<usize> = b.structure().shape().nonzero_cols_in_row(k).collect();
+            for &i in &arows {
+                let at = a.tile(i, k).expect("shape says non-zero but tile missing");
+                for &j in &bcols {
+                    let bt = b.tile(k, j).expect("shape says non-zero but tile missing");
+                    let mut ct = match self.tiles.remove(&(i, j)) {
+                        Some(t) => t,
+                        None => Tile::zeros(at.rows(), bt.cols()),
+                    };
+                    bst_tile::gemm::gemm_blocked(1.0, at, bt, &mut ct);
+                    self.insert_tile(i, j, ct);
+                }
+            }
+        }
+    }
+}
+
+/// Derives a per-tile seed from a matrix seed and tile coordinates, so tile
+/// content is a pure function of identity (needed for consistent on-demand
+/// generation of `B` on every node that replicates a column).
+pub fn tile_seed(matrix_seed: u64, r: usize, c: usize) -> u64 {
+    // SplitMix64-style mixing of (seed, r, c).
+    let mut z = matrix_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((r as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((c as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::product_structure;
+
+    fn structures() -> (MatrixStructure, MatrixStructure) {
+        let a = MatrixStructure::dense(Tiling::from_sizes(&[2, 3]), Tiling::from_sizes(&[4, 5]));
+        let b = MatrixStructure::dense(Tiling::from_sizes(&[4, 5]), Tiling::from_sizes(&[6, 7]));
+        (a, b)
+    }
+
+    #[test]
+    fn zeros_has_no_tiles() {
+        let m = BlockSparseMatrix::zeros(Tiling::from_sizes(&[2]), Tiling::from_sizes(&[3]));
+        assert_eq!(m.num_tiles(), 0);
+        assert_eq!(m.structure().nnz_tiles(), 0);
+        assert!(m.tile(0, 0).is_none());
+    }
+
+    #[test]
+    fn random_matches_structure() {
+        let (a, _) = structures();
+        let m = BlockSparseMatrix::random_from_structure(a, 42);
+        assert_eq!(m.num_tiles(), 4);
+        assert_eq!(m.tile(1, 1).unwrap().rows(), 3);
+        assert_eq!(m.tile(1, 1).unwrap().cols(), 5);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let (a, _) = structures();
+        let m1 = BlockSparseMatrix::random_from_structure(a.clone(), 42);
+        let m2 = BlockSparseMatrix::random_from_structure(a, 42);
+        assert_eq!(m1.max_abs_diff(&m2), 0.0);
+    }
+
+    #[test]
+    fn tile_seed_distinguishes_coords() {
+        assert_ne!(tile_seed(1, 0, 1), tile_seed(1, 1, 0));
+        assert_ne!(tile_seed(1, 2, 3), tile_seed(2, 2, 3));
+        assert_eq!(tile_seed(7, 5, 9), tile_seed(7, 5, 9));
+    }
+
+    #[test]
+    fn insert_updates_shape_norm() {
+        let mut m = BlockSparseMatrix::zeros(Tiling::from_sizes(&[2]), Tiling::from_sizes(&[2]));
+        m.insert_tile(0, 0, Tile::from_data(2, 2, vec![3.0, 0.0, 0.0, 4.0]));
+        assert!(m.structure().shape().is_nonzero(0, 0));
+        assert!((m.structure().shape().norm(0, 0) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut m = BlockSparseMatrix::zeros(Tiling::from_sizes(&[1]), Tiling::from_sizes(&[1]));
+        let t = Tile::from_data(1, 1, vec![2.0]);
+        m.accumulate_tile(0, 0, &t);
+        m.accumulate_tile(0, 0, &t);
+        assert_eq!(m.tile(0, 0).unwrap().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn reference_product_matches_dense() {
+        let (sa, sb) = structures();
+        let a = BlockSparseMatrix::random_from_structure(sa.clone(), 1);
+        let b = BlockSparseMatrix::random_from_structure(sb.clone(), 2);
+        let mut c = BlockSparseMatrix::zeros(sa.row_tiling().clone(), sb.col_tiling().clone());
+        c.gemm_acc_reference(&a, &b);
+
+        let mut dref = DenseMatrix::zeros(5, 13);
+        dref.gemm_acc(&a.to_dense(), &b.to_dense());
+        assert!(c.to_dense().max_abs_diff(&dref) < 1e-10);
+    }
+
+    #[test]
+    fn reference_product_with_sparsity() {
+        let (mut sa, mut sb) = structures();
+        sa.shape_mut().zero_out(0, 1);
+        sb.shape_mut().zero_out(1, 0);
+        let a = BlockSparseMatrix::random_from_structure(sa.clone(), 3);
+        let b = BlockSparseMatrix::random_from_structure(sb.clone(), 4);
+        let mut c = BlockSparseMatrix::zeros(sa.row_tiling().clone(), sb.col_tiling().clone());
+        c.gemm_acc_reference(&a, &b);
+
+        let mut dref = DenseMatrix::zeros(5, 13);
+        dref.gemm_acc(&a.to_dense(), &b.to_dense());
+        assert!(c.to_dense().max_abs_diff(&dref) < 1e-10);
+        // C's shape must cover the shape product's non-zeros.
+        let cstruct = product_structure(&sa, &sb, 0.0);
+        for (r, cc) in cstruct.shape().iter_nonzero() {
+            assert!(c.tile(r, cc).is_some());
+        }
+    }
+}

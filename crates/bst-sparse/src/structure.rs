@@ -1,0 +1,446 @@
+//! Data-free descriptions of block-sparse matrices, plus product-level
+//! accounting (flops, GEMM-task counts, bytes, arithmetic intensity).
+//!
+//! Every planning and simulation decision in the stack — the paper's column
+//! assignment, block partitioning, chunking, and the performance replay —
+//! needs only this structural information, never the element data.
+
+use crate::shape::{ShapeIndex, SparseShape};
+use bst_tile::gemm::gemm_flops;
+use bst_tile::Tiling;
+use std::sync::OnceLock;
+
+/// Size of one matrix element on the wire and in device memory.
+pub const ELEM_BYTES: u64 = std::mem::size_of::<f64>() as u64;
+
+/// Tilings plus sparse shape of a block-sparse matrix; no element data.
+///
+/// A compressed (CSC/CSR) index of the shape is built lazily on first use
+/// of [`Self::col_rows`]/[`Self::row_cols`] and invalidated by
+/// [`Self::shape_mut`]; planner hot paths use it so inspection stays linear
+/// in the number of non-zero tiles (§3.2.4).
+#[derive(Debug)]
+pub struct MatrixStructure {
+    row_tiling: Tiling,
+    col_tiling: Tiling,
+    shape: SparseShape,
+    index: OnceLock<ShapeIndex>,
+}
+
+impl Clone for MatrixStructure {
+    fn clone(&self) -> Self {
+        // The cache is cheap to rebuild; don't clone it.
+        Self {
+            row_tiling: self.row_tiling.clone(),
+            col_tiling: self.col_tiling.clone(),
+            shape: self.shape.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl MatrixStructure {
+    /// Builds a structure, checking that the shape grid matches the tilings.
+    ///
+    /// # Panics
+    /// Panics if `shape` is not `row_tiling.num_tiles() × col_tiling.num_tiles()`.
+    pub fn new(row_tiling: Tiling, col_tiling: Tiling, shape: SparseShape) -> Self {
+        assert_eq!(shape.rows(), row_tiling.num_tiles(), "shape/tiling row mismatch");
+        assert_eq!(shape.cols(), col_tiling.num_tiles(), "shape/tiling col mismatch");
+        Self {
+            row_tiling,
+            col_tiling,
+            shape,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// Fully dense structure over the given tilings.
+    pub fn dense(row_tiling: Tiling, col_tiling: Tiling) -> Self {
+        let shape = SparseShape::dense(row_tiling.num_tiles(), col_tiling.num_tiles());
+        Self::new(row_tiling, col_tiling, shape)
+    }
+
+    /// Row tiling.
+    #[inline]
+    pub fn row_tiling(&self) -> &Tiling {
+        &self.row_tiling
+    }
+
+    /// Column tiling.
+    #[inline]
+    pub fn col_tiling(&self) -> &Tiling {
+        &self.col_tiling
+    }
+
+    /// Sparse shape.
+    #[inline]
+    pub fn shape(&self) -> &SparseShape {
+        &self.shape
+    }
+
+    /// Mutable sparse shape (used by generators). Invalidates the cached
+    /// compressed index.
+    #[inline]
+    pub fn shape_mut(&mut self) -> &mut SparseShape {
+        self.index = OnceLock::new();
+        &mut self.shape
+    }
+
+    /// The compressed index of the shape (built on first use).
+    #[inline]
+    pub fn index(&self) -> &ShapeIndex {
+        self.index.get_or_init(|| self.shape.build_index())
+    }
+
+    /// Non-zero tile rows of column `c`, ascending — indexed equivalent of
+    /// `shape().nonzero_rows_in_col(c)`.
+    #[inline]
+    pub fn col_rows(&self, c: usize) -> &[u32] {
+        self.index().col_rows(c)
+    }
+
+    /// Non-zero tile columns of row `r`, ascending — indexed equivalent of
+    /// `shape().nonzero_cols_in_row(r)`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        self.index().row_cols(r)
+    }
+
+    /// Element-level row count (M).
+    #[inline]
+    pub fn rows(&self) -> u64 {
+        self.row_tiling.extent()
+    }
+
+    /// Element-level column count (N).
+    #[inline]
+    pub fn cols(&self) -> u64 {
+        self.col_tiling.extent()
+    }
+
+    /// Number of tile rows (`M^(t)` in the paper).
+    #[inline]
+    pub fn tile_rows(&self) -> usize {
+        self.row_tiling.num_tiles()
+    }
+
+    /// Number of tile columns (`N^(t)`).
+    #[inline]
+    pub fn tile_cols(&self) -> usize {
+        self.col_tiling.num_tiles()
+    }
+
+    /// Number of non-zero tiles.
+    pub fn nnz_tiles(&self) -> usize {
+        self.shape.nnz_tiles()
+    }
+
+    /// Element area of tile `(r, c)`.
+    #[inline]
+    pub fn tile_area(&self, r: usize, c: usize) -> u64 {
+        self.row_tiling.size(r) * self.col_tiling.size(c)
+    }
+
+    /// Bytes of tile `(r, c)` if non-zero, else 0.
+    #[inline]
+    pub fn tile_bytes(&self, r: usize, c: usize) -> u64 {
+        if self.shape.is_nonzero(r, c) {
+            self.tile_area(r, c) * ELEM_BYTES
+        } else {
+            0
+        }
+    }
+
+    /// Number of stored (non-zero) elements.
+    pub fn element_nnz(&self) -> u64 {
+        self.shape
+            .iter_nonzero()
+            .map(|(r, c)| self.tile_area(r, c))
+            .sum()
+    }
+
+    /// Element-wise density — the paper's density measure in §5.1.
+    pub fn element_density(&self) -> f64 {
+        self.element_nnz() as f64 / (self.rows() as f64 * self.cols() as f64)
+    }
+
+    /// Total stored bytes.
+    pub fn bytes(&self) -> u64 {
+        self.element_nnz() * ELEM_BYTES
+    }
+
+    /// Stored bytes of tile column `c`.
+    pub fn col_bytes(&self, c: usize) -> u64 {
+        self.shape
+            .nonzero_rows_in_col(c)
+            .map(|r| self.tile_area(r, c) * ELEM_BYTES)
+            .sum()
+    }
+
+    /// Stored bytes of tile row `r`.
+    pub fn row_bytes(&self, r: usize) -> u64 {
+        self.shape
+            .nonzero_cols_in_row(r)
+            .map(|c| self.tile_area(r, c) * ELEM_BYTES)
+            .sum()
+    }
+}
+
+/// Checks that `a` and `b` are conformable for `a · b` (tilings must agree
+/// tile-by-tile on the inner dimension, as the paper's §3.1 point 1 states).
+pub fn check_product_dims(a: &MatrixStructure, b: &MatrixStructure) {
+    assert_eq!(
+        a.col_tiling(),
+        b.row_tiling(),
+        "inner tilings of A and B must be identical"
+    );
+}
+
+/// Total flop count of `C += A·B` counting every structurally non-zero
+/// `A_ik · B_kj` pair (no result screening).
+pub fn product_flops(a: &MatrixStructure, b: &MatrixStructure) -> u128 {
+    check_product_dims(a, b);
+    let mut total: u128 = 0;
+    // For each inner tile k: flops = 2 * k_size * (Σ heights of non-zero A
+    // tiles in column k) * (Σ widths of non-zero B tiles in row k).
+    for k in 0..a.tile_cols() {
+        let ah: u64 = a
+            .shape()
+            .nonzero_rows_in_col(k)
+            .map(|i| a.row_tiling().size(i))
+            .sum();
+        if ah == 0 {
+            continue;
+        }
+        let bw: u64 = b
+            .shape()
+            .nonzero_cols_in_row(k)
+            .map(|j| b.col_tiling().size(j))
+            .sum();
+        if bw == 0 {
+            continue;
+        }
+        total += 2 * (a.col_tiling().size(k) as u128) * (ah as u128) * (bw as u128);
+    }
+    total
+}
+
+/// Flop count restricted to contributions whose destination tile `C_ij` is
+/// kept by `c_shape` — the paper's "#flop (opt.)" row of Table 1, where the
+/// sparse shape of the result screens out negligible products.
+pub fn product_flops_screened(
+    a: &MatrixStructure,
+    b: &MatrixStructure,
+    c_shape: &SparseShape,
+) -> u128 {
+    check_product_dims(a, b);
+    assert_eq!(c_shape.rows(), a.tile_rows());
+    assert_eq!(c_shape.cols(), b.tile_cols());
+    let mut total: u128 = 0;
+    for k in 0..a.tile_cols() {
+        let arows: Vec<usize> = a.shape().nonzero_rows_in_col(k).collect();
+        if arows.is_empty() {
+            continue;
+        }
+        for j in b.shape().nonzero_cols_in_row(k) {
+            let nj = b.col_tiling().size(j);
+            for &i in &arows {
+                if c_shape.is_nonzero(i, j) {
+                    total += gemm_flops(a.row_tiling().size(i), nj, a.col_tiling().size(k)) as u128;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Number of tile-level GEMM tasks of `C += A·B` (pairs of non-zero
+/// `A_ik`, `B_kj`), optionally restricted to destinations kept by `c_shape`.
+pub fn gemm_task_count(
+    a: &MatrixStructure,
+    b: &MatrixStructure,
+    c_shape: Option<&SparseShape>,
+) -> u64 {
+    check_product_dims(a, b);
+    let mut total: u64 = 0;
+    for k in 0..a.tile_cols() {
+        let arows: Vec<usize> = a.shape().nonzero_rows_in_col(k).collect();
+        if arows.is_empty() {
+            continue;
+        }
+        for j in b.shape().nonzero_cols_in_row(k) {
+            match c_shape {
+                None => total += arows.len() as u64,
+                Some(cs) => {
+                    total += arows.iter().filter(|&&i| cs.is_nonzero(i, j)).count() as u64;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Flops of the product restricted to tile column `j` of `B`/`C` — the
+/// weight `f_j` that drives the column assignment of §3.2.1.
+pub fn column_flops(a: &MatrixStructure, b: &MatrixStructure, j: usize) -> u128 {
+    check_product_dims(a, b);
+    let mut total: u128 = 0;
+    let nj = b.col_tiling().size(j) as u128;
+    for k in b.shape().nonzero_rows_in_col(j) {
+        let ah: u64 = a
+            .shape()
+            .nonzero_rows_in_col(k)
+            .map(|i| a.row_tiling().size(i))
+            .sum();
+        total += 2 * nj * (a.col_tiling().size(k) as u128) * (ah as u128);
+    }
+    total
+}
+
+/// Maximum (theoretical) arithmetic intensity of `C += A·B` in flop/byte:
+/// total flops divided by the aggregate stored bytes of A, B and C — the
+/// quantity plotted in the paper's Fig. 3. `c` is the structure of the
+/// result (computed via shape product).
+pub fn max_arithmetic_intensity(
+    a: &MatrixStructure,
+    b: &MatrixStructure,
+    c: &MatrixStructure,
+) -> f64 {
+    let flops = product_flops(a, b) as f64;
+    let bytes = (a.bytes() + b.bytes() + c.bytes()) as f64;
+    flops / bytes
+}
+
+/// Builds the structure of `C = A·B` via the sparse-shape product.
+pub fn product_structure(a: &MatrixStructure, b: &MatrixStructure, threshold: f32) -> MatrixStructure {
+    check_product_dims(a, b);
+    let shape = a.shape().product(b.shape(), threshold);
+    MatrixStructure::new(a.row_tiling().clone(), b.col_tiling().clone(), shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pair() -> (MatrixStructure, MatrixStructure) {
+        // A: 2x2 tiles (rows [2,3], cols [4,5]); B: 2x2 tiles (rows [4,5], cols [6,7]).
+        let a = MatrixStructure::dense(Tiling::from_sizes(&[2, 3]), Tiling::from_sizes(&[4, 5]));
+        let b = MatrixStructure::dense(Tiling::from_sizes(&[4, 5]), Tiling::from_sizes(&[6, 7]));
+        (a, b)
+    }
+
+    #[test]
+    fn dims_and_density() {
+        let (a, _) = small_pair();
+        assert_eq!(a.rows(), 5);
+        assert_eq!(a.cols(), 9);
+        assert_eq!(a.tile_rows(), 2);
+        assert_eq!(a.tile_cols(), 2);
+        assert_eq!(a.element_nnz(), 45);
+        assert!((a.element_density() - 1.0).abs() < 1e-12);
+        assert_eq!(a.bytes(), 45 * 8);
+    }
+
+    #[test]
+    fn density_after_zeroing() {
+        let (mut a, _) = small_pair();
+        a.shape_mut().zero_out(0, 0); // area 2*4 = 8
+        assert_eq!(a.element_nnz(), 37);
+        assert!((a.element_density() - 37.0 / 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_product_flops_match_mnk() {
+        let (a, b) = small_pair();
+        // Dense: 2*M*N*K = 2*5*13*9
+        assert_eq!(product_flops(&a, &b), 2 * 5 * 13 * 9);
+    }
+
+    #[test]
+    fn flops_drop_when_b_tile_removed() {
+        let (a, mut b) = small_pair();
+        b.shape_mut().zero_out(0, 0); // B tile k=0 (size 4), j=0 (size 6)
+        // Lost flops: 2 * K0 * N0 * (A column-0 heights = 5) = 2*4*6*5
+        assert_eq!(product_flops(&a, &b), 2 * 5 * 13 * 9 - 2 * 4 * 6 * 5);
+    }
+
+    #[test]
+    fn gemm_task_count_dense() {
+        let (a, b) = small_pair();
+        assert_eq!(gemm_task_count(&a, &b, None), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn gemm_task_count_screened() {
+        let (a, b) = small_pair();
+        let mut cshape = SparseShape::dense(2, 2);
+        cshape.zero_out(1, 1);
+        // Each C tile receives 2 contributions (k = 0, 1).
+        assert_eq!(gemm_task_count(&a, &b, Some(&cshape)), 6);
+    }
+
+    #[test]
+    fn column_flops_sum_to_total() {
+        let (mut a, mut b) = small_pair();
+        a.shape_mut().zero_out(1, 0);
+        b.shape_mut().zero_out(0, 1);
+        let total = product_flops(&a, &b);
+        let by_col: u128 = (0..b.tile_cols()).map(|j| column_flops(&a, &b, j)).sum();
+        assert_eq!(total, by_col);
+    }
+
+    #[test]
+    fn screened_flops_equal_unscreened_for_dense_c() {
+        let (a, b) = small_pair();
+        let c = product_structure(&a, &b, 0.0);
+        assert_eq!(product_flops(&a, &b), product_flops_screened(&a, &b, c.shape()));
+    }
+
+    #[test]
+    fn product_structure_inherits_tilings() {
+        let (a, b) = small_pair();
+        let c = product_structure(&a, &b, 0.0);
+        assert_eq!(c.row_tiling(), a.row_tiling());
+        assert_eq!(c.col_tiling(), b.col_tiling());
+        assert_eq!(c.nnz_tiles(), 4);
+    }
+
+    #[test]
+    fn arithmetic_intensity_dense() {
+        let (a, b) = small_pair();
+        let c = product_structure(&a, &b, 0.0);
+        let ai = max_arithmetic_intensity(&a, &b, &c);
+        let expect = (2.0 * 5.0 * 13.0 * 9.0) / (8.0 * (45 + 117 + 65) as f64);
+        assert!((ai - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_inner_tilings_panic() {
+        let a = MatrixStructure::dense(Tiling::from_sizes(&[2]), Tiling::from_sizes(&[4, 5]));
+        let b = MatrixStructure::dense(Tiling::from_sizes(&[5, 4]), Tiling::from_sizes(&[6]));
+        product_flops(&a, &b);
+    }
+
+    #[test]
+    fn cached_index_invalidated_by_mutation() {
+        let (mut a, _) = small_pair();
+        assert_eq!(a.col_rows(0), &[0, 1]);
+        a.shape_mut().zero_out(1, 0);
+        assert_eq!(a.col_rows(0), &[0], "stale index after mutation");
+        assert_eq!(a.row_cols(1), &[1]);
+        // Clones rebuild their own cache.
+        let b = a.clone();
+        assert_eq!(b.col_rows(0), &[0]);
+    }
+
+    #[test]
+    fn col_and_row_bytes() {
+        let (mut a, _) = small_pair();
+        a.shape_mut().zero_out(0, 1);
+        assert_eq!(a.col_bytes(0), (2 * 4 + 3 * 4) * 8);
+        assert_eq!(a.col_bytes(1), 3 * 5 * 8);
+        assert_eq!(a.row_bytes(0), 2 * 4 * 8);
+    }
+}

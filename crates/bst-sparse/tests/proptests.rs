@@ -1,0 +1,119 @@
+//! Property tests for sparse shapes, structures and the synthetic
+//! generator.
+
+use bst_sparse::generate::{generate, sparsify, SyntheticParams};
+use bst_sparse::structure::{
+    column_flops, gemm_task_count, product_flops, product_flops_screened, product_structure,
+};
+use bst_sparse::{BlockSparseMatrix, MatrixStructure};
+use bst_tile::Tiling;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_structure(max_tiles: usize) -> impl Strategy<Value = MatrixStructure> {
+    (
+        prop::collection::vec(1u64..8, 1..max_tiles),
+        prop::collection::vec(1u64..8, 1..max_tiles),
+        0u64..10_000,
+        0.1f64..1.0,
+    )
+        .prop_map(|(rows, cols, seed, density)| {
+            let mut s = MatrixStructure::dense(Tiling::from_sizes(&rows), Tiling::from_sizes(&cols));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            sparsify(&mut s, density, &mut rng);
+            s
+        })
+}
+
+proptest! {
+    /// The sparse-shape product's support equals the numeric product's
+    /// support (threshold 0): a tile is reachable iff some k connects it.
+    #[test]
+    fn shape_product_matches_support(seed in 0u64..500) {
+        let params = SyntheticParams {
+            m: 20, n: 30, k: 25, density: 0.4, tile_min: 2, tile_max: 6, seed,
+        };
+        let prob = generate(&params);
+        for i in 0..prob.a.tile_rows() {
+            for j in 0..prob.b.tile_cols() {
+                let reachable = (0..prob.a.tile_cols()).any(|k| {
+                    prob.a.shape().is_nonzero(i, k) && prob.b.shape().is_nonzero(k, j)
+                });
+                prop_assert_eq!(prob.c.shape().is_nonzero(i, j), reachable);
+            }
+        }
+    }
+
+    /// Column flops sum to the total product flops.
+    #[test]
+    fn column_flops_partition_total(a in arb_structure(6), cols in prop::collection::vec(1u64..8, 1..6), seed2 in 0u64..100) {
+        let mut b = MatrixStructure::dense(a.col_tiling().clone(), Tiling::from_sizes(&cols));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed2);
+        sparsify(&mut b, 0.5, &mut rng);
+        let total = product_flops(&a, &b);
+        let by_col: u128 = (0..b.tile_cols()).map(|j| column_flops(&a, &b, j)).sum();
+        prop_assert_eq!(total, by_col);
+    }
+
+    /// Screened flops and task counts never exceed the unscreened ones and
+    /// match them for the full product shape.
+    #[test]
+    fn screening_monotone(a in arb_structure(6), cols in prop::collection::vec(1u64..8, 1..6), seed2 in 0u64..100) {
+        let mut b = MatrixStructure::dense(a.col_tiling().clone(), Tiling::from_sizes(&cols));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed2);
+        sparsify(&mut b, 0.6, &mut rng);
+        let c = product_structure(&a, &b, 0.0);
+        prop_assert_eq!(product_flops(&a, &b), product_flops_screened(&a, &b, c.shape()));
+        // Screen half the tiles away.
+        let mut screened = c.shape().clone();
+        for (idx, (i, j)) in c.shape().iter_nonzero().collect::<Vec<_>>().iter().enumerate() {
+            if idx % 2 == 0 {
+                screened.zero_out(*i, *j);
+            }
+        }
+        prop_assert!(product_flops_screened(&a, &b, &screened) <= product_flops(&a, &b));
+        prop_assert!(
+            gemm_task_count(&a, &b, Some(&screened)) <= gemm_task_count(&a, &b, None)
+        );
+    }
+
+    /// The generator respects the density target from above.
+    #[test]
+    fn generator_density_bound(density in 0.1f64..1.0, seed in 0u64..200) {
+        let params = SyntheticParams {
+            m: 50, n: 120, k: 100, density, tile_min: 4, tile_max: 12, seed,
+        };
+        let prob = generate(&params);
+        prop_assert!(prob.a.element_density() >= density - 1e-12);
+        prop_assert!(prob.b.element_density() >= density - 1e-12);
+    }
+
+    /// Block-sparse reference product equals the dense product.
+    #[test]
+    fn reference_product_correct(seed in 0u64..200) {
+        let params = SyntheticParams {
+            m: 15, n: 25, k: 20, density: 0.5, tile_min: 2, tile_max: 6, seed,
+        };
+        let prob = generate(&params);
+        let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), seed);
+        let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), seed ^ 9);
+        let mut c = BlockSparseMatrix::zeros(
+            prob.a.row_tiling().clone(),
+            prob.b.col_tiling().clone(),
+        );
+        c.gemm_acc_reference(&a, &b);
+        let mut dense = bst_sparse::DenseMatrix::zeros(15, 25);
+        dense.gemm_acc(&a.to_dense(), &b.to_dense());
+        prop_assert!(c.to_dense().max_abs_diff(&dense) < 1e-9);
+    }
+
+    /// Structure byte accounting is consistent: col sums == row sums ==
+    /// total.
+    #[test]
+    fn byte_accounting_consistent(s in arb_structure(8)) {
+        let by_col: u64 = (0..s.tile_cols()).map(|c| s.col_bytes(c)).sum();
+        let by_row: u64 = (0..s.tile_rows()).map(|r| s.row_bytes(r)).sum();
+        prop_assert_eq!(by_col, s.bytes());
+        prop_assert_eq!(by_row, s.bytes());
+    }
+}

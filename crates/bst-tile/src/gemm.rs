@@ -1,0 +1,313 @@
+//! `C += A * B` kernels on dense tiles.
+//!
+//! Four implementations with identical semantics:
+//!
+//! * [`gemm_naive`] — triple loop, the correctness reference;
+//! * [`gemm_blocked`] — cache-blocked with a column-major-friendly loop
+//!   order, the default CPU kernel;
+//! * [`gemm_packed`] — GotoBLAS-style packed panels with an `MR × NR`
+//!   register-blocked micro-kernel;
+//! * [`gemm_parallel`] — rayon-parallel over column panels, used by the
+//!   simulated GPU executors (a stand-in for cuBLAS: one device = one rayon
+//!   pool slice).
+//!
+//! All kernels compute `C ← alpha * A * B + C` exactly (no fused scaling of
+//! C; the paper's contraction uses `beta = 1` accumulation).
+
+use crate::tile::Tile;
+use rayon::prelude::*;
+
+/// Cache block edge for the blocked kernel, sized so three blocks fit in L1.
+const BLOCK: usize = 64;
+
+/// Returns the flop count of a GEMM of the given shape (2·m·n·k).
+#[inline]
+pub fn gemm_flops(m: u64, n: u64, k: u64) -> u64 {
+    2 * m * n * k
+}
+
+fn check_shapes(c: &Tile, a: &Tile, b: &Tile) {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "C rows != A rows");
+    assert_eq!(c.cols(), b.cols(), "C cols != B cols");
+}
+
+/// Reference triple-loop kernel: `C += alpha * A * B`.
+pub fn gemm_naive(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    check_shapes(c, a, b);
+    let (m, n, kk) = (a.rows(), b.cols(), a.cols());
+    for j in 0..n {
+        for l in 0..kk {
+            let blj = alpha * b.get(l, j);
+            if blj == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                *c.get_mut(i, j) += a.get(i, l) * blj;
+            }
+        }
+    }
+}
+
+/// Cache-blocked kernel: `C += alpha * A * B`.
+///
+/// Operates on raw column-major slices to let the optimiser vectorise the
+/// innermost (contiguous) loop over rows.
+pub fn gemm_blocked(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    check_shapes(c, a, b);
+    let (m, n, kk) = (a.rows(), b.cols(), a.cols());
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    gemm_blocked_raw(alpha, m, n, kk, ad, bd, cd);
+}
+
+/// Blocked kernel on raw column-major buffers; `cd` has leading dimension `m`.
+fn gemm_blocked_raw(alpha: f64, m: usize, n: usize, kk: usize, ad: &[f64], bd: &[f64], cd: &mut [f64]) {
+    for jb in (0..n).step_by(BLOCK) {
+        let jend = (jb + BLOCK).min(n);
+        for lb in (0..kk).step_by(BLOCK) {
+            let lend = (lb + BLOCK).min(kk);
+            for j in jb..jend {
+                let ccol = &mut cd[j * m..(j + 1) * m];
+                for l in lb..lend {
+                    let blj = alpha * bd[j * kk + l];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let acol = &ad[l * m..(l + 1) * m];
+                    for i in 0..m {
+                        ccol[i] += acol[i] * blj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Register-blocking parameters of the packed kernel: the micro-tile is
+/// `MR × NR` accumulators held in locals so the inner loop is a pure
+/// FMA sweep the compiler can vectorise.
+const MR: usize = 4;
+/// Columns per micro-tile.
+const NR: usize = 4;
+
+/// Packed kernel: `C += alpha * A * B` with `A` packed into `MR`-row panels
+/// so the micro-kernel reads both operands with unit stride — the classical
+/// GotoBLAS structure (pack + register-blocked micro-tile), at the scale a
+/// tile kernel needs.
+pub fn gemm_packed(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    check_shapes(c, a, b);
+    let (m, n, kk) = (a.rows(), b.cols(), a.cols());
+    if m < MR || n < NR {
+        return gemm_blocked(alpha, a, b, c);
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+
+    // Pack A: panels of MR rows, each panel stored k-major so the
+    // micro-kernel streams it contiguously. The ragged tail of rows is
+    // handled by the blocked kernel afterwards.
+    let full_panels = m / MR;
+    let mut apack = vec![0.0f64; full_panels * MR * kk];
+    for p in 0..full_panels {
+        let dst = &mut apack[p * MR * kk..(p + 1) * MR * kk];
+        for l in 0..kk {
+            for r in 0..MR {
+                dst[l * MR + r] = ad[l * m + p * MR + r];
+            }
+        }
+    }
+
+    let full_cols = n / NR * NR;
+    for p in 0..full_panels {
+        let apanel = &apack[p * MR * kk..(p + 1) * MR * kk];
+        let mut j = 0;
+        while j < full_cols {
+            // MR x NR accumulators in registers.
+            let mut acc = [[0.0f64; MR]; NR];
+            for l in 0..kk {
+                let arow = &apanel[l * MR..l * MR + MR];
+                for (jj, accc) in acc.iter_mut().enumerate() {
+                    let blj = bd[(j + jj) * kk + l];
+                    for r in 0..MR {
+                        accc[r] += arow[r] * blj;
+                    }
+                }
+            }
+            for (jj, accc) in acc.iter().enumerate() {
+                let ccol = &mut cd[(j + jj) * m + p * MR..(j + jj) * m + p * MR + MR];
+                for r in 0..MR {
+                    ccol[r] += alpha * accc[r];
+                }
+            }
+            j += NR;
+        }
+        // Ragged column tail for this panel.
+        for j in full_cols..n {
+            let mut acc = [0.0f64; MR];
+            for l in 0..kk {
+                let blj = bd[j * kk + l];
+                let arow = &apanel[l * MR..l * MR + MR];
+                for r in 0..MR {
+                    acc[r] += arow[r] * blj;
+                }
+            }
+            let ccol = &mut cd[j * m + p * MR..j * m + p * MR + MR];
+            for r in 0..MR {
+                ccol[r] += alpha * acc[r];
+            }
+        }
+    }
+
+    // Ragged row tail: the last m % MR rows via the scalar path.
+    let tail = full_panels * MR;
+    if tail < m {
+        for j in 0..n {
+            for l in 0..kk {
+                let blj = alpha * bd[j * kk + l];
+                if blj == 0.0 {
+                    continue;
+                }
+                for r in tail..m {
+                    cd[j * m + r] += ad[l * m + r] * blj;
+                }
+            }
+        }
+    }
+}
+
+/// Rayon-parallel kernel: column panels of `C` are independent, so they are
+/// processed with a parallel iterator (data-race freedom by construction —
+/// each panel borrows a disjoint `&mut` slice).
+pub fn gemm_parallel(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    check_shapes(c, a, b);
+    let (m, n, kk) = (a.rows(), b.cols(), a.cols());
+    // Small problems: parallel dispatch costs more than it saves.
+    if m * n * kk < 64 * 64 * 64 {
+        return gemm_blocked(alpha, a, b, c);
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    let panel = BLOCK.max(n / (4 * rayon::current_num_threads()).max(1));
+    cd.par_chunks_mut(panel * m)
+        .enumerate()
+        .for_each(|(pi, cpanel)| {
+            let j0 = pi * panel;
+            let ncols = cpanel.len() / m;
+            let bpanel = &bd[j0 * kk..(j0 + ncols) * kk];
+            gemm_blocked_raw(alpha, m, ncols, kk, ad, bpanel, cpanel);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_ref(alpha: f64, a: &Tile, b: &Tile, c0: &Tile) -> Tile {
+        let mut c = c0.clone();
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for l in 0..a.cols() {
+                    acc += a.get(i, l) * b.get(l, j);
+                }
+                *c.get_mut(i, j) += alpha * acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn naive_matches_reference_small() {
+        let a = Tile::random(3, 4, 1);
+        let b = Tile::random(4, 5, 2);
+        let c0 = Tile::random(3, 5, 3);
+        let expect = dense_ref(1.0, &a, &b, &c0);
+        let mut c = c0.clone();
+        gemm_naive(1.0, &a, &b, &mut c);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (7, 9, 5), (64, 64, 64), (65, 130, 100)] {
+            let a = Tile::random(m, k, 10);
+            let b = Tile::random(k, n, 11);
+            let c0 = Tile::random(m, n, 12);
+            let mut c1 = c0.clone();
+            let mut c2 = c0.clone();
+            gemm_naive(0.7, &a, &b, &mut c1);
+            gemm_blocked(0.7, &a, &b, &mut c2);
+            assert!(c1.max_abs_diff(&c2) < 1e-10, "mismatch at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn packed_matches_naive() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (4, 4, 4),
+            (17, 23, 9),
+            (64, 64, 64),
+            (65, 67, 33),
+        ] {
+            let a = Tile::random(m, k, 30);
+            let b = Tile::random(k, n, 31);
+            let c0 = Tile::random(m, n, 32);
+            let mut c1 = c0.clone();
+            let mut c2 = c0.clone();
+            gemm_naive(1.3, &a, &b, &mut c1);
+            gemm_packed(1.3, &a, &b, &mut c2);
+            assert!(c1.max_abs_diff(&c2) < 1e-10, "mismatch at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        for &(m, n, k) in &[(16usize, 16usize, 16usize), (100, 300, 80), (257, 129, 65)] {
+            let a = Tile::random(m, k, 20);
+            let b = Tile::random(k, n, 21);
+            let c0 = Tile::random(m, n, 22);
+            let mut c1 = c0.clone();
+            let mut c2 = c0.clone();
+            gemm_naive(1.0, &a, &b, &mut c1);
+            gemm_parallel(1.0, &a, &b, &mut c2);
+            assert!(c1.max_abs_diff(&c2) < 1e-10, "mismatch at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = Tile::from_data(1, 1, vec![2.0]);
+        let b = Tile::from_data(1, 1, vec![3.0]);
+        let mut c = Tile::from_data(1, 1, vec![10.0]);
+        gemm_blocked(1.0, &a, &b, &mut c);
+        assert_eq!(c.get(0, 0), 16.0);
+        gemm_blocked(1.0, &a, &b, &mut c);
+        assert_eq!(c.get(0, 0), 22.0);
+    }
+
+    #[test]
+    fn alpha_scales_product_only() {
+        let a = Tile::from_data(1, 1, vec![2.0]);
+        let b = Tile::from_data(1, 1, vec![3.0]);
+        let mut c = Tile::from_data(1, 1, vec![5.0]);
+        gemm_naive(2.0, &a, &b, &mut c);
+        assert_eq!(c.get(0, 0), 17.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let a = Tile::zeros(2, 3);
+        let b = Tile::zeros(4, 2);
+        let mut c = Tile::zeros(2, 2);
+        gemm_naive(1.0, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

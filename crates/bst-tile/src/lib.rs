@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Irregular tilings and dense tiles — the lowest-level substrate of the
+//! block-sparse contraction stack.
+//!
+//! The paper's matrices are *irregularly tiled*: the rows and columns of the
+//! element-level matrix are partitioned into contiguous ranges of varying
+//! length ("tiles" in one dimension, "blocks" when crossed with another
+//! dimension). This crate provides:
+//!
+//! * [`Tiling`] — an irregular partition of `0..extent`, with O(1) size/offset
+//!   queries and O(log n) coordinate lookup;
+//! * [`Tile`] — a dense, column-major `f64` block;
+//! * [`gemm`] — `C += A * B` kernels (naive reference, cache-blocked, and a
+//!   rayon-parallel variant) used by the simulated GPU executors.
+//!
+//! Everything in this crate is deterministic and platform independent; random
+//! builders take explicit seeds.
+
+pub mod gemm;
+pub mod tile;
+pub mod tiling;
+
+pub use tile::Tile;
+pub use tiling::Tiling;

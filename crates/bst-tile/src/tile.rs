@@ -1,0 +1,204 @@
+//! Dense column-major `f64` tiles.
+//!
+//! A [`Tile`] is the unit of storage, communication and computation: the
+//! non-zero blocks of a block-sparse matrix are dense tiles, and the GPU
+//! executors multiply pairs of them with the kernels in [`crate::gemm`].
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A dense `rows × cols` block of `f64`, stored column-major (BLAS layout).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tile {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tile {
+    /// Allocates a zero-filled tile.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate tile {rows}x{cols}");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a tile from a column-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        assert!(rows > 0 && cols > 0);
+        Self { rows, cols, data }
+    }
+
+    /// Fills a tile with deterministic pseudo-random values in `[-1, 1)`.
+    ///
+    /// The seed should encode the tile's global coordinates so a tile's
+    /// content is a pure function of its identity — this is how the on-demand
+    /// generation of `B` stays consistent across the nodes that replicate a
+    /// column (§4: "each tile of B is instantiated at most once per node that
+    /// needs it").
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Self::from_data(rows, cols, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Size in bytes of the payload (what travels on links and occupies
+    /// device memory).
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Element accessor (column-major).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[c * self.rows + r]
+    }
+
+    /// Mutable element accessor (column-major).
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[c * self.rows + r]
+    }
+
+    /// Raw column-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable column-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Frobenius norm — used for screening-based sparse shapes.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// `self += other`, element-wise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tile) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "tile shape mismatch in add_assign"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Largest absolute difference to another tile of the same shape.
+    pub fn max_abs_diff(&self, other: &Tile) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_bytes() {
+        let t = Tile::zeros(3, 4);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 4);
+        assert_eq!(t.bytes(), 96);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        Tile::zeros(0, 4);
+    }
+
+    #[test]
+    fn column_major_layout() {
+        let t = Tile::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.get(0, 1), 3.0);
+        assert_eq!(t.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn random_is_pure_function_of_seed() {
+        let a = Tile::random(5, 7, 123);
+        let b = Tile::random(5, 7, 123);
+        assert_eq!(a, b);
+        let c = Tile::random(5, 7, 124);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_in_unit_range() {
+        let t = Tile::random(16, 16, 9);
+        assert!(t.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tile::from_data(2, 1, vec![1.0, 2.0]);
+        let b = Tile::from_data(2, 1, vec![10.0, 20.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11.0, 22.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[5.5, 11.0]);
+    }
+
+    #[test]
+    fn frobenius() {
+        let t = Tile::from_data(2, 1, vec![3.0, 4.0]);
+        assert!((t.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tile::from_data(2, 1, vec![1.0, 2.0]);
+        let b = Tile::from_data(2, 1, vec![1.5, 1.0]);
+        assert!((a.max_abs_diff(&b) - 1.0).abs() < 1e-12);
+    }
+}

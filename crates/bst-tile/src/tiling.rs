@@ -1,0 +1,268 @@
+//! Irregular partitions of an index range into tiles.
+//!
+//! A [`Tiling`] splits the element range `0..extent()` into `num_tiles()`
+//! contiguous, non-empty tiles. Tile `t` covers elements
+//! `offset(t)..offset(t) + size(t)`. Tilings are immutable once built.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// An irregular partition of `0..extent` into contiguous non-empty tiles.
+///
+/// Internally stores the prefix sum of tile sizes: `offsets[t]` is the first
+/// element of tile `t` and `offsets[num_tiles()]` equals the extent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tiling {
+    offsets: Vec<u64>,
+}
+
+impl Tiling {
+    /// Builds a tiling from explicit tile sizes.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty or contains a zero.
+    pub fn from_sizes(sizes: &[u64]) -> Self {
+        assert!(!sizes.is_empty(), "a tiling needs at least one tile");
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for (i, &s) in sizes.iter().enumerate() {
+            assert!(s > 0, "tile {i} has zero size");
+            acc += s;
+            offsets.push(acc);
+        }
+        Self { offsets }
+    }
+
+    /// Builds a uniform tiling of `extent` with tiles of `tile` elements
+    /// (the last tile may be smaller).
+    ///
+    /// # Panics
+    /// Panics if `extent == 0` or `tile == 0`.
+    pub fn uniform(extent: u64, tile: u64) -> Self {
+        assert!(extent > 0 && tile > 0);
+        let full = extent / tile;
+        let rem = extent % tile;
+        let mut sizes = vec![tile; full as usize];
+        if rem > 0 {
+            sizes.push(rem);
+        }
+        Self::from_sizes(&sizes)
+    }
+
+    /// Builds a tiling with one tile spanning the whole range.
+    pub fn single(extent: u64) -> Self {
+        Self::from_sizes(&[extent])
+    }
+
+    /// Builds a random irregular tiling whose tile sizes are uniform in
+    /// `[min, max]`, matching the synthetic setup of the paper's §5.1
+    /// ("irregularity of tiling is set randomly to be uniform between 512 and
+    /// 2048 in each dimension").
+    ///
+    /// Sizes are drawn until the range is covered; the final tile is clamped
+    /// so the extent is met exactly, and merged with its predecessor if the
+    /// clamp would leave it degenerately small (< min/2) — this mirrors how
+    /// clustering codes avoid trailing slivers.
+    ///
+    /// # Panics
+    /// Panics if `extent == 0`, `min == 0`, or `min > max`.
+    pub fn random_in_range(extent: u64, min: u64, max: u64, seed: u64) -> Self {
+        assert!(extent > 0 && min > 0 && min <= max);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut sizes: Vec<u64> = Vec::new();
+        let mut acc = 0u64;
+        while acc < extent {
+            let s = rng.gen_range(min..=max).min(extent - acc);
+            sizes.push(s);
+            acc += s;
+        }
+        // Avoid a trailing sliver when the extent is large enough for it to
+        // matter: merge it into the previous tile.
+        if sizes.len() > 1 && *sizes.last().unwrap() < min / 2 {
+            let last = sizes.pop().unwrap();
+            *sizes.last_mut().unwrap() += last;
+        }
+        Self::from_sizes(&sizes)
+    }
+
+    /// Total number of elements covered.
+    #[inline]
+    pub fn extent(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn num_tiles(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// First element of tile `t`.
+    #[inline]
+    pub fn offset(&self, t: usize) -> u64 {
+        self.offsets[t]
+    }
+
+    /// Number of elements in tile `t`.
+    #[inline]
+    pub fn size(&self, t: usize) -> u64 {
+        self.offsets[t + 1] - self.offsets[t]
+    }
+
+    /// Iterator over tile sizes.
+    pub fn sizes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.offsets.windows(2).map(|w| w[1] - w[0])
+    }
+
+    /// Largest tile size.
+    pub fn max_size(&self) -> u64 {
+        self.sizes().max().unwrap()
+    }
+
+    /// Smallest tile size.
+    pub fn min_size(&self) -> u64 {
+        self.sizes().min().unwrap()
+    }
+
+    /// Mean tile size.
+    pub fn mean_size(&self) -> f64 {
+        self.extent() as f64 / self.num_tiles() as f64
+    }
+
+    /// Index of the tile containing element `e` (binary search, O(log n)).
+    ///
+    /// # Panics
+    /// Panics if `e >= extent()`.
+    pub fn tile_of(&self, e: u64) -> usize {
+        assert!(e < self.extent(), "element {e} out of range");
+        match self.offsets.binary_search(&e) {
+            Ok(t) => t,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Builds the *fused* tiling of `self × other`: the tiling of the fused
+    /// index `(a, b) -> a * other.extent() + b` whose tiles are all pairs
+    /// `(ta, tb)` in row-major order. This matricises a pair of tensor modes
+    /// into one matrix dimension, as done for the `ij` and `cd` index pairs
+    /// of the ABCD term.
+    pub fn fuse(&self, other: &Tiling) -> Tiling {
+        let mut sizes = Vec::with_capacity(self.num_tiles() * other.num_tiles());
+        for ta in 0..self.num_tiles() {
+            for tb in 0..other.num_tiles() {
+                sizes.push(self.size(ta) * other.size(tb));
+            }
+        }
+        Tiling::from_sizes(&sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sizes_basic() {
+        let t = Tiling::from_sizes(&[3, 5, 2]);
+        assert_eq!(t.extent(), 10);
+        assert_eq!(t.num_tiles(), 3);
+        assert_eq!(t.offset(0), 0);
+        assert_eq!(t.offset(1), 3);
+        assert_eq!(t.offset(2), 8);
+        assert_eq!(t.size(0), 3);
+        assert_eq!(t.size(1), 5);
+        assert_eq!(t.size(2), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_sizes_rejects_zero() {
+        Tiling::from_sizes(&[3, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_sizes_rejects_empty() {
+        Tiling::from_sizes(&[]);
+    }
+
+    #[test]
+    fn uniform_divides_exactly() {
+        let t = Tiling::uniform(100, 25);
+        assert_eq!(t.num_tiles(), 4);
+        assert!(t.sizes().all(|s| s == 25));
+    }
+
+    #[test]
+    fn uniform_with_remainder() {
+        let t = Tiling::uniform(10, 4);
+        assert_eq!(t.num_tiles(), 3);
+        assert_eq!(t.size(2), 2);
+        assert_eq!(t.extent(), 10);
+    }
+
+    #[test]
+    fn single_tile() {
+        let t = Tiling::single(42);
+        assert_eq!(t.num_tiles(), 1);
+        assert_eq!(t.size(0), 42);
+    }
+
+    #[test]
+    fn tile_of_hits_boundaries() {
+        let t = Tiling::from_sizes(&[3, 5, 2]);
+        assert_eq!(t.tile_of(0), 0);
+        assert_eq!(t.tile_of(2), 0);
+        assert_eq!(t.tile_of(3), 1);
+        assert_eq!(t.tile_of(7), 1);
+        assert_eq!(t.tile_of(8), 2);
+        assert_eq!(t.tile_of(9), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tile_of_out_of_range() {
+        Tiling::from_sizes(&[3]).tile_of(3);
+    }
+
+    #[test]
+    fn random_in_range_covers_extent() {
+        let t = Tiling::random_in_range(100_000, 512, 2048, 7);
+        assert_eq!(t.extent(), 100_000);
+        // All tiles except possibly the last merged one are within bounds.
+        for s in t.sizes() {
+            assert!(s >= 256, "sliver tile of size {s}");
+            assert!(s <= 2048 + 2048);
+        }
+    }
+
+    #[test]
+    fn random_in_range_is_deterministic() {
+        let a = Tiling::random_in_range(50_000, 512, 2048, 3);
+        let b = Tiling::random_in_range(50_000, 512, 2048, 3);
+        assert_eq!(a, b);
+        let c = Tiling::random_in_range(50_000, 512, 2048, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fuse_sizes_are_products() {
+        let a = Tiling::from_sizes(&[2, 3]);
+        let b = Tiling::from_sizes(&[4, 5]);
+        let f = a.fuse(&b);
+        assert_eq!(f.num_tiles(), 4);
+        let sizes: Vec<u64> = f.sizes().collect();
+        assert_eq!(sizes, vec![8, 10, 12, 15]);
+        assert_eq!(f.extent(), a.extent() * b.extent());
+    }
+
+    #[test]
+    fn stats() {
+        let t = Tiling::from_sizes(&[2, 8, 5]);
+        assert_eq!(t.max_size(), 8);
+        assert_eq!(t.min_size(), 2);
+        assert!((t.mean_size() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for tilings and GEMM kernels.
+
+use bst_tile::gemm::{gemm_blocked, gemm_naive, gemm_packed, gemm_parallel};
+use bst_tile::{Tile, Tiling};
+use proptest::prelude::*;
+
+proptest! {
+    /// All kernels agree with the naive reference for arbitrary shapes.
+    #[test]
+    fn kernels_agree(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        alpha in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let a = Tile::random(m, k, seed);
+        let b = Tile::random(k, n, seed ^ 1);
+        let c0 = Tile::random(m, n, seed ^ 2);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        let mut c3 = c0.clone();
+        let mut c4 = c0;
+        gemm_naive(alpha, &a, &b, &mut c1);
+        gemm_blocked(alpha, &a, &b, &mut c2);
+        gemm_parallel(alpha, &a, &b, &mut c3);
+        gemm_packed(alpha, &a, &b, &mut c4);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-10);
+        prop_assert!(c1.max_abs_diff(&c3) < 1e-10);
+        prop_assert!(c1.max_abs_diff(&c4) < 1e-10);
+    }
+
+    /// GEMM is linear in alpha: C(2a) - C(a) == C(a) - C(0).
+    #[test]
+    fn gemm_linear_in_alpha(
+        m in 1usize..16,
+        n in 1usize..16,
+        k in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let a = Tile::random(m, k, seed);
+        let b = Tile::random(k, n, seed ^ 1);
+        let mut c1 = Tile::zeros(m, n);
+        let mut c2 = Tile::zeros(m, n);
+        gemm_blocked(1.0, &a, &b, &mut c1);
+        gemm_blocked(2.0, &a, &b, &mut c2);
+        let mut twice = c1.clone();
+        twice.add_assign(&c1);
+        prop_assert!(twice.max_abs_diff(&c2) < 1e-9);
+    }
+
+    /// from_sizes preserves sizes; tile_of inverts offsets.
+    #[test]
+    fn tiling_roundtrip(sizes in prop::collection::vec(1u64..50, 1..30)) {
+        let t = Tiling::from_sizes(&sizes);
+        prop_assert_eq!(t.num_tiles(), sizes.len());
+        prop_assert_eq!(t.extent(), sizes.iter().sum::<u64>());
+        let got: Vec<u64> = t.sizes().collect();
+        prop_assert_eq!(&got, &sizes);
+        for ti in 0..t.num_tiles() {
+            // First and last element of each tile map back to it.
+            prop_assert_eq!(t.tile_of(t.offset(ti)), ti);
+            prop_assert_eq!(t.tile_of(t.offset(ti) + t.size(ti) - 1), ti);
+        }
+    }
+
+    /// Every element belongs to exactly one tile (tile_of is total and
+    /// monotone).
+    #[test]
+    fn tile_of_monotone(sizes in prop::collection::vec(1u64..20, 1..15)) {
+        let t = Tiling::from_sizes(&sizes);
+        let mut last = 0usize;
+        for e in 0..t.extent() {
+            let ti = t.tile_of(e);
+            prop_assert!(ti == last || ti == last + 1);
+            prop_assert!(t.offset(ti) <= e && e < t.offset(ti) + t.size(ti));
+            last = ti;
+        }
+    }
+
+    /// Fusing multiplies extents and tile counts.
+    #[test]
+    fn fuse_properties(
+        a in prop::collection::vec(1u64..10, 1..8),
+        b in prop::collection::vec(1u64..10, 1..8),
+    ) {
+        let ta = Tiling::from_sizes(&a);
+        let tb = Tiling::from_sizes(&b);
+        let f = ta.fuse(&tb);
+        prop_assert_eq!(f.extent(), ta.extent() * tb.extent());
+        prop_assert_eq!(f.num_tiles(), ta.num_tiles() * tb.num_tiles());
+    }
+
+    /// random_in_range covers the extent with in-range tiles.
+    #[test]
+    fn random_tiling_in_range(extent in 100u64..5000, seed in 0u64..100) {
+        let t = Tiling::random_in_range(extent, 10, 40, seed);
+        prop_assert_eq!(t.extent(), extent);
+        for s in t.sizes() {
+            prop_assert!(s >= 5, "sliver {s}");
+            prop_assert!(s <= 80, "giant {s}");
+        }
+    }
+}

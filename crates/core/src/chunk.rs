@@ -1,0 +1,259 @@
+//! Chunk segmentation (§3.2.3): streaming the tiles of `A` through the GPU
+//! memory left over by a block.
+//!
+//! Within a block, the needed `A` tiles are grouped into *chunks* built
+//! greedily by adding one tile per participating row of `A` in a cyclic
+//! fashion, until the chunk budget (a quarter of the GPU memory) is
+//! exhausted; an equal budget is reserved so the next chunk can be
+//! prefetched while the current one computes. This mimics the classical
+//! out-of-core schedule: `r` rows of `A` progress in parallel against the
+//! resident `B` columns, maximising the re-use of every transferred tile.
+
+use crate::config::PlanError;
+use crate::partition::Block;
+use crate::spec::ProblemSpec;
+
+/// One chunk: the `A` tiles resident on the GPU together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// `A` tiles as `(tile_row, tile_col)`, in load order.
+    pub tiles: Vec<(u32, u32)>,
+    /// Total bytes of those tiles.
+    pub bytes: u64,
+}
+
+/// The `A` tiles of row slice `i ≡ row_rem (mod p)` needed by `block`:
+/// tile `(i, k)` is needed iff `A_ik ≠ 0` and some span of the block covers
+/// a non-zero `B_kj` with destination `C_ij` kept. Grouped per row,
+/// ascending `k`.
+pub fn needed_tiles_per_row(
+    spec: &ProblemSpec,
+    block: &Block,
+    row_rem: usize,
+    p: usize,
+) -> Vec<(usize, Vec<usize>)> {
+    let a = &spec.a;
+    let b = &spec.b;
+    // For each inner k, the block columns j with B(k,j) != 0 in a span.
+    let mut k_cols: Vec<Vec<usize>> = vec![Vec::new(); a.tile_cols()];
+    for span in &block.spans {
+        for &k in b.col_rows(span.col as usize) {
+            let k = k as usize;
+            if span.contains(k) {
+                k_cols[k].push(span.col as usize);
+            }
+        }
+    }
+    let screened = spec.c_shape.is_some();
+    let mut rows: Vec<(usize, Vec<usize>)> = Vec::new();
+    for i in (row_rem..a.tile_rows()).step_by(p) {
+        let mut ks: Vec<usize> = Vec::new();
+        for &k in a.row_cols(i) {
+            let k = k as usize;
+            if k_cols[k].is_empty() {
+                continue;
+            }
+            if screened && !k_cols[k].iter().any(|&j| spec.c_kept(i, j)) {
+                continue;
+            }
+            ks.push(k);
+        }
+        if !ks.is_empty() {
+            rows.push((i, ks));
+        }
+    }
+    rows
+}
+
+/// Builds the chunk sequence for one block: one tile per participating row,
+/// added cyclically, until the budget is reached.
+///
+/// Returns [`PlanError::TileTooLarge`] if a single `A` tile exceeds the
+/// budget.
+pub fn build_chunks(
+    spec: &ProblemSpec,
+    rows: &[(usize, Vec<usize>)],
+    budget: u64,
+) -> Result<Vec<Chunk>, PlanError> {
+    let a = &spec.a;
+    let tile_bytes = |i: usize, k: usize| a.tile_area(i, k) * bst_sparse::structure::ELEM_BYTES;
+
+    let mut cursors = vec![0usize; rows.len()];
+    let mut remaining: usize = rows.iter().map(|(_, ks)| ks.len()).sum();
+    let mut chunks = Vec::new();
+
+    while remaining > 0 {
+        let mut chunk = Chunk {
+            tiles: Vec::new(),
+            bytes: 0,
+        };
+        let mut progressed = true;
+        'fill: while progressed && remaining > 0 {
+            progressed = false;
+            for (ri, (i, ks)) in rows.iter().enumerate() {
+                if cursors[ri] >= ks.len() {
+                    continue;
+                }
+                let k = ks[cursors[ri]];
+                let bytes = tile_bytes(*i, k);
+                if bytes > budget {
+                    return Err(PlanError::TileTooLarge {
+                        row: *i,
+                        col: k,
+                        bytes,
+                        budget,
+                    });
+                }
+                if chunk.bytes + bytes > budget {
+                    // Chunk is full; close it (but it must hold ≥ 1 tile).
+                    if chunk.tiles.is_empty() {
+                        unreachable!("single tile fits budget, so chunk cannot be empty");
+                    }
+                    break 'fill;
+                }
+                chunk.tiles.push((*i as u32, k as u32));
+                chunk.bytes += bytes;
+                cursors[ri] += 1;
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+        chunks.push(chunk);
+    }
+    Ok(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bst_sparse::MatrixStructure;
+    use bst_tile::Tiling;
+
+    /// A: 3x3 tiles of 2x2 (32 B each); B: 3x2 tiles.
+    fn spec() -> ProblemSpec {
+        let a = MatrixStructure::dense(Tiling::uniform(6, 2), Tiling::uniform(6, 2));
+        let b = MatrixStructure::dense(Tiling::uniform(6, 2), Tiling::uniform(4, 2));
+        ProblemSpec::new(a, b, None)
+    }
+
+    fn block(cols: Vec<usize>) -> Block {
+        Block {
+            spans: cols
+                .into_iter()
+                .map(|c| crate::partition::ColumnSpan::full(c, 3))
+                .collect(),
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn needed_tiles_dense() {
+        let s = spec();
+        let rows = needed_tiles_per_row(&s, &block(vec![0]), 0, 1);
+        assert_eq!(rows.len(), 3);
+        for (_, ks) in &rows {
+            assert_eq!(ks, &vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn needed_tiles_respect_b_sparsity() {
+        let mut s = spec();
+        s.b.shape_mut().zero_out(1, 0); // k=1 absent from column 0
+        let rows = needed_tiles_per_row(&s, &block(vec![0]), 0, 1);
+        for (_, ks) in &rows {
+            assert_eq!(ks, &vec![0, 2]);
+        }
+        // But column 1 still needs k=1.
+        let rows = needed_tiles_per_row(&s, &block(vec![0, 1]), 0, 1);
+        for (_, ks) in &rows {
+            assert_eq!(ks, &vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn needed_tiles_respect_a_sparsity_and_slice() {
+        let mut s = spec();
+        s.a.shape_mut().zero_out(0, 0);
+        let rows = needed_tiles_per_row(&s, &block(vec![0]), 0, 2); // rows 0, 2
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (0, vec![1, 2]));
+        assert_eq!(rows[1], (2, vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn needed_tiles_respect_c_screening() {
+        let mut s = spec();
+        let mut cs = bst_sparse::SparseShape::dense(3, 2);
+        cs.zero_out(0, 0);
+        cs.zero_out(0, 1); // row 0 of C entirely screened
+        s.c_shape = Some(cs);
+        let rows = needed_tiles_per_row(&s, &block(vec![0, 1]), 0, 1);
+        assert_eq!(rows.len(), 2, "row 0 contributes nothing");
+        assert_eq!(rows[0].0, 1);
+    }
+
+    #[test]
+    fn chunks_cover_each_tile_once() {
+        let s = spec();
+        let rows = needed_tiles_per_row(&s, &block(vec![0, 1]), 0, 1);
+        let chunks = build_chunks(&s, &rows, 3 * 32).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for ch in &chunks {
+            assert!(ch.bytes <= 96);
+            assert!(!ch.tiles.is_empty());
+            for t in &ch.tiles {
+                assert!(seen.insert(*t), "tile {t:?} in two chunks");
+                total += 1;
+            }
+        }
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn cyclic_order_interleaves_rows() {
+        let s = spec();
+        let rows = needed_tiles_per_row(&s, &block(vec![0]), 0, 1);
+        let chunks = build_chunks(&s, &rows, u64::MAX).unwrap();
+        assert_eq!(chunks.len(), 1);
+        // One tile per row cyclically: (0,0),(1,0),(2,0),(0,1),(1,1),...
+        assert_eq!(
+            chunks[0].tiles,
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (0, 1),
+                (1, 1),
+                (2, 1),
+                (0, 2),
+                (1, 2),
+                (2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn tight_budget_many_chunks() {
+        let s = spec();
+        let rows = needed_tiles_per_row(&s, &block(vec![0]), 0, 1);
+        let chunks = build_chunks(&s, &rows, 32).unwrap(); // one tile per chunk
+        assert_eq!(chunks.len(), 9);
+    }
+
+    #[test]
+    fn oversized_tile_errors() {
+        let s = spec();
+        let rows = needed_tiles_per_row(&s, &block(vec![0]), 0, 1);
+        let err = build_chunks(&s, &rows, 31).unwrap_err();
+        assert!(matches!(err, PlanError::TileTooLarge { .. }));
+    }
+
+    #[test]
+    fn empty_rows_zero_chunks() {
+        let s = spec();
+        let chunks = build_chunks(&s, &[], 100).unwrap();
+        assert!(chunks.is_empty());
+    }
+}

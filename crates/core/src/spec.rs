@@ -1,0 +1,152 @@
+//! Problem specification handed to the planner.
+
+use bst_sparse::shape::SparseShape;
+use bst_sparse::structure::check_product_dims;
+use bst_sparse::MatrixStructure;
+
+/// The structural description of one contraction `C ← C + A·B`.
+///
+/// `c_shape`, when given, restricts which destination tiles of `C` are
+/// computed (the screened result shape, e.g. from
+/// `bst_chem::screening::r_structure`); when absent, every destination with
+/// at least one non-zero `A_ik·B_kj` contribution is computed.
+#[derive(Clone, Debug)]
+pub struct ProblemSpec {
+    /// Structure of `A` (M×K, short and wide).
+    pub a: MatrixStructure,
+    /// Structure of `B` (K×N, large, square-ish, stationary).
+    pub b: MatrixStructure,
+    /// Optional screened result shape (tile grid `M^(t) × N^(t)`).
+    pub c_shape: Option<SparseShape>,
+}
+
+impl ProblemSpec {
+    /// Builds a spec, validating conformability.
+    ///
+    /// # Panics
+    /// Panics if the inner tilings of `A` and `B` differ, or if `c_shape`
+    /// has the wrong tile-grid dimensions.
+    pub fn new(a: MatrixStructure, b: MatrixStructure, c_shape: Option<SparseShape>) -> Self {
+        check_product_dims(&a, &b);
+        if let Some(cs) = &c_shape {
+            assert_eq!(cs.rows(), a.tile_rows(), "c_shape tile rows");
+            assert_eq!(cs.cols(), b.tile_cols(), "c_shape tile cols");
+        }
+        Self { a, b, c_shape }
+    }
+
+    /// Whether destination tile `(i, j)` of `C` is kept.
+    #[inline]
+    pub fn c_kept(&self, i: usize, j: usize) -> bool {
+        match &self.c_shape {
+            Some(cs) => cs.is_nonzero(i, j),
+            None => true,
+        }
+    }
+
+    /// Number of tile rows of `A`/`C`.
+    #[inline]
+    pub fn tile_rows(&self) -> usize {
+        self.a.tile_rows()
+    }
+
+    /// Number of tile columns of `B`/`C`.
+    #[inline]
+    pub fn tile_cols(&self) -> usize {
+        self.b.tile_cols()
+    }
+
+    /// Number of inner tile indices.
+    #[inline]
+    pub fn tile_inner(&self) -> usize {
+        self.a.tile_cols()
+    }
+
+    /// Support of `C` tile column `j` restricted to rows `i ≡ row_rem
+    /// (mod p)`: the tile rows `i` for which `C_ij` will be produced (there
+    /// is a contributing `A_ik·B_kj` pair and the destination is kept).
+    pub fn c_col_support(&self, j: usize, row_rem: usize, p: usize) -> Vec<usize> {
+        let mut support = vec![false; self.tile_rows()];
+        for &k in self.b.col_rows(j) {
+            for &i in self.a.col_rows(k as usize) {
+                support[i as usize] = true;
+            }
+        }
+        (0..self.tile_rows())
+            .filter(|&i| i % p == row_rem && support[i] && self.c_kept(i, j))
+            .collect()
+    }
+
+    /// Bytes of the `C` tiles of column `j` in the given row slice.
+    pub fn c_col_bytes(&self, j: usize, row_rem: usize, p: usize) -> u64 {
+        let nj = self.b.col_tiling().size(j);
+        self.c_col_support(j, row_rem, p)
+            .iter()
+            .map(|&i| self.a.row_tiling().size(i) * nj * bst_sparse::structure::ELEM_BYTES)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bst_tile::Tiling;
+
+    fn spec() -> ProblemSpec {
+        // A: 4x2 tiles, B: 2x3 tiles.
+        let mut a = MatrixStructure::dense(Tiling::from_sizes(&[2, 2, 2, 2]), Tiling::from_sizes(&[3, 3]));
+        let mut b = MatrixStructure::dense(Tiling::from_sizes(&[3, 3]), Tiling::from_sizes(&[4, 4, 4]));
+        a.shape_mut().zero_out(0, 0);
+        b.shape_mut().zero_out(1, 2);
+        ProblemSpec::new(a, b, None)
+    }
+
+    #[test]
+    fn c_kept_defaults_to_true() {
+        let s = spec();
+        assert!(s.c_kept(0, 0));
+        assert!(s.c_kept(3, 2));
+    }
+
+    #[test]
+    fn c_col_support_full_grid() {
+        let s = spec();
+        // Column 2: only B(0,2) non-zero; A column 0 has rows {1,2,3}.
+        assert_eq!(s.c_col_support(2, 0, 1), vec![1, 2, 3]);
+        // Column 0: B(0,0) and B(1,0) non-zero; rows = union = {0,1,2,3}.
+        assert_eq!(s.c_col_support(0, 0, 1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn c_col_support_sliced() {
+        let s = spec();
+        assert_eq!(s.c_col_support(0, 0, 2), vec![0, 2]);
+        assert_eq!(s.c_col_support(0, 1, 2), vec![1, 3]);
+        assert_eq!(s.c_col_support(2, 0, 2), vec![2]);
+    }
+
+    #[test]
+    fn c_col_bytes_counts_area() {
+        let s = spec();
+        // Column 0, full: 4 tiles of 2x4 doubles.
+        assert_eq!(s.c_col_bytes(0, 0, 1), 4 * 8 * 8);
+        // Column 2, rows {1,2,3} → 3 tiles.
+        assert_eq!(s.c_col_bytes(2, 0, 1), 3 * 8 * 8);
+    }
+
+    #[test]
+    fn c_shape_filters() {
+        let mut s = spec();
+        let mut cs = SparseShape::dense(4, 3);
+        cs.zero_out(1, 2);
+        s.c_shape = Some(cs);
+        assert_eq!(s.c_col_support(2, 0, 1), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_c_shape_dims() {
+        let s = spec();
+        ProblemSpec::new(s.a, s.b, Some(SparseShape::dense(2, 2)));
+    }
+}

@@ -1,0 +1,461 @@
+//! The *stationary-C* algorithm — the paper's reference \[22\] (Herault et
+//! al., "Generic matrix multiplication for multi-GPU accelerated
+//! distributed-memory platforms over PaRSEC", ScalA@SC 2019).
+//!
+//! This is the algorithm the paper measures itself against on square dense
+//! problems: "Comparing with the results that were obtained in \[22\] on the
+//! same machine ... 80% to 90% of the GEMM-peak should be achievable. This
+//! difference is due to the problem shape, which required a different
+//! algorithm." Here:
+//!
+//! * `C` is 2D-cyclic over the process grid and *stays resident*: each node
+//!   packs its `C` tiles into square-ish **C-blocks** that fit half a GPU;
+//! * for each C-block, the needed `A` row panels and `B` column panels
+//!   stream through the remaining memory in chunks over the inner index
+//!   `k`, letting long chains of GEMMs accumulate into the resident `C`;
+//! * every `C` tile is written back exactly once, but `B` tiles are
+//!   re-transferred once per C-block *row* that needs them — harmless for
+//!   square dense problems, catastrophic when `B` is 100× larger than `C`
+//!   (the paper's §3.1 rationale for keeping `B` stationary instead).
+//!
+//! The planner here produces a [`StationaryCPlan`] that `bst-sim` replays
+//! with the same machine model, and that a sequential reference executor
+//! validates numerically.
+
+use crate::config::{PlanError, PlannerConfig};
+use crate::spec::ProblemSpec;
+use bst_sparse::structure::ELEM_BYTES;
+
+/// One C-block: a rectangle of tile rows × tile columns of `C` resident on
+/// a GPU while its inner products stream through.
+#[derive(Clone, Debug)]
+pub struct CBlock {
+    /// Tile rows of `C` in this block.
+    pub rows: Vec<u32>,
+    /// Tile columns of `C` in this block.
+    pub cols: Vec<u32>,
+    /// Resident C bytes.
+    pub c_bytes: u64,
+    /// Chunks over the inner index: each chunk is a set of `k` values whose
+    /// A/B panels are co-resident.
+    pub k_chunks: Vec<KChunk>,
+}
+
+/// One streaming chunk: the inner indices whose A and B tiles are loaded
+/// together.
+#[derive(Clone, Debug)]
+pub struct KChunk {
+    /// Inner tile indices in the chunk.
+    pub ks: Vec<u32>,
+    /// Bytes of the A tiles (block rows × ks).
+    pub a_bytes: u64,
+    /// Bytes of the B tiles (ks × block cols).
+    pub b_bytes: u64,
+    /// Number of A tiles streamed by this chunk.
+    pub a_tiles: u64,
+    /// Number of B tiles streamed by this chunk.
+    pub b_tiles: u64,
+}
+
+/// Per-GPU sequence of C-blocks.
+#[derive(Clone, Debug, Default)]
+pub struct StationaryCGpuPlan {
+    /// Blocks in execution order.
+    pub blocks: Vec<CBlock>,
+}
+
+/// The full stationary-C plan.
+#[derive(Clone, Debug)]
+pub struct StationaryCPlan {
+    /// Configuration used.
+    pub config: PlannerConfig,
+    /// Per node (row-major over the grid), per GPU.
+    pub nodes: Vec<Vec<StationaryCGpuPlan>>,
+}
+
+impl StationaryCPlan {
+    /// Builds the plan: 2D-cyclic `C` ownership, square-ish C-blocks under
+    /// half a GPU, greedy k-chunking of the A/B panels under a quarter
+    /// (plus a quarter of prefetch, as in the B-stationary algorithm).
+    pub fn build(spec: &ProblemSpec, config: PlannerConfig) -> Result<Self, PlanError> {
+        let (p, q) = (config.grid.p, config.grid.q);
+        let g = config.device.gpus_per_node;
+        let block_budget = config.block_budget();
+        let chunk_budget = config.chunk_budget();
+
+        let mut nodes = Vec::with_capacity(p * q);
+        for pr in 0..p {
+            for pc in 0..q {
+                // This node's C tiles (2D cyclic).
+                let my_rows: Vec<u32> = (pr..spec.tile_rows())
+                    .step_by(p)
+                    .map(|i| i as u32)
+                    .collect();
+                let my_cols: Vec<u32> = (pc..spec.tile_cols())
+                    .step_by(q)
+                    .map(|j| j as u32)
+                    .collect();
+
+                // Square-ish blocking. Two constraints pick the block
+                // count: the C rectangle must fit the budget, and the node
+                // must produce enough blocks to keep all its GPUs busy
+                // (≥ 2 per GPU for pipelining). Within that, blocks stay as
+                // square as possible — maximum data reuse per resident byte.
+                let rows_elems: u64 = my_rows
+                    .iter()
+                    .map(|&i| spec.a.row_tiling().size(i as usize))
+                    .sum();
+                let cols_elems: u64 = my_cols
+                    .iter()
+                    .map(|&j| spec.b.col_tiling().size(j as usize))
+                    .sum();
+                let local_bytes = rows_elems * cols_elems * ELEM_BYTES;
+                let blocks_needed = (local_bytes.div_ceil(block_budget.max(1)) as usize)
+                    .max(2 * g)
+                    .max(1);
+                let aspect = rows_elems.max(1) as f64 / cols_elems.max(1) as f64;
+                let br = ((blocks_needed as f64 * aspect).sqrt().round() as usize)
+                    .clamp(1, my_rows.len().max(1));
+                let bc = (blocks_needed.div_ceil(br)).clamp(1, my_cols.len().max(1));
+                let rows_per_block = my_rows.len().div_ceil(br).max(1);
+                let cols_per_block = my_cols.len().div_ceil(bc).max(1);
+
+                // Even partition into br x bc groups (a ragged tail would
+                // leave some GPUs with far smaller blocks than others).
+                let even_split = |v: &[u32], parts: usize| -> Vec<Vec<u32>> {
+                    let parts = parts.clamp(1, v.len().max(1));
+                    (0..parts)
+                        .map(|p| v[p * v.len() / parts..(p + 1) * v.len() / parts].to_vec())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                };
+                let _ = (rows_per_block, cols_per_block);
+                let mut gpu_plans: Vec<StationaryCGpuPlan> = vec![StationaryCGpuPlan::default(); g];
+                let mut next_gpu = 0usize;
+                for rchunk in even_split(&my_rows, br) {
+                    for cchunk in even_split(&my_cols, bc) {
+                        // Irregular tiles can overshoot the mean-size
+                        // estimate; split rectangles until they fit.
+                        let mut pending: Vec<(Vec<u32>, Vec<u32>)> =
+                            vec![(rchunk.to_vec(), cchunk.to_vec())];
+                        while let Some((rs, cs)) = pending.pop() {
+                            match Self::build_block(spec, &rs, &cs, block_budget, chunk_budget) {
+                                Ok(block) => {
+                                    if block.k_chunks.is_empty() && block.c_bytes == 0 {
+                                        continue;
+                                    }
+                                    gpu_plans[next_gpu].blocks.push(block);
+                                    next_gpu = (next_gpu + 1) % g;
+                                }
+                                Err(e) => {
+                                    // Split along the longer side; a 1 x 1
+                                    // rectangle that still overflows is a
+                                    // genuine capacity failure.
+                                    if cs.len() > 1 {
+                                        let mid = cs.len() / 2;
+                                        pending.push((rs.clone(), cs[..mid].to_vec()));
+                                        pending.push((rs, cs[mid..].to_vec()));
+                                    } else if rs.len() > 1 {
+                                        let mid = rs.len() / 2;
+                                        pending.push((rs[..mid].to_vec(), cs.clone()));
+                                        pending.push((rs[mid..].to_vec(), cs));
+                                    } else {
+                                        return Err(e);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                nodes.push(gpu_plans);
+            }
+        }
+        Ok(Self { config, nodes })
+    }
+
+    fn build_block(
+        spec: &ProblemSpec,
+        rows: &[u32],
+        cols: &[u32],
+        block_budget: u64,
+        chunk_budget: u64,
+    ) -> Result<CBlock, PlanError> {
+        // Resident C bytes: kept destinations with at least one contribution.
+        let mut c_bytes = 0u64;
+        for &i in rows {
+            for &j in cols {
+                if spec.c_kept(i as usize, j as usize) {
+                    c_bytes += spec.a.row_tiling().size(i as usize)
+                        * spec.b.col_tiling().size(j as usize)
+                        * ELEM_BYTES;
+                }
+            }
+        }
+        if c_bytes > block_budget {
+            return Err(PlanError::ColumnTooLarge {
+                col: cols.first().copied().unwrap_or(0) as usize,
+                bytes: c_bytes,
+                budget: block_budget,
+            });
+        }
+
+        // Greedy k-chunking: walk k, accumulating the A panel (rows × k)
+        // and B panel (k × cols) bytes until the chunk budget fills. The
+        // effective budget is capped so every block has ≥ 4 chunks — the
+        // deep pipeline of [22] needs several stream units in flight.
+        let mut total_stream = 0u64;
+        let mut max_k_panel = 0u64;
+        for k in 0..spec.tile_inner() {
+            let a: u64 = rows
+                .iter()
+                .filter(|&&i| spec.a.shape().is_nonzero(i as usize, k))
+                .map(|&i| spec.a.tile_area(i as usize, k) * ELEM_BYTES)
+                .sum();
+            let b: u64 = cols
+                .iter()
+                .filter(|&&j| spec.b.shape().is_nonzero(k, j as usize))
+                .map(|&j| {
+                    spec.b.row_tiling().size(k)
+                        * spec.b.col_tiling().size(j as usize)
+                        * ELEM_BYTES
+                })
+                .sum();
+            total_stream += a + b;
+            max_k_panel = max_k_panel.max(a + b);
+        }
+        // The cap must still admit the largest single k panel (the real
+        // capacity check against `chunk_budget` happens below).
+        let chunk_budget = chunk_budget.min((total_stream / 4).max(max_k_panel).max(1));
+        let mut k_chunks = Vec::new();
+        let mut cur = KChunk {
+            ks: Vec::new(),
+            a_bytes: 0,
+            b_bytes: 0,
+            a_tiles: 0,
+            b_tiles: 0,
+        };
+        for k in 0..spec.tile_inner() {
+            let mut a_k = 0u64;
+            let mut a_t = 0u64;
+            for &i in rows.iter().filter(|&&i| spec.a.shape().is_nonzero(i as usize, k)) {
+                a_k += spec.a.tile_area(i as usize, k) * ELEM_BYTES;
+                a_t += 1;
+            }
+            let mut b_k = 0u64;
+            let mut b_t = 0u64;
+            for &j in cols.iter().filter(|&&j| spec.b.shape().is_nonzero(k, j as usize)) {
+                b_k += spec.b.row_tiling().size(k)
+                    * spec.b.col_tiling().size(j as usize)
+                    * ELEM_BYTES;
+                b_t += 1;
+            }
+            if a_k + b_k == 0 {
+                continue;
+            }
+            if a_k + b_k > chunk_budget {
+                return Err(PlanError::TileTooLarge {
+                    row: rows.first().copied().unwrap_or(0) as usize,
+                    col: k,
+                    bytes: a_k + b_k,
+                    budget: chunk_budget,
+                });
+            }
+            if cur.a_bytes + cur.b_bytes + a_k + b_k > chunk_budget && !cur.ks.is_empty() {
+                k_chunks.push(std::mem::replace(
+                    &mut cur,
+                    KChunk {
+                        ks: Vec::new(),
+                        a_bytes: 0,
+                        b_bytes: 0,
+                        a_tiles: 0,
+                        b_tiles: 0,
+                    },
+                ));
+            }
+            cur.ks.push(k as u32);
+            cur.a_bytes += a_k;
+            cur.b_bytes += b_k;
+            cur.a_tiles += a_t;
+            cur.b_tiles += b_t;
+        }
+        if !cur.ks.is_empty() {
+            k_chunks.push(cur);
+        }
+        Ok(CBlock {
+            rows: rows.to_vec(),
+            cols: cols.to_vec(),
+            c_bytes,
+            k_chunks,
+        })
+    }
+
+    /// Enumerates every GEMM task of the plan.
+    pub fn for_each_task(&self, spec: &ProblemSpec, mut f: impl FnMut(u32, u32, u32)) {
+        for gpu_plans in &self.nodes {
+            for gp in gpu_plans {
+                for block in &gp.blocks {
+                    for chunk in &block.k_chunks {
+                        for &k in &chunk.ks {
+                            for &i in &block.rows {
+                                if !spec.a.shape().is_nonzero(i as usize, k as usize) {
+                                    continue;
+                                }
+                                for &j in &block.cols {
+                                    if spec.b.shape().is_nonzero(k as usize, j as usize)
+                                        && spec.c_kept(i as usize, j as usize)
+                                    {
+                                        f(i, k, j);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aggregate volumes: `(a_h2d, b_h2d, c_bytes)` — the tell-tale metric
+    /// is `b_h2d`, which counts each `B` tile once per C-block that streams
+    /// it.
+    pub fn volumes(&self) -> (u64, u64, u64) {
+        let mut a = 0u64;
+        let mut b = 0u64;
+        let mut c = 0u64;
+        for gpu_plans in &self.nodes {
+            for gp in gpu_plans {
+                for block in &gp.blocks {
+                    c += block.c_bytes;
+                    for chunk in &block.k_chunks {
+                        a += chunk.a_bytes;
+                        b += chunk.b_bytes;
+                    }
+                }
+            }
+        }
+        (a, b, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceConfig, GridConfig};
+    use bst_sparse::generate::{generate, SyntheticParams};
+    use bst_sparse::BlockSparseMatrix;
+    use bst_tile::gemm::gemm_blocked;
+    use bst_tile::Tile;
+
+    fn cfg(p: usize, q: usize, g: usize, mem: u64) -> PlannerConfig {
+        PlannerConfig::paper(
+            GridConfig { p, q },
+            DeviceConfig {
+                gpus_per_node: g,
+                gpu_mem_bytes: mem,
+            },
+        )
+    }
+
+    fn spec(m: u64, nk: u64, density: f64, seed: u64) -> ProblemSpec {
+        let prob = generate(&SyntheticParams {
+            m,
+            n: nk,
+            k: nk,
+            density,
+            tile_min: 4,
+            tile_max: 10,
+            seed,
+        });
+        ProblemSpec::new(prob.a, prob.b, None)
+    }
+
+    /// Sequential reference executor over the plan's own task enumeration.
+    fn execute_sequential(spec: &ProblemSpec, plan: &StationaryCPlan, seed: u64) -> BlockSparseMatrix {
+        let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), seed);
+        let b = BlockSparseMatrix::random_from_structure(spec.b.clone(), seed ^ 0xB);
+        let mut c = BlockSparseMatrix::zeros(
+            spec.a.row_tiling().clone(),
+            spec.b.col_tiling().clone(),
+        );
+        plan.for_each_task(spec, |i, k, j| {
+            let at = a.tile(i as usize, k as usize).unwrap();
+            let bt = b.tile(k as usize, j as usize).unwrap();
+            let mut ct = match c.tile(i as usize, j as usize) {
+                Some(t) => t.clone(),
+                None => Tile::zeros(at.rows(), bt.cols()),
+            };
+            gemm_blocked(1.0, at, bt, &mut ct);
+            c.insert_tile(i as usize, j as usize, ct);
+        });
+        c
+    }
+
+    #[test]
+    fn covers_every_triple_exactly_once() {
+        let s = spec(40, 60, 0.6, 3);
+        let plan = StationaryCPlan::build(&s, cfg(2, 2, 2, 64 << 10)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0u64;
+        plan.for_each_task(&s, |i, k, j| {
+            assert!(seen.insert((i, k, j)), "triple ({i},{k},{j}) twice");
+            count += 1;
+        });
+        let expect = bst_sparse::structure::gemm_task_count(&s.a, &s.b, None);
+        assert_eq!(count, expect);
+    }
+
+    #[test]
+    fn sequential_execution_matches_reference() {
+        let s = spec(30, 50, 0.5, 7);
+        let plan = StationaryCPlan::build(&s, cfg(1, 2, 2, 32 << 10)).unwrap();
+        let c = execute_sequential(&s, &plan, 7);
+        let a = BlockSparseMatrix::random_from_structure(s.a.clone(), 7);
+        let b = BlockSparseMatrix::random_from_structure(s.b.clone(), 7 ^ 0xB);
+        let mut c_ref = BlockSparseMatrix::zeros(
+            s.a.row_tiling().clone(),
+            s.b.col_tiling().clone(),
+        );
+        c_ref.gemm_acc_reference(&a, &b);
+        assert!(c.max_abs_diff(&c_ref) < 1e-9);
+    }
+
+    #[test]
+    fn memory_budgets_respected() {
+        let s = spec(40, 60, 1.0, 5);
+        let config = cfg(1, 1, 2, 24 << 10);
+        let plan = StationaryCPlan::build(&s, config).unwrap();
+        for gpu_plans in &plan.nodes {
+            for gp in gpu_plans {
+                for block in &gp.blocks {
+                    assert!(block.c_bytes <= config.block_budget());
+                    for chunk in &block.k_chunks {
+                        assert!(chunk.a_bytes + chunk.b_bytes <= config.chunk_budget());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn b_reload_explodes_for_short_and_wide() {
+        // Square dense: B streamed ~once. Short-and-wide (the CCSD shape):
+        // the C row space is tiny, so blocks split by columns and B is
+        // still streamed ~once — but C-stationary loses its reuse edge; the
+        // real explosion is in A, streamed once per C-block column group.
+        let square = spec(60, 60, 1.0, 2);
+        let plan_sq = StationaryCPlan::build(&square, cfg(1, 1, 1, 64 << 10)).unwrap();
+        let (_a_sq, b_sq, _) = plan_sq.volumes();
+        // B within 2x of its size: good reuse.
+        assert!(b_sq <= 2 * square.b.bytes(), "B streamed {b_sq} vs {}", square.b.bytes());
+
+        let wide = spec(16, 160, 1.0, 2);
+        let plan_w = StationaryCPlan::build(&wide, cfg(1, 1, 1, 8 << 10)).unwrap();
+        let (a_w, _b_w, _) = plan_w.volumes();
+        // A re-streamed many times across the many column-blocks.
+        assert!(
+            a_w >= 3 * wide.a.bytes(),
+            "expected heavy A re-streaming: {a_w} vs {}",
+            wide.a.bytes()
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the planner's three heuristics (§3.2.1–§3.2.3) and
+//! the column-splitting extension.
+
+use bst_contract::assign::assign_columns;
+use bst_contract::chunk::{build_chunks, needed_tiles_per_row};
+use bst_contract::partition::{partition_spans, split_column, Block, ColumnSpan};
+use bst_contract::ProblemSpec;
+use bst_sparse::generate::{generate, SyntheticParams};
+use proptest::prelude::*;
+
+proptest! {
+    /// Mirrored-cyclic assignment: every column exactly once, and totals
+    /// within one max-weight of each other when weights are similar.
+    #[test]
+    fn assignment_covers_and_balances(
+        weights in prop::collection::vec(0u128..1000, 1..120),
+        q in 1usize..12,
+    ) {
+        let (cols, totals) = assign_columns(&weights, q);
+        prop_assert_eq!(cols.len(), q);
+        let mut seen = vec![false; weights.len()];
+        for c in &cols {
+            for &j in c {
+                prop_assert!(!seen[j]);
+                seen[j] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(totals.iter().sum::<u128>(), weights.iter().sum::<u128>());
+        // Balance: max - min bounded by twice the largest weight (mirrored
+        // dealing bounds per-round drift by one weight gap).
+        if let Some(&max_w) = weights.iter().max() {
+            let spread = totals.iter().max().unwrap() - totals.iter().min().unwrap();
+            prop_assert!(
+                spread <= 2 * max_w * (weights.len() as u128 / q as u128 + 1),
+                "spread {spread} too large for max weight {max_w}"
+            );
+        }
+    }
+
+    /// Worst-fit partitioning: budget respected, every span placed once,
+    /// block counts per GPU balanced within one.
+    #[test]
+    fn partition_invariants(
+        footprints in prop::collection::vec(1u64..100, 1..60),
+        gpus in 1usize..8,
+    ) {
+        let spans: Vec<ColumnSpan> = (0..footprints.len())
+            .map(|c| ColumnSpan::full(c, 4))
+            .collect();
+        let part = partition_spans(&spans, &footprints, gpus, 100);
+        let mut seen = vec![false; spans.len()];
+        for (_, block) in part.iter() {
+            prop_assert!(block.bytes <= 100);
+            for s in &block.spans {
+                prop_assert!(!seen[s.col as usize]);
+                seen[s.col as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let counts: Vec<usize> = part.gpus.iter().map(|g| g.len()).collect();
+        let (mx, mn) = (counts.iter().max().unwrap(), counts.iter().min().unwrap());
+        prop_assert!(mx - mn <= 1, "block counts {counts:?}");
+    }
+
+    /// Column splitting: parts tile the inner range contiguously, each
+    /// non-zero tile lands in exactly one part, footprints fit.
+    #[test]
+    fn split_column_invariants(
+        tile_bytes in prop::collection::vec(1u64..40, 1..40),
+        c_bytes in 0u64..30,
+        extra_budget in 10u64..80,
+    ) {
+        let budget = c_bytes + tile_bytes.iter().copied().max().unwrap() + extra_budget;
+        // Non-zero tiles at every other inner index.
+        let k_tiles: Vec<(usize, u64)> =
+            tile_bytes.iter().enumerate().map(|(i, &b)| (2 * i, b)).collect();
+        let inner = 2 * tile_bytes.len();
+        let parts = split_column(5, inner, &k_tiles, c_bytes, budget).unwrap();
+        prop_assert_eq!(parts[0].0.k_lo, 0);
+        prop_assert_eq!(parts.last().unwrap().0.k_hi as usize, inner - 1);
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].0.k_hi + 1, w[1].0.k_lo);
+        }
+        for (span, bytes) in &parts {
+            prop_assert!(*bytes <= budget);
+            prop_assert_eq!(span.col, 5);
+        }
+        for &(k, _) in &k_tiles {
+            prop_assert_eq!(parts.iter().filter(|(s, _)| s.contains(k)).count(), 1);
+        }
+    }
+
+    /// Chunking covers every needed A tile exactly once, within budget.
+    #[test]
+    fn chunk_invariants(seed in 0u64..300, budget_tiles in 1u64..10) {
+        let prob = generate(&SyntheticParams {
+            m: 24, n: 40, k: 40, density: 0.5, tile_min: 3, tile_max: 7, seed,
+        });
+        let spec = ProblemSpec::new(prob.a, prob.b, None);
+        let block = Block {
+            spans: (0..spec.tile_cols())
+                .map(|c| ColumnSpan::full(c, spec.tile_inner()))
+                .collect(),
+            bytes: 0,
+        };
+        let rows = needed_tiles_per_row(&spec, &block, 0, 1);
+        let budget = budget_tiles * 7 * 7 * 8;
+        match build_chunks(&spec, &rows, budget) {
+            Err(_) => {} // a single tile exceeding the budget is a valid outcome
+            Ok(chunks) => {
+                let mut seen = std::collections::HashSet::new();
+                for ch in &chunks {
+                    prop_assert!(ch.bytes <= budget);
+                    prop_assert!(!ch.tiles.is_empty());
+                    for t in &ch.tiles {
+                        prop_assert!(seen.insert(*t), "tile {t:?} twice");
+                    }
+                }
+                let expected: usize = rows.iter().map(|(_, ks)| ks.len()).sum();
+                prop_assert_eq!(seen.len(), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Strong-scaling study on the simulated Summit: plan the full C65H132
+//! ABCD contraction (the paper's §5.2 benchmark) and replay it on 3–108
+//! simulated V100s, printing time-to-solution, total and per-GPU
+//! performance — a one-binary view of Figures 7, 8 and 9.
+//!
+//! ```text
+//! cargo run --release --example summit_scaling [v1|v2|v3]
+//! ```
+
+use bst::chem::{CcsdProblem, TilingSpec};
+use bst::contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst::sim::{simulate, Platform};
+
+fn main() {
+    let tiling = std::env::args().nth(1).unwrap_or_else(|| "v3".to_string());
+    let spec_t = match tiling.as_str() {
+        "v1" => TilingSpec::v1(),
+        "v2" => TilingSpec::v2(),
+        "v3" => TilingSpec::v3(),
+        other => panic!("unknown tiling {other} (use v1, v2 or v3)"),
+    };
+    println!("building C65H132 problem with tiling {tiling}...");
+    let problem = CcsdProblem::c65h132(spec_t, 42);
+    let spec = ProblemSpec::new(
+        problem.t.clone(),
+        problem.v.clone(),
+        Some(problem.r.shape().clone()),
+    );
+    println!(
+        "T: {:.1}% dense, V: {:.1}% dense, R: {:.1}% dense",
+        problem.t.element_density() * 100.0,
+        problem.v.element_density() * 100.0,
+        problem.r.element_density() * 100.0
+    );
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10}",
+        "#GPUs", "time (s)", "Tflop/s", "Tf/s/GPU", "eff (%)"
+    );
+    let mut t_first: Option<(usize, f64)> = None;
+    for gpus in [3usize, 6, 12, 24, 48, 96, 108] {
+        let platform = Platform::summit_gpus(gpus);
+        let config = PlannerConfig::paper(
+            GridConfig::from_nodes(platform.nodes, 1),
+            DeviceConfig {
+                gpus_per_node: platform.gpus_per_node,
+                gpu_mem_bytes: platform.gpu_mem_bytes,
+            },
+        );
+        let plan = ExecutionPlan::build(&spec, config).expect("plan");
+        let report = simulate(&spec, &plan, &platform);
+        let base = *t_first.get_or_insert((gpus, report.makespan_s));
+        let eff = base.1 * base.0 as f64 / (report.makespan_s * gpus as f64) * 100.0;
+        println!(
+            "{:>6} {:>10.1} {:>12.1} {:>12.2} {:>10.1}",
+            gpus,
+            report.makespan_s,
+            report.tflops(),
+            report.tflops_per_gpu(gpus),
+            eff
+        );
+    }
+}

@@ -1,0 +1,56 @@
+# gnuplot script regenerating the paper's figures from the CSVs the
+# repro binaries emit (run `repro_fig2`, `repro_fig4`, `repro_fig7` first):
+#
+#   gnuplot results/plot.gp
+#
+# Produces fig2.png, fig4.png, fig7.png, fig8.png, fig9.png in results/.
+
+set datafile separator ","
+set terminal pngcairo size 900,600 font ",11"
+set key top left
+
+densities = "1 0.75 0.5 0.25 0.1"
+
+set output "results/fig2.png"
+set title "Fig 2 — Performance vs N=K and density (16 nodes)"
+set xlabel "N = K"
+set ylabel "Tflop/s"
+plot for [i=1:words(densities)] "results/fig2.csv" \
+    using (strcol(2) eq word(densities, i) ? $1 : NaN):3 \
+    with linespoints title sprintf("PaRSEC d=%s", word(densities, i)), \
+    for [i=1:words(densities)] "results/fig2.csv" \
+    using (strcol(2) eq word(densities, i) ? $1 : NaN):(strcol(4) eq "OOM" ? NaN : $4) \
+    with points pt 6 title sprintf("DBCSR d=%s", word(densities, i))
+
+set output "results/fig4.png"
+set title "Fig 4 — Time to completion vs N=K and density (16 nodes)"
+set ylabel "time (s)"
+plot for [i=1:words(densities)] "results/fig4.csv" \
+    using (strcol(2) eq word(densities, i) ? $1 : NaN):3 \
+    with linespoints title sprintf("d=%s", word(densities, i))
+
+tilings = "v1 v2 v3"
+
+set output "results/fig7.png"
+set title "Fig 7 — Time to completion vs #GPUs (C65H132)"
+set xlabel "#GPUs"
+set ylabel "time (s)"
+set logscale y
+plot for [i=1:words(tilings)] "results/fig789.csv" \
+    using (strcol(1) eq word(tilings, i) ? $2 : NaN):3 \
+    with linespoints title word(tilings, i)
+unset logscale y
+
+set output "results/fig8.png"
+set title "Fig 8 — Performance per GPU vs #GPUs (C65H132)"
+set ylabel "Tflop/s per GPU"
+plot for [i=1:words(tilings)] "results/fig789.csv" \
+    using (strcol(1) eq word(tilings, i) ? $2 : NaN):5 \
+    with linespoints title word(tilings, i)
+
+set output "results/fig9.png"
+set title "Fig 9 — Total performance vs #GPUs (C65H132)"
+set ylabel "Tflop/s"
+plot for [i=1:words(tilings)] "results/fig789.csv" \
+    using (strcol(1) eq word(tilings, i) ? $2 : NaN):4 \
+    with linespoints title word(tilings, i)
