@@ -6,9 +6,11 @@
 //! the density* at every problem size; the dense curve grows steeply with
 //! N = K (up to ~100 s at N = K = 750k).
 //!
-//! Usage: `repro_fig4 [--quick]`
+//! Usage: `repro_fig4 [--quick] [--trace FILE.json]` — `--trace` rides
+//! along a tiny traced *numeric* execution and writes its Chrome-trace
+//! profile next to the simulated sweep.
 
-use bst_bench::{synthetic_sweep, Args, DENSITIES};
+use bst_bench::{emit_numeric_trace, synthetic_sweep, Args, DENSITIES};
 
 fn main() {
     let args = Args::parse();
@@ -47,5 +49,11 @@ fn main() {
             row.push_str(&format!("{t:>12.2}"));
         }
         println!("{row}");
+    }
+
+    if let Some(path) = &args.trace {
+        let summary = emit_numeric_trace(path).expect("traced numeric run must validate");
+        println!("# traced numeric reference run — wrote {path}");
+        print!("{summary}");
     }
 }

@@ -14,12 +14,15 @@
 //!   density V        2.4 / 2.6 / 3.1 %
 //!   density R (opt.) 14.9 / 16.1 / 21.7 %
 //!
-//! Usage: `repro_table1 [--carbons N]` (default 65; smaller = faster).
+//! Usage: `repro_table1 [--carbons N] [--trace FILE.json]` (default 65;
+//! smaller = faster). `--trace` rides along a tiny traced *numeric*
+//! execution and writes its Chrome-trace profile.
 
 use bst_chem::{CcsdProblem, Molecule, ProblemTraits, ScreeningParams, TilingSpec};
 
 fn main() {
     let mut carbons = 65usize;
+    let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -30,6 +33,7 @@ fn main() {
                     .parse()
                     .expect("--carbons must be an integer");
             }
+            "--trace" => trace = Some(args.next().expect("--trace needs a file path")),
             other => panic!("unknown argument {other}"),
         }
     }
@@ -74,4 +78,11 @@ fn main() {
     row("density T (%)", &|t| format!("{:.1}", t.density_t * 100.0));
     row("density V (%)", &|t| format!("{:.1}", t.density_v * 100.0));
     row("density R opt (%)", &|t| format!("{:.1}", t.density_r_opt * 100.0));
+
+    if let Some(path) = &trace {
+        let summary =
+            bst_bench::emit_numeric_trace(path).expect("traced numeric run must validate");
+        println!("# traced numeric reference run — wrote {path}");
+        print!("{summary}");
+    }
 }

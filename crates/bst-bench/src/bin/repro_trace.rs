@@ -1,23 +1,126 @@
 //! Renders the execution profile behind the paper's §5.2 observation that
 //! "the arithmetic intensity ... is too low to fully exploit the GPUs" and
-//! "GPU I/O dominates the execution time": an ASCII Gantt of the simulated
-//! GPUs (`#` compute, `-` host↔device transfer) for a reduced C65H132-style
-//! run, plus per-GPU compute utilisation.
+//! "GPU I/O dominates the execution time".
 //!
-//! Usage: `repro_trace [v1|v2|v3]`
+//! Two modes:
+//!
+//! * **Simulator** (default): an ASCII Gantt of the simulated GPUs (`#`
+//!   compute, `-` host↔device transfer) for a reduced C65H132-style run,
+//!   plus per-GPU compute utilisation.
+//! * **Numeric** (`--numeric`): actually executes the contraction on the
+//!   `bst-runtime` dataflow engine with tracing on, prints the per-kind /
+//!   per-device text summary, and writes a `chrome://tracing` JSON profile.
+//!   The emitted JSON is re-parsed and the executor-level trace invariants
+//!   are checked; any violation exits non-zero, so CI can gate on it.
+//!
+//! Usage:
+//! ```text
+//! repro_trace [v1|v2|v3]                        # simulator Gantt
+//! repro_trace --numeric [--tiny] [--out FILE]   # traced numeric run
+//! ```
 
+use bst_bench::{check_chrome_trace, tiny_numeric_spec, traced_numeric_report};
 use bst_chem::{CcsdProblem, Molecule, ScreeningParams, TilingSpec};
-use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_contract::{
+    validate_trace_invariants, DeviceConfig, ExecOptions, ExecutionPlan, GridConfig,
+    PlannerConfig, ProblemSpec,
+};
 use bst_sim::replay::{simulate_traced, Trace};
 use bst_sim::Platform;
+use bst_sparse::generate::{generate, SyntheticParams};
+
+const USAGE: &str = "usage: repro_trace [v1|v2|v3] | repro_trace --numeric [--tiny] [--out FILE]";
 
 fn main() {
-    let tiling = std::env::args().nth(1).unwrap_or_else(|| "v1".to_string());
-    let spec_t = match tiling.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--numeric") {
+        numeric_mode(&args);
+    } else {
+        let tiling = args.first().cloned().unwrap_or_else(|| "v1".to_string());
+        simulator_mode(&tiling);
+    }
+}
+
+/// The traced numeric run: execute, summarise, export, self-validate.
+fn numeric_mode(args: &[String]) {
+    let mut tiny = false;
+    let mut out_path = "results/trace.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--numeric" => {}
+            "--tiny" => tiny = true,
+            "--out" => {
+                out_path = it.next().unwrap_or_else(|| panic!("--out needs a file path")).clone()
+            }
+            other => panic!("unknown argument {other}\n{USAGE}"),
+        }
+    }
+
+    // --tiny: the CI-sized problem (sub-second). Default: a ~10x larger
+    // synthetic contraction so the profile has visible phases.
+    let (spec, gpu_mem): (ProblemSpec, u64) = if tiny {
+        (tiny_numeric_spec(42), 1 << 21)
+    } else {
+        let prob = generate(&SyntheticParams {
+            m: 400,
+            n: 3200,
+            k: 3200,
+            density: 0.5,
+            tile_min: 12,
+            tile_max: 40,
+            seed: 42,
+        });
+        (ProblemSpec::new(prob.a, prob.b, None), 1 << 23)
+    };
+    let opts = ExecOptions::default();
+    let report = traced_numeric_report(&spec, 2, 2, gpu_mem, 42, opts);
+
+    println!(
+        "# traced numeric contraction — {}x{}x{} on 2 nodes x 2 GPUs ({} MiB each)",
+        spec.a.rows(),
+        spec.b.cols(),
+        spec.a.cols(),
+        gpu_mem >> 20
+    );
+    print!("{}", report.text_summary(gpu_mem));
+
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    let json = trace.chrome_trace_json();
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write trace JSON");
+
+    // Self-validation: the emitted document must re-parse as a Chrome
+    // trace, and the schedule must satisfy the §3.2/§4 trace invariants.
+    match check_chrome_trace(&json) {
+        Ok(n) => println!("# wrote {out_path}: {n} events (open in chrome://tracing)"),
+        Err(e) => {
+            eprintln!("error: emitted trace does not validate: {e}");
+            std::process::exit(1);
+        }
+    }
+    let violations = validate_trace_invariants(&report, opts, gpu_mem);
+    if !violations.is_empty() {
+        eprintln!("error: trace invariants violated:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("# trace invariants OK ({} task records)", trace.records.len());
+}
+
+/// The original simulator Gantt mode.
+fn simulator_mode(tiling: &str) {
+    let spec_t = match tiling {
         "v1" => TilingSpec::v1(),
         "v2" => TilingSpec::v2(),
         "v3" => TilingSpec::v3(),
-        other => panic!("unknown tiling {other}"),
+        other => panic!("unknown tiling {other}\n{USAGE}"),
     };
     let molecule = Molecule::alkane(40);
     let spec_t = spec_t.scaled_for(&molecule);
@@ -58,5 +161,8 @@ fn main() {
         .map(|g| g.compute_utilization(report.makespan_s))
         .sum::<f64>()
         / trace.gpus.len() as f64;
-    println!("# mean compute utilisation: {:.0}% — the rest is GPU I/O and dependencies", mean_util * 100.0);
+    println!(
+        "# mean compute utilisation: {:.0}% — the rest is GPU I/O and dependencies",
+        mean_util * 100.0
+    );
 }

@@ -11,11 +11,18 @@
 //!   tilings v1/v2/v3) for Figures 7, 8 and 9.
 
 use bst_chem::{CcsdProblem, TilingSpec};
-use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_contract::exec::execute_numeric_with;
+use bst_contract::{
+    DeviceConfig, ExecOptions, ExecReport, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec,
+};
 use bst_sim::dbcsr::{simulate_dbcsr, DbcsrOom, DbcsrReport};
 use bst_sim::replay::simulate_best_p;
 use bst_sim::{simulate, Platform, SimReport};
 use bst_sparse::generate::{generate, SyntheticParams};
+use bst_sparse::matrix::tile_seed;
+use bst_sparse::BlockSparseMatrix;
+
+pub mod minijson;
 
 /// The densities of the paper's Fig. 2.
 pub const DENSITIES: [f64; 5] = [1.0, 0.75, 0.5, 0.25, 0.1];
@@ -153,6 +160,113 @@ pub fn scaling_sweep(gpu_counts: &[usize], seed: u64) -> Vec<ScalingPoint> {
     out
 }
 
+/// A small synthetic problem sized so a *numeric* traced execution finishes
+/// in well under a second — used by the repro binaries' `--trace` modes and
+/// the CI trace check.
+pub fn tiny_numeric_spec(seed: u64) -> ProblemSpec {
+    let prob = generate(&SyntheticParams {
+        m: 160,
+        n: 1280,
+        k: 1280,
+        density: 0.6,
+        tile_min: 8,
+        tile_max: 24,
+        seed,
+    });
+    ProblemSpec::new(prob.a, prob.b, None)
+}
+
+/// Runs a numeric execution of `spec` with tracing enabled on a simulated
+/// `nodes`-node machine (`gpus` per node, `gpu_mem` bytes each) and returns
+/// the traced report. The result matrix is discarded — callers want the
+/// trace, summary and metrics.
+pub fn traced_numeric_report(
+    spec: &ProblemSpec,
+    nodes: usize,
+    gpus: usize,
+    gpu_mem: u64,
+    seed: u64,
+    opts: ExecOptions,
+) -> ExecReport {
+    let config = PlannerConfig::paper(
+        GridConfig::from_nodes(nodes, 1),
+        DeviceConfig {
+            gpus_per_node: gpus,
+            gpu_mem_bytes: gpu_mem,
+        },
+    );
+    let plan = ExecutionPlan::build(spec, config).expect("traced plan must build");
+    let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), seed);
+    let bseed = seed ^ 0xB;
+    let b_gen = move |k: usize, j: usize, r: usize, c: usize| {
+        bst_tile::Tile::random(r, c, tile_seed(bseed, k, j))
+    };
+    let (_c, report) = execute_numeric_with(
+        spec,
+        &plan,
+        &a,
+        &b_gen,
+        ExecOptions {
+            tracing: true,
+            ..opts
+        },
+    );
+    report
+}
+
+/// Runs the tiny traced numeric problem on a 2-node × 2-GPU machine with a
+/// 2 MiB device budget (small enough to force several blocks per GPU),
+/// writes its Chrome trace to `path`, self-validates the emitted JSON and
+/// the executor-level trace invariants, and returns the text summary.
+pub fn emit_numeric_trace(path: &str) -> Result<String, String> {
+    let gpu_mem = 1 << 21;
+    let opts = ExecOptions::default();
+    let spec = tiny_numeric_spec(42);
+    let report = traced_numeric_report(&spec, 2, 2, gpu_mem, 42, opts);
+    let json = report
+        .trace
+        .as_ref()
+        .expect("traced_numeric_report enables tracing")
+        .chrome_trace_json();
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    check_chrome_trace(&json).map_err(|e| format!("{path} is not a valid trace: {e}"))?;
+    let violations = bst_contract::validate_trace_invariants(&report, opts, gpu_mem);
+    if !violations.is_empty() {
+        return Err(format!(
+            "trace invariants violated:\n  {}",
+            violations.join("\n  ")
+        ));
+    }
+    Ok(report.text_summary(gpu_mem))
+}
+
+/// Validates an emitted Chrome-trace JSON document: it must parse, be a
+/// non-empty array, and every element must be an object carrying at least
+/// `name`/`ph`/`pid`/`ts` (ts non-negative). Returns the event count.
+pub fn check_chrome_trace(json: &str) -> Result<usize, String> {
+    let doc = minijson::parse(json)?;
+    let events = doc.as_arr().ok_or("top level is not an array")?;
+    if events.is_empty() {
+        return Err("trace array is empty".into());
+    }
+    for (i, e) in events.iter().enumerate() {
+        for key in ["name", "ph", "pid"] {
+            if e.get(key).is_none() {
+                return Err(format!("event {i} lacks \"{key}\""));
+            }
+        }
+        if e.get("ph").and_then(minijson::Value::as_str) == Some("M") {
+            continue; // metadata events carry no timestamp
+        }
+        match e.get("ts").and_then(minijson::Value::as_num) {
+            Some(ts) if ts >= 0.0 => {}
+            Some(_) => return Err(format!("event {i} has negative ts")),
+            None => return Err(format!("event {i} lacks \"ts\"")),
+        }
+    }
+    Ok(events.len())
+}
+
 /// Writes a CSV file into `results/` (creating the directory), one header
 /// row plus data rows — so every figure can be re-plotted with the gnuplot
 /// script in `results/plot.gp`.
@@ -171,19 +285,29 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::
 pub struct Args {
     /// Reduced sweep requested.
     pub quick: bool,
+    /// `--trace PATH`: also run a tiny traced *numeric* execution and write
+    /// its Chrome-trace JSON here.
+    pub trace: Option<String>,
 }
 
 impl Args {
     /// Parses process arguments; panics on unknown flags.
     pub fn parse() -> Self {
         let mut quick = false;
-        for a in std::env::args().skip(1) {
+        let mut trace = None;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => quick = true,
-                other => panic!("unknown argument {other} (supported: --quick)"),
+                "--trace" => {
+                    trace = Some(it.next().expect("--trace needs a file path"));
+                }
+                other => {
+                    panic!("unknown argument {other} (supported: --quick, --trace PATH)")
+                }
             }
         }
-        Self { quick }
+        Self { quick, trace }
     }
 
     /// The size sweep to use.
@@ -202,5 +326,33 @@ impl Args {
         } else {
             &GPU_COUNTS
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_numeric_trace_emits_and_validates() {
+        let path = std::env::temp_dir().join("bst_bench_tiny_trace.json");
+        let summary = emit_numeric_trace(path.to_str().unwrap()).unwrap();
+        assert!(summary.contains("trace summary:"), "{summary}");
+        assert!(summary.contains("Gemm"), "{summary}");
+        assert!(summary.contains("n0.g0"), "{summary}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(check_chrome_trace(&json).unwrap() > 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chrome_checker_rejects_bad_documents() {
+        assert!(check_chrome_trace("").is_err());
+        assert!(check_chrome_trace("[]").is_err());
+        assert!(check_chrome_trace("{\"a\":1}").is_err());
+        assert!(check_chrome_trace("[{\"name\":\"x\"}]").is_err());
+        assert!(check_chrome_trace(r#"[{"name":"x","ph":"X","pid":0,"ts":-1}]"#).is_err());
+        assert!(check_chrome_trace(r#"[{"name":"x","ph":"X","pid":0,"ts":0.5}]"#).is_ok());
+        assert!(check_chrome_trace(r#"[{"name":"p","ph":"M","pid":0}]"#).is_ok());
     }
 }

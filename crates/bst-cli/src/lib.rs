@@ -36,6 +36,10 @@ pub struct Cli {
     pub gpus: usize,
     /// Print an ASCII Gantt (simulate only).
     pub gantt: bool,
+    /// Write a Chrome-trace JSON of the numeric execution here (verify only).
+    pub trace: Option<String>,
+    /// Print the per-task-kind / per-device trace summary (verify only).
+    pub trace_summary: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -90,7 +94,8 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "usage: bst <info|plan|simulate|verify> \
 [--molecule KIND:ARGS | --synthetic MxNxK:D] [--tiling v1|v2|v3] \
-[--nodes N] [--p P] [--gpus G] [--seed S] [--gantt]";
+[--nodes N] [--p P] [--gpus G] [--seed S] [--gantt] \
+[--trace FILE.json] [--trace-summary]";
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Cli, CliError> {
@@ -111,6 +116,8 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         p: 1,
         gpus: 6,
         gantt: false,
+        trace: None,
+        trace_summary: false,
         seed: 42,
     };
     while let Some(flag) = it.next() {
@@ -153,6 +160,8 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
             "--gpus" => cli.gpus = value("--gpus")?.parse().map_err(|_| err("bad --gpus"))?,
             "--seed" => cli.seed = value("--seed")?.parse().map_err(|_| err("bad --seed"))?,
             "--gantt" => cli.gantt = true,
+            "--trace" => cli.trace = Some(value("--trace")?),
+            "--trace-summary" => cli.trace_summary = true,
             other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
         }
     }
@@ -317,8 +326,12 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
             let b_gen = move |k: usize, j: usize, r: usize, c: usize| {
                 bst_tile::Tile::random(r, c, tile_seed(seed, k, j))
             };
+            let opts = bst_contract::ExecOptions {
+                tracing: cli.trace.is_some() || cli.trace_summary,
+                ..Default::default()
+            };
             let (c, report) =
-                bst_contract::exec::execute_numeric(&spec, &plan, &a, &b_gen);
+                bst_contract::exec::execute_numeric_with(&spec, &plan, &a, &b_gen, opts);
             let b = BlockSparseMatrix::from_structure(spec.b.clone(), |k, j, r, cc| {
                 bst_tile::Tile::random(r, cc, tile_seed(seed, k, j))
             });
@@ -348,6 +361,17 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
                 report.gemm_tasks,
                 report.devices.len()
             )?;
+            if cli.trace_summary {
+                write!(out, "{}", report.text_summary(plan.config.device.gpu_mem_bytes))?;
+            }
+            if let Some(path) = &cli.trace {
+                let trace = report
+                    .trace
+                    .as_ref()
+                    .expect("tracing was enabled for --trace");
+                std::fs::write(path, trace.chrome_trace_json())?;
+                writeln!(out, "wrote Chrome trace to {path} (open in chrome://tracing)")?;
+            }
             if diff > 1e-9 {
                 return Err(Box::new(err("verification FAILED")));
             }
@@ -447,6 +471,40 @@ mod tests {
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("makespan"), "{s}");
         assert!(s.contains("n00g0"), "{s}");
+    }
+
+    #[test]
+    fn parse_trace_flags() {
+        let cli = parse(&args(
+            "verify --synthetic 100x800x800:0.6 --trace out.json --trace-summary",
+        ))
+        .unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("out.json"));
+        assert!(cli.trace_summary);
+        assert!(parse(&args("verify --trace")).is_err());
+    }
+
+    #[test]
+    fn run_verify_with_trace_outputs() {
+        let path = std::env::temp_dir().join("bst_cli_trace_test.json");
+        let line = format!(
+            "verify --synthetic 100x800x800:0.6 --nodes 2 --gpus 2 --trace {} --trace-summary",
+            path.display()
+        );
+        let cli = parse(&args(&line)).unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("verification OK"), "{s}");
+        assert!(s.contains("trace summary:"), "{s}");
+        assert!(s.contains("Gemm"), "{s}");
+        assert!(s.contains("n0.g0"), "{s}");
+        assert!(s.contains("wrote Chrome trace"), "{s}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub struct DeviceStats {
     pub peak_bytes: u64,
     /// Number of load calls that required a transfer.
     pub loads: u64,
+    /// Number of data frees (last reference dropped and bytes reclaimed).
+    pub evictions: u64,
 }
 
 /// Tracked memory of one simulated GPU.
@@ -169,6 +171,7 @@ impl DeviceMemory {
         let bytes = entry.0;
         self.resident.remove(&key);
         self.used -= bytes;
+        self.stats.evictions += 1;
         if writeback {
             self.stats.d2h_bytes += bytes;
         }
@@ -302,8 +305,9 @@ mod tests {
         assert!(d.evict(DataKey::A(0, 0), false), "last release frees");
         assert!(!d.is_resident(DataKey::A(0, 0)));
         assert_eq!(d.used(), 0);
-        // h2d counted once.
+        // h2d counted once; only the final free is an eviction.
         assert_eq!(d.stats().h2d_bytes, 40);
+        assert_eq!(d.stats().evictions, 1);
     }
 
     #[test]

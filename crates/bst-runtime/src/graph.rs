@@ -10,6 +10,7 @@
 //! of its successors, enqueueing those that become ready onto *their*
 //! worker's FIFO. Worker panics propagate to the caller.
 
+use crate::trace::{ExecTrace, TraceClock, TraceEvent, TracePhase, WorkerTrace};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -123,8 +124,85 @@ impl<T> TaskGraph<T> {
         M: Fn(WorkerId) -> C + Sync,
         F: Fn(&T, WorkerId, &mut C) + Sync,
     {
+        self.execute_inner(workers, mk_ctx, run, false);
+    }
+
+    /// Like [`TaskGraph::execute`], but records every task's life-cycle
+    /// (ready → running → done) and returns the resulting
+    /// [`ExecTrace`].
+    ///
+    /// Recording is lock-free by ownership: each worker thread appends to
+    /// its own event buffer (including the *ready* events of the successors
+    /// it releases), and the submitting thread owns the buffer of
+    /// initially-ready events. All timestamps share one monotonic epoch
+    /// started just before the first task is enqueued.
+    ///
+    /// # Panics
+    /// Same conditions as [`TaskGraph::execute`]. If a handler panics the
+    /// partial trace is discarded and the panic propagates.
+    pub fn execute_traced<C, F, M>(&self, workers: &[WorkerId], mk_ctx: M, run: F) -> ExecTrace
+    where
+        T: Sync,
+        C: Send,
+        M: Fn(WorkerId) -> C + Sync,
+        F: Fn(&T, WorkerId, &mut C) + Sync,
+    {
+        self.execute_traced_with_clock(workers, mk_ctx, run, TraceClock::start())
+    }
+
+    /// [`TaskGraph::execute_traced`] with a caller-supplied epoch, so the
+    /// caller can timestamp its own side channels (e.g. device-memory
+    /// occupancy samples taken inside handlers) on the same timeline as the
+    /// task events.
+    pub fn execute_traced_with_clock<C, F, M>(
+        &self,
+        workers: &[WorkerId],
+        mk_ctx: M,
+        run: F,
+        clock: TraceClock,
+    ) -> ExecTrace
+    where
+        T: Sync,
+        C: Send,
+        M: Fn(WorkerId) -> C + Sync,
+        F: Fn(&T, WorkerId, &mut C) + Sync,
+    {
+        self.execute_inner_with(workers, mk_ctx, run, true, clock)
+            .expect("tracing was requested")
+    }
+
+    fn execute_inner<C, F, M>(
+        &self,
+        workers: &[WorkerId],
+        mk_ctx: M,
+        run: F,
+        trace: bool,
+    ) -> Option<ExecTrace>
+    where
+        T: Sync,
+        C: Send,
+        M: Fn(WorkerId) -> C + Sync,
+        F: Fn(&T, WorkerId, &mut C) + Sync,
+    {
+        self.execute_inner_with(workers, mk_ctx, run, trace, TraceClock::start())
+    }
+
+    fn execute_inner_with<C, F, M>(
+        &self,
+        workers: &[WorkerId],
+        mk_ctx: M,
+        run: F,
+        trace: bool,
+        clock: TraceClock,
+    ) -> Option<ExecTrace>
+    where
+        T: Sync,
+        C: Send,
+        M: Fn(WorkerId) -> C + Sync,
+        F: Fn(&T, WorkerId, &mut C) + Sync,
+    {
         if self.tasks.is_empty() {
-            return;
+            return trace.then(ExecTrace::default);
         }
         // Map workers to dense indices.
         let mut sorted = workers.to_vec();
@@ -152,15 +230,29 @@ impl<T> TaskGraph<T> {
             (0..sorted.len()).map(|_| unbounded()).collect();
         let remaining = AtomicUsize::new(self.tasks.len());
 
+        // Trace recording is strictly thread-owned: `seed_events` belongs to
+        // this (submitting) thread, `bufs[i]` to worker thread i. Events of
+        // a ready transition are recorded by whoever caused it, so no buffer
+        // is ever shared and recording takes no locks.
+        let mut seed_events: Vec<TraceEvent> = Vec::new();
+        let mut bufs: Vec<Vec<TraceEvent>> = vec![Vec::new(); sorted.len()];
+
         // Seed initially-ready tasks.
         for (id, t) in self.tasks.iter().enumerate() {
             if t.deps.is_empty() {
+                if trace {
+                    seed_events.push(TraceEvent {
+                        task: id,
+                        phase: TracePhase::Ready,
+                        t_ns: clock.now_ns(),
+                    });
+                }
                 channels[widx(t.worker)].0.send(id).unwrap();
             }
         }
 
         std::thread::scope(|scope| {
-            for (wi, w) in sorted.iter().enumerate() {
+            for ((wi, w), buf) in sorted.iter().enumerate().zip(bufs.iter_mut()) {
                 let rx = channels[wi].1.clone();
                 let channels = &channels;
                 let succs = &succs;
@@ -176,6 +268,13 @@ impl<T> TaskGraph<T> {
                         if id == DONE {
                             break;
                         }
+                        if trace {
+                            buf.push(TraceEvent {
+                                task: id,
+                                phase: TracePhase::Running,
+                                t_ns: clock.now_ns(),
+                            });
+                        }
                         // Panic safety: a panicking handler must not leave
                         // the other workers blocked on their queues forever;
                         // poison every queue, then propagate.
@@ -188,8 +287,25 @@ impl<T> TaskGraph<T> {
                             }
                             std::panic::resume_unwind(payload);
                         }
+                        if trace {
+                            buf.push(TraceEvent {
+                                task: id,
+                                phase: TracePhase::Done,
+                                t_ns: clock.now_ns(),
+                            });
+                        }
                         for &s in &succs[id] {
                             if indeg[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                if trace {
+                                    // The releasing worker logs the
+                                    // successor's readiness into its own
+                                    // buffer, keeping ownership strict.
+                                    buf.push(TraceEvent {
+                                        task: s,
+                                        phase: TracePhase::Ready,
+                                        t_ns: clock.now_ns(),
+                                    });
+                                }
                                 channels[widx(self.tasks[s].worker)].0.send(s).unwrap();
                             }
                         }
@@ -212,6 +328,16 @@ impl<T> TaskGraph<T> {
             0,
             "deadlock: tasks never became ready (cycle through control edges?)"
         );
+
+        trace.then(|| ExecTrace {
+            workers: sorted
+                .into_iter()
+                .zip(bufs)
+                .map(|(worker, events)| WorkerTrace { worker, events })
+                .collect(),
+            seed_events,
+            total_ns: clock.now_ns(),
+        })
     }
 }
 
@@ -334,6 +460,66 @@ mod tests {
         let pos = |s: &str| log.iter().position(|&x| x == s).unwrap();
         assert!(pos("b0") < pos("a1"));
         assert!(pos("a0") < pos("a1"));
+    }
+
+    #[test]
+    fn traced_execution_produces_valid_trace() {
+        // Diamond across three workers plus an independent chain.
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let src = g.add_task(0, w(0, 0));
+        let l = g.add_task(1, w(0, 1));
+        let r = g.add_task(2, w(1, 0));
+        g.add_dep(l, src);
+        g.add_dep(r, src);
+        let sink = g.add_task(3, w(0, 0));
+        g.add_dep(sink, l);
+        g.add_dep(sink, r);
+        let mut prev = g.add_task(4, w(1, 0));
+        for i in 5..20 {
+            let t = g.add_task(i, w(1, 0));
+            g.add_dep(t, prev);
+            prev = t;
+        }
+        let trace = g.execute_traced(&[w(0, 0), w(0, 1), w(1, 0)], |_| (), |_, _, _| {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert_eq!(trace.validate(&g), Vec::new());
+        // One Ready + Running + Done per task.
+        assert_eq!(trace.event_count(), 3 * g.len());
+        // Exactly the dependency-free tasks were seeded.
+        assert_eq!(trace.seed_events.len(), 2);
+        assert!(trace.total_ns > 0);
+    }
+
+    #[test]
+    fn traced_empty_graph_yields_empty_trace() {
+        let g: TaskGraph<u32> = TaskGraph::new();
+        let trace = g.execute_traced(&[w(0, 0)], |_| (), |_, _, _| panic!("no tasks"));
+        assert_eq!(trace.event_count(), 0);
+        assert!(trace.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn untraced_execution_unchanged_by_tracing_support() {
+        // `execute` must keep returning unit and running everything exactly
+        // once — tracing must be strictly opt-in.
+        let mut g: TaskGraph<u64> = TaskGraph::new();
+        for i in 0..200 {
+            g.add_task(i, w(i as usize % 3, 0));
+        }
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        g.execute(&[w(0, 0), w(1, 0), w(2, 0)], |_| (), |_, _, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn traced_handler_panic_still_propagates() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        g.add_task(1, w(0, 0));
+        g.execute_traced(&[w(0, 0)], |_| (), |_, _, _| panic!("boom"));
     }
 
     #[test]

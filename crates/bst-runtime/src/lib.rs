@@ -24,14 +24,19 @@
 //! * [`device`] — [`device::DeviceMemory`], a strict accounting of simulated
 //!   GPU memory (loads fail rather than silently exceed capacity) plus a
 //!   node-level residency registry enabling device-to-device transfers when
-//!   a sibling GPU already holds a tile (the NVLink path of §4).
+//!   a sibling GPU already holds a tile (the NVLink path of §4);
+//! * [`trace`] — lock-cheap per-worker task life-cycle recording
+//!   ([`graph::TaskGraph::execute_traced`]), trace well-formedness
+//!   validation, and exporters (Chrome-trace JSON, plain-text summary).
 
 pub mod data;
 pub mod device;
 pub mod graph;
 pub mod ptg;
+pub mod trace;
 
 pub use data::{DataKey, TileStore};
 pub use device::{DeviceMemory, NodeResidency};
 pub use graph::{TaskGraph, WorkerId};
 pub use ptg::PtgProgram;
+pub use trace::{ExecTrace, TaskRecord, TraceEvent, TracePhase};

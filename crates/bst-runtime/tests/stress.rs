@@ -81,6 +81,104 @@ fn engine_handles_wide_diamond_graphs() {
     assert_eq!(count.load(Ordering::Relaxed), 1 + 50 * 65);
 }
 
+/// The diamond stress shape again, but traced: the trace must stay valid
+/// under heavy fan-out/fan-in contention and carry exactly 3 events/task.
+#[test]
+fn traced_wide_diamond_graphs_stay_valid() {
+    let mut g: TaskGraph<u32> = TaskGraph::new();
+    let workers: Vec<WorkerId> = (0..4)
+        .flat_map(|n| (0..4).map(move |l| w(n, l)))
+        .collect();
+    let mut join = g.add_task(0, w(0, 0));
+    for round in 0..20u32 {
+        let mids: Vec<_> = (0..64)
+            .map(|i| {
+                let t = g.add_task(round + 1, workers[i % 16]);
+                g.add_dep(t, join);
+                t
+            })
+            .collect();
+        join = g.add_task(round + 1, w((round as usize) % 4, 0));
+        for m in mids {
+            g.add_dep(join, m);
+        }
+    }
+    let count = AtomicUsize::new(0);
+    let trace = g.execute_traced(&workers, |_| (), |_, _, _| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), g.len());
+    assert_eq!(trace.event_count(), 3 * g.len());
+    let errors = trace.validate(&g);
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+/// Tracing must not change the schedule's cost class: on a graph of many
+/// small tasks the traced run stays within a generous constant factor of
+/// the untraced one (it only adds a few Vec pushes per task).
+#[test]
+fn tracing_overhead_is_bounded() {
+    let mut g: TaskGraph<usize> = TaskGraph::new();
+    let workers: Vec<WorkerId> = (0..8).map(|l| w(0, l)).collect();
+    let mut prev: Vec<_> = (0..8).map(|i| g.add_task(i, workers[i])).collect();
+    for round in 0..200 {
+        prev = (0..8)
+            .map(|i| {
+                let t = g.add_task(round * 8 + i, workers[i]);
+                g.add_dep(t, prev[i]);
+                if i > 0 {
+                    g.add_dep(t, prev[i - 1]);
+                }
+                t
+            })
+            .collect();
+    }
+    let work = |v: &usize| std::hint::black_box((0..200).fold(*v, |a, x| a.wrapping_add(a ^ x)));
+
+    // Warm up, then time both modes.
+    g.execute(&workers, |_| (), |v, _, _| {
+        work(v);
+    });
+    let t0 = std::time::Instant::now();
+    g.execute(&workers, |_| (), |v, _, _| {
+        work(v);
+    });
+    let untraced = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let trace = g.execute_traced(&workers, |_| (), |v, _, _| {
+        work(v);
+    });
+    let traced = t1.elapsed();
+
+    assert_eq!(trace.event_count(), 3 * g.len());
+    // Very generous bound — scheduling noise on loaded CI machines swamps
+    // the per-task cost; this only catches pathological regressions (e.g.
+    // a global lock on the hot path).
+    assert!(
+        traced < untraced * 10 + std::time::Duration::from_millis(250),
+        "traced {traced:?} vs untraced {untraced:?}"
+    );
+}
+
+/// A panicking handler must still tear the traced execution down cleanly
+/// (no deadlock waiting on events from dead workers).
+#[test]
+#[should_panic(expected = "a scoped thread panicked")]
+fn traced_stress_panic_still_propagates() {
+    let mut g: TaskGraph<usize> = TaskGraph::new();
+    let workers: Vec<WorkerId> = (0..6).map(|l| w(0, l)).collect();
+    let root = g.add_task(0, workers[0]);
+    for i in 1..300 {
+        let t = g.add_task(i, workers[i % 6]);
+        g.add_dep(t, root);
+    }
+    g.execute_traced(&workers, |_| (), |v, _, _| {
+        if *v == 150 {
+            panic!("boom at 150");
+        }
+    });
+}
+
 #[test]
 fn engine_many_executions_reuse_graph() {
     // The same graph must be executable repeatedly (it is immutable).

@@ -28,6 +28,10 @@ use std::sync::Arc;
 use bst_runtime::data::DataKey;
 use bst_runtime::device::{DeviceMemory, DeviceStats, NodeResidency};
 use bst_runtime::graph::{TaskGraph, TaskId, WorkerId};
+use bst_runtime::trace::{
+    aggregate_by_kind, chrome_trace_json, text_summary, KindMetrics, MemSample, TaskRecord,
+    TraceClock,
+};
 use bst_runtime::TileStore;
 use bst_sparse::BlockSparseMatrix;
 use bst_tile::gemm::gemm_blocked;
@@ -53,6 +57,10 @@ pub struct ExecOptions {
     /// Block *b+1*'s transfer waits for block *b*'s flush (§3.2.2 blocking
     /// block transfers).
     pub block_serialization: bool,
+    /// Record the full task life-cycle trace plus device-memory occupancy
+    /// samples; populates [`ExecReport::metrics`] and [`ExecReport::trace`].
+    /// Off by default — tracing costs a few `Vec` pushes per task.
+    pub tracing: bool,
 }
 
 impl Default for ExecOptions {
@@ -60,6 +68,7 @@ impl Default for ExecOptions {
         Self {
             prefetch_window: true,
             block_serialization: true,
+            tracing: false,
         }
     }
 }
@@ -79,6 +88,176 @@ pub struct ExecReport {
     pub gemm_tasks: u64,
     /// `B` tiles generated (counting per-node replicas).
     pub b_tiles_generated: u64,
+    /// Per-task-kind aggregate timings (empty unless
+    /// [`ExecOptions::tracing`]).
+    pub metrics: Vec<KindMetrics>,
+    /// The full labeled trace (present only under [`ExecOptions::tracing`]).
+    pub trace: Option<ExecTraceData>,
+}
+
+impl ExecReport {
+    /// Plain-text summary: per-kind time breakdown plus per-device
+    /// peak/transfer/eviction lines. `gpu_capacity` is the per-device byte
+    /// budget the peaks are reported against (`config.device.gpu_mem_bytes`).
+    /// Without [`ExecOptions::tracing`] only the device table is populated.
+    pub fn text_summary(&self, gpu_capacity: u64) -> String {
+        let devices: Vec<_> = self
+            .devices
+            .iter()
+            .map(|&((node, gpu), s)| {
+                (
+                    node,
+                    gpu,
+                    s.peak_bytes,
+                    gpu_capacity,
+                    s.h2d_bytes,
+                    s.d2d_bytes,
+                    s.d2h_bytes,
+                    s.evictions,
+                )
+            })
+            .collect();
+        let total_ns = self.trace.as_ref().map(|t| t.total_ns).unwrap_or(0);
+        text_summary(&self.metrics, total_ns, &devices)
+    }
+}
+
+/// Per-device memory-occupancy logs, keyed by `(node, gpu)`.
+pub type DeviceMemLog = Vec<((usize, usize), Vec<MemSample>)>;
+
+/// The labeled task records and device-memory samples of one traced
+/// execution ([`ExecOptions::tracing`]).
+#[derive(Clone, Debug, Default)]
+pub struct ExecTraceData {
+    /// One record per DAG task, labeled from the executor's task vocabulary
+    /// (kinds: `SendA`, `GenB`, `LoadBlock`, `LoadA`, `Gemm`, `EvictChunk`,
+    /// `FlushBlock`).
+    pub records: Vec<TaskRecord>,
+    /// Per-(node, gpu) resident-byte samples, one taken after every
+    /// device-touching task, on the same clock as the records.
+    pub mem_samples: DeviceMemLog,
+    /// Wall-clock span of the execution in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl ExecTraceData {
+    /// Renders the trace as `chrome://tracing` / Perfetto JSON (one track
+    /// per worker lane, counter tracks for device occupancy).
+    pub fn chrome_trace_json(&self) -> String {
+        chrome_trace_json(&self.records, &self.mem_samples)
+    }
+}
+
+/// Checks the executor-level trace invariants on a traced report, returning
+/// human-readable violations (empty = all hold):
+///
+/// 1. every task's life-cycle is ordered (ready ≤ start ≤ end);
+/// 2. no `Gemm` starts before a `LoadA` of its A tile *and* some
+///    `LoadBlock` finished on its lane (its operands must be on-device);
+/// 3. with [`ExecOptions::block_serialization`], `LoadBlock(b+1)` never
+///    starts before `FlushBlock(b)` finished on the same lane (§3.2.2
+///    blocking block transfers);
+/// 4. every device's high-water mark stays within `gpu_capacity`.
+///
+/// # Panics
+/// Panics if the report carries no trace (run with
+/// [`ExecOptions::tracing`]).
+pub fn validate_trace_invariants(
+    report: &ExecReport,
+    opts: ExecOptions,
+    gpu_capacity: u64,
+) -> Vec<String> {
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("validate_trace_invariants needs a traced report");
+    let mut errors = Vec::new();
+
+    // Parses "Kind(a,b,...)" details into their integer arguments.
+    fn args_of(detail: &str) -> Vec<u64> {
+        let inner = detail
+            .split_once('(')
+            .and_then(|(_, rest)| rest.strip_suffix(')'))
+            .unwrap_or("");
+        inner
+            .split([',', '-', '>'])
+            .filter_map(|s| s.parse::<u64>().ok())
+            .collect()
+    }
+
+    for r in &trace.records {
+        if !(r.span.ready_ns <= r.span.start_ns && r.span.start_ns <= r.span.end_ns) {
+            errors.push(format!("{}: life-cycle out of order", r.detail));
+        }
+    }
+
+    let mut by_lane: HashMap<WorkerId, Vec<&TaskRecord>> = HashMap::new();
+    for r in &trace.records {
+        by_lane.entry(r.worker).or_default().push(r);
+    }
+    for (lane, records) in &by_lane {
+        if lane.lane == 0 {
+            continue; // CPU lanes have no device discipline to check
+        }
+        for gemm in records.iter().filter(|r| r.kind == "Gemm") {
+            let args = args_of(&gemm.detail);
+            let (i, k) = (args[0], args[1]);
+            let has_a = records.iter().any(|r| {
+                r.kind == "LoadA"
+                    && args_of(&r.detail) == [i, k]
+                    && r.span.end_ns <= gemm.span.start_ns
+            });
+            if !has_a {
+                errors.push(format!(
+                    "{} on {lane:?} started before any LoadA({i},{k}) finished",
+                    gemm.detail
+                ));
+            }
+            let has_block = records
+                .iter()
+                .any(|r| r.kind == "LoadBlock" && r.span.end_ns <= gemm.span.start_ns);
+            if !has_block {
+                errors.push(format!(
+                    "{} on {lane:?} started before any LoadBlock finished",
+                    gemm.detail
+                ));
+            }
+        }
+        if opts.block_serialization {
+            let mut flush_end: HashMap<u64, u64> = HashMap::new();
+            for r in records.iter().filter(|r| r.kind == "FlushBlock") {
+                flush_end.insert(args_of(&r.detail)[0], r.span.end_ns);
+            }
+            for r in records.iter().filter(|r| r.kind == "LoadBlock") {
+                let b = args_of(&r.detail)[0];
+                if b == 0 {
+                    continue;
+                }
+                match flush_end.get(&(b - 1)) {
+                    Some(&end) if r.span.start_ns >= end => {}
+                    Some(_) => errors.push(format!(
+                        "LoadBlock({b}) on {lane:?} started before FlushBlock({}) finished",
+                        b - 1
+                    )),
+                    None => errors.push(format!(
+                        "LoadBlock({b}) on {lane:?} has no FlushBlock({})",
+                        b - 1
+                    )),
+                }
+            }
+        }
+    }
+
+    for &((node, gpu), stats) in &report.devices {
+        if stats.peak_bytes > gpu_capacity {
+            errors.push(format!(
+                "device n{node}.g{gpu} peaked at {} B > budget {gpu_capacity} B",
+                stats.peak_bytes
+            ));
+        }
+    }
+
+    errors
 }
 
 /// The task vocabulary of the lowered DAG.
@@ -105,12 +284,54 @@ enum Op {
     FlushBlock { node: usize, gpu: usize, block: usize },
 }
 
+impl Op {
+    /// The per-kind aggregation label.
+    fn kind(&self) -> &'static str {
+        match self {
+            Op::SendA { .. } => "SendA",
+            Op::GenB { .. } => "GenB",
+            Op::LoadBlock { .. } => "LoadBlock",
+            Op::LoadA { .. } => "LoadA",
+            Op::Gemm { .. } => "Gemm",
+            Op::EvictChunk { .. } => "EvictChunk",
+            Op::FlushBlock { .. } => "FlushBlock",
+        }
+    }
+
+    /// Compact instance label. Stable format — the trace-invariant tests
+    /// parse these (`Gemm(i,k,j)`, `LoadA(i,k)`, `LoadBlock(b)`,
+    /// `EvictChunk(b,c)`, `FlushBlock(b)`, `SendA(i,k->n)`, `GenB(k,j)`).
+    fn detail(&self) -> String {
+        match self {
+            Op::SendA { i, k, to } => format!("SendA({i},{k}->{to})"),
+            Op::GenB { k, j } => format!("GenB({k},{j})"),
+            Op::LoadBlock { block, .. } => format!("LoadBlock({block})"),
+            Op::LoadA { i, k } => format!("LoadA({i},{k})"),
+            Op::Gemm { i, k, j } => format!("Gemm({i},{k},{j})"),
+            Op::EvictChunk { block, chunk, .. } => format!("EvictChunk({block},{chunk})"),
+            Op::FlushBlock { block, .. } => format!("FlushBlock({block})"),
+        }
+    }
+}
+
 /// Per-GPU-lane mutable context.
 struct GpuCtx {
     dev: DeviceMemory,
     a_tiles: HashMap<(u32, u32), Arc<Tile>>,
     b_tiles: HashMap<(u32, u32), Arc<Tile>>,
     c_tiles: HashMap<(u32, u32), Tile>,
+    /// Occupancy samples (one per device-touching task) when tracing.
+    mem_samples: Vec<MemSample>,
+    /// The execution's trace clock; `Some` iff tracing.
+    clock: Option<TraceClock>,
+}
+
+impl GpuCtx {
+    fn sample_mem(&mut self) {
+        if let Some(clock) = self.clock {
+            self.mem_samples.push((clock.now_ns(), self.dev.used()));
+        }
+    }
 }
 
 enum Ctx {
@@ -367,6 +588,8 @@ pub fn execute_numeric_with(
     let gemms = AtomicU64::new(0);
     let bgens = AtomicU64::new(0);
     let dev_stats: Mutex<Vec<((usize, usize), DeviceStats)>> = Mutex::new(Vec::new());
+    let mem_log: Mutex<DeviceMemLog> = Mutex::new(Vec::new());
+    let clock = TraceClock::start();
 
     let mut workers: Vec<WorkerId> = Vec::new();
     for ni in 0..n_nodes {
@@ -376,25 +599,25 @@ pub fn execute_numeric_with(
         }
     }
 
-    graph.execute(
-        &workers,
-        |w| {
-            if w.lane == 0 {
-                Ctx::Cpu
-            } else {
-                Ctx::Gpu(Box::new(GpuCtx {
-                    dev: DeviceMemory::new(
-                        w.lane - 1,
-                        plan.config.device.gpu_mem_bytes,
-                        registries[w.node].clone(),
-                    ),
-                    a_tiles: HashMap::new(),
-                    b_tiles: HashMap::new(),
-                    c_tiles: HashMap::new(),
-                }))
-            }
-        },
-        |op, w, ctx| match (op, ctx) {
+    let mk_ctx = |w: WorkerId| {
+        if w.lane == 0 {
+            Ctx::Cpu
+        } else {
+            Ctx::Gpu(Box::new(GpuCtx {
+                dev: DeviceMemory::new(
+                    w.lane - 1,
+                    plan.config.device.gpu_mem_bytes,
+                    registries[w.node].clone(),
+                ),
+                a_tiles: HashMap::new(),
+                b_tiles: HashMap::new(),
+                c_tiles: HashMap::new(),
+                mem_samples: Vec::new(),
+                clock: opts.tracing.then_some(clock),
+            }))
+        }
+    };
+    let handler = |op: &Op, w: WorkerId, ctx: &mut Ctx| match (op, ctx) {
             (Op::SendA { i, k, to }, Ctx::Cpu) => {
                 let key = DataKey::A(*i, *k);
                 let tile = stores[w.node].get(key);
@@ -451,6 +674,7 @@ pub fn execute_numeric_with(
                             .insert((i as u32, j as u32), Tile::zeros(rows, cols));
                     }
                 }
+                gctx.sample_mem();
             }
             (Op::LoadA { i, k }, Ctx::Gpu(gctx)) => {
                 let key = DataKey::A(*i, *k);
@@ -460,6 +684,7 @@ pub fn execute_numeric_with(
                     .unwrap_or_else(|e| panic!("A load: {e}"));
                 gctx.a_tiles.insert((*i, *k), tile);
                 stores[w.node].consume(key);
+                gctx.sample_mem();
             }
             (Op::Gemm { i, k, j }, Ctx::Gpu(gctx)) => {
                 assert!(gctx.dev.is_resident(DataKey::A(*i, *k)),
@@ -489,6 +714,7 @@ pub fn execute_numeric_with(
                         gctx.a_tiles.remove(&t);
                     }
                 }
+                gctx.sample_mem();
             }
             (Op::FlushBlock { node, gpu, block }, Ctx::Gpu(gctx)) => {
                 let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
@@ -515,13 +741,53 @@ pub fn execute_numeric_with(
                     }
                 }
                 collector.lock().extend(out);
+                gctx.sample_mem();
                 if *block + 1 == plan.nodes[*node].gpus[*gpu].blocks.len() {
                     dev_stats.lock().push(((*node, *gpu), gctx.dev.stats()));
+                    if gctx.clock.is_some() {
+                        mem_log
+                            .lock()
+                            .push(((*node, *gpu), std::mem::take(&mut gctx.mem_samples)));
+                    }
                 }
             }
             (op, _) => unreachable!("op {op:?} on wrong lane"),
-        },
-    );
+        };
+
+    let exec_trace = if opts.tracing {
+        Some(graph.execute_traced_with_clock(&workers, mk_ctx, handler, clock))
+    } else {
+        graph.execute(&workers, mk_ctx, handler);
+        None
+    };
+
+    // Label the raw trace with the ops' kinds and details.
+    let (metrics, trace_data) = match exec_trace {
+        Some(tr) => {
+            let spans = tr.task_spans();
+            let records: Vec<TaskRecord> = (0..graph.len())
+                .map(|id| TaskRecord {
+                    task: id,
+                    kind: graph.payload(id).kind(),
+                    detail: graph.payload(id).detail(),
+                    worker: graph.worker(id),
+                    span: spans.get(&id).copied().unwrap_or_default(),
+                })
+                .collect();
+            let metrics = aggregate_by_kind(&records);
+            let mut mem_samples = mem_log.into_inner();
+            mem_samples.sort_by_key(|(k, _)| *k);
+            (
+                metrics,
+                Some(ExecTraceData {
+                    records,
+                    mem_samples,
+                    total_ns: tr.total_ns,
+                }),
+            )
+        }
+        None => (Vec::new(), None),
+    };
 
     // ---- Assemble the result ----------------------------------------------
     let mut c = BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
@@ -540,6 +806,8 @@ pub fn execute_numeric_with(
             a_forward_messages: a_fwd_msgs.into_inner(),
             gemm_tasks: gemms.into_inner(),
             b_tiles_generated: bgens.into_inner(),
+            metrics,
+            trace: trace_data,
         },
     )
 }
@@ -717,8 +985,69 @@ mod tests {
             ExecOptions {
                 prefetch_window: false,
                 block_serialization: false,
+                ..ExecOptions::default()
             },
         );
+    }
+
+    #[test]
+    fn tracing_populates_metrics_and_trace() {
+        let a = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
+        let b = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
+        let spec = ProblemSpec::new(a, b, None);
+        let config = cfg(1, 2, 1, 1 << 20);
+        let plan = ExecutionPlan::build(&spec, config).unwrap();
+        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
+        let b_gen = |_k: usize, _j: usize, r: usize, c: usize| bst_tile::Tile::random(r, c, 0);
+        let (_c, report) = execute_numeric_with(
+            &spec,
+            &plan,
+            &am,
+            &b_gen,
+            ExecOptions {
+                tracing: true,
+                ..ExecOptions::default()
+            },
+        );
+        let trace = report.trace.as_ref().expect("trace requested");
+        assert!(trace.total_ns > 0);
+        // Every op kind that this dense 1x2 problem exercises shows up.
+        let gemm = report.metrics.iter().find(|m| m.kind == "Gemm").unwrap();
+        assert_eq!(gemm.count, report.gemm_tasks);
+        let genb = report.metrics.iter().find(|m| m.kind == "GenB").unwrap();
+        assert_eq!(genb.count, report.b_tiles_generated);
+        // One record per task, each with a coherent span.
+        assert_eq!(
+            report.metrics.iter().map(|m| m.count).sum::<u64>(),
+            trace.records.len() as u64
+        );
+        for r in &trace.records {
+            assert!(r.span.ready_ns <= r.span.start_ns && r.span.start_ns <= r.span.end_ns);
+        }
+        // Device occupancy was sampled on every device and drains to zero.
+        assert_eq!(trace.mem_samples.len(), report.devices.len());
+        for ((_, _), samples) in &trace.mem_samples {
+            assert!(!samples.is_empty());
+            assert_eq!(samples.last().unwrap().1, 0, "all memory released");
+        }
+        // The exporters produce non-trivial output.
+        let json = trace.chrome_trace_json();
+        assert!(json.contains("\"ph\":\"X\"") && json.contains("\"ph\":\"C\""));
+        let summary = report.text_summary(1 << 20);
+        assert!(summary.contains("Gemm") && summary.contains("n0.g0"), "{summary}");
+    }
+
+    #[test]
+    fn untraced_report_has_no_trace() {
+        let a = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
+        let b = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
+        let spec = ProblemSpec::new(a, b, None);
+        let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
+        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
+        let b_gen = |_k: usize, _j: usize, r: usize, c: usize| bst_tile::Tile::random(r, c, 0);
+        let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen);
+        assert!(report.trace.is_none());
+        assert!(report.metrics.is_empty());
     }
 
     #[test]

@@ -39,5 +39,6 @@ pub mod spec;
 pub mod stationary_c;
 
 pub use config::{DeviceConfig, GridConfig, PlanError, PlannerConfig};
+pub use exec::{validate_trace_invariants, ExecOptions, ExecReport, ExecTraceData};
 pub use plan::{ExecutionPlan, PlanStats};
 pub use spec::ProblemSpec;

@@ -1,0 +1,232 @@
+//! Integration tests for the executor's trace invariants (§3.2/§4): run
+//! real traced numeric executions and check the *schedule* — not just the
+//! numbers — obeys the device discipline the planner promised.
+//!
+//! The checks are asserted twice: once directly against the task records
+//! (independent re-derivation), once via the shared
+//! [`bst_contract::validate_trace_invariants`] helper the repro binaries
+//! gate on.
+
+use bst_contract::exec::execute_numeric_with;
+use bst_contract::{
+    validate_trace_invariants, DeviceConfig, ExecOptions, ExecReport, ExecutionPlan, GridConfig,
+    PlannerConfig, ProblemSpec,
+};
+use bst_runtime::graph::WorkerId;
+use bst_runtime::TaskRecord;
+use bst_sparse::generate::{generate, SyntheticParams};
+use bst_sparse::matrix::tile_seed;
+use bst_sparse::BlockSparseMatrix;
+use std::collections::HashMap;
+
+/// A problem + memory budget tight enough to force several blocks and
+/// chunks per GPU, so every control-edge family is actually exercised.
+fn tight_spec() -> ProblemSpec {
+    let prob = generate(&SyntheticParams {
+        m: 120,
+        n: 960,
+        k: 960,
+        density: 0.6,
+        tile_min: 8,
+        tile_max: 20,
+        seed: 11,
+    });
+    ProblemSpec::new(prob.a, prob.b, None)
+}
+
+const GPU_MEM: u64 = 1 << 20;
+
+fn traced_run(spec: &ProblemSpec, opts: ExecOptions) -> ExecReport {
+    let config = PlannerConfig::paper(
+        GridConfig::from_nodes(2, 1),
+        DeviceConfig {
+            gpus_per_node: 2,
+            gpu_mem_bytes: GPU_MEM,
+        },
+    );
+    let plan = ExecutionPlan::build(spec, config).unwrap();
+    let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), 11);
+    let b_gen = |k: usize, j: usize, r: usize, c: usize| {
+        bst_tile::Tile::random(r, c, tile_seed(11 ^ 0xB, k, j))
+    };
+    let (_c, report) = execute_numeric_with(
+        spec,
+        &plan,
+        &a,
+        &b_gen,
+        ExecOptions {
+            tracing: true,
+            ..opts
+        },
+    );
+    report
+}
+
+fn by_lane(report: &ExecReport) -> HashMap<WorkerId, Vec<&TaskRecord>> {
+    let mut map: HashMap<WorkerId, Vec<&TaskRecord>> = HashMap::new();
+    for r in &report.trace.as_ref().unwrap().records {
+        map.entry(r.worker).or_default().push(r);
+    }
+    map
+}
+
+/// "Gemm(i,k,j)" → (i, k); "LoadA(i,k)" → (i, k); "LoadBlock(b)" → b; ...
+fn nums(detail: &str) -> Vec<u64> {
+    detail
+        .split_once('(')
+        .and_then(|(_, rest)| rest.strip_suffix(')'))
+        .unwrap_or("")
+        .split([',', '-', '>'])
+        .filter_map(|s| s.parse().ok())
+        .collect()
+}
+
+/// No Gemm before its operands were staged: a `LoadA(i,k)` *and* some
+/// `LoadBlock` must have finished on the same GPU lane first.
+#[test]
+fn gemm_never_starts_before_its_loads() {
+    let spec = tight_spec();
+    let report = traced_run(&spec, ExecOptions::default());
+    let mut gemms_checked = 0usize;
+    for (lane, records) in by_lane(&report) {
+        if lane.lane == 0 {
+            continue;
+        }
+        for gemm in records.iter().filter(|r| r.kind == "Gemm") {
+            let g = nums(&gemm.detail);
+            assert!(
+                records.iter().any(|r| r.kind == "LoadA"
+                    && nums(&r.detail) == [g[0], g[1]]
+                    && r.span.end_ns <= gemm.span.start_ns),
+                "{} ran before LoadA({},{}) finished on {lane:?}",
+                gemm.detail,
+                g[0],
+                g[1]
+            );
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.kind == "LoadBlock" && r.span.end_ns <= gemm.span.start_ns),
+                "{} ran before any LoadBlock finished on {lane:?}",
+                gemm.detail
+            );
+            gemms_checked += 1;
+        }
+    }
+    assert!(gemms_checked > 100, "only {gemms_checked} Gemms traced");
+    assert_eq!(
+        validate_trace_invariants(&report, ExecOptions::default(), GPU_MEM),
+        Vec::<String>::new()
+    );
+}
+
+/// §3.2.2 blocking block transfers: with `block_serialization` on, block
+/// b+1's `LoadBlock` never starts before block b's `FlushBlock` finished
+/// on the same lane.
+#[test]
+fn block_serialization_orders_flush_before_next_load() {
+    let spec = tight_spec();
+    let opts = ExecOptions {
+        block_serialization: true,
+        prefetch_window: true,
+        ..ExecOptions::default()
+    };
+    let report = traced_run(&spec, opts);
+    let mut lanes_with_multiple_blocks = 0usize;
+    for (lane, records) in by_lane(&report) {
+        if lane.lane == 0 {
+            continue;
+        }
+        let flush_end: HashMap<u64, u64> = records
+            .iter()
+            .filter(|r| r.kind == "FlushBlock")
+            .map(|r| (nums(&r.detail)[0], r.span.end_ns))
+            .collect();
+        let loads: Vec<_> = records.iter().filter(|r| r.kind == "LoadBlock").collect();
+        if loads.len() > 1 {
+            lanes_with_multiple_blocks += 1;
+        }
+        for load in loads {
+            let b = nums(&load.detail)[0];
+            if b > 0 {
+                let end = flush_end[&(b - 1)];
+                assert!(
+                    load.span.start_ns >= end,
+                    "LoadBlock({b}) on {lane:?} started {} ns before FlushBlock({}) ended",
+                    end - load.span.start_ns,
+                    b - 1
+                );
+            }
+        }
+    }
+    assert!(
+        lanes_with_multiple_blocks > 0,
+        "problem too small: no lane ran multiple blocks"
+    );
+    assert_eq!(validate_trace_invariants(&report, opts, GPU_MEM), Vec::<String>::new());
+}
+
+/// Device memory discipline: every simulated GPU's high-water mark stays
+/// within the configured budget, and the occupancy samples agree with the
+/// reported peak.
+#[test]
+fn device_high_water_stays_within_budget() {
+    let spec = tight_spec();
+    let report = traced_run(&spec, ExecOptions::default());
+    assert!(!report.devices.is_empty());
+    for ((node, gpu), stats) in &report.devices {
+        assert!(
+            stats.peak_bytes <= GPU_MEM,
+            "n{node}.g{gpu} peaked at {} > {GPU_MEM}",
+            stats.peak_bytes
+        );
+        assert!(stats.peak_bytes > 0);
+    }
+    let trace = report.trace.as_ref().unwrap();
+    assert_eq!(trace.mem_samples.len(), report.devices.len());
+    for ((node, gpu), samples) in &trace.mem_samples {
+        let sampled_peak = samples.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        let reported = report
+            .devices
+            .iter()
+            .find(|(d, _)| d == &(*node, *gpu))
+            .map(|(_, s)| s.peak_bytes)
+            .unwrap();
+        assert!(
+            sampled_peak <= reported,
+            "n{node}.g{gpu}: sampled {sampled_peak} > reported peak {reported}"
+        );
+        for pair in samples.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "samples out of order");
+        }
+    }
+}
+
+/// The helper itself must *detect* violations, not just bless everything:
+/// corrupt a record's span and expect a complaint.
+#[test]
+fn validator_flags_corrupted_schedules() {
+    let spec = tight_spec();
+    let mut report = traced_run(&spec, ExecOptions::default());
+    assert!(validate_trace_invariants(&report, ExecOptions::default(), GPU_MEM).is_empty());
+
+    // Shrink the budget below the real peak: every device must be flagged.
+    let violations = validate_trace_invariants(&report, ExecOptions::default(), 1);
+    assert_eq!(violations.len(), report.devices.len());
+    assert!(violations[0].contains("budget"), "{violations:?}");
+
+    // Pull a Gemm's start before its loads: ordering violations appear.
+    let trace = report.trace.as_mut().unwrap();
+    let idx = trace
+        .records
+        .iter()
+        .position(|r| r.kind == "Gemm" && r.worker.lane > 0)
+        .unwrap();
+    trace.records[idx].span.start_ns = 0;
+    trace.records[idx].span.ready_ns = 0;
+    let violations = validate_trace_invariants(&report, ExecOptions::default(), GPU_MEM);
+    assert!(
+        violations.iter().any(|v| v.contains("before any Load")),
+        "{violations:?}"
+    );
+}

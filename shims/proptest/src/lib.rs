@@ -1,0 +1,420 @@
+//! Offline stand-in for the `proptest` crate (this workspace builds with no
+//! network access — see `shims/README.md`).
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! [`prop_assert!`] / [`prop_assert_eq!`], the [`Strategy`] trait with
+//! `prop_map`, range and tuple strategies, and `prop::collection::vec`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its case index and seed; the
+//!   run is deterministic (seeds derive from the test name), so re-running
+//!   reproduces the failure exactly.
+//! - Case count comes from `ProptestConfig::with_cases`, overridable with
+//!   the `PROPTEST_CASES` environment variable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random inputs to try.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Failure raised by [`prop_assert!`] / [`prop_assert_eq!`] inside a
+/// property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG handed to strategies while generating one test case.
+pub type TestRng = StdRng;
+
+/// A recipe for generating random values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f` (no shrinking to preserve, so
+    /// this is a plain map).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy generating a fixed value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// The `prop::` namespace (`prop::collection::vec` and friends).
+pub mod prop {
+    /// Strategies for collections.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with lengths drawn from `size` and elements
+        /// from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy produced by [`vec()`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Number of cases to run: the `PROPTEST_CASES` environment variable if
+/// set, else `config.cases`.
+fn effective_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+}
+
+/// FNV-1a hash of the property name: a stable per-test base seed, so runs
+/// are deterministic and failures reproducible.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for each random case, panicking with the case index and
+/// seed on the first failure. Used by the [`proptest!`] expansion; not
+/// part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    for case in 0..effective_cases(config) {
+        let seed = base.wrapping_add(case as u64);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "property `{name}` failed at case {case} (seed {seed:#x}): {e}"
+            );
+        }
+    }
+}
+
+/// The names a `use proptest::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use super::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the real macro's common form: an optional
+/// `#![proptest_config(expr)]` header followed by `fn` items whose
+/// parameters are written `name in strategy`. Bodies run in a closure
+/// returning `Result<(), TestCaseError>`, so `return Ok(())` performs an
+/// early accept, exactly as in real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = (<$crate::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                let __body = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                __body()
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts `cond`, failing the current test case (not the process) when
+/// false. Extra arguments are a `format!` message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts `left == right`, failing the current test case when not.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), l, r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts `left != right`, failing the current test case when equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), l
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges honour their bounds.
+        #[test]
+        fn range_in_bounds(x in 3usize..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f), "f = {f}");
+        }
+
+        /// prop_map applies the function.
+        #[test]
+        fn mapped_values(e in arb_even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        /// Collection strategy honours length and element bounds.
+        #[test]
+        fn vec_strategy(v in prop::collection::vec(1u64..50, 1..30)) {
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            prop_assert!(v.iter().all(|&x| (1..50).contains(&x)));
+        }
+
+        /// Early accept via `return Ok(())` compiles and works.
+        #[test]
+        fn early_accept(x in 0u32..10) {
+            if x < 10 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+
+        /// Tuple strategies mix ranges and composites.
+        #[test]
+        fn tuples(
+            ab in (0u64..5, 0u64..5),
+            c in 0u64..5,
+        ) {
+            let (a, b) = ab;
+            prop_assert!(a < 5 && b < 5 && c < 5);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let config = ProptestConfig::with_cases(8);
+        let r = std::panic::catch_unwind(|| {
+            crate::run_cases(&config, "always_fails", |_rng| {
+                prop_assert!(false, "boom");
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let config = ProptestConfig::with_cases(4);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        crate::run_cases(&config, "det", |rng| {
+            first.push((0u64..1_000_000).sample(rng));
+            Ok(())
+        });
+        crate::run_cases(&config, "det", |rng| {
+            second.push((0u64..1_000_000).sample(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `rayon` crate (this workspace builds with no
+//! network access — see `shims/README.md`).
+//!
+//! The workspace uses a small slice of rayon: `par_chunks_mut`,
+//! `into_par_iter`, `par_iter_mut` followed by `enumerate` / `map` /
+//! `for_each` / `collect` / `sum`, plus [`current_num_threads`]. This shim
+//! reproduces that surface with *real* parallelism: items are materialised
+//! into a `Vec`, split into contiguous per-thread chunks, and processed on
+//! `std::thread::scope` threads. There is no work stealing — fine for the
+//! coarse-grained, evenly-sized work units the workspace feeds it (GEMM
+//! panels, node plans, Cannon grid cells).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use (the number of
+/// available CPUs, overridable with `RAYON_NUM_THREADS`).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every item of `items` on up to [`current_num_threads`]
+/// scoped threads, returning the outputs in input order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, sized to cover all items; per-chunk results are
+    // concatenated in order, preserving the sequential output order.
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk));
+        chunks.push(tail);
+    }
+    chunks.reverse(); // split_off took from the back; restore input order
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An "already parallel" iterator: items are materialised and every adaptor
+/// that applies user code (`map`, `for_each`) runs it in parallel.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index (parallel analogue of
+    /// `Iterator::enumerate`).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, &f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &|t| f(t));
+    }
+
+    /// Collects the (already computed) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the (already computed) items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Reduces with `identity` and `op` (sequential fold; the parallel work
+    /// happened in the preceding `map`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use super::ParIter;
+
+    /// Conversion into a parallel iterator (`into_par_iter`).
+    pub trait IntoParallelIterator {
+        /// Item type of the parallel iterator.
+        type Item: Send;
+        /// Converts `self` into a [`ParIter`].
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<I: Send, const N: usize> IntoParallelIterator for [I; N] {
+        type Item = I;
+        fn into_par_iter(self) -> ParIter<I> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// Parallel shared-slice views (`par_iter`, `par_chunks`).
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over shared references.
+        fn par_iter(&self) -> ParIter<&T>;
+        /// Parallel iterator over `size`-element chunks.
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<&T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+            ParIter {
+                items: self.chunks(size).collect(),
+            }
+        }
+    }
+
+    /// Parallel exclusive-slice views (`par_iter_mut`, `par_chunks_mut`).
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over exclusive references.
+        fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+        /// Parallel iterator over disjoint `size`-element mutable chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+            ParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+            ParIter {
+                items: self.chunks_mut(size).collect(),
+            }
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+        fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+            self.as_mut_slice().par_iter_mut()
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+            self.as_mut_slice().par_chunks_mut(size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let sq: Vec<u64> = v.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(sq, (0..1000).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_collect_result_short_circuit_shape() {
+        let v: Vec<u32> = (0..100).collect();
+        let ok: Result<Vec<u32>, String> =
+            v.clone().into_par_iter().map(Ok::<u32, String>).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u32>, String> = v
+            .into_par_iter()
+            .map(|x| if x == 42 { Err("boom".to_string()) } else { Ok(x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn chunks_mut_are_disjoint_and_parallel() {
+        let mut data = vec![0u64; 10_000];
+        data.par_chunks_mut(777).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, (i / 777) as u64);
+        }
+    }
+
+    #[test]
+    fn iter_mut_enumerate_map_sum() {
+        let mut v: Vec<u64> = vec![1; 64];
+        let total: u64 = v
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| {
+                *x += i as u64;
+                *x
+            })
+            .sum();
+        assert_eq!(total, 64 + (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            vec![1, 2, 3, 4].into_par_iter().for_each(|x| {
+                if x == 3 {
+                    panic!("worker panic");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
