@@ -3,32 +3,40 @@
 //! kernels across the tile shapes the paper cares about (small irregular
 //! tiles up to the ~728-edge "peak" tile).
 
-use bst_tile::gemm::{gemm_blocked, gemm_naive, gemm_packed, gemm_parallel};
+use bst_tile::gemm::{
+    gemm_blocked, gemm_naive, gemm_packed, gemm_packed_4x8, gemm_packed_8x4, gemm_packed_8x8,
+    gemm_parallel,
+};
+use bst_tile::kernel::select_heuristic;
 use bst_tile::Tile;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_kernels(c: &mut Criterion) {
+    let variants: [(&str, fn(f64, &Tile, &Tile, &mut Tile)); 7] = [
+        ("naive", gemm_naive),
+        ("blocked", gemm_blocked),
+        ("packed4x4", gemm_packed),
+        ("packed8x4", gemm_packed_8x4),
+        ("packed4x8", gemm_packed_4x8),
+        ("packed8x8", gemm_packed_8x8),
+        ("parallel", gemm_parallel),
+    ];
     let mut group = c.benchmark_group("tile_gemm");
     for &edge in &[32usize, 64, 128, 256] {
         let a = Tile::random(edge, edge, 1);
         let b = Tile::random(edge, edge, 2);
         let flops = 2 * (edge as u64).pow(3);
         group.throughput(Throughput::Elements(flops));
-        group.bench_with_input(BenchmarkId::new("naive", edge), &edge, |bench, _| {
+        for (name, kernel) in variants {
+            group.bench_with_input(BenchmarkId::new(name, edge), &edge, |bench, _| {
+                let mut out = Tile::zeros(edge, edge);
+                bench.iter(|| kernel(1.0, &a, &b, &mut out));
+            });
+        }
+        // The dispatch path the executor takes: shape rule + kernel call.
+        group.bench_with_input(BenchmarkId::new("dispatch", edge), &edge, |bench, _| {
             let mut out = Tile::zeros(edge, edge);
-            bench.iter(|| gemm_naive(1.0, &a, &b, &mut out));
-        });
-        group.bench_with_input(BenchmarkId::new("blocked", edge), &edge, |bench, _| {
-            let mut out = Tile::zeros(edge, edge);
-            bench.iter(|| gemm_blocked(1.0, &a, &b, &mut out));
-        });
-        group.bench_with_input(BenchmarkId::new("packed", edge), &edge, |bench, _| {
-            let mut out = Tile::zeros(edge, edge);
-            bench.iter(|| gemm_packed(1.0, &a, &b, &mut out));
-        });
-        group.bench_with_input(BenchmarkId::new("parallel", edge), &edge, |bench, _| {
-            let mut out = Tile::zeros(edge, edge);
-            bench.iter(|| gemm_parallel(1.0, &a, &b, &mut out));
+            bench.iter(|| select_heuristic(edge, edge, edge).run(1.0, &a, &b, &mut out));
         });
     }
     group.finish();

@@ -8,7 +8,6 @@ use bst_runtime::ptg::{space_2d, PtgProgram};
 use bst_sparse::generate::{generate, SyntheticParams};
 use bst_sparse::matrix::tile_seed;
 use bst_sparse::BlockSparseMatrix;
-use bst_tile::Tile;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn w(node: usize, lane: usize) -> WorkerId {
@@ -112,8 +111,8 @@ fn bench_numeric_end_to_end(c: &mut Criterion) {
     group.throughput(Throughput::Elements(flops));
     group.bench_function("execute_numeric_4nodes_8gpus", |b| {
         b.iter(|| {
-            let b_gen = |k: usize, j: usize, r: usize, cc: usize| {
-                Tile::random(r, cc, tile_seed(2, k, j))
+            let b_gen = |k: usize, j: usize, r: usize, cc: usize, pool: &bst_tile::TilePool| {
+                pool.random(r, cc, tile_seed(2, k, j))
             };
             bst_contract::exec::execute_numeric(&spec, &plan, &a, &b_gen)
         });

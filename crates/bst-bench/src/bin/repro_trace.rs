@@ -67,13 +67,63 @@ fn numeric_mode(args: &[String]) {
             n: 3200,
             k: 3200,
             density: 0.5,
-            tile_min: 12,
-            tile_max: 40,
+            tile_min: 48,
+            tile_max: 128,
             seed: 42,
         });
         (ProblemSpec::new(prob.a, prob.b, None), 1 << 23)
     };
-    let opts = ExecOptions::default();
+    // Three legs. The Gemm comparison (baseline vs kernel leg) holds the
+    // thread structure fixed — GenB serialized in both — so per-task spans
+    // are not skewed by preemption from extra worker threads; the fan-out
+    // effect is then shown separately as GenB span overlap.
+    let baseline_opts = ExecOptions {
+        kernel: bst_contract::KernelSelect::Baseline,
+        genb_workers: 0,
+        ..ExecOptions::default()
+    };
+    let kernel_opts = ExecOptions {
+        kernel: bst_contract::KernelSelect::Autotune,
+        genb_workers: 0,
+        ..ExecOptions::default()
+    };
+    let opts = ExecOptions {
+        kernel: bst_contract::KernelSelect::Autotune,
+        ..ExecOptions::default()
+    };
+    // Interleave the two timing legs three times and score each leg by its
+    // per-task best-of-3 Gemm time: the same deterministic task set runs in
+    // every repetition, so taking each task's fastest span filters out the
+    // preemption hits an oversubscribed host injects, and interleaving
+    // cancels slow drift. (Totals of a single run swing by 2x on a busy
+    // single-core box — per-task minima are stable.)
+    let mut baseline: Option<bst_contract::ExecReport> = None;
+    let mut kernel_leg: Option<bst_contract::ExecReport> = None;
+    let mut baseline_best: std::collections::HashMap<String, u64> = Default::default();
+    let mut kernel_best: std::collections::HashMap<String, u64> = Default::default();
+    let fold_best = |best: &mut std::collections::HashMap<String, u64>,
+                     r: &bst_contract::ExecReport| {
+        for rec in &r.trace.as_ref().expect("traced").records {
+            if rec.kind == "Gemm" {
+                let ns = rec.span.end_ns - rec.span.start_ns;
+                best.entry(rec.detail.clone())
+                    .and_modify(|b| *b = (*b).min(ns))
+                    .or_insert(ns);
+            }
+        }
+    };
+    for _ in 0..3 {
+        let b = traced_numeric_report(&spec, 2, 2, gpu_mem, 42, baseline_opts);
+        fold_best(&mut baseline_best, &b);
+        baseline = Some(b);
+        let k = traced_numeric_report(&spec, 2, 2, gpu_mem, 42, kernel_opts);
+        fold_best(&mut kernel_best, &k);
+        kernel_leg = Some(k);
+    }
+    let (baseline, kernel_leg) = (baseline.unwrap(), kernel_leg.unwrap());
+    let gemm_best_ms =
+        |best: &std::collections::HashMap<String, u64>| best.values().sum::<u64>() as f64 / 1e6;
+    let (baseline_gemm_ms, kernel_gemm_ms) = (gemm_best_ms(&baseline_best), gemm_best_ms(&kernel_best));
     let report = traced_numeric_report(&spec, 2, 2, gpu_mem, 42, opts);
 
     println!(
@@ -84,6 +134,7 @@ fn numeric_mode(args: &[String]) {
         gpu_mem >> 20
     );
     print!("{}", report.text_summary(gpu_mem));
+    print_hot_path_comparison(baseline_gemm_ms, kernel_gemm_ms, &baseline, &kernel_leg, &report);
 
     let trace = report.trace.as_ref().expect("tracing was enabled");
     let json = trace.chrome_trace_json();
@@ -112,6 +163,43 @@ fn numeric_mode(args: &[String]) {
         std::process::exit(1);
     }
     println!("# trace invariants OK ({} task records)", trace.records.len());
+}
+
+/// Prints the baseline-vs-tuned hot-path deltas the PR-1 tracer measures:
+/// per-kind Gemm time (kernel dispatch, at identical thread structure), the
+/// kernel mix the autotuner chose, GenB span overlap from the worker
+/// fan-out, and tile-pool recycling.
+fn print_hot_path_comparison(
+    baseline_gemm_ms: f64,
+    kernel_gemm_ms: f64,
+    baseline: &bst_contract::ExecReport,
+    kernel_leg: &bst_contract::ExecReport,
+    tuned: &bst_contract::ExecReport,
+) {
+    println!("# hot path vs baseline (blocked kernel, serialized GenB):");
+    println!(
+        "#   Gemm time, per-task best of 3 (autotuned dispatch, same thread layout): {baseline_gemm_ms:.1} ms -> {kernel_gemm_ms:.1} ms ({:+.1}%)",
+        (kernel_gemm_ms - baseline_gemm_ms) / baseline_gemm_ms * 100.0
+    );
+    let kernels: Vec<String> = kernel_leg
+        .gemm_kernel_counts
+        .iter()
+        .map(|(name, n)| format!("{name}:{n}"))
+        .collect();
+    println!("#   kernel mix: {}", kernels.join(" "));
+    println!(
+        "#   GenB max concurrency per node: {} -> {} (workers fanned out)",
+        bst_contract::max_concurrent_genb(baseline),
+        bst_contract::max_concurrent_genb(tuned)
+    );
+    let (hits, misses): (u64, u64) = tuned
+        .pool_stats
+        .iter()
+        .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+    println!(
+        "#   tile-pool reuse: {hits} hits / {misses} misses ({:.0}% recycled)",
+        hits as f64 / (hits + misses).max(1) as f64 * 100.0
+    );
 }
 
 /// The original simulator Gantt mode.

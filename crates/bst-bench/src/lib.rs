@@ -198,8 +198,8 @@ pub fn traced_numeric_report(
     let plan = ExecutionPlan::build(spec, config).expect("traced plan must build");
     let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), seed);
     let bseed = seed ^ 0xB;
-    let b_gen = move |k: usize, j: usize, r: usize, c: usize| {
-        bst_tile::Tile::random(r, c, tile_seed(bseed, k, j))
+    let b_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+        pool.random(r, c, tile_seed(bseed, k, j))
     };
     let (_c, report) = execute_numeric_with(
         spec,

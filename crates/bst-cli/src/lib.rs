@@ -323,8 +323,8 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
             let plan = ExecutionPlan::build(&spec, config)?;
             let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), cli.seed);
             let seed = cli.seed ^ 0xB;
-            let b_gen = move |k: usize, j: usize, r: usize, c: usize| {
-                bst_tile::Tile::random(r, c, tile_seed(seed, k, j))
+            let b_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+                pool.random(r, c, tile_seed(seed, k, j))
             };
             let opts = bst_contract::ExecOptions {
                 tracing: cli.trace.is_some() || cli.trace_summary,

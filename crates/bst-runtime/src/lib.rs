@@ -28,6 +28,11 @@
 //! * [`trace`] — lock-cheap per-worker task life-cycle recording
 //!   ([`graph::TaskGraph::execute_traced`]), trace well-formedness
 //!   validation, and exporters (Chrome-trace JSON, plain-text summary).
+//!
+//! Executors built on this crate allocate their working tiles through the
+//! re-exported [`TilePool`] (one pool per simulated node), so hot-path
+//! zero-fills and on-demand tile generation recycle buffers instead of
+//! hitting the allocator — the PaRSEC arena idea at tile granularity.
 
 pub mod data;
 pub mod device;
@@ -35,6 +40,7 @@ pub mod graph;
 pub mod ptg;
 pub mod trace;
 
+pub use bst_tile::pool::{PoolStats, TilePool};
 pub use data::{DataKey, TileStore};
 pub use device::{DeviceMemory, NodeResidency};
 pub use graph::{TaskGraph, WorkerId};

@@ -6,6 +6,7 @@
 //! structure alone.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::dense::DenseMatrix;
 use crate::shape::SparseShape;
@@ -13,10 +14,16 @@ use crate::structure::MatrixStructure;
 use bst_tile::{Tile, Tiling};
 
 /// A block-sparse matrix: structure + dense tiles for each non-zero block.
+///
+/// Tiles are held behind `Arc` so executors can seed per-node stores by
+/// reference-sharing instead of deep-copying every buffer (the matrix's
+/// tiles are immutable while a contraction runs); in-place mutation goes
+/// through copy-on-write ([`Arc::make_mut`]), so single-owner use is
+/// unaffected.
 #[derive(Clone, Debug)]
 pub struct BlockSparseMatrix {
     structure: MatrixStructure,
-    tiles: HashMap<(usize, usize), Tile>,
+    tiles: HashMap<(usize, usize), Arc<Tile>>,
 }
 
 impl BlockSparseMatrix {
@@ -42,7 +49,7 @@ impl BlockSparseMatrix {
             let cols = structure.col_tiling().size(c) as usize;
             let t = gen(r, c, rows, cols);
             assert_eq!((t.rows(), t.cols()), (rows, cols), "generator shape mismatch at ({r},{c})");
-            tiles.insert((r, c), t);
+            tiles.insert((r, c), Arc::new(t));
         }
         Self { structure, tiles }
     }
@@ -75,6 +82,12 @@ impl BlockSparseMatrix {
 
     /// The tile at `(r, c)`, if non-zero.
     pub fn tile(&self, r: usize, c: usize) -> Option<&Tile> {
+        self.tiles.get(&(r, c)).map(Arc::as_ref)
+    }
+
+    /// The shared handle to the tile at `(r, c)`, if non-zero — clone this
+    /// to hand the tile to an executor without copying the buffer.
+    pub fn tile_arc(&self, r: usize, c: usize) -> Option<&Arc<Tile>> {
         self.tiles.get(&(r, c))
     }
 
@@ -84,6 +97,15 @@ impl BlockSparseMatrix {
     /// # Panics
     /// Panics if the tile shape disagrees with the tilings.
     pub fn insert_tile(&mut self, r: usize, c: usize, tile: Tile) {
+        self.insert_tile_arc(r, c, Arc::new(tile));
+    }
+
+    /// [`Self::insert_tile`] for a tile already behind an `Arc` (shares the
+    /// buffer instead of copying).
+    ///
+    /// # Panics
+    /// Panics if the tile shape disagrees with the tilings.
+    pub fn insert_tile_arc(&mut self, r: usize, c: usize, tile: Arc<Tile>) {
         assert_eq!(tile.rows() as u64, self.structure.row_tiling().size(r));
         assert_eq!(tile.cols() as u64, self.structure.col_tiling().size(c));
         let norm = tile.frobenius_norm() as f32;
@@ -92,9 +114,12 @@ impl BlockSparseMatrix {
     }
 
     /// Accumulates `tile` into block `(r, c)`, creating it if absent.
+    ///
+    /// Copy-on-write: if the existing tile is shared with other holders, it
+    /// is cloned before mutation so the other holders are unaffected.
     pub fn accumulate_tile(&mut self, r: usize, c: usize, tile: &Tile) {
         match self.tiles.get_mut(&(r, c)) {
-            Some(existing) => existing.add_assign(tile),
+            Some(existing) => Arc::make_mut(existing).add_assign(tile),
             None => {
                 self.insert_tile(r, c, tile.clone());
                 return;
@@ -111,6 +136,12 @@ impl BlockSparseMatrix {
 
     /// Iterator over `((r, c), tile)` pairs in unspecified order.
     pub fn iter_tiles(&self) -> impl Iterator<Item = (&(usize, usize), &Tile)> {
+        self.tiles.iter().map(|(k, t)| (k, t.as_ref()))
+    }
+
+    /// Iterator over `((r, c), shared tile handle)` pairs in unspecified
+    /// order — for seeding executors by reference.
+    pub fn iter_tile_arcs(&self) -> impl Iterator<Item = (&(usize, usize), &Arc<Tile>)> {
         self.tiles.iter()
     }
 
@@ -149,7 +180,7 @@ impl BlockSparseMatrix {
                 for &j in &bcols {
                     let bt = b.tile(k, j).expect("shape says non-zero but tile missing");
                     let mut ct = match self.tiles.remove(&(i, j)) {
-                        Some(t) => t,
+                        Some(t) => Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone()),
                         None => Tile::zeros(at.rows(), bt.cols()),
                     };
                     bst_tile::gemm::gemm_blocked(1.0, at, bt, &mut ct);
@@ -232,6 +263,31 @@ mod tests {
         m.accumulate_tile(0, 0, &t);
         m.accumulate_tile(0, 0, &t);
         assert_eq!(m.tile(0, 0).unwrap().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn shared_tiles_are_copy_on_write() {
+        let mut m = BlockSparseMatrix::zeros(Tiling::from_sizes(&[1]), Tiling::from_sizes(&[1]));
+        m.insert_tile(0, 0, Tile::from_data(1, 1, vec![2.0]));
+        // Take a shared handle, as an executor seeding its stores would.
+        let shared = Arc::clone(m.tile_arc(0, 0).unwrap());
+        m.accumulate_tile(0, 0, &Tile::from_data(1, 1, vec![5.0]));
+        assert_eq!(m.tile(0, 0).unwrap().get(0, 0), 7.0);
+        assert_eq!(shared.get(0, 0), 2.0, "external holder must be unaffected");
+        // With no other holders, accumulation mutates in place (same buffer).
+        let before = m.tile(0, 0).unwrap() as *const Tile;
+        m.accumulate_tile(0, 0, &Tile::from_data(1, 1, vec![1.0]));
+        assert_eq!(m.tile(0, 0).unwrap() as *const Tile, before);
+        assert_eq!(m.tile(0, 0).unwrap().get(0, 0), 8.0);
+    }
+
+    #[test]
+    fn insert_tile_arc_shares_buffer() {
+        let mut m = BlockSparseMatrix::zeros(Tiling::from_sizes(&[1]), Tiling::from_sizes(&[1]));
+        let t = Arc::new(Tile::from_data(1, 1, vec![3.0]));
+        m.insert_tile_arc(0, 0, Arc::clone(&t));
+        assert!(Arc::ptr_eq(m.tile_arc(0, 0).unwrap(), &t));
+        assert!((m.structure().shape().norm(0, 0) - 3.0).abs() < 1e-5);
     }
 
     #[test]

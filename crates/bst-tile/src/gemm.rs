@@ -1,21 +1,27 @@
 //! `C += A * B` kernels on dense tiles.
 //!
-//! Four implementations with identical semantics:
+//! A family of implementations with identical semantics:
 //!
 //! * [`gemm_naive`] — triple loop, the correctness reference;
 //! * [`gemm_blocked`] — cache-blocked with a column-major-friendly loop
 //!   order, the default CPU kernel;
-//! * [`gemm_packed`] — GotoBLAS-style packed panels with an `MR × NR`
-//!   register-blocked micro-kernel;
+//! * [`gemm_packed`] / [`gemm_packed_8x4`] / [`gemm_packed_4x8`] /
+//!   [`gemm_packed_8x8`] — GotoBLAS-style packed panels with an `MR × NR`
+//!   register-blocked micro-kernel; both operands are packed (A into
+//!   `MR`-row panels, B into `NR`-column panels) so the micro-kernel
+//!   streams everything with unit stride;
 //! * [`gemm_parallel`] — rayon-parallel over column panels, used by the
 //!   simulated GPU executors (a stand-in for cuBLAS: one device = one rayon
 //!   pool slice).
+//!
+//! Picking between them by tile shape is the job of [`crate::kernel`].
 //!
 //! All kernels compute `C ← alpha * A * B + C` exactly (no fused scaling of
 //! C; the paper's contraction uses `beta = 1` accumulation).
 
 use crate::tile::Tile;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Cache block edge for the blocked kernel, sized so three blocks fit in L1.
 const BLOCK: usize = 64;
@@ -84,18 +90,28 @@ fn gemm_blocked_raw(alpha: f64, m: usize, n: usize, kk: usize, ad: &[f64], bd: &
     }
 }
 
-/// Register-blocking parameters of the packed kernel: the micro-tile is
-/// `MR × NR` accumulators held in locals so the inner loop is a pure
-/// FMA sweep the compiler can vectorise.
-const MR: usize = 4;
-/// Columns per micro-tile.
-const NR: usize = 4;
+thread_local! {
+    /// Per-thread pack scratch for the packed kernels: `(A panels, B panels)`.
+    /// Reused across calls so the hot path performs no allocation once the
+    /// buffers have grown to the working tile size (the pack-scratch half of
+    /// the buffer-pool story; tiles themselves go through
+    /// `crate::pool::TilePool`).
+    static PACK_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
-/// Packed kernel: `C += alpha * A * B` with `A` packed into `MR`-row panels
-/// so the micro-kernel reads both operands with unit stride — the classical
-/// GotoBLAS structure (pack + register-blocked micro-tile), at the scale a
-/// tile kernel needs.
-pub fn gemm_packed(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+/// Packed kernel generic over the `MR × NR` register micro-tile.
+///
+/// Both operands are packed: `A` into `MR`-row panels and `B` into
+/// `NR`-column panels, each stored k-major, so the micro-kernel streams
+/// every operand with unit stride — the classical GotoBLAS structure at the
+/// scale a tile kernel needs. The `MR × NR` accumulators live in locals so
+/// the `k` loop is a pure FMA sweep the compiler can vectorise.
+fn gemm_packed_generic<const MR: usize, const NR: usize>(
+    alpha: f64,
+    a: &Tile,
+    b: &Tile,
+    c: &mut Tile,
+) {
     check_shapes(c, a, b);
     let (m, n, kk) = (a.rows(), b.cols(), a.cols());
     if m < MR || n < NR {
@@ -104,76 +120,109 @@ pub fn gemm_packed(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
     let (ad, bd) = (a.data(), b.data());
     let cd = c.data_mut();
 
-    // Pack A: panels of MR rows, each panel stored k-major so the
-    // micro-kernel streams it contiguously. The ragged tail of rows is
-    // handled by the blocked kernel afterwards.
-    let full_panels = m / MR;
-    let mut apack = vec![0.0f64; full_panels * MR * kk];
-    for p in 0..full_panels {
-        let dst = &mut apack[p * MR * kk..(p + 1) * MR * kk];
-        for l in 0..kk {
-            for r in 0..MR {
-                dst[l * MR + r] = ad[l * m + p * MR + r];
+    // Ragged edges are zero-padded to full micro-tiles inside the packed
+    // panels (the classical GotoBLAS edge-case treatment): the register
+    // kernel then runs unconditionally — a few multiplies by zero beat a
+    // scalar tail path by an order of magnitude on ragged tile shapes —
+    // and the write-back clamps to the valid C sub-block.
+    let mpanels = m.div_ceil(MR);
+    let npanels = n.div_ceil(NR);
+    PACK_SCRATCH.with(|scratch| {
+        let (apack, bpack) = &mut *scratch.borrow_mut();
+        apack.clear();
+        apack.resize(mpanels * MR * kk, 0.0);
+        bpack.clear();
+        bpack.resize(npanels * NR * kk, 0.0);
+
+        // Pack A: panels of MR rows, k-major, last panel zero-padded.
+        for p in 0..mpanels {
+            let i0 = p * MR;
+            let rows = MR.min(m - i0);
+            let dst = &mut apack[p * MR * kk..(p + 1) * MR * kk];
+            for l in 0..kk {
+                for r in 0..rows {
+                    dst[l * MR + r] = ad[l * m + i0 + r];
+                }
             }
         }
-    }
+        // Pack B: panels of NR columns, k-major, so the micro-kernel reads
+        // one contiguous NR-wide row per k step instead of NR strided
+        // loads; last panel zero-padded.
+        for pj in 0..npanels {
+            let j0 = pj * NR;
+            let cols = NR.min(n - j0);
+            let dst = &mut bpack[pj * NR * kk..(pj + 1) * NR * kk];
+            for jj in 0..cols {
+                let col = &bd[(j0 + jj) * kk..(j0 + jj + 1) * kk];
+                for l in 0..kk {
+                    dst[l * NR + jj] = col[l];
+                }
+            }
+        }
 
-    let full_cols = n / NR * NR;
-    for p in 0..full_panels {
-        let apanel = &apack[p * MR * kk..(p + 1) * MR * kk];
-        let mut j = 0;
-        while j < full_cols {
-            // MR x NR accumulators in registers.
-            let mut acc = [[0.0f64; MR]; NR];
-            for l in 0..kk {
-                let arow = &apanel[l * MR..l * MR + MR];
-                for (jj, accc) in acc.iter_mut().enumerate() {
-                    let blj = bd[(j + jj) * kk + l];
-                    for r in 0..MR {
-                        accc[r] += arow[r] * blj;
+        for p in 0..mpanels {
+            let apanel = &apack[p * MR * kk..(p + 1) * MR * kk];
+            let i0 = p * MR;
+            let rows = MR.min(m - i0);
+            for pj in 0..npanels {
+                let bpanel = &bpack[pj * NR * kk..(pj + 1) * NR * kk];
+                // MR x NR accumulators in registers.
+                let mut acc = [[0.0f64; MR]; NR];
+                for l in 0..kk {
+                    let arow = &apanel[l * MR..l * MR + MR];
+                    let brow = &bpanel[l * NR..l * NR + NR];
+                    for (jj, accc) in acc.iter_mut().enumerate() {
+                        let blj = brow[jj];
+                        for r in 0..MR {
+                            accc[r] += arow[r] * blj;
+                        }
+                    }
+                }
+                let j0 = pj * NR;
+                let cols = NR.min(n - j0);
+                for (jj, accc) in acc.iter().enumerate().take(cols) {
+                    let ccol = &mut cd[(j0 + jj) * m + i0..(j0 + jj) * m + i0 + rows];
+                    for r in 0..rows {
+                        ccol[r] += alpha * accc[r];
                     }
                 }
             }
-            for (jj, accc) in acc.iter().enumerate() {
-                let ccol = &mut cd[(j + jj) * m + p * MR..(j + jj) * m + p * MR + MR];
-                for r in 0..MR {
-                    ccol[r] += alpha * accc[r];
-                }
-            }
-            j += NR;
         }
-        // Ragged column tail for this panel.
-        for j in full_cols..n {
-            let mut acc = [0.0f64; MR];
-            for l in 0..kk {
-                let blj = bd[j * kk + l];
-                let arow = &apanel[l * MR..l * MR + MR];
-                for r in 0..MR {
-                    acc[r] += arow[r] * blj;
-                }
-            }
-            let ccol = &mut cd[j * m + p * MR..j * m + p * MR + MR];
-            for r in 0..MR {
-                ccol[r] += alpha * acc[r];
-            }
-        }
-    }
+    });
+}
 
-    // Ragged row tail: the last m % MR rows via the scalar path.
-    let tail = full_panels * MR;
-    if tail < m {
-        for j in 0..n {
-            for l in 0..kk {
-                let blj = alpha * bd[j * kk + l];
-                if blj == 0.0 {
-                    continue;
-                }
-                for r in tail..m {
-                    cd[j * m + r] += ad[l * m + r] * blj;
-                }
-            }
-        }
-    }
+/// Packed kernel with a 4×4 register micro-tile (the conservative default).
+pub fn gemm_packed(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    gemm_packed_generic::<4, 4>(alpha, a, b, c);
+}
+
+/// Packed kernel with an 8×4 micro-tile — favours tall tiles (`m ≥ n`).
+pub fn gemm_packed_8x4(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    gemm_packed_generic::<8, 4>(alpha, a, b, c);
+}
+
+/// Packed kernel with a 4×8 micro-tile — favours wide tiles (`n ≥ m`).
+pub fn gemm_packed_4x8(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    gemm_packed_generic::<4, 8>(alpha, a, b, c);
+}
+
+/// Packed kernel with an 8×8 micro-tile — maximum register reuse, needs
+/// tiles big enough in both dimensions to amortise the pack.
+pub fn gemm_packed_8x8(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
+    gemm_packed_generic::<8, 8>(alpha, a, b, c);
+}
+
+/// Column-panel width used by [`gemm_parallel`] for `n` columns across
+/// `threads` workers: `ceil(n / threads)` clamped below so panels are never
+/// degenerately thin. The minimum clamp never exceeds `ceil(n / 2)` and the
+/// divisor is at least 2, which together guarantee at least 2 panels
+/// whenever `n >= 2 * threads` (and in fact whenever `n >= 2`) — the old
+/// `BLOCK.max(...)` sizing collapsed small-`n` problems into one chunk and
+/// ran the "parallel" kernel serially.
+pub fn parallel_panel_cols(n: usize, threads: usize) -> usize {
+    let t = threads.max(2);
+    let min_panel = 8.min(n.div_ceil(2)).max(1);
+    n.div_ceil(t).max(min_panel)
 }
 
 /// Rayon-parallel kernel: column panels of `C` are independent, so they are
@@ -188,7 +237,7 @@ pub fn gemm_parallel(alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
     }
     let (ad, bd) = (a.data(), b.data());
     let cd = c.data_mut();
-    let panel = BLOCK.max(n / (4 * rayon::current_num_threads()).max(1));
+    let panel = parallel_panel_cols(n, rayon::current_num_threads());
     cd.par_chunks_mut(panel * m)
         .enumerate()
         .for_each(|(pi, cpanel)| {
@@ -244,11 +293,20 @@ mod tests {
 
     #[test]
     fn packed_matches_naive() {
+        type Kernel = fn(f64, &Tile, &Tile, &mut Tile);
+        let variants: [(&str, Kernel); 4] = [
+            ("4x4", gemm_packed),
+            ("8x4", gemm_packed_8x4),
+            ("4x8", gemm_packed_4x8),
+            ("8x8", gemm_packed_8x8),
+        ];
         for &(m, n, k) in &[
             (1usize, 1usize, 1usize),
             (3, 5, 2),
             (4, 4, 4),
+            (8, 8, 8),
             (17, 23, 9),
+            (9, 65, 7),
             (64, 64, 64),
             (65, 67, 33),
         ] {
@@ -256,11 +314,36 @@ mod tests {
             let b = Tile::random(k, n, 31);
             let c0 = Tile::random(m, n, 32);
             let mut c1 = c0.clone();
-            let mut c2 = c0.clone();
             gemm_naive(1.3, &a, &b, &mut c1);
-            gemm_packed(1.3, &a, &b, &mut c2);
-            assert!(c1.max_abs_diff(&c2) < 1e-10, "mismatch at {m}x{n}x{k}");
+            for (name, kernel) in variants {
+                let mut c2 = c0.clone();
+                kernel(1.3, &a, &b, &mut c2);
+                assert!(
+                    c1.max_abs_diff(&c2) < 1e-10,
+                    "{name} mismatch at {m}x{n}x{k}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn parallel_panels_split_work() {
+        // At least 2 panels whenever n >= 2 * threads...
+        for threads in 1..=16 {
+            for n in (2 * threads)..(2 * threads + 40) {
+                let panel = parallel_panel_cols(n, threads);
+                let panels = n.div_ceil(panel);
+                assert!(
+                    panels >= 2,
+                    "n={n} threads={threads}: panel={panel} gives a single chunk"
+                );
+            }
+        }
+        // ...and never more panels than columns, with a sane floor.
+        assert_eq!(parallel_panel_cols(1, 8), 1);
+        assert_eq!(parallel_panel_cols(1000, 4), 250);
+        assert_eq!(parallel_panel_cols(1000, 0), 500);
+        assert_eq!(parallel_panel_cols(9, 16), 5);
     }
 
     #[test]

@@ -11,15 +11,26 @@
 //! * [`Tiling`] — an irregular partition of `0..extent`, with O(1) size/offset
 //!   queries and O(log n) coordinate lookup;
 //! * [`Tile`] — a dense, column-major `f64` block;
-//! * [`gemm`] — `C += A * B` kernels (naive reference, cache-blocked, and a
-//!   rayon-parallel variant) used by the simulated GPU executors.
+//! * [`gemm`] — `C += A * B` kernels (naive reference, cache-blocked, a
+//!   family of packed register-blocked micro-kernels, and a rayon-parallel
+//!   variant) used by the simulated GPU executors;
+//! * [`kernel`] — shape-aware dispatch between the kernels, with a one-shot
+//!   micro-autotune ([`kernel::KernelTable`]) over an instance's tile-shape
+//!   distribution;
+//! * [`pool`] — a recycling buffer arena ([`pool::TilePool`]) so hot-path
+//!   tile allocations reuse freed buffers.
 //!
 //! Everything in this crate is deterministic and platform independent; random
-//! builders take explicit seeds.
+//! builders take explicit seeds (kernel *selection* by the autotuner is the
+//! one wall-clock-dependent choice, and it never affects results).
 
 pub mod gemm;
+pub mod kernel;
+pub mod pool;
 pub mod tile;
 pub mod tiling;
 
+pub use kernel::{KernelKind, KernelTable};
+pub use pool::TilePool;
 pub use tile::Tile;
 pub use tiling::Tiling;

@@ -48,9 +48,29 @@ impl Tile {
     /// column (§4: "each tile of B is instantiated at most once per node that
     /// needs it").
     pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut t = Self::zeros(rows, cols);
+        t.fill_random(seed);
+        t
+    }
+
+    /// Overwrites every element with the same deterministic pseudo-random
+    /// sequence [`Tile::random`] produces for this shape and seed.
+    ///
+    /// This is the in-place counterpart of [`Tile::random`] used by the
+    /// buffer pool (`crate::pool::TilePool`) to regenerate tiles into
+    /// recycled allocations: `pool.random(r, c, s)` and `Tile::random(r, c, s)`
+    /// are bit-identical.
+    pub fn fill_random(&mut self, seed: u64) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        Self::from_data(rows, cols, data)
+        for x in &mut self.data {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+    }
+
+    /// Consumes the tile, returning its backing buffer (for recycling).
+    #[inline]
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
     }
 
     /// Number of rows.
@@ -171,6 +191,20 @@ mod tests {
         assert_eq!(a, b);
         let c = Tile::random(5, 7, 124);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fill_random_matches_random() {
+        let a = Tile::random(6, 9, 777);
+        let mut b = Tile::from_data(6, 9, vec![f64::NAN; 54]);
+        b.fill_random(777);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_data_roundtrip() {
+        let t = Tile::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.into_data(), vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

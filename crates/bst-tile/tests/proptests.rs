@@ -1,10 +1,52 @@
 //! Property tests for tilings and GEMM kernels.
 
 use bst_tile::gemm::{gemm_blocked, gemm_naive, gemm_packed, gemm_parallel};
+use bst_tile::kernel::{select_heuristic, KernelKind, KernelTable};
 use bst_tile::{Tile, Tiling};
 use proptest::prelude::*;
 
+/// Dimension generator biased to the adversarial edges of the kernels'
+/// blocking parameters: degenerate (1..5), around the cache block
+/// (63..66), and past it (127..130).
+fn ragged_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..=5, 63usize..=66, 127usize..=130]
+}
+
 proptest! {
+    /// Every kernel variant — including the widened packed micro-kernels and
+    /// whatever a dispatch table selects — matches `gemm_naive` on
+    /// ragged/adversarial shapes and alphas including 0 and negative.
+    #[test]
+    fn all_kernel_variants_match_naive_on_ragged_shapes(
+        m in ragged_dim(),
+        n in ragged_dim(),
+        k in ragged_dim(),
+        alpha in prop_oneof![Just(0.0f64), Just(1.0f64), Just(-2.5f64)],
+        seed in 0u64..1000,
+    ) {
+        let a = Tile::random(m, k, seed);
+        let b = Tile::random(k, n, seed ^ 1);
+        let c0 = Tile::random(m, n, seed ^ 2);
+        let mut reference = c0.clone();
+        gemm_naive(alpha, &a, &b, &mut reference);
+        for kind in KernelKind::ALL {
+            let mut c = c0.clone();
+            kind.run(alpha, &a, &b, &mut c);
+            prop_assert!(
+                reference.max_abs_diff(&c) < 1e-10,
+                "{} diverged from naive at {}x{}x{} alpha={}",
+                kind.name(), m, n, k, alpha
+            );
+        }
+        // Dispatch never changes results either.
+        let heuristic = select_heuristic(m, n, k);
+        let table = KernelTable::heuristic();
+        prop_assert_eq!(table.select(m, n, k), heuristic);
+        let mut c = c0.clone();
+        heuristic.run(alpha, &a, &b, &mut c);
+        prop_assert!(reference.max_abs_diff(&c) < 1e-10);
+    }
+
     /// All kernels agree with the naive reference for arbitrary shapes.
     #[test]
     fn kernels_agree(

@@ -31,6 +31,7 @@ use bst_sparse::shape::SparseShape;
 use bst_sparse::tensor::BlockSparseTensor4;
 use bst_sparse::tensor::Tensor4Meta;
 use bst_sparse::{BlockSparseMatrix, MatrixStructure};
+use bst_tile::pool::TilePool;
 
 /// Computes `A · B` for two materialised block-sparse matrices on the
 /// simulated distributed multi-GPU runtime.
@@ -41,7 +42,7 @@ pub fn multiply(
 ) -> Result<BlockSparseMatrix, PlanError> {
     let spec = ProblemSpec::new(a.structure().clone(), b.structure().clone(), None);
     let plan = ExecutionPlan::build(&spec, config)?;
-    let b_gen = |k: usize, j: usize, _r: usize, _c: usize| {
+    let b_gen = |k: usize, j: usize, _r: usize, _c: usize, _pool: &TilePool| {
         b.tile(k, j).expect("shape says non-zero").clone()
     };
     let (c, _report) = execute_numeric(&spec, &plan, a, &b_gen);
@@ -148,8 +149,9 @@ mod tests {
             seed: 5,
         });
         let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), 1);
-        let b_gen =
-            |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(9, k, j));
+        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+            pool.random(r, c, tile_seed(9, k, j))
+        };
         let (c, report) = multiply_on_demand(&a, &prob.b, &b_gen, None, cfg(2, 1, 1)).unwrap();
         assert!(report.gemm_tasks > 0);
         assert!(c.num_tiles() > 0);
@@ -166,8 +168,8 @@ mod tests {
 
         let v_meta = Tensor4Meta::new([u.clone(), u.clone(), u.clone(), u.clone()]);
         let v_struct = v_meta.matricise(|_, _, _, _| 1.0);
-        let v_gen = |k: usize, j: usize, r: usize, c: usize| {
-            Tile::random(r, c, tile_seed(12, k, j))
+        let v_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+            pool.random(r, c, tile_seed(12, k, j))
         };
 
         let (r, report) = contract_abcd(&t, &v_struct, &v_gen, None, cfg(1, 1, 1)).unwrap();

@@ -5,10 +5,12 @@
 //! generic PTG executes over PaRSEC (§4):
 //!
 //! * **dataflow tasks** — `SendA` (A-tile broadcast across a grid row),
-//!   `GenB` (on-demand generation of B tiles on the CPU of the node that
-//!   needs them), `LoadBlock`/`LoadA` (host→device transfers), `Gemm`
-//!   (the computation), `EvictChunk`/`FlushBlock` (device memory recycling
-//!   and C write-back);
+//!   `GenB` (on-demand generation of B tiles on the node that needs them,
+//!   fanned across a small pool of CPU worker lanes — see
+//!   [`ExecOptions::genb_workers`]), `LoadBlock`/`LoadA` (host→device
+//!   transfers), `Gemm` (the computation, dispatched to a shape-selected
+//!   kernel — see [`KernelSelect`]), `EvictChunk`/`FlushBlock` (device
+//!   memory recycling and C write-back);
 //! * **control-flow edges** — `LoadBlock(b+1)` waits for `FlushBlock(b)`
 //!   (blocks are transferred blockingly, §3.2.2), and the `LoadA` tasks of
 //!   chunk `n` wait for `EvictChunk(n−2)` (one chunk computing + one chunk
@@ -34,15 +36,40 @@ use bst_runtime::trace::{
 };
 use bst_runtime::TileStore;
 use bst_sparse::BlockSparseMatrix;
-use bst_tile::gemm::gemm_blocked;
+use bst_tile::kernel::{KernelKind, KernelTable};
+use bst_tile::pool::{PoolStats, TilePool};
 use bst_tile::Tile;
 use parking_lot::Mutex;
 
 use crate::plan::ExecutionPlan;
 use crate::spec::ProblemSpec;
 
-/// Generator of `B` tiles: `(tile_row k, tile_col j, rows, cols) -> Tile`.
-pub type BGen<'a> = &'a (dyn Fn(usize, usize, usize, usize) -> Tile + Sync);
+/// Generator of `B` tiles:
+/// `(tile_row k, tile_col j, rows, cols, node pool) -> Tile`.
+///
+/// The generator receives the executing node's [`TilePool`] so it can build
+/// the tile into a recycled buffer (`pool.random(rows, cols, seed)` /
+/// `pool.take_with`); generators that don't care may ignore it and allocate
+/// normally.
+pub type BGen<'a> = &'a (dyn Fn(usize, usize, usize, usize, &TilePool) -> Tile + Sync);
+
+/// How the executor picks a GEMM kernel for each `Gemm` task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelSelect {
+    /// Always `gemm_blocked` — the pre-dispatch behaviour, kept as the
+    /// comparison baseline for the traced perf reports.
+    Baseline,
+    /// Shape-rule dispatch ([`bst_tile::kernel::select_heuristic`]): zero
+    /// startup cost, good choices for common shapes. The default.
+    #[default]
+    Heuristic,
+    /// One-shot micro-autotune: benchmark the candidate kernels on the
+    /// plan's actual tile-shape distribution
+    /// ([`ExecutionPlan::gemm_shape_histogram`]) before executing, and
+    /// dispatch through the resulting [`KernelTable`]. Costs a few
+    /// milliseconds at startup; worth it for anything but tiny runs.
+    Autotune,
+}
 
 /// Which control-flow edges to emit when lowering the plan. Both default to
 /// on — disabling either reproduces the failure mode the paper's §4 control
@@ -61,6 +88,13 @@ pub struct ExecOptions {
     /// samples; populates [`ExecReport::metrics`] and [`ExecReport::trace`].
     /// Off by default — tracing costs a few `Vec` pushes per task.
     pub tracing: bool,
+    /// GEMM kernel selection policy (see [`KernelSelect`]).
+    pub kernel: KernelSelect,
+    /// Dedicated `GenB` worker lanes per node. `0` keeps the legacy
+    /// behaviour (generation serialised on the node's CPU lane, interleaved
+    /// with `SendA`); `w > 0` fans `GenB` tasks round-robin across `w`
+    /// extra lanes so generation overlaps with communication and compute.
+    pub genb_workers: usize,
 }
 
 impl Default for ExecOptions {
@@ -69,6 +103,8 @@ impl Default for ExecOptions {
             prefetch_window: true,
             block_serialization: true,
             tracing: false,
+            kernel: KernelSelect::default(),
+            genb_workers: 2,
         }
     }
 }
@@ -88,6 +124,12 @@ pub struct ExecReport {
     pub gemm_tasks: u64,
     /// `B` tiles generated (counting per-node replicas).
     pub b_tiles_generated: u64,
+    /// How many `Gemm` tasks each kernel variant executed, as
+    /// `(kernel name, count)` — only variants that ran at least once.
+    pub gemm_kernel_counts: Vec<(&'static str, u64)>,
+    /// Per-node tile-pool counters (index = node): buffer-recycling hits
+    /// and misses for C zero-fills and generated B tiles.
+    pub pool_stats: Vec<PoolStats>,
     /// Per-task-kind aggregate timings (empty unless
     /// [`ExecOptions::tracing`]).
     pub metrics: Vec<KindMetrics>,
@@ -260,6 +302,38 @@ pub fn validate_trace_invariants(
     errors
 }
 
+/// The maximum number of `GenB` task spans overlapping in time on any single
+/// node of a traced report — `1` means generation was fully serialised,
+/// `> 1` means the `GenB` worker fan-out actually overlapped generation.
+///
+/// # Panics
+/// Panics if the report carries no trace (run with
+/// [`ExecOptions::tracing`]).
+pub fn max_concurrent_genb(report: &ExecReport) -> usize {
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("max_concurrent_genb needs a traced report");
+    // Sweep line per node over (start, +1) / (end, -1) events.
+    let mut events: HashMap<usize, Vec<(u64, i64)>> = HashMap::new();
+    for r in trace.records.iter().filter(|r| r.kind == "GenB") {
+        let node = events.entry(r.worker.node).or_default();
+        node.push((r.span.start_ns, 1));
+        node.push((r.span.end_ns, -1));
+    }
+    let mut peak = 0i64;
+    for (_, mut evs) in events {
+        // End before start at equal timestamps: touching spans don't overlap.
+        evs.sort_by_key(|&(t, d)| (t, d));
+        let mut live = 0i64;
+        for (_, d) in evs {
+            live += d;
+            peak = peak.max(live);
+        }
+    }
+    peak.max(0) as usize
+}
+
 /// The task vocabulary of the lowered DAG.
 #[derive(Clone, Debug)]
 enum Op {
@@ -418,7 +492,7 @@ pub fn execute_numeric_with(
     }
     let tree_children = std::sync::Arc::new(tree_children);
 
-    for (&(i, k), tile) in a.iter_tiles() {
+    for (&(i, k), tile) in a.iter_tile_arcs() {
         let t = (i as u32, k as u32);
         let owner = owner_of(i, k);
         let local_loads = a_loads.get(&(owner, t)).copied().unwrap_or(0);
@@ -427,30 +501,60 @@ pub fn execute_numeric_with(
             .map(|v| v.len())
             .unwrap_or(0);
         if local_loads + n_sends > 0 {
-            stores[owner].put(DataKey::A(t.0, t.1), Arc::new(tile.clone()), local_loads + n_sends);
+            // Share the matrix's own Arc — A tiles are immutable for the
+            // whole execution, so seeding is reference counting, not a copy.
+            stores[owner].put(DataKey::A(t.0, t.1), Arc::clone(tile), local_loads + n_sends);
         }
     }
+
+    // ---- Per-node buffer pools & kernel selection -------------------------
+    let pools: Vec<TilePool> = (0..n_nodes).map(|_| TilePool::new()).collect();
+    let ktable: Option<KernelTable> = match opts.kernel {
+        KernelSelect::Baseline => None,
+        KernelSelect::Heuristic => Some(KernelTable::heuristic()),
+        KernelSelect::Autotune => Some(KernelTable::autotune(&plan.gemm_shape_histogram(spec))),
+    };
+    let kernel_counts: Vec<AtomicU64> =
+        KernelKind::ALL.iter().map(|_| AtomicU64::new(0)).collect();
 
     // ---- Pass 2: build the task graph ------------------------------------
     let mut graph: TaskGraph<Op> = TaskGraph::new();
     let cpu = |node: usize| WorkerId { node, lane: 0 };
     let gpu_lane = |node: usize, gpu: usize| WorkerId { node, lane: 1 + gpu };
+    // GenB worker lanes sit above the GPU lanes: lane 1+g+w. With
+    // genb_workers == 0 generation stays on the CPU lane (lane 0), the
+    // legacy serialised behaviour.
+    let genb_lane = |node: usize, worker: usize| WorkerId {
+        node,
+        lane: 1 + g + worker,
+    };
 
-    // GenB tasks, one per (node, B tile).
+    // GenB tasks, one per (node, B tile), dealt round-robin across the
+    // node's GenB workers so generation overlaps.
     let mut genb_ids: HashMap<(usize, (u32, u32)), TaskId> = HashMap::new();
+    let mut genb_rr = vec![0usize; n_nodes];
     for (ni, node) in plan.nodes.iter().enumerate() {
         for &j in &node.columns {
             for k in spec.b.shape().nonzero_rows_in_col(j) {
                 let key = (ni, (k as u32, j as u32));
-                genb_ids.entry(key).or_insert_with(|| {
-                    graph.add_task(
-                        Op::GenB {
-                            k: k as u32,
-                            j: j as u32,
-                        },
-                        cpu(ni),
-                    )
-                });
+                if genb_ids.contains_key(&key) {
+                    continue;
+                }
+                let worker = if opts.genb_workers == 0 {
+                    cpu(ni)
+                } else {
+                    let w = genb_rr[ni] % opts.genb_workers;
+                    genb_rr[ni] += 1;
+                    genb_lane(ni, w)
+                };
+                let id = graph.add_task(
+                    Op::GenB {
+                        k: k as u32,
+                        j: j as u32,
+                    },
+                    worker,
+                );
+                genb_ids.insert(key, id);
             }
         }
     }
@@ -597,11 +701,14 @@ pub fn execute_numeric_with(
         for gi in 0..g {
             workers.push(gpu_lane(ni, gi));
         }
+        for wi in 0..opts.genb_workers {
+            workers.push(genb_lane(ni, wi));
+        }
     }
 
     let mk_ctx = |w: WorkerId| {
-        if w.lane == 0 {
-            Ctx::Cpu
+        if w.lane == 0 || w.lane > g {
+            Ctx::Cpu // lane 0: SendA (+ legacy GenB); lanes > g: GenB workers
         } else {
             Ctx::Gpu(Box::new(GpuCtx {
                 dev: DeviceMemory::new(
@@ -639,7 +746,7 @@ pub fn execute_numeric_with(
             (Op::GenB { k, j }, Ctx::Cpu) => {
                 let rows = spec.b.row_tiling().size(*k as usize) as usize;
                 let cols = spec.b.col_tiling().size(*j as usize) as usize;
-                let tile = b_gen(*k as usize, *j as usize, rows, cols);
+                let tile = b_gen(*k as usize, *j as usize, rows, cols, &pools[w.node]);
                 assert_eq!((tile.rows(), tile.cols()), (rows, cols), "b_gen shape");
                 bgens.fetch_add(1, Ordering::Relaxed);
                 stores[w.node].put(DataKey::B(*k, *j), Arc::new(tile), 1);
@@ -671,7 +778,7 @@ pub fn execute_numeric_with(
                             .alloc(key, (rows * cols * 8) as u64)
                             .unwrap_or_else(|e| panic!("C alloc: {e}"));
                         gctx.c_tiles
-                            .insert((i as u32, j as u32), Tile::zeros(rows, cols));
+                            .insert((i as u32, j as u32), pools[*node].zeroed(rows, cols));
                     }
                 }
                 gctx.sample_mem();
@@ -694,7 +801,12 @@ pub fn execute_numeric_with(
                 let at = gctx.a_tiles[&(*i, *k)].clone();
                 let bt = gctx.b_tiles[&(*k, *j)].clone();
                 let ct = gctx.c_tiles.get_mut(&(*i, *j)).expect("C tile allocated");
-                gemm_blocked(1.0, &at, &bt, ct);
+                let kind = match &ktable {
+                    None => KernelKind::Blocked,
+                    Some(table) => table.select(ct.rows(), ct.cols(), at.cols()),
+                };
+                kind.run(1.0, &at, &bt, ct);
+                kernel_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
                 gemms.fetch_add(1, Ordering::Relaxed);
             }
             (
@@ -727,7 +839,13 @@ pub fn execute_numeric_with(
                             continue;
                         }
                         gctx.dev.evict(DataKey::B(k as u32, j as u32), false);
-                        gctx.b_tiles.remove(&(k as u32, j as u32));
+                        if let Some(arc) = gctx.b_tiles.remove(&(k as u32, j as u32)) {
+                            // This lane held the last reference (the store
+                            // dropped its own at LoadBlock), so the buffer
+                            // goes back to the node pool for the next
+                            // GenB / C zero-fill of the same size.
+                            pools[*node].release_arc(arc);
+                        }
                     }
                 }
                 for j in bp.block.distinct_columns() {
@@ -797,6 +915,12 @@ pub fn execute_numeric_with(
     }
     let mut devices = dev_stats.into_inner();
     devices.sort_by_key(|(k, _)| *k);
+    let gemm_kernel_counts: Vec<(&'static str, u64)> = KernelKind::ALL
+        .iter()
+        .zip(&kernel_counts)
+        .map(|(kind, n)| (kind.name(), n.load(Ordering::Relaxed)))
+        .filter(|&(_, n)| n > 0)
+        .collect();
     (
         c,
         ExecReport {
@@ -806,6 +930,8 @@ pub fn execute_numeric_with(
             a_forward_messages: a_fwd_msgs.into_inner(),
             gemm_tasks: gemms.into_inner(),
             b_tiles_generated: bgens.into_inner(),
+            gemm_kernel_counts,
+            pool_stats: pools.iter().map(TilePool::stats).collect(),
             metrics,
             trace: trace_data,
         },
@@ -837,8 +963,8 @@ mod tests {
         let plan = ExecutionPlan::build(spec, config).unwrap();
         let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), seed);
         let b = BlockSparseMatrix::random_from_structure(spec.b.clone(), seed ^ 0xB);
-        let b_gen = |k: usize, j: usize, rows: usize, cols: usize| {
-            let t = bst_tile::Tile::random(rows, cols, tile_seed(seed ^ 0xB, k, j));
+        let b_gen = |k: usize, j: usize, rows: usize, cols: usize, pool: &TilePool| {
+            let t = pool.random(rows, cols, tile_seed(seed ^ 0xB, k, j));
             assert_eq!(b.tile(k, j).unwrap(), &t, "b_gen consistent with matrix");
             t
         };
@@ -972,8 +1098,8 @@ mod tests {
         let config = cfg(1, 1, 1, 2600);
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 5);
-        let b_gen = |k: usize, j: usize, r: usize, c: usize| {
-            bst_tile::Tile::random(r, c, tile_seed(5 ^ 0xB, k, j))
+        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+            pool.random(r, c, tile_seed(5 ^ 0xB, k, j))
         };
         // Sanity: with the control edges the very same plan runs fine
         // (checked by `tight_memory_forces_many_blocks_and_chunks`).
@@ -998,7 +1124,8 @@ mod tests {
         let config = cfg(1, 2, 1, 1 << 20);
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen = |_k: usize, _j: usize, r: usize, c: usize| bst_tile::Tile::random(r, c, 0);
+        let b_gen =
+            |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| pool.random(r, c, 0);
         let (_c, report) = execute_numeric_with(
             &spec,
             &plan,
@@ -1044,7 +1171,8 @@ mod tests {
         let spec = ProblemSpec::new(a, b, None);
         let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen = |_k: usize, _j: usize, r: usize, c: usize| bst_tile::Tile::random(r, c, 0);
+        let b_gen =
+            |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| pool.random(r, c, 0);
         let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen);
         assert!(report.trace.is_none());
         assert!(report.metrics.is_empty());
@@ -1061,8 +1189,8 @@ mod tests {
         let config = cfg(1, 4, 1, 1 << 20);
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen = |k: usize, j: usize, r: usize, c: usize| {
-            bst_tile::Tile::random(r, c, bst_sparse::matrix::tile_seed(2, k, j))
+        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+            pool.random(r, c, bst_sparse::matrix::tile_seed(2, k, j))
         };
         let (c, report) = execute_numeric(&spec, &plan, &am, &b_gen);
         assert!(
@@ -1092,12 +1220,104 @@ mod tests {
         let config = cfg(1, 2, 1, 1 << 20);
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen = |_k: usize, _j: usize, r: usize, c: usize| bst_tile::Tile::random(r, c, 0);
+        let b_gen =
+            |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| pool.random(r, c, 0);
         let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen);
         assert_eq!(report.gemm_tasks, 4 * 4 * 4);
         let expect_net = plan.stats(&spec).a_network_bytes;
         assert_eq!(report.a_network_bytes, expect_net);
         assert_eq!(report.b_tiles_generated, 16);
         assert_eq!(report.devices.len(), 2);
+    }
+
+    /// All three kernel-selection modes produce the same numbers (within
+    /// fp associativity), the report names the variants that ran, and the
+    /// per-node tile pools actually recycle buffers on a multi-block run.
+    #[test]
+    fn kernel_modes_agree_and_pools_recycle() {
+        let a = MatrixStructure::dense(Tiling::uniform(16, 4), Tiling::uniform(24, 4));
+        let b = MatrixStructure::dense(Tiling::uniform(24, 4), Tiling::uniform(24, 4));
+        let spec = ProblemSpec::new(a, b, None);
+        let config = cfg(1, 1, 1, 2600); // tight: many blocks → pool reuse
+        let plan = ExecutionPlan::build(&spec, config).unwrap();
+        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 5);
+        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+            pool.random(r, c, tile_seed(5 ^ 0xB, k, j))
+        };
+
+        let run = |kernel: KernelSelect| {
+            execute_numeric_with(
+                &spec,
+                &plan,
+                &am,
+                &b_gen,
+                ExecOptions {
+                    kernel,
+                    ..ExecOptions::default()
+                },
+            )
+        };
+        let (c_base, r_base) = run(KernelSelect::Baseline);
+        let (c_heur, r_heur) = run(KernelSelect::Heuristic);
+        let (c_auto, _r_auto) = run(KernelSelect::Autotune);
+        assert!(c_base.max_abs_diff(&c_heur) < 1e-10);
+        assert!(c_base.max_abs_diff(&c_auto) < 1e-10);
+
+        // Baseline pins every Gemm to the blocked kernel; the dispatcher
+        // reports whatever it actually chose, totalling all Gemm tasks.
+        assert_eq!(r_base.gemm_kernel_counts, vec![("blocked", r_base.gemm_tasks)]);
+        let dispatched: u64 = r_heur.gemm_kernel_counts.iter().map(|&(_, n)| n).sum();
+        assert_eq!(dispatched, r_heur.gemm_tasks);
+        assert!(!r_heur.gemm_kernel_counts.is_empty());
+
+        // The single node's pool saw reuse: later blocks' C zero-fills and
+        // generated B tiles come from recycled buffers.
+        assert_eq!(r_heur.pool_stats.len(), 1);
+        let ps = &r_heur.pool_stats[0];
+        assert!(ps.hits > 0, "no pool reuse on a multi-block run: {ps:?}");
+        assert!(ps.released > 0, "flushed B buffers never returned: {ps:?}");
+    }
+
+    /// `max_concurrent_genb` measures real overlap from the trace: the
+    /// fan-out executor reaches > 1, the serialized one stays at 1.
+    #[test]
+    fn genb_fanout_overlaps_and_legacy_serializes() {
+        let a = MatrixStructure::dense(Tiling::uniform(12, 3), Tiling::uniform(36, 3));
+        let b = MatrixStructure::dense(Tiling::uniform(36, 3), Tiling::uniform(36, 3));
+        let spec = ProblemSpec::new(a, b, None);
+        let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
+        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 3);
+        // On a loaded (or single-core) machine two short GenB spans may never
+        // be preempted mid-task, so force a rendezvous: the first generator
+        // call spins until a second call is in flight. With real fan-out the
+        // second worker arrives and both spans overlap; on the serialized
+        // path the spin times out alone and no spans ever overlap.
+        let entered = std::sync::atomic::AtomicUsize::new(0);
+        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+            use std::sync::atomic::Ordering;
+            let t = pool.random(r, c, tile_seed(3 ^ 0xB, k, j));
+            entered.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+            while entered.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            t
+        };
+        let run = |genb_workers: usize| {
+            execute_numeric_with(
+                &spec,
+                &plan,
+                &am,
+                &b_gen,
+                ExecOptions {
+                    tracing: true,
+                    genb_workers,
+                    ..ExecOptions::default()
+                },
+            )
+            .1
+        };
+        assert!(max_concurrent_genb(&run(4)) > 1, "4 GenB workers never overlapped");
+        assert_eq!(max_concurrent_genb(&run(0)), 1, "legacy path must serialize");
     }
 }

@@ -39,6 +39,9 @@ pub mod spec;
 pub mod stationary_c;
 
 pub use config::{DeviceConfig, GridConfig, PlanError, PlannerConfig};
-pub use exec::{validate_trace_invariants, ExecOptions, ExecReport, ExecTraceData};
+pub use exec::{
+    max_concurrent_genb, validate_trace_invariants, ExecOptions, ExecReport, ExecTraceData,
+    KernelSelect,
+};
 pub use plan::{ExecutionPlan, PlanStats};
 pub use spec::ProblemSpec;

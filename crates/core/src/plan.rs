@@ -14,6 +14,7 @@ use crate::config::{PlanError, PlannerConfig};
 use crate::partition::{partition_spans_policy, split_column, Block, ColumnSpan};
 use crate::spec::ProblemSpec;
 use bst_tile::gemm::gemm_flops;
+use std::collections::HashMap;
 
 /// One tile-level GEMM task: `C_ij += A_ik · B_kj`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -183,6 +184,24 @@ impl ExecutionPlan {
                 }
             }
         }
+    }
+
+    /// The distribution of GEMM tile shapes this plan will execute:
+    /// `((m, n, k), task_count)` entries, sorted by shape. This is what the
+    /// kernel micro-autotuner (`bst_tile::kernel::KernelTable::autotune`)
+    /// consumes — candidates are benchmarked on the shapes the instance
+    /// actually runs, weighted by how often they occur.
+    pub fn gemm_shape_histogram(&self, spec: &ProblemSpec) -> Vec<((usize, usize, usize), u64)> {
+        let mut hist: HashMap<(usize, usize, usize), u64> = HashMap::new();
+        self.for_each_task(spec, |_, _, t| {
+            let m = spec.a.row_tiling().size(t.i as usize) as usize;
+            let n = spec.b.col_tiling().size(t.j as usize) as usize;
+            let k = spec.a.col_tiling().size(t.k as usize) as usize;
+            *hist.entry((m, n, k)).or_insert(0) += 1;
+        });
+        let mut out: Vec<_> = hist.into_iter().collect();
+        out.sort_unstable();
+        out
     }
 
     /// Computes plan-level statistics (see [`PlanStats`]).

@@ -9,8 +9,8 @@
 
 use bst_contract::exec::execute_numeric_with;
 use bst_contract::{
-    validate_trace_invariants, DeviceConfig, ExecOptions, ExecReport, ExecutionPlan, GridConfig,
-    PlannerConfig, ProblemSpec,
+    max_concurrent_genb, validate_trace_invariants, DeviceConfig, ExecOptions, ExecReport,
+    ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec,
 };
 use bst_runtime::graph::WorkerId;
 use bst_runtime::TaskRecord;
@@ -37,6 +37,10 @@ fn tight_spec() -> ProblemSpec {
 const GPU_MEM: u64 = 1 << 20;
 
 fn traced_run(spec: &ProblemSpec, opts: ExecOptions) -> ExecReport {
+    traced_run_full(spec, opts).1
+}
+
+fn traced_run_full(spec: &ProblemSpec, opts: ExecOptions) -> (BlockSparseMatrix, ExecReport) {
     let config = PlannerConfig::paper(
         GridConfig::from_nodes(2, 1),
         DeviceConfig {
@@ -46,10 +50,27 @@ fn traced_run(spec: &ProblemSpec, opts: ExecOptions) -> ExecReport {
     );
     let plan = ExecutionPlan::build(spec, config).unwrap();
     let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), 11);
-    let b_gen = |k: usize, j: usize, r: usize, c: usize| {
-        bst_tile::Tile::random(r, c, tile_seed(11 ^ 0xB, k, j))
+    // When several GenB workers are configured, rendezvous the first four
+    // generator calls so spans provably overlap even on a single-core
+    // machine where short tasks are never preempted mid-span. Four in
+    // flight across two nodes pigeonholes at least two onto one node —
+    // which is what `max_concurrent_genb` (a per-node peak) measures.
+    // (Values are seed-determined, so the stall changes timing only.)
+    let entered = std::sync::atomic::AtomicUsize::new(0);
+    let rendezvous = opts.genb_workers > 1;
+    let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+        use std::sync::atomic::Ordering;
+        let t = pool.random(r, c, tile_seed(11 ^ 0xB, k, j));
+        if rendezvous {
+            entered.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+            while entered.load(Ordering::SeqCst) < 4 && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+        }
+        t
     };
-    let (_c, report) = execute_numeric_with(
+    let (c, report) = execute_numeric_with(
         spec,
         &plan,
         &a,
@@ -59,7 +80,7 @@ fn traced_run(spec: &ProblemSpec, opts: ExecOptions) -> ExecReport {
             ..opts
         },
     );
-    report
+    (c, report)
 }
 
 fn by_lane(report: &ExecReport) -> HashMap<WorkerId, Vec<&TaskRecord>> {
@@ -200,6 +221,55 @@ fn device_high_water_stays_within_budget() {
             assert!(pair[0].0 <= pair[1].0, "samples out of order");
         }
     }
+}
+
+/// Parallel B generation must not bend the schedule: with several GenB
+/// workers per node the trace still satisfies every invariant, GenB spans
+/// actually overlap (the fan-out is real, not serialized through one lane),
+/// and the result matches the fully-serialized executor bit for bit.
+#[test]
+fn parallel_genb_keeps_invariants_and_overlaps() {
+    let spec = tight_spec();
+    let opts = ExecOptions {
+        genb_workers: 3,
+        ..ExecOptions::default()
+    };
+    let (c, report) = traced_run_full(&spec, opts);
+    assert_eq!(validate_trace_invariants(&report, opts, GPU_MEM), Vec::<String>::new());
+
+    // GenB work is spread over the dedicated lanes (lane > gpus_per_node)...
+    let genb_lanes: std::collections::HashSet<WorkerId> = report
+        .trace
+        .as_ref()
+        .unwrap()
+        .records
+        .iter()
+        .filter(|r| r.kind == "GenB")
+        .map(|r| r.worker)
+        .collect();
+    assert!(
+        genb_lanes.len() > 2,
+        "GenB confined to {genb_lanes:?} — fan-out not happening"
+    );
+    for lane in &genb_lanes {
+        assert!(lane.lane > 2, "GenB ran on a GPU/CPU lane: {lane:?}");
+    }
+    // ...and some of it genuinely ran concurrently.
+    assert!(
+        max_concurrent_genb(&report) > 1,
+        "GenB spans never overlap despite 3 workers"
+    );
+
+    // Numbers agree with the serialized legacy path (GenB completion order
+    // can reshuffle the per-tile Gemm accumulation order, so agreement is
+    // up to floating-point associativity, not bitwise).
+    let serial = ExecOptions {
+        genb_workers: 0,
+        ..ExecOptions::default()
+    };
+    let (c_serial, report_serial) = traced_run_full(&spec, serial);
+    assert_eq!(max_concurrent_genb(&report_serial), 1);
+    assert!(c.max_abs_diff(&c_serial) < 1e-10);
 }
 
 /// The helper itself must *detect* violations, not just bless everything:

@@ -13,7 +13,6 @@ use bst::dbcsr::cannon_multiply;
 use bst::sparse::generate::{generate, SyntheticParams};
 use bst::sparse::matrix::tile_seed;
 use bst::sparse::BlockSparseMatrix;
-use bst::tile::Tile;
 
 fn main() {
     let prob = generate(&SyntheticParams {
@@ -63,8 +62,8 @@ fn main() {
         },
     );
     let plan = ExecutionPlan::build(&spec, config).expect("plan");
-    let b_gen = |k: usize, j: usize, r: usize, c: usize| {
-        Tile::random(r, c, tile_seed(2, k, j))
+    let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+        pool.random(r, c, tile_seed(2, k, j))
     };
     let (c_bst, report) = execute_numeric(&spec, &plan, &a, &b_gen);
     println!(

@@ -60,7 +60,7 @@ fn main() {
     let t = BlockSparseMatrix::random_from_structure(problem.t.clone(), 0x7E);
     let v_seed = 0xABCDu64;
     let v_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(v_seed, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(v_seed, k, j));
     let (r, report) = bst::contract::exec::execute_numeric(&spec, &plan, &t, &v_gen);
     println!(
         "executed: {} GEMMs, {} V tiles generated on demand",

@@ -22,7 +22,6 @@ use bst::contract::api::multiply_on_demand;
 use bst::contract::{DeviceConfig, GridConfig, PlannerConfig};
 use bst::sparse::matrix::tile_seed;
 use bst::sparse::BlockSparseMatrix;
-use bst::tile::Tile;
 
 fn frobenius(m: &BlockSparseMatrix) -> f64 {
     m.iter_tiles()
@@ -71,8 +70,8 @@ fn main() {
     // physical denominators provide in real CC iterations).
     let v_seed = 0xF1EDu64;
     let spectral_scale = 0.5 / (problem.v.rows() as f64 / 3.0).sqrt();
-    let v_gen = move |k: usize, j: usize, r: usize, c: usize| {
-        let mut t = Tile::random(r, c, tile_seed(v_seed, k, j));
+    let v_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+        let mut t = pool.random(r, c, tile_seed(v_seed, k, j));
         t.scale(spectral_scale);
         t
     };

@@ -63,7 +63,7 @@ fn main() {
     let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
     let b_seed = 2u64;
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(b_seed, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(b_seed, k, j));
     let (c, report) = bst::contract::exec::execute_numeric(&spec, &plan, &a, &b_gen);
     println!(
         "executed {} GEMMs on {} simulated devices; {} B tiles generated, {:.1} MB of A over the network",

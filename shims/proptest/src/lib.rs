@@ -15,7 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// Runner configuration: how many random cases each property runs.
 #[derive(Clone, Debug)]
@@ -122,6 +122,69 @@ macro_rules! range_strategy {
 
 range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
 
+// Inclusive ranges: integers only (a closed float range has no uniform
+// meaning the rand shim cares to define).
+macro_rules! range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_inclusive_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Strategy choosing uniformly among boxed alternatives — the engine behind
+/// [`prop_oneof!`]. Real proptest supports per-arm weights; the shim draws
+/// each arm with equal probability (the workspace's tests use it for
+/// unweighted unions only).
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+/// One boxed sampling arm of a [`Union`].
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+impl<T> Union<T> {
+    /// A union over the given sampling arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Chooses uniformly among several strategies producing the same type
+/// (proptest's `prop_oneof!`, without per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>,
+        > = ::std::vec::Vec::new();
+        $({
+            let __s = $strat;
+            __arms.push(::std::boxed::Box::new(move |__rng: &mut $crate::TestRng| {
+                $crate::Strategy::sample(&__s, __rng)
+            }));
+        })+
+        $crate::Union::new(__arms)
+    }};
+}
+
 macro_rules! tuple_strategy {
     ($($name:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -217,8 +280,8 @@ where
 /// The names a `use proptest::prelude::*` is expected to bring in scope.
 pub mod prelude {
     pub use super::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
@@ -384,6 +447,18 @@ mod tests {
         ) {
             let (a, b) = ab;
             prop_assert!(a < 5 && b < 5 && c < 5);
+        }
+
+        /// Inclusive ranges honour both bounds.
+        #[test]
+        fn inclusive_range_in_bounds(x in 3usize..=5) {
+            prop_assert!((3..=5).contains(&x));
+        }
+
+        /// prop_oneof draws from every arm and only those arms.
+        #[test]
+        fn oneof_draws_from_arms(x in prop_oneof![0u64..=1, Just(10u64), 20u64..25]) {
+            prop_assert!(x <= 1 || x == 10 || (20..25).contains(&x), "x = {x}");
         }
     }
 

@@ -47,7 +47,7 @@ fn parsec_style_and_cannon_agree_on_synthetic_problem() {
     let spec = ProblemSpec::new(prob.a.clone(), prob.b.clone(), None);
     let plan = ExecutionPlan::build(&spec, cfg(2, 2, 2, 1 << 20)).unwrap();
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(2, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(2, k, j));
     let (c_parsec, _) = execute_numeric(&spec, &plan, &a, &b_gen);
 
     // The DBCSR-style baseline.
@@ -77,7 +77,7 @@ fn abcd_term_end_to_end_small_molecule() {
     let plan = ExecutionPlan::build(&spec, cfg(1, 2, 2, 32 << 20)).unwrap();
     let t = BlockSparseMatrix::random_from_structure(problem.t.clone(), 5);
     let v_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(6, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(6, k, j));
     let (r, report) = execute_numeric(&spec, &plan, &t, &v_gen);
     assert!(report.gemm_tasks > 0);
 
@@ -109,7 +109,7 @@ fn plan_stats_match_numeric_execution() {
     let stats = plan.stats(&spec);
     let a = BlockSparseMatrix::random_from_structure(prob.a, 3);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(4, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(4, k, j));
     let (_c, report) = execute_numeric(&spec, &plan, &a, &b_gen);
     assert_eq!(report.gemm_tasks, stats.total_tasks);
     assert_eq!(report.a_network_bytes, stats.a_network_bytes);
@@ -147,7 +147,7 @@ fn simulator_and_numeric_executor_count_same_work() {
 
     let a = BlockSparseMatrix::random_from_structure(prob.a, 3);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(4, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(4, k, j));
     let (_c, report) = execute_numeric(&spec, &plan, &a, &b_gen);
 
     assert_eq!(sim.total_tasks, report.gemm_tasks);
@@ -172,7 +172,7 @@ fn shrunken_gpu_memory_still_correct_with_more_blocks() {
     let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), 2);
     let c_ref = reference(&a, &b);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(2, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(2, k, j));
 
     let mut last_blocks = 0;
     for mem in [1u64 << 20, 64 << 10, 24 << 10] {
@@ -217,7 +217,7 @@ fn oversized_column_splitting_keeps_result_exact() {
     let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), 1);
     let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), 2);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(2, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(2, k, j));
     let (c, _) = execute_numeric(&spec, &plan, &a, &b_gen);
     assert!(c.max_abs_diff(&reference(&a, &b)) < 1e-9);
 }
@@ -237,7 +237,7 @@ fn determinism_across_runs() {
     let plan = ExecutionPlan::build(&spec, cfg(2, 1, 2, 1 << 20)).unwrap();
     let a = BlockSparseMatrix::random_from_structure(prob.a, 3);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize| Tile::random(r, c, tile_seed(4, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(4, k, j));
     let (c1, _) = execute_numeric(&spec, &plan, &a, &b_gen);
     let (c2, _) = execute_numeric(&spec, &plan, &a, &b_gen);
     // Scheduling is nondeterministic but the result must not be: within a

@@ -7,7 +7,6 @@ use bst::contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, Prob
 use bst::sparse::generate::{generate, SyntheticParams};
 use bst::sparse::matrix::tile_seed;
 use bst::sparse::BlockSparseMatrix;
-use bst::tile::Tile;
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = SyntheticParams> {
@@ -57,8 +56,8 @@ proptest! {
         };
         let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), params.seed);
         let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), params.seed ^ 0xB);
-        let b_gen = |k: usize, j: usize, r: usize, c: usize| {
-            Tile::random(r, c, tile_seed(params.seed ^ 0xB, k, j))
+        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+            pool.random(r, c, tile_seed(params.seed ^ 0xB, k, j))
         };
         let (c, _) = execute_numeric(&spec, &plan, &a, &b_gen);
         let mut c_ref = BlockSparseMatrix::zeros(
