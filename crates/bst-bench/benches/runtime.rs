@@ -112,9 +112,9 @@ fn bench_numeric_end_to_end(c: &mut Criterion) {
     group.bench_function("execute_numeric_4nodes_8gpus", |b| {
         b.iter(|| {
             let b_gen = |k: usize, j: usize, r: usize, cc: usize, pool: &bst_tile::TilePool| {
-                pool.random(r, cc, tile_seed(2, k, j))
+                Ok(std::sync::Arc::new(pool.random(r, cc, tile_seed(2, k, j))))
             };
-            bst_contract::exec::execute_numeric(&spec, &plan, &a, &b_gen)
+            bst_contract::exec::execute_numeric(&spec, &plan, &a, &b_gen).unwrap()
         });
     });
     group.finish();

@@ -13,23 +13,31 @@
 //!   The emitted JSON is re-parsed and the executor-level trace invariants
 //!   are checked; any violation exits non-zero, so CI can gate on it.
 //!
+//! A third mode smoke-tests the fault-injection subsystem: with
+//! `--faults SEED` the same problem is executed twice — once fault-free,
+//! once with ~8% transient GenB/alloc/transfer faults (plus lane stalls)
+//! seeded from `SEED` — and the run exits non-zero unless the executor
+//! recovered, the two results agree within 1e-10, and the faulted trace
+//! still satisfies every invariant.
+//!
 //! Usage:
 //! ```text
-//! repro_trace [v1|v2|v3]                        # simulator Gantt
-//! repro_trace --numeric [--tiny] [--out FILE]   # traced numeric run
+//! repro_trace [v1|v2|v3]                                        # simulator Gantt
+//! repro_trace --numeric [--tiny] [--out FILE] [--faults SEED]   # traced numeric run
 //! ```
 
-use bst_bench::{check_chrome_trace, tiny_numeric_spec, traced_numeric_report};
+use bst_bench::{check_chrome_trace, tiny_numeric_spec, traced_numeric_report, traced_numeric_run};
 use bst_chem::{CcsdProblem, Molecule, ScreeningParams, TilingSpec};
 use bst_contract::{
-    validate_trace_invariants, DeviceConfig, ExecOptions, ExecutionPlan, GridConfig,
+    validate_trace_invariants, DeviceConfig, ExecOptions, ExecutionPlan, FaultPlan, GridConfig,
     PlannerConfig, ProblemSpec,
 };
 use bst_sim::replay::{simulate_traced, Trace};
 use bst_sim::Platform;
 use bst_sparse::generate::{generate, SyntheticParams};
 
-const USAGE: &str = "usage: repro_trace [v1|v2|v3] | repro_trace --numeric [--tiny] [--out FILE]";
+const USAGE: &str =
+    "usage: repro_trace [v1|v2|v3] | repro_trace --numeric [--tiny] [--out FILE] [--faults SEED]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +53,7 @@ fn main() {
 fn numeric_mode(args: &[String]) {
     let mut tiny = false;
     let mut out_path = "results/trace.json".to_string();
+    let mut faults: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,6 +61,10 @@ fn numeric_mode(args: &[String]) {
             "--tiny" => tiny = true,
             "--out" => {
                 out_path = it.next().unwrap_or_else(|| panic!("--out needs a file path")).clone()
+            }
+            "--faults" => {
+                let s = it.next().unwrap_or_else(|| panic!("--faults needs a seed"));
+                faults = Some(s.parse().unwrap_or_else(|_| panic!("--faults seed must be a u64, got {s}")));
             }
             other => panic!("unknown argument {other}\n{USAGE}"),
         }
@@ -73,6 +86,11 @@ fn numeric_mode(args: &[String]) {
         });
         (ProblemSpec::new(prob.a, prob.b, None), 1 << 23)
     };
+
+    if let Some(seed) = faults {
+        faults_mode(&spec, gpu_mem, seed, &out_path);
+        return;
+    }
     // Three legs. The Gemm comparison (baseline vs kernel leg) holds the
     // thread structure fixed — GenB serialized in both — so per-task spans
     // are not skewed by preemption from extra worker threads; the fan-out
@@ -163,6 +181,64 @@ fn numeric_mode(args: &[String]) {
         std::process::exit(1);
     }
     println!("# trace invariants OK ({} task records)", trace.records.len());
+}
+
+/// The fault-injection smoke run: execute fault-free, re-execute with ~8%
+/// transient faults on every injection site, and gate on recovery —
+/// matching numbers (1e-10), intact trace invariants, populated recovery
+/// counters. Exits non-zero on any violation so CI can run this directly.
+fn faults_mode(spec: &ProblemSpec, gpu_mem: u64, seed: u64, out_path: &str) {
+    let clean_opts = ExecOptions::builder().tracing(true).build();
+    let (c_clean, _) = traced_numeric_run(spec, 2, 2, gpu_mem, 42, clean_opts);
+
+    let plan = FaultPlan::transient(seed, 0.08);
+    let opts = ExecOptions::builder().tracing(true).fault_plan(plan).build();
+    let (c_faulted, report) = traced_numeric_run(spec, 2, 2, gpu_mem, 42, opts);
+
+    println!(
+        "# fault-injection smoke — {}x{}x{} on 2 nodes x 2 GPUs, seed {seed}, 8% transient faults",
+        spec.a.rows(),
+        spec.b.cols(),
+        spec.a.cols()
+    );
+    print!("{}", report.text_summary(gpu_mem));
+
+    let r = &report.recovery;
+    if r.injected_genb + r.injected_alloc + r.injected_send == 0 {
+        eprintln!("error: 8% fault rates injected nothing — injection sites are dead");
+        std::process::exit(1);
+    }
+    let diff = c_faulted.max_abs_diff(&c_clean);
+    if diff > 1e-10 {
+        eprintln!("error: recovered result diverged from the fault-free run by {diff:.3e}");
+        std::process::exit(1);
+    }
+    println!("# recovered result matches fault-free run (max |diff| = {diff:.3e})");
+
+    let violations = validate_trace_invariants(&report, opts, gpu_mem);
+    if !violations.is_empty() {
+        eprintln!("error: trace invariants violated under faults:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    let json = trace.chrome_trace_json();
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(out_path, &json).expect("write trace JSON");
+    match check_chrome_trace(&json) {
+        Ok(n) => println!("# wrote {out_path}: {n} events (retried tasks carry an \"attempts\" arg)"),
+        Err(e) => {
+            eprintln!("error: emitted trace does not validate: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("# fault-injection smoke OK ({} task records)", trace.records.len());
 }
 
 /// Prints the baseline-vs-tuned hot-path deltas the PR-1 tracer measures:

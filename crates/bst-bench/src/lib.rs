@@ -178,16 +178,17 @@ pub fn tiny_numeric_spec(seed: u64) -> ProblemSpec {
 
 /// Runs a numeric execution of `spec` with tracing enabled on a simulated
 /// `nodes`-node machine (`gpus` per node, `gpu_mem` bytes each) and returns
-/// the traced report. The result matrix is discarded — callers want the
-/// trace, summary and metrics.
-pub fn traced_numeric_report(
+/// the result matrix plus the traced report. The `--faults` smoke mode
+/// compares the matrices of a faulted and a fault-free run, so unlike
+/// [`traced_numeric_report`] this keeps the numbers.
+pub fn traced_numeric_run(
     spec: &ProblemSpec,
     nodes: usize,
     gpus: usize,
     gpu_mem: u64,
     seed: u64,
     opts: ExecOptions,
-) -> ExecReport {
+) -> (BlockSparseMatrix, ExecReport) {
     let config = PlannerConfig::paper(
         GridConfig::from_nodes(nodes, 1),
         DeviceConfig {
@@ -199,9 +200,9 @@ pub fn traced_numeric_report(
     let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), seed);
     let bseed = seed ^ 0xB;
     let b_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
-        pool.random(r, c, tile_seed(bseed, k, j))
+        Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(bseed, k, j))))
     };
-    let (_c, report) = execute_numeric_with(
+    execute_numeric_with(
         spec,
         &plan,
         &a,
@@ -210,8 +211,23 @@ pub fn traced_numeric_report(
             tracing: true,
             ..opts
         },
-    );
-    report
+    )
+    .expect("traced execution must recover")
+}
+
+/// Runs a numeric execution of `spec` with tracing enabled on a simulated
+/// `nodes`-node machine (`gpus` per node, `gpu_mem` bytes each) and returns
+/// the traced report. The result matrix is discarded — callers want the
+/// trace, summary and metrics.
+pub fn traced_numeric_report(
+    spec: &ProblemSpec,
+    nodes: usize,
+    gpus: usize,
+    gpu_mem: u64,
+    seed: u64,
+    opts: ExecOptions,
+) -> ExecReport {
+    traced_numeric_run(spec, nodes, gpus, gpu_mem, seed, opts).1
 }
 
 /// Runs the tiny traced numeric problem on a 2-node × 2-GPU machine with a

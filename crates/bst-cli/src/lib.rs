@@ -40,6 +40,9 @@ pub struct Cli {
     pub trace: Option<String>,
     /// Print the per-task-kind / per-device trace summary (verify only).
     pub trace_summary: bool,
+    /// Inject ~8% transient faults seeded from this value and verify the
+    /// executor recovers (verify only).
+    pub faults: Option<u64>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -95,7 +98,7 @@ fn err(msg: impl Into<String>) -> CliError {
 pub const USAGE: &str = "usage: bst <info|plan|simulate|verify> \
 [--molecule KIND:ARGS | --synthetic MxNxK:D] [--tiling v1|v2|v3] \
 [--nodes N] [--p P] [--gpus G] [--seed S] [--gantt] \
-[--trace FILE.json] [--trace-summary]";
+[--trace FILE.json] [--trace-summary] [--faults SEED]";
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Cli, CliError> {
@@ -118,6 +121,7 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         gantt: false,
         trace: None,
         trace_summary: false,
+        faults: None,
         seed: 42,
     };
     while let Some(flag) = it.next() {
@@ -162,6 +166,9 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
             "--gantt" => cli.gantt = true,
             "--trace" => cli.trace = Some(value("--trace")?),
             "--trace-summary" => cli.trace_summary = true,
+            "--faults" => {
+                cli.faults = Some(value("--faults")?.parse().map_err(|_| err("bad --faults seed"))?)
+            }
             other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
         }
     }
@@ -324,14 +331,27 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
             let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), cli.seed);
             let seed = cli.seed ^ 0xB;
             let b_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
-                pool.random(r, c, tile_seed(seed, k, j))
+                Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(seed, k, j))))
             };
-            let opts = bst_contract::ExecOptions {
-                tracing: cli.trace.is_some() || cli.trace_summary,
-                ..Default::default()
-            };
+            let mut builder = bst_contract::ExecOptions::builder()
+                .tracing(cli.trace.is_some() || cli.trace_summary);
+            if let Some(fault_seed) = cli.faults {
+                builder = builder.fault_plan(bst_contract::FaultPlan::transient(fault_seed, 0.08));
+            }
+            let opts = builder.build();
             let (c, report) =
-                bst_contract::exec::execute_numeric_with(&spec, &plan, &a, &b_gen, opts);
+                bst_contract::exec::execute_numeric_with(&spec, &plan, &a, &b_gen, opts)?;
+            if let Some(fault_seed) = cli.faults {
+                let r = &report.recovery;
+                writeln!(
+                    out,
+                    "faults (seed {fault_seed}): {} injected, {} tasks retried over {} attempts (max {})",
+                    r.injected_genb + r.injected_alloc + r.injected_send,
+                    r.retried_tasks,
+                    r.retry_attempts,
+                    r.max_attempts
+                )?;
+            }
             let b = BlockSparseMatrix::from_structure(spec.b.clone(), |k, j, r, cc| {
                 bst_tile::Tile::random(r, cc, tile_seed(seed, k, j))
             });
@@ -505,6 +525,27 @@ mod tests {
         assert!(json.trim_end().ends_with(']'), "{json}");
         assert!(json.contains("\"ph\":\"X\""), "{json}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_faults_flag() {
+        let cli = parse(&args("verify --synthetic 100x800x800:0.6 --faults 7")).unwrap();
+        assert_eq!(cli.faults, Some(7));
+        assert!(parse(&args("verify --faults nope")).is_err());
+        assert!(parse(&args("verify --faults")).is_err());
+    }
+
+    #[test]
+    fn run_verify_with_faults_recovers() {
+        let cli = parse(&args(
+            "verify --synthetic 100x800x800:0.6 --nodes 2 --gpus 2 --faults 3",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("faults (seed 3):"), "{s}");
+        assert!(s.contains("verification OK"), "{s}");
     }
 
     #[test]

@@ -12,7 +12,10 @@
 
 use crate::trace::{ExecTrace, TraceClock, TraceEvent, TracePhase, WorkerTrace};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Address of an execution lane: a node and a lane within it.
 ///
@@ -31,6 +34,102 @@ pub type TaskId = usize;
 
 /// Poison value signalling queue shutdown.
 const DONE: TaskId = usize::MAX;
+
+/// Retry policy for [`TaskGraph::execute_fallible`]: how many attempts each
+/// task gets and how long the worker backs off between them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryOptions {
+    /// Maximum handler attempts per task (≥ 1; a value of 0 is treated as
+    /// 1). The first attempt counts, so `budget = 4` allows 3 retries.
+    pub budget: u32,
+    /// Backoff before the first retry, in microseconds; each further retry
+    /// doubles it (exponential backoff).
+    pub backoff_base_us: u64,
+    /// Upper bound on a single backoff, in microseconds.
+    pub backoff_max_us: u64,
+}
+
+impl Default for RetryOptions {
+    fn default() -> Self {
+        Self { budget: 4, backoff_base_us: 20, backoff_max_us: 500 }
+    }
+}
+
+impl RetryOptions {
+    /// No retries: every transient error is terminal.
+    pub fn none() -> Self {
+        Self { budget: 1, backoff_base_us: 0, backoff_max_us: 0 }
+    }
+
+    /// Backoff after failed attempt number `attempt` (1-based):
+    /// `min(base · 2^(attempt-1), max)` microseconds.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let doubling = attempt.saturating_sub(1).min(16);
+        self.backoff_base_us
+            .saturating_mul(1u64 << doubling)
+            .min(self.backoff_max_us)
+    }
+}
+
+/// A handler error, classified by whether retrying could help.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError<E> {
+    /// The failure may resolve on retry (e.g. an injected transient fault);
+    /// the engine re-enqueues the task while its retry budget lasts.
+    Transient(E),
+    /// Retrying cannot help; the execution aborts immediately.
+    Fatal(E),
+}
+
+impl<E> TaskError<E> {
+    /// The wrapped error.
+    pub fn into_inner(self) -> E {
+        match self {
+            Self::Transient(e) | Self::Fatal(e) => e,
+        }
+    }
+}
+
+/// Why a fallible execution stopped early (returned by
+/// [`TaskGraph::execute_fallible`] as the `Err` case).
+#[derive(Clone, Debug)]
+pub struct RunAbort<E> {
+    /// The task whose failure ended the run.
+    pub task: TaskId,
+    /// Handler attempts that task had made (including the failing one).
+    pub attempts: u32,
+    /// `true` if the error was transient but the retry budget ran out;
+    /// `false` for a fatal error.
+    pub budget_exhausted: bool,
+    /// The error of the final attempt.
+    pub error: E,
+}
+
+/// Outcome of a completed fallible execution.
+#[derive(Clone, Debug, Default)]
+pub struct FallibleRun {
+    /// Handler attempts per task id (1 = no retries).
+    pub attempts: Vec<u32>,
+    /// The recorded trace, when tracing was requested.
+    pub trace: Option<ExecTrace>,
+}
+
+impl FallibleRun {
+    /// Number of tasks that needed more than one attempt.
+    pub fn retried_tasks(&self) -> u64 {
+        self.attempts.iter().filter(|&&a| a > 1).count() as u64
+    }
+
+    /// Total failed attempts across all tasks (`Σ max(attempts - 1, 0)`).
+    pub fn failed_attempts(&self) -> u64 {
+        self.attempts.iter().map(|&a| u64::from(a.saturating_sub(1))).sum()
+    }
+
+    /// Largest per-task attempt count (0 for an empty graph).
+    pub fn max_attempts(&self) -> u32 {
+        self.attempts.iter().copied().max().unwrap_or(0)
+    }
+}
 
 struct TaskNode<T> {
     payload: T,
@@ -171,6 +270,81 @@ impl<T> TaskGraph<T> {
             .expect("tracing was requested")
     }
 
+    /// Executes the graph with a **fallible** handler: the handler returns
+    /// `Result<(), TaskError<E>>` and receives the 1-based attempt number as
+    /// its fourth argument.
+    ///
+    /// A [`TaskError::Transient`] failure is retried on the task's own
+    /// worker after exponential backoff ([`RetryOptions::backoff_us`]),
+    /// up to `retry.budget` total attempts. The failed task is re-enqueued
+    /// onto the *back* of its worker's FIFO **without** completing, so none
+    /// of its successors are released early and every dependency (data or
+    /// control) of the original DAG still holds. A [`TaskError::Fatal`]
+    /// error — or a transient one that exhausts its budget — aborts the
+    /// execution: all queues are poisoned and the first such error is
+    /// returned as a [`RunAbort`].
+    ///
+    /// # Panics
+    /// Propagates handler panics (a panic is not an error value); panics on
+    /// duplicate workers or tasks pinned to unknown workers.
+    pub fn execute_fallible<C, E, F, M>(
+        &self,
+        workers: &[WorkerId],
+        mk_ctx: M,
+        run: F,
+        retry: RetryOptions,
+    ) -> Result<FallibleRun, RunAbort<E>>
+    where
+        T: Sync,
+        C: Send,
+        E: Send,
+        M: Fn(WorkerId) -> C + Sync,
+        F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
+    {
+        self.execute_fallible_inner(workers, mk_ctx, run, retry, false, TraceClock::start())
+    }
+
+    /// [`TaskGraph::execute_fallible`] with tracing on: failed attempts and
+    /// re-enqueues are recorded as [`TracePhase::Failed`] /
+    /// [`TracePhase::Retried`] events in the returned
+    /// [`FallibleRun::trace`].
+    pub fn execute_fallible_traced<C, E, F, M>(
+        &self,
+        workers: &[WorkerId],
+        mk_ctx: M,
+        run: F,
+        retry: RetryOptions,
+    ) -> Result<FallibleRun, RunAbort<E>>
+    where
+        T: Sync,
+        C: Send,
+        E: Send,
+        M: Fn(WorkerId) -> C + Sync,
+        F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
+    {
+        self.execute_fallible_inner(workers, mk_ctx, run, retry, true, TraceClock::start())
+    }
+
+    /// [`TaskGraph::execute_fallible_traced`] with a caller-supplied epoch
+    /// (see [`TaskGraph::execute_traced_with_clock`]).
+    pub fn execute_fallible_traced_with_clock<C, E, F, M>(
+        &self,
+        workers: &[WorkerId],
+        mk_ctx: M,
+        run: F,
+        retry: RetryOptions,
+        clock: TraceClock,
+    ) -> Result<FallibleRun, RunAbort<E>>
+    where
+        T: Sync,
+        C: Send,
+        E: Send,
+        M: Fn(WorkerId) -> C + Sync,
+        F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
+    {
+        self.execute_fallible_inner(workers, mk_ctx, run, retry, true, clock)
+    }
+
     fn execute_inner<C, F, M>(
         &self,
         workers: &[WorkerId],
@@ -187,6 +361,8 @@ impl<T> TaskGraph<T> {
         self.execute_inner_with(workers, mk_ctx, run, trace, TraceClock::start())
     }
 
+    /// The infallible paths are thin wrappers over the fallible core with
+    /// an uninhabited error type, so there is exactly one scheduler.
     fn execute_inner_with<C, F, M>(
         &self,
         workers: &[WorkerId],
@@ -201,8 +377,38 @@ impl<T> TaskGraph<T> {
         M: Fn(WorkerId) -> C + Sync,
         F: Fn(&T, WorkerId, &mut C) + Sync,
     {
+        let run = &run;
+        let adapted = |t: &T, w: WorkerId, ctx: &mut C, _attempt: u32| {
+            run(t, w, ctx);
+            Ok::<(), TaskError<Infallible>>(())
+        };
+        match self.execute_fallible_inner(workers, mk_ctx, adapted, RetryOptions::none(), trace, clock) {
+            Ok(r) => r.trace,
+            Err(abort) => match abort.error {},
+        }
+    }
+
+    fn execute_fallible_inner<C, E, F, M>(
+        &self,
+        workers: &[WorkerId],
+        mk_ctx: M,
+        run: F,
+        retry: RetryOptions,
+        trace: bool,
+        clock: TraceClock,
+    ) -> Result<FallibleRun, RunAbort<E>>
+    where
+        T: Sync,
+        C: Send,
+        E: Send,
+        M: Fn(WorkerId) -> C + Sync,
+        F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
+    {
         if self.tasks.is_empty() {
-            return trace.then(ExecTrace::default);
+            return Ok(FallibleRun {
+                attempts: Vec::new(),
+                trace: trace.then(ExecTrace::default),
+            });
         }
         // Map workers to dense indices.
         let mut sorted = workers.to_vec();
@@ -229,6 +435,12 @@ impl<T> TaskGraph<T> {
         let channels: Vec<(Sender<TaskId>, Receiver<TaskId>)> =
             (0..sorted.len()).map(|_| unbounded()).collect();
         let remaining = AtomicUsize::new(self.tasks.len());
+        let budget = retry.budget.max(1);
+        let attempts: Vec<AtomicU32> = (0..self.tasks.len()).map(|_| AtomicU32::new(0)).collect();
+        // First fatal / budget-exhausting error wins; later ones (from
+        // workers draining their queues while the poison propagates) are
+        // dropped.
+        let abort: Mutex<Option<RunAbort<E>>> = Mutex::new(None);
 
         // Trace recording is strictly thread-owned: `seed_events` belongs to
         // this (submitting) thread, `bufs[i]` to worker thread i. Events of
@@ -261,6 +473,8 @@ impl<T> TaskGraph<T> {
                 let run = &run;
                 let mk_ctx = &mk_ctx;
                 let widx = &widx;
+                let attempts = &attempts;
+                let abort = &abort;
                 let w = *w;
                 scope.spawn(move || {
                     let mut ctx = mk_ctx(w);
@@ -268,6 +482,7 @@ impl<T> TaskGraph<T> {
                         if id == DONE {
                             break;
                         }
+                        let attempt = attempts[id].fetch_add(1, Ordering::Relaxed) + 1;
                         if trace {
                             buf.push(TraceEvent {
                                 task: id,
@@ -279,13 +494,60 @@ impl<T> TaskGraph<T> {
                         // the other workers blocked on their queues forever;
                         // poison every queue, then propagate.
                         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || run(&self.tasks[id].payload, w, &mut ctx),
+                            || run(&self.tasks[id].payload, w, &mut ctx, attempt),
                         ));
-                        if let Err(payload) = outcome {
-                            for (tx, _) in channels.iter() {
-                                let _ = tx.send(DONE);
+                        let result = match outcome {
+                            Ok(r) => r,
+                            Err(payload) => {
+                                for (tx, _) in channels.iter() {
+                                    let _ = tx.send(DONE);
+                                }
+                                std::panic::resume_unwind(payload);
                             }
-                            std::panic::resume_unwind(payload);
+                        };
+                        if let Err(err) = result {
+                            if trace {
+                                buf.push(TraceEvent {
+                                    task: id,
+                                    phase: TracePhase::Failed,
+                                    t_ns: clock.now_ns(),
+                                });
+                            }
+                            let transient = matches!(err, TaskError::Transient(_));
+                            if transient && attempt < budget {
+                                // Back off, then re-enqueue onto this
+                                // worker's own FIFO. The task has not
+                                // completed, so no successor indegree was
+                                // touched: every data and control edge of
+                                // the DAG still gates exactly as planned.
+                                std::thread::sleep(Duration::from_micros(
+                                    retry.backoff_us(attempt),
+                                ));
+                                if trace {
+                                    buf.push(TraceEvent {
+                                        task: id,
+                                        phase: TracePhase::Retried,
+                                        t_ns: clock.now_ns(),
+                                    });
+                                }
+                                channels[wi].0.send(id).unwrap();
+                            } else {
+                                let mut slot = abort.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some(RunAbort {
+                                        task: id,
+                                        attempts: attempt,
+                                        budget_exhausted: transient,
+                                        error: err.into_inner(),
+                                    });
+                                }
+                                drop(slot);
+                                for (tx, _) in channels.iter() {
+                                    let _ = tx.send(DONE);
+                                }
+                                break;
+                            }
+                            continue;
                         }
                         if trace {
                             buf.push(TraceEvent {
@@ -322,6 +584,10 @@ impl<T> TaskGraph<T> {
             }
         });
 
+        if let Some(abort) = abort.into_inner().unwrap() {
+            return Err(abort);
+        }
+
         // All tasks must have completed.
         assert_eq!(
             remaining.load(Ordering::Acquire),
@@ -329,14 +595,17 @@ impl<T> TaskGraph<T> {
             "deadlock: tasks never became ready (cycle through control edges?)"
         );
 
-        trace.then(|| ExecTrace {
-            workers: sorted
-                .into_iter()
-                .zip(bufs)
-                .map(|(worker, events)| WorkerTrace { worker, events })
-                .collect(),
-            seed_events,
-            total_ns: clock.now_ns(),
+        Ok(FallibleRun {
+            attempts: attempts.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            trace: trace.then(|| ExecTrace {
+                workers: sorted
+                    .into_iter()
+                    .zip(bufs)
+                    .map(|(worker, events)| WorkerTrace { worker, events })
+                    .collect(),
+                seed_events,
+                total_ns: clock.now_ns(),
+            }),
         })
     }
 }
@@ -528,6 +797,98 @@ mod tests {
         let mut g: TaskGraph<u32> = TaskGraph::new();
         g.add_task(1, w(0, 0));
         g.execute(&[w(0, 0)], |_| (), |_, _, _| panic!("boom"));
+    }
+
+    #[test]
+    fn fallible_retries_transient_failures_to_success() {
+        // A diamond whose left task fails twice before succeeding; the run
+        // must complete, respect the DAG, and report the attempt counts.
+        let mut g: TaskGraph<&'static str> = TaskGraph::new();
+        let src = g.add_task("src", w(0, 0));
+        let flaky = g.add_task("flaky", w(0, 1));
+        let solid = g.add_task("solid", w(1, 0));
+        g.add_dep(flaky, src);
+        g.add_dep(solid, src);
+        let sink = g.add_task("sink", w(0, 0));
+        g.add_dep(sink, flaky);
+        g.add_dep(sink, solid);
+
+        let order = Mutex::new(Vec::new());
+        let run = g
+            .execute_fallible_traced(
+                &[w(0, 0), w(0, 1), w(1, 0)],
+                |_| (),
+                |&name, _, _, attempt| {
+                    if name == "flaky" && attempt <= 2 {
+                        return Err(TaskError::Transient(format!("attempt {attempt}")));
+                    }
+                    order.lock().push(name);
+                    Ok(())
+                },
+                RetryOptions { budget: 4, backoff_base_us: 1, backoff_max_us: 10 },
+            )
+            .expect("recovers within budget");
+        assert_eq!(run.attempts[flaky], 3);
+        assert_eq!(run.retried_tasks(), 1);
+        assert_eq!(run.failed_attempts(), 2);
+        assert_eq!(run.max_attempts(), 3);
+        let order = order.lock();
+        // The sink still ran last: retrying must not release successors.
+        assert_eq!(order.last(), Some(&"sink"));
+        // The retried trace still validates (Failed/Retried bookkeeping).
+        let trace = run.trace.expect("traced");
+        assert_eq!(trace.validate(&g), Vec::new());
+        assert_eq!(trace.task_attempts()[&flaky], 3);
+    }
+
+    #[test]
+    fn fallible_budget_exhaustion_aborts_with_error() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let a = g.add_task(7, w(0, 0));
+        let b = g.add_task(8, w(1, 0));
+        g.add_dep(b, a);
+        let abort = g
+            .execute_fallible(
+                &[w(0, 0), w(1, 0)],
+                |_| (),
+                |_, _, _, _| Err::<(), _>(TaskError::Transient("still down")),
+                RetryOptions { budget: 3, backoff_base_us: 1, backoff_max_us: 2 },
+            )
+            .expect_err("budget must run out");
+        assert_eq!(abort.task, a);
+        assert_eq!(abort.attempts, 3);
+        assert!(abort.budget_exhausted);
+        assert_eq!(abort.error, "still down");
+    }
+
+    #[test]
+    fn fallible_fatal_error_aborts_immediately() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let a = g.add_task(1, w(0, 0));
+        // A dependent on another worker must not hang when the run aborts.
+        let b = g.add_task(2, w(1, 0));
+        g.add_dep(b, a);
+        let abort = g
+            .execute_fallible(
+                &[w(0, 0), w(1, 0)],
+                |_| (),
+                |_, _, _, _| Err::<(), _>(TaskError::Fatal("corrupt")),
+                RetryOptions::default(),
+            )
+            .expect_err("fatal error must abort");
+        assert_eq!(abort.attempts, 1);
+        assert!(!abort.budget_exhausted);
+        assert_eq!(abort.error, "corrupt");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let r = RetryOptions { budget: 8, backoff_base_us: 10, backoff_max_us: 65 };
+        assert_eq!(r.backoff_us(1), 10);
+        assert_eq!(r.backoff_us(2), 20);
+        assert_eq!(r.backoff_us(3), 40);
+        assert_eq!(r.backoff_us(4), 65);
+        assert_eq!(r.backoff_us(60), 65); // shift stays in range
     }
 
     #[test]

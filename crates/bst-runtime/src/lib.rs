@@ -43,6 +43,6 @@ pub mod trace;
 pub use bst_tile::pool::{PoolStats, TilePool};
 pub use data::{DataKey, TileStore};
 pub use device::{DeviceMemory, NodeResidency};
-pub use graph::{TaskGraph, WorkerId};
+pub use graph::{FallibleRun, RetryOptions, RunAbort, TaskError, TaskGraph, WorkerId};
 pub use ptg::PtgProgram;
 pub use trace::{ExecTrace, TaskRecord, TraceEvent, TracePhase};

@@ -47,6 +47,13 @@ impl TraceClock {
 }
 
 /// Life-cycle phase of a task, in causal order.
+///
+/// The happy path is `Ready → Running → Done`. Under fallible execution
+/// ([`TaskGraph::execute_fallible`](crate::graph::TaskGraph::execute_fallible))
+/// a transient handler failure inserts `Failed → Retried → Running` cycles
+/// before the final `Done`, so a task with `n` failures records `n + 1`
+/// `Running` events, `n` `Failed` and `n` `Retried` — but still exactly one
+/// `Ready` and one `Done`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TracePhase {
     /// All dependencies completed (or the task had none); the task was
@@ -57,6 +64,11 @@ pub enum TracePhase {
     Running,
     /// The handler returned.
     Done,
+    /// The handler returned a transient error; the attempt is abandoned.
+    Failed,
+    /// After backoff, the failed task was re-enqueued onto its worker's
+    /// FIFO for another attempt.
+    Retried,
 }
 
 /// One recorded event: task `task` entered `phase` at `t_ns`.
@@ -123,6 +135,19 @@ pub enum TraceError {
         /// How many events of that phase were recorded.
         count: usize,
     },
+    /// A task's retry bookkeeping is inconsistent: every `Failed` must be
+    /// answered by exactly one `Retried` and one extra `Running` (the
+    /// re-attempt), so `#Running = #Failed + 1` and `#Retried = #Failed`.
+    RetryMismatch {
+        /// The offending task.
+        task: TaskId,
+        /// `Running` events recorded.
+        running: usize,
+        /// `Failed` events recorded.
+        failed: usize,
+        /// `Retried` events recorded.
+        retried: usize,
+    },
     /// A task's phases are out of causal order (ready ≤ start ≤ end).
     PhaseOrder {
         /// The offending task.
@@ -162,6 +187,13 @@ impl std::fmt::Display for TraceError {
             }
             Self::PhaseCount { task, phase, count } => {
                 write!(f, "task {task}: {count} {phase:?} events (want 1)")
+            }
+            Self::RetryMismatch { task, running, failed, retried } => {
+                write!(
+                    f,
+                    "task {task}: {running} Running / {failed} Failed / {retried} Retried events \
+                     (want Running = Failed + 1 and Retried = Failed)"
+                )
             }
             Self::PhaseOrder { task } => write!(f, "task {task}: phases out of order"),
             Self::TaskCount { traced, expected } => {
@@ -212,6 +244,11 @@ impl ExecTrace {
 
     /// Reconstructs per-task life-cycle spans. Tasks missing a phase get 0
     /// for that time; [`ExecTrace::validate`] reports such malformations.
+    ///
+    /// For retried tasks, `start_ns` is the start of the **final** attempt
+    /// (all `Running` events of a task sit in its pinned worker's buffer, in
+    /// chronological order, so the last one wins); `Failed`/`Retried`
+    /// events do not contribute to the span.
     pub fn task_spans(&self) -> HashMap<TaskId, TaskSpan> {
         let mut spans: HashMap<TaskId, TaskSpan> = HashMap::new();
         for (_, e) in self.iter_events() {
@@ -220,16 +257,31 @@ impl ExecTrace {
                 TracePhase::Ready => s.ready_ns = e.t_ns,
                 TracePhase::Running => s.start_ns = e.t_ns,
                 TracePhase::Done => s.end_ns = e.t_ns,
+                TracePhase::Failed | TracePhase::Retried => {}
             }
         }
         spans
+    }
+
+    /// Number of handler attempts per task (the count of `Running` events);
+    /// 1 for every task of a fault-free execution.
+    pub fn task_attempts(&self) -> HashMap<TaskId, u32> {
+        let mut attempts: HashMap<TaskId, u32> = HashMap::new();
+        for (_, e) in self.iter_events() {
+            if e.phase == TracePhase::Running {
+                *attempts.entry(e.task).or_default() += 1;
+            }
+        }
+        attempts
     }
 
     /// Checks the trace against `graph`, returning every violated
     /// invariant:
     ///
     /// 1. per-worker timestamps are non-decreasing;
-    /// 2. every task has exactly one Ready, one Running and one Done event;
+    /// 2. every task has exactly one Ready and one Done event, and its
+    ///    Running/Failed/Retried counts are retry-consistent
+    ///    (`#Running = #Failed + 1`, `#Retried = #Failed`);
     /// 3. ready ≤ start ≤ end per task;
     /// 4. the traced task set is exactly the DAG's task set;
     /// 5. no task starts before all its dependencies are done;
@@ -248,7 +300,7 @@ impl ExecTrace {
             }
         }
 
-        let mut counts: HashMap<TaskId, [usize; 3]> = HashMap::new();
+        let mut counts: HashMap<TaskId, [usize; 5]> = HashMap::new();
         let mut ran_on: HashMap<TaskId, WorkerId> = HashMap::new();
         for (wid, e) in self.iter_events() {
             let c = counts.entry(e.task).or_default();
@@ -260,10 +312,7 @@ impl ExecTrace {
             }
         }
         for (&task, c) in &counts {
-            for (phase, &n) in [TracePhase::Ready, TracePhase::Running, TracePhase::Done]
-                .iter()
-                .zip(c.iter())
-            {
+            for (phase, n) in [TracePhase::Ready, TracePhase::Done].iter().zip([c[0], c[2]]) {
                 if n != 1 {
                     errors.push(TraceError::PhaseCount {
                         task,
@@ -271,6 +320,11 @@ impl ExecTrace {
                         count: n,
                     });
                 }
+            }
+            let (running, failed, retried) =
+                (c[TracePhase::Running as usize], c[TracePhase::Failed as usize], c[TracePhase::Retried as usize]);
+            if running != failed + 1 || retried != failed {
+                errors.push(TraceError::RetryMismatch { task, running, failed, retried });
             }
         }
 
@@ -310,10 +364,11 @@ impl ExecTrace {
         errors.sort_by_key(|e| match e {
             TraceError::NonMonotoneWorker { at, .. } => (0, *at),
             TraceError::PhaseCount { task, .. } => (1, *task),
-            TraceError::PhaseOrder { task } => (2, *task),
-            TraceError::TaskCount { .. } => (3, 0),
-            TraceError::DependencyOverlap { task, .. } => (4, *task),
-            TraceError::WrongWorker { task, .. } => (5, *task),
+            TraceError::RetryMismatch { task, .. } => (2, *task),
+            TraceError::PhaseOrder { task } => (3, *task),
+            TraceError::TaskCount { .. } => (4, 0),
+            TraceError::DependencyOverlap { task, .. } => (5, *task),
+            TraceError::WrongWorker { task, .. } => (6, *task),
         });
         errors
     }
@@ -338,6 +393,9 @@ pub struct TaskRecord {
     pub worker: WorkerId,
     /// Life-cycle times.
     pub span: TaskSpan,
+    /// Handler attempts (1 unless the task was retried after transient
+    /// failures).
+    pub attempts: u32,
 }
 
 /// Per-kind aggregate metrics over a set of [`TaskRecord`]s.
@@ -505,6 +563,15 @@ pub fn chrome_trace_json(
             };
             b.name_event("thread_name", r.worker.node, r.worker.lane, &tname);
         }
+        let mut args = vec![
+            ("task", r.task.to_string()),
+            ("queue_us", format!("{:.3}", r.span.queue_ns() as f64 / 1e3)),
+        ];
+        if r.attempts > 1 {
+            // Recovery visibility: retried tasks carry their attempt count
+            // into the viewer's detail pane.
+            args.push(("attempts", r.attempts.to_string()));
+        }
         b.complete_event(
             &r.detail,
             r.kind,
@@ -512,10 +579,7 @@ pub fn chrome_trace_json(
             r.worker.lane,
             r.span.start_ns as f64 / 1e3,
             r.span.exec_ns() as f64 / 1e3,
-            &[
-                ("task", r.task.to_string()),
-                ("queue_us", format!("{:.3}", r.span.queue_ns() as f64 / 1e3)),
-            ],
+            &args,
         );
     }
     for ((node, gpu), samples) in mem_samples {
@@ -604,6 +668,7 @@ mod tests {
                 start_ns: start,
                 end_ns: end,
             },
+            attempts: 1,
         }
     }
 
@@ -749,6 +814,57 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| matches!(e, TraceError::WrongWorker { .. })));
+    }
+
+    #[test]
+    fn validate_accepts_retried_tasks_and_counts_attempts() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let a = g.add_task(0, w(0, 0));
+        // a fails twice, is retried twice, then succeeds.
+        let trace = ExecTrace {
+            workers: vec![WorkerTrace {
+                worker: w(0, 0),
+                events: vec![
+                    TraceEvent { task: a, phase: TracePhase::Running, t_ns: 10 },
+                    TraceEvent { task: a, phase: TracePhase::Failed, t_ns: 12 },
+                    TraceEvent { task: a, phase: TracePhase::Retried, t_ns: 14 },
+                    TraceEvent { task: a, phase: TracePhase::Running, t_ns: 16 },
+                    TraceEvent { task: a, phase: TracePhase::Failed, t_ns: 18 },
+                    TraceEvent { task: a, phase: TracePhase::Retried, t_ns: 20 },
+                    TraceEvent { task: a, phase: TracePhase::Running, t_ns: 22 },
+                    TraceEvent { task: a, phase: TracePhase::Done, t_ns: 30 },
+                ],
+            }],
+            seed_events: vec![TraceEvent { task: a, phase: TracePhase::Ready, t_ns: 0 }],
+            total_ns: 30,
+        };
+        assert_eq!(trace.validate(&g), Vec::new());
+        assert_eq!(trace.task_attempts()[&a], 3);
+        // The reconstructed span uses the final attempt's start.
+        assert_eq!(trace.task_spans()[&a].start_ns, 22);
+
+        // A Failed without a matching Retried + re-Running is malformed.
+        let mut bad = trace.clone();
+        bad.workers[0].events.truncate(2); // Running, Failed — then nothing
+        bad.workers[0].events.push(TraceEvent { task: a, phase: TracePhase::Done, t_ns: 30 });
+        let errors = bad.validate(&g);
+        assert!(
+            errors.iter().any(|e| matches!(
+                e,
+                TraceError::RetryMismatch { task, running: 1, failed: 1, retried: 0 } if *task == a
+            )),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn chrome_export_labels_retried_tasks() {
+        let mut retried = rec(0, "GenB", w(0, 3), 0, 1_000, 2_000);
+        retried.attempts = 3;
+        let json = chrome_trace_json(&[retried, rec(1, "Gemm", w(0, 1), 0, 2_000, 3_000)], &[]);
+        assert!(json.contains("\"attempts\":\"3\""), "{json}");
+        // Single-attempt tasks stay unlabeled.
+        assert_eq!(json.matches("attempts").count(), 1, "{json}");
     }
 
     #[test]

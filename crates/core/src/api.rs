@@ -2,14 +2,18 @@
 //! ABCD tensor contraction, wrapping inspector + executor.
 //!
 //! These are the entry points a downstream application uses when it does
-//! not need to inspect plans or reports:
+//! not need to inspect plans or reports. All of them return
+//! `Result<_, BstError>`: planning problems ([`BstError::Plan`]) and
+//! execution failures ([`BstError::Exec`] — generator errors, device OOM, a
+//! spent retry budget) come back as typed values rather than panics.
 //!
 //! ```
 //! use bst_contract::api::multiply;
-//! use bst_contract::{DeviceConfig, GridConfig, PlannerConfig};
+//! use bst_contract::{BstError, DeviceConfig, GridConfig, PlannerConfig};
 //! use bst_sparse::{BlockSparseMatrix, MatrixStructure};
 //! use bst_tile::Tiling;
 //!
+//! # fn run() -> Result<(), BstError> {
 //! let sa = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(6, 2));
 //! let sb = MatrixStructure::dense(Tiling::uniform(6, 2), Tiling::uniform(8, 2));
 //! let a = BlockSparseMatrix::random_from_structure(sa, 1);
@@ -18,12 +22,16 @@
 //!     GridConfig { p: 1, q: 1 },
 //!     DeviceConfig { gpus_per_node: 1, gpu_mem_bytes: 1 << 20 },
 //! );
-//! let c = multiply(&a, &b, config).unwrap();
+//! let c = multiply(&a, &b, config)?;
 //! assert_eq!(c.structure().rows(), 4);
 //! assert_eq!(c.structure().cols(), 8);
+//! # Ok(())
+//! # }
+//! # run().unwrap();
 //! ```
 
-use crate::config::{PlanError, PlannerConfig};
+use crate::config::PlannerConfig;
+use crate::error::{BstError, GenError};
 use crate::exec::{execute_numeric, BGen, ExecReport};
 use crate::plan::ExecutionPlan;
 use crate::spec::ProblemSpec;
@@ -32,38 +40,48 @@ use bst_sparse::tensor::BlockSparseTensor4;
 use bst_sparse::tensor::Tensor4Meta;
 use bst_sparse::{BlockSparseMatrix, MatrixStructure};
 use bst_tile::pool::TilePool;
+use bst_tile::Tile;
 
 /// Computes `A · B` for two materialised block-sparse matrices on the
 /// simulated distributed multi-GPU runtime.
+///
+/// A tile that the structure marks non-zero but that is absent from `b`
+/// surfaces as [`GenError::MissingTile`] wrapped in the returned
+/// [`BstError`] — not a panic.
 pub fn multiply(
     a: &BlockSparseMatrix,
     b: &BlockSparseMatrix,
     config: PlannerConfig,
-) -> Result<BlockSparseMatrix, PlanError> {
+) -> Result<BlockSparseMatrix, BstError> {
     let spec = ProblemSpec::new(a.structure().clone(), b.structure().clone(), None);
     let plan = ExecutionPlan::build(&spec, config)?;
+    // Serve B tiles by sharing the matrix's own Arcs — no copies, and a
+    // structurally-promised but absent tile becomes a typed error.
     let b_gen = |k: usize, j: usize, _r: usize, _c: usize, _pool: &TilePool| {
-        b.tile(k, j).expect("shape says non-zero").clone()
+        b.tile_arc(k, j)
+            .cloned()
+            .ok_or(GenError::MissingTile { k, j })
     };
-    let (c, _report) = execute_numeric(&spec, &plan, a, &b_gen);
+    let (c, _report) = execute_numeric(&spec, &plan, a, &b_gen)?;
     Ok(c)
 }
 
 /// Computes `A · B` with `B` generated on demand (the paper's mode for the
 /// huge stationary operand): `b_structure` describes `B`'s sparsity and
-/// `b_gen(k, j, rows, cols)` materialises a tile when a node first needs it.
-/// `c_shape` optionally screens the result. Returns the result plus the
-/// execution report.
+/// `b_gen(k, j, rows, cols, pool)` materialises a tile when a node first
+/// needs it, or reports a [`GenError`] (transient ones are retried by the
+/// executor). `c_shape` optionally screens the result. Returns the result
+/// plus the execution report.
 pub fn multiply_on_demand(
     a: &BlockSparseMatrix,
     b_structure: &MatrixStructure,
     b_gen: BGen<'_>,
     c_shape: Option<SparseShape>,
     config: PlannerConfig,
-) -> Result<(BlockSparseMatrix, ExecReport), PlanError> {
+) -> Result<(BlockSparseMatrix, ExecReport), BstError> {
     let spec = ProblemSpec::new(a.structure().clone(), b_structure.clone(), c_shape);
     let plan = ExecutionPlan::build(&spec, config)?;
-    Ok(execute_numeric(&spec, &plan, a, b_gen))
+    Ok(execute_numeric(&spec, &plan, a, b_gen)?)
 }
 
 /// Evaluates the ABCD contraction `R^{ij}_{ab} = Σ_{cd} T^{ij}_{cd}
@@ -77,7 +95,7 @@ pub fn contract_abcd(
     v_gen: BGen<'_>,
     r_shape: Option<SparseShape>,
     config: PlannerConfig,
-) -> Result<(BlockSparseTensor4, ExecReport), PlanError> {
+) -> Result<(BlockSparseTensor4, ExecReport), BstError> {
     let (r_mat, report) =
         multiply_on_demand(t.matricised(), v_structure, v_gen, r_shape, config)?;
     let meta = Tensor4Meta::new([
@@ -89,10 +107,15 @@ pub fn contract_abcd(
         t.meta().tiling(3).clone(),
     ]);
     let structure = r_mat.structure().clone();
-    let r = BlockSparseTensor4::from_structure(meta, structure, |t0, t1, t2, t3, _r, _c| {
+    let r = BlockSparseTensor4::from_structure(meta, structure, |t0, t1, t2, t3, rows, cols| {
         let row = t0 * t.meta().tiles(1) + t1;
         let col = t2 * t.meta().tiles(3) + t3;
-        r_mat.tile(row, col).expect("present tile").clone()
+        // A structurally non-zero tile the screened execution never
+        // produced is numerically zero.
+        r_mat
+            .tile(row, col)
+            .cloned()
+            .unwrap_or_else(|| Tile::zeros(rows, cols))
     });
     Ok((r, report))
 }
@@ -104,6 +127,7 @@ mod tests {
     use bst_sparse::generate::{generate, SyntheticParams};
     use bst_sparse::matrix::tile_seed;
     use bst_tile::{Tile, Tiling};
+    use std::sync::Arc;
 
     fn cfg(p: usize, q: usize, g: usize) -> PlannerConfig {
         PlannerConfig::paper(
@@ -150,11 +174,35 @@ mod tests {
         });
         let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), 1);
         let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            pool.random(r, c, tile_seed(9, k, j))
+            Ok(Arc::new(pool.random(r, c, tile_seed(9, k, j))))
         };
         let (c, report) = multiply_on_demand(&a, &prob.b, &b_gen, None, cfg(2, 1, 1)).unwrap();
         assert!(report.gemm_tasks > 0);
         assert!(c.num_tiles() > 0);
+    }
+
+    #[test]
+    fn on_demand_generator_error_becomes_bst_error() {
+        let prob = generate(&SyntheticParams {
+            m: 8,
+            n: 12,
+            k: 12,
+            density: 1.0,
+            tile_min: 3,
+            tile_max: 4,
+            seed: 6,
+        });
+        let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), 1);
+        let b_gen = |k: usize, j: usize, _r: usize, _c: usize, _pool: &TilePool| {
+            Err(GenError::Failed {
+                k,
+                j,
+                reason: "no backend".into(),
+                transient: false,
+            })
+        };
+        let err = multiply_on_demand(&a, &prob.b, &b_gen, None, cfg(1, 1, 1)).unwrap_err();
+        assert!(matches!(err, BstError::Exec(_)), "got {err}");
     }
 
     #[test]
@@ -169,7 +217,7 @@ mod tests {
         let v_meta = Tensor4Meta::new([u.clone(), u.clone(), u.clone(), u.clone()]);
         let v_struct = v_meta.matricise(|_, _, _, _| 1.0);
         let v_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            pool.random(r, c, tile_seed(12, k, j))
+            Ok(Arc::new(pool.random(r, c, tile_seed(12, k, j))))
         };
 
         let (r, report) = contract_abcd(&t, &v_struct, &v_gen, None, cfg(1, 1, 1)).unwrap();

@@ -159,6 +159,12 @@ pub enum PlanError {
         /// The chunk budget.
         budget: u64,
     },
+    /// Degraded re-planning was asked to drop every node of a grid row, so
+    /// the row's `B` columns have nowhere to go.
+    NoSurvivingNodes {
+        /// The grid row with no surviving nodes.
+        row: usize,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -176,6 +182,10 @@ impl std::fmt::Display for PlanError {
             } => write!(
                 f,
                 "A tile ({row},{col}) needs {bytes} B but the chunk budget is {budget} B"
+            ),
+            PlanError::NoSurvivingNodes { row } => write!(
+                f,
+                "grid row {row} has no surviving nodes to take over its B columns"
             ),
         }
     }

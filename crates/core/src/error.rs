@@ -1,0 +1,232 @@
+//! Typed errors for the fallible execution API.
+//!
+//! The public entry points (`multiply`, `multiply_on_demand`,
+//! `contract_abcd`) and the executor (`execute_numeric*`) return `Result`
+//! instead of panicking: anomalies that a distributed deployment must
+//! survive — a generator backend failing, device memory exhausted, a
+//! transfer dropped — surface as values the caller can match on.
+//! [`BstError`] is the union the API surface exposes; [`GenError`] is what a
+//! [`BGen`](crate::exec::BGen) callback reports; [`ExecError`] is what the
+//! executor reports after its retry budget is spent.
+
+use crate::config::PlanError;
+use crate::fault::FaultSite;
+use std::fmt;
+
+/// Failure of an on-demand `B` tile generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenError {
+    /// A deterministic injected fault (testing/fault drills).
+    Injected {
+        /// Block-row of the requested tile.
+        k: usize,
+        /// Block-column of the requested tile.
+        j: usize,
+        /// Which attempt failed (1-based).
+        attempt: u32,
+    },
+    /// The generator's backing store has no tile where the structure says
+    /// one exists.
+    MissingTile {
+        /// Block-row of the requested tile.
+        k: usize,
+        /// Block-column of the requested tile.
+        j: usize,
+    },
+    /// The generator produced a tile of the wrong shape.
+    WrongShape {
+        /// Block-row of the requested tile.
+        k: usize,
+        /// Block-column of the requested tile.
+        j: usize,
+        /// Shape produced, `(rows, cols)`.
+        got: (usize, usize),
+        /// Shape required, `(rows, cols)`.
+        want: (usize, usize),
+    },
+    /// Any other generator failure.
+    Failed {
+        /// Block-row of the requested tile.
+        k: usize,
+        /// Block-column of the requested tile.
+        j: usize,
+        /// Human-readable cause.
+        reason: String,
+        /// Whether a retry could plausibly succeed.
+        transient: bool,
+    },
+}
+
+impl GenError {
+    /// Whether the executor should retry the generating task.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            GenError::Injected { .. } => true,
+            GenError::MissingTile { .. } | GenError::WrongShape { .. } => false,
+            GenError::Failed { transient, .. } => *transient,
+        }
+    }
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::Injected { k, j, attempt } => {
+                write!(f, "injected GenB fault at B({k},{j}), attempt {attempt}")
+            }
+            GenError::MissingTile { k, j } => {
+                write!(f, "structure marks B({k},{j}) non-zero but no tile is present")
+            }
+            GenError::WrongShape { k, j, got, want } => write!(
+                f,
+                "generator produced B({k},{j}) with shape {}x{}, expected {}x{}",
+                got.0, got.1, want.0, want.1
+            ),
+            GenError::Failed { k, j, reason, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "{kind} generator failure at B({k},{j}): {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Failure of the executor after exhausting its recovery options.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A deterministic injected fault on a non-GenB site.
+    Injected {
+        /// The fault site that fired.
+        site: FaultSite,
+        /// The task's detail string (e.g. `SendA(0,1->2)`).
+        detail: String,
+        /// Which attempt failed (1-based).
+        attempt: u32,
+    },
+    /// A `B` tile generator failed permanently.
+    Gen(GenError),
+    /// A device allocation exceeded the simulated GPU's capacity.
+    DeviceOom {
+        /// Simulated node of the device.
+        node: usize,
+        /// GPU index within the node.
+        gpu: usize,
+        /// The failed operation's detail string.
+        detail: String,
+        /// The underlying load error.
+        reason: String,
+    },
+    /// A task failed on every attempt within the retry budget.
+    RetryExhausted {
+        /// The failing task's detail string.
+        detail: String,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The last attempt's error, rendered.
+        cause: String,
+    },
+    /// Degraded re-planning after a node loss itself failed.
+    Replan(PlanError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Injected { site, detail, attempt } => {
+                write!(f, "injected {site:?} fault at {detail}, attempt {attempt}")
+            }
+            ExecError::Gen(e) => write!(f, "B generation failed: {e}"),
+            ExecError::DeviceOom { node, gpu, detail, reason } => write!(
+                f,
+                "device memory exhausted on node {node} gpu {gpu} during {detail}: {reason}"
+            ),
+            ExecError::RetryExhausted { detail, attempts, cause } => write!(
+                f,
+                "task {detail} failed after {attempts} attempts; last error: {cause}"
+            ),
+            ExecError::Replan(e) => write!(f, "degraded re-planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<GenError> for ExecError {
+    fn from(e: GenError) -> Self {
+        ExecError::Gen(e)
+    }
+}
+
+/// Union error of the public block-sparse API surface.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BstError {
+    /// Planning rejected the problem/configuration.
+    Plan(PlanError),
+    /// Execution failed beyond recovery.
+    Exec(ExecError),
+}
+
+impl fmt::Display for BstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BstError::Plan(e) => write!(f, "planning failed: {e}"),
+            BstError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BstError {}
+
+impl From<PlanError> for BstError {
+    fn from(e: PlanError) -> Self {
+        BstError::Plan(e)
+    }
+}
+
+impl From<ExecError> for BstError {
+    fn from(e: ExecError) -> Self {
+        BstError::Exec(e)
+    }
+}
+
+impl From<GenError> for BstError {
+    fn from(e: GenError) -> Self {
+        BstError::Exec(ExecError::Gen(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(GenError::Injected { k: 0, j: 0, attempt: 1 }.is_transient());
+        assert!(!GenError::MissingTile { k: 1, j: 2 }.is_transient());
+        assert!(!GenError::WrongShape { k: 0, j: 0, got: (1, 2), want: (2, 2) }.is_transient());
+        assert!(GenError::Failed {
+            k: 0,
+            j: 0,
+            reason: "timeout".into(),
+            transient: true
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let g = GenError::MissingTile { k: 3, j: 4 };
+        let e: ExecError = g.clone().into();
+        let b: BstError = e.clone().into();
+        assert!(format!("{b}").contains("B(3,4)"));
+        assert_eq!(b, BstError::Exec(ExecError::Gen(g)));
+        let p: BstError = crate::config::PlanError::ColumnTooLarge {
+            col: 1,
+            bytes: 10,
+            budget: 5,
+        }
+        .into();
+        assert!(format!("{p}").starts_with("planning failed"));
+    }
+}

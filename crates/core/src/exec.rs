@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use bst_runtime::data::DataKey;
 use bst_runtime::device::{DeviceMemory, DeviceStats, NodeResidency};
-use bst_runtime::graph::{TaskGraph, TaskId, WorkerId};
+use bst_runtime::graph::{TaskError, TaskGraph, TaskId, WorkerId};
 use bst_runtime::trace::{
     aggregate_by_kind, chrome_trace_json, text_summary, KindMetrics, MemSample, TaskRecord,
     TraceClock,
@@ -41,17 +41,23 @@ use bst_tile::pool::{PoolStats, TilePool};
 use bst_tile::Tile;
 use parking_lot::Mutex;
 
+use crate::error::{ExecError, GenError};
+use crate::fault::{FaultPlan, FaultSite, RetryPolicy};
 use crate::plan::ExecutionPlan;
 use crate::spec::ProblemSpec;
 
 /// Generator of `B` tiles:
-/// `(tile_row k, tile_col j, rows, cols, node pool) -> Tile`.
+/// `(tile_row k, tile_col j, rows, cols, node pool) -> Result<Arc<Tile>, GenError>`.
 ///
 /// The generator receives the executing node's [`TilePool`] so it can build
 /// the tile into a recycled buffer (`pool.random(rows, cols, seed)` /
 /// `pool.take_with`); generators that don't care may ignore it and allocate
-/// normally.
-pub type BGen<'a> = &'a (dyn Fn(usize, usize, usize, usize, &TilePool) -> Tile + Sync);
+/// normally. A failure is reported as a [`GenError`] instead of a panic: the
+/// executor retries the generating task when
+/// [`GenError::is_transient`] holds (within [`ExecOptions::retry`]'s budget)
+/// and aborts the execution with a typed error otherwise.
+pub type BGen<'a> =
+    &'a (dyn Fn(usize, usize, usize, usize, &TilePool) -> Result<Arc<Tile>, GenError> + Sync);
 
 /// How the executor picks a GEMM kernel for each `Gemm` task.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -95,6 +101,15 @@ pub struct ExecOptions {
     /// with `SendA`); `w > 0` fans `GenB` tasks round-robin across `w`
     /// extra lanes so generation overlaps with communication and compute.
     pub genb_workers: usize,
+    /// Deterministic fault-injection schedule (see [`FaultPlan`]); `None`
+    /// disables injection entirely (the default). Injected transient faults
+    /// are recovered through [`ExecOptions::retry`]; a
+    /// [`FaultPlan::dead_node`] triggers degraded re-planning before
+    /// execution.
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-task retry budget and exponential backoff applied to transient
+    /// failures (injected or reported by the [`BGen`] generator).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecOptions {
@@ -105,7 +120,117 @@ impl Default for ExecOptions {
             tracing: false,
             kernel: KernelSelect::default(),
             genb_workers: 2,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+impl ExecOptions {
+    /// Starts a fluent builder over the default options:
+    /// `ExecOptions::builder().tracing(true).fault_plan(fp).build()`.
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder {
+            opts: Self::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`ExecOptions`] (see [`ExecOptions::builder`]); every
+/// knob defaults to [`ExecOptions::default`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptionsBuilder {
+    opts: ExecOptions,
+}
+
+impl ExecOptionsBuilder {
+    /// Sets [`ExecOptions::prefetch_window`].
+    pub fn prefetch_window(mut self, on: bool) -> Self {
+        self.opts.prefetch_window = on;
+        self
+    }
+
+    /// Sets [`ExecOptions::block_serialization`].
+    pub fn block_serialization(mut self, on: bool) -> Self {
+        self.opts.block_serialization = on;
+        self
+    }
+
+    /// Sets [`ExecOptions::tracing`].
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.opts.tracing = on;
+        self
+    }
+
+    /// Sets [`ExecOptions::kernel`].
+    pub fn kernel(mut self, kernel: KernelSelect) -> Self {
+        self.opts.kernel = kernel;
+        self
+    }
+
+    /// Sets [`ExecOptions::genb_workers`].
+    pub fn genb_workers(mut self, workers: usize) -> Self {
+        self.opts.genb_workers = workers;
+        self
+    }
+
+    /// Enables fault injection with `plan` (see [`ExecOptions::fault_plan`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.opts.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets [`ExecOptions::retry`].
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.opts.retry = retry;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ExecOptions {
+        self.opts
+    }
+}
+
+/// Fault-injection and recovery counters of one execution. All zeros (and
+/// empty `dead_nodes`) when no [`ExecOptions::fault_plan`] was active.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Injected `GenB` failures (one per failed attempt).
+    pub injected_genb: u64,
+    /// Injected allocation failures on `LoadBlock`/`LoadA`.
+    pub injected_alloc: u64,
+    /// Injected dropped `SendA` transfers.
+    pub injected_send: u64,
+    /// Injected lane stalls.
+    pub stalls: u64,
+    /// Tasks that needed more than one attempt.
+    pub retried_tasks: u64,
+    /// Total retry attempts (failed attempts across all tasks).
+    pub retry_attempts: u64,
+    /// Largest per-task attempt count.
+    pub max_attempts: u32,
+    /// `B` columns moved off dead nodes by degraded re-planning.
+    pub replanned_columns: u64,
+    /// Nodes written off by degraded re-planning.
+    pub dead_nodes: Vec<usize>,
+}
+
+impl RecoveryStats {
+    /// Whether anything at all was injected, retried, or re-planned. A
+    /// clean run reports `max_attempts == 1` (every task ran once), which
+    /// does not count as recovery activity.
+    pub fn any(&self) -> bool {
+        self.injected_genb
+            + self.injected_alloc
+            + self.injected_send
+            + self.stalls
+            + self.retried_tasks
+            + self.retry_attempts
+            + self.replanned_columns
+            > 0
+            || self.max_attempts > 1
+            || !self.dead_nodes.is_empty()
     }
 }
 
@@ -133,6 +258,9 @@ pub struct ExecReport {
     /// Per-task-kind aggregate timings (empty unless
     /// [`ExecOptions::tracing`]).
     pub metrics: Vec<KindMetrics>,
+    /// Fault-injection and recovery counters (all zero without an active
+    /// [`ExecOptions::fault_plan`]).
+    pub recovery: RecoveryStats,
     /// The full labeled trace (present only under [`ExecOptions::tracing`]).
     pub trace: Option<ExecTraceData>,
 }
@@ -160,7 +288,26 @@ impl ExecReport {
             })
             .collect();
         let total_ns = self.trace.as_ref().map(|t| t.total_ns).unwrap_or(0);
-        text_summary(&self.metrics, total_ns, &devices)
+        let mut out = text_summary(&self.metrics, total_ns, &devices);
+        if self.recovery.any() {
+            let r = &self.recovery;
+            out.push_str(&format!(
+                "recovery: {} injected (GenB {}, alloc {}, send {}), {} stalls, \
+                 {} tasks retried over {} attempts (max {}), \
+                 {} columns re-planned off {:?}\n",
+                r.injected_genb + r.injected_alloc + r.injected_send,
+                r.injected_genb,
+                r.injected_alloc,
+                r.injected_send,
+                r.stalls,
+                r.retried_tasks,
+                r.retry_attempts,
+                r.max_attempts,
+                r.replanned_columns,
+                r.dead_nodes,
+            ));
+        }
+        out
     }
 }
 
@@ -413,34 +560,84 @@ enum Ctx {
     Gpu(Box<GpuCtx>),
 }
 
+/// The deterministic identity a task presents to the [`FaultPlan`]: a pure
+/// function of *what* the task is and *where* it runs, independent of task
+/// numbering or timing, so the injection schedule survives re-planning and
+/// graph-construction changes.
+fn fault_key(op: &Op, w: WorkerId) -> u64 {
+    const P: u64 = 0x100_0000_01B3; // FNV-ish odd multiplier
+    let fold = |fields: &[u64]| {
+        fields
+            .iter()
+            .fold(0u64, |acc, &f| acc.wrapping_mul(P) ^ f.wrapping_add(1))
+    };
+    match op {
+        Op::SendA { i, k, to } => fold(&[1, u64::from(*i), u64::from(*k), *to as u64]),
+        Op::GenB { k, j } => fold(&[2, w.node as u64, u64::from(*k), u64::from(*j)]),
+        Op::LoadBlock { node, gpu, block } => fold(&[3, *node as u64, *gpu as u64, *block as u64]),
+        Op::LoadA { i, k } => fold(&[4, w.node as u64, w.lane as u64, u64::from(*i), u64::from(*k)]),
+        Op::Gemm { i, k, j } => fold(&[
+            5,
+            w.node as u64,
+            w.lane as u64,
+            u64::from(*i),
+            u64::from(*k),
+            u64::from(*j),
+        ]),
+        Op::EvictChunk {
+            node, gpu, block, chunk,
+        } => fold(&[6, *node as u64, *gpu as u64, *block as u64, *chunk as u64]),
+        Op::FlushBlock { node, gpu, block } => fold(&[7, *node as u64, *gpu as u64, *block as u64]),
+    }
+}
+
 /// Executes `plan` numerically: `A` given as a block-sparse matrix
 /// (conceptually pre-distributed 2D-cyclically), `B` generated on demand by
 /// `b_gen` on the node that needs each tile. Returns the result `C` and an
-/// execution report.
-///
-/// # Panics
-/// Panics if the plan's memory discipline is violated (device OOM), on
-/// missing dataflow (absent tiles), or if `b_gen` returns wrongly-shaped
-/// tiles — all of which indicate bugs, not recoverable conditions.
+/// execution report, or a typed [`ExecError`] when the execution fails
+/// beyond recovery (device OOM, a permanent generator failure, or a retry
+/// budget spent on a transient one).
 pub fn execute_numeric(
     spec: &ProblemSpec,
     plan: &ExecutionPlan,
     a: &BlockSparseMatrix,
     b_gen: BGen<'_>,
-) -> (BlockSparseMatrix, ExecReport) {
+) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
     execute_numeric_with(spec, plan, a, b_gen, ExecOptions::default())
 }
 
-/// [`execute_numeric`] with selectable control-flow edges (see
-/// [`ExecOptions`]). Running without them is only safe when the devices are
-/// large enough to hold everything the scheduler may co-schedule.
+/// [`execute_numeric`] with selectable control-flow edges, fault injection
+/// and retry policy (see [`ExecOptions`]). Running without the control
+/// edges is only safe when the devices are large enough to hold everything
+/// the scheduler may co-schedule.
 pub fn execute_numeric_with(
     spec: &ProblemSpec,
     plan: &ExecutionPlan,
     a: &BlockSparseMatrix,
     b_gen: BGen<'_>,
     opts: ExecOptions,
-) -> (BlockSparseMatrix, ExecReport) {
+) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
+    // ---- Degraded re-planning on a permanent node loss -------------------
+    // The dead node's B columns move to its surviving row peers; its host
+    // memory (and therefore its A slice and SendA forwarding duties)
+    // survives, only its generators and GPUs are written off.
+    let replanned_storage;
+    let (plan, replanned_columns, dead_nodes): (&ExecutionPlan, u64, Vec<usize>) =
+        match opts.fault_plan.and_then(|f| f.dead_node) {
+            Some(dead) => {
+                let moved = plan
+                    .nodes
+                    .get(dead)
+                    .map(|n| n.columns.len() as u64)
+                    .unwrap_or(0);
+                replanned_storage = ExecutionPlan::build_with(spec, plan.config, &[dead])
+                    .map_err(ExecError::Replan)?;
+                (&replanned_storage, moved, vec![dead])
+            }
+            None => (plan, 0, Vec::new()),
+        };
+    let fault: Option<FaultPlan> = opts.fault_plan.filter(FaultPlan::is_active);
+
     let (p, q) = (plan.config.grid.p, plan.config.grid.q);
     let g = plan.config.device.gpus_per_node;
     let n_nodes = p * q;
@@ -691,6 +888,10 @@ pub fn execute_numeric_with(
     let a_fwd_msgs = AtomicU64::new(0);
     let gemms = AtomicU64::new(0);
     let bgens = AtomicU64::new(0);
+    let injected_genb = AtomicU64::new(0);
+    let injected_alloc = AtomicU64::new(0);
+    let injected_send = AtomicU64::new(0);
+    let stalls = AtomicU64::new(0);
     let dev_stats: Mutex<Vec<((usize, usize), DeviceStats)>> = Mutex::new(Vec::new());
     let mem_log: Mutex<DeviceMemLog> = Mutex::new(Vec::new());
     let clock = TraceClock::start();
@@ -724,7 +925,56 @@ pub fn execute_numeric_with(
             }))
         }
     };
-    let handler = |op: &Op, w: WorkerId, ctx: &mut Ctx| match (op, ctx) {
+    let handler = |op: &Op, w: WorkerId, ctx: &mut Ctx, attempt: u32| {
+        // ---- Fault injection, at handler entry (before any side effect,
+        // so a retried attempt re-runs from a clean slate) ---------------
+        if let Some(fp) = &fault {
+            let key = fault_key(op, w);
+            if attempt == 1 {
+                if let Some(delay) = fp.stall(key) {
+                    stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(delay);
+                }
+            }
+            match op {
+                Op::GenB { k, j } if fp.injects(FaultSite::GenB, key, attempt) => {
+                    injected_genb.fetch_add(1, Ordering::Relaxed);
+                    return Err(TaskError::Transient(ExecError::Gen(GenError::Injected {
+                        k: *k as usize,
+                        j: *j as usize,
+                        attempt,
+                    })));
+                }
+                Op::SendA { .. } if fp.injects(FaultSite::Send, key, attempt) => {
+                    injected_send.fetch_add(1, Ordering::Relaxed);
+                    return Err(TaskError::Transient(ExecError::Injected {
+                        site: FaultSite::Send,
+                        detail: op.detail(),
+                        attempt,
+                    }));
+                }
+                Op::LoadBlock { .. } | Op::LoadA { .. }
+                    if fp.injects(FaultSite::Alloc, key, attempt) =>
+                {
+                    injected_alloc.fetch_add(1, Ordering::Relaxed);
+                    return Err(TaskError::Transient(ExecError::Injected {
+                        site: FaultSite::Alloc,
+                        detail: op.detail(),
+                        attempt,
+                    }));
+                }
+                _ => {}
+            }
+        }
+        let oom = |e: &dyn std::fmt::Display| {
+            TaskError::Fatal(ExecError::DeviceOom {
+                node: w.node,
+                gpu: w.lane.saturating_sub(1),
+                detail: op.detail(),
+                reason: e.to_string(),
+            })
+        };
+        match (op, ctx) {
             (Op::SendA { i, k, to }, Ctx::Cpu) => {
                 let key = DataKey::A(*i, *k);
                 let tile = stores[w.node].get(key);
@@ -742,14 +992,30 @@ pub fn execute_numeric_with(
                         .unwrap_or(0);
                 stores[*to].put(key, tile, consumers);
                 stores[w.node].consume(key);
+                Ok(())
             }
             (Op::GenB { k, j }, Ctx::Cpu) => {
                 let rows = spec.b.row_tiling().size(*k as usize) as usize;
                 let cols = spec.b.col_tiling().size(*j as usize) as usize;
-                let tile = b_gen(*k as usize, *j as usize, rows, cols, &pools[w.node]);
-                assert_eq!((tile.rows(), tile.cols()), (rows, cols), "b_gen shape");
+                let tile = b_gen(*k as usize, *j as usize, rows, cols, &pools[w.node])
+                    .map_err(|e| {
+                        if e.is_transient() {
+                            TaskError::Transient(ExecError::Gen(e))
+                        } else {
+                            TaskError::Fatal(ExecError::Gen(e))
+                        }
+                    })?;
+                if (tile.rows(), tile.cols()) != (rows, cols) {
+                    return Err(TaskError::Fatal(ExecError::Gen(GenError::WrongShape {
+                        k: *k as usize,
+                        j: *j as usize,
+                        got: (tile.rows(), tile.cols()),
+                        want: (rows, cols),
+                    })));
+                }
                 bgens.fetch_add(1, Ordering::Relaxed);
-                stores[w.node].put(DataKey::B(*k, *j), Arc::new(tile), 1);
+                stores[w.node].put(DataKey::B(*k, *j), tile, 1);
+                Ok(())
             }
             (Op::LoadBlock { node, gpu, block }, Ctx::Gpu(gctx)) => {
                 let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
@@ -762,9 +1028,7 @@ pub fn execute_numeric_with(
                         }
                         let key = DataKey::B(k as u32, j as u32);
                         let tile = stores[*node].get(key);
-                        gctx.dev
-                            .load(key, tile.bytes())
-                            .unwrap_or_else(|e| panic!("B load: {e}"));
+                        gctx.dev.load(key, tile.bytes()).map_err(|e| oom(&e))?;
                         gctx.b_tiles.insert((k as u32, j as u32), tile);
                         stores[*node].consume(key);
                     }
@@ -776,22 +1040,22 @@ pub fn execute_numeric_with(
                         let key = DataKey::C(i as u32, j as u32);
                         gctx.dev
                             .alloc(key, (rows * cols * 8) as u64)
-                            .unwrap_or_else(|e| panic!("C alloc: {e}"));
+                            .map_err(|e| oom(&e))?;
                         gctx.c_tiles
                             .insert((i as u32, j as u32), pools[*node].zeroed(rows, cols));
                     }
                 }
                 gctx.sample_mem();
+                Ok(())
             }
             (Op::LoadA { i, k }, Ctx::Gpu(gctx)) => {
                 let key = DataKey::A(*i, *k);
                 let tile = stores[w.node].get(key);
-                gctx.dev
-                    .load(key, tile.bytes())
-                    .unwrap_or_else(|e| panic!("A load: {e}"));
+                gctx.dev.load(key, tile.bytes()).map_err(|e| oom(&e))?;
                 gctx.a_tiles.insert((*i, *k), tile);
                 stores[w.node].consume(key);
                 gctx.sample_mem();
+                Ok(())
             }
             (Op::Gemm { i, k, j }, Ctx::Gpu(gctx)) => {
                 assert!(gctx.dev.is_resident(DataKey::A(*i, *k)),
@@ -808,6 +1072,7 @@ pub fn execute_numeric_with(
                 kind.run(1.0, &at, &bt, ct);
                 kernel_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
                 gemms.fetch_add(1, Ordering::Relaxed);
+                Ok(())
             }
             (
                 Op::EvictChunk {
@@ -827,6 +1092,7 @@ pub fn execute_numeric_with(
                     }
                 }
                 gctx.sample_mem();
+                Ok(())
             }
             (Op::FlushBlock { node, gpu, block }, Ctx::Gpu(gctx)) => {
                 let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
@@ -868,19 +1134,38 @@ pub fn execute_numeric_with(
                             .push(((*node, *gpu), std::mem::take(&mut gctx.mem_samples)));
                     }
                 }
+                Ok(())
             }
             (op, _) => unreachable!("op {op:?} on wrong lane"),
-        };
-
-    let exec_trace = if opts.tracing {
-        Some(graph.execute_traced_with_clock(&workers, mk_ctx, handler, clock))
-    } else {
-        graph.execute(&workers, mk_ctx, handler);
-        None
+        }
     };
 
-    // Label the raw trace with the ops' kinds and details.
-    let (metrics, trace_data) = match exec_trace {
+    let retry = opts.retry.to_engine();
+    let run = if opts.tracing {
+        graph.execute_fallible_traced_with_clock(&workers, mk_ctx, handler, retry, clock)
+    } else {
+        graph.execute_fallible(&workers, mk_ctx, handler, retry)
+    };
+    let run = match run {
+        Ok(run) => run,
+        Err(abort) => {
+            // The abort carries the first failing task; exhausted budgets
+            // get the retry context attached, fatal errors pass through.
+            let detail = graph.payload(abort.task).detail();
+            return Err(if abort.budget_exhausted {
+                ExecError::RetryExhausted {
+                    detail,
+                    attempts: abort.attempts,
+                    cause: abort.error.to_string(),
+                }
+            } else {
+                abort.error
+            });
+        }
+    };
+
+    // Label the raw trace with the ops' kinds, details and attempt counts.
+    let (metrics, trace_data) = match &run.trace {
         Some(tr) => {
             let spans = tr.task_spans();
             let records: Vec<TaskRecord> = (0..graph.len())
@@ -890,6 +1175,7 @@ pub fn execute_numeric_with(
                     detail: graph.payload(id).detail(),
                     worker: graph.worker(id),
                     span: spans.get(&id).copied().unwrap_or_default(),
+                    attempts: run.attempts.get(id).copied().unwrap_or(1),
                 })
                 .collect();
             let metrics = aggregate_by_kind(&records);
@@ -906,6 +1192,17 @@ pub fn execute_numeric_with(
         }
         None => (Vec::new(), None),
     };
+    let recovery = RecoveryStats {
+        injected_genb: injected_genb.into_inner(),
+        injected_alloc: injected_alloc.into_inner(),
+        injected_send: injected_send.into_inner(),
+        stalls: stalls.into_inner(),
+        retried_tasks: run.retried_tasks(),
+        retry_attempts: run.failed_attempts(),
+        max_attempts: run.max_attempts(),
+        replanned_columns,
+        dead_nodes,
+    };
 
     // ---- Assemble the result ----------------------------------------------
     let mut c = BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
@@ -921,7 +1218,7 @@ pub fn execute_numeric_with(
         .map(|(kind, n)| (kind.name(), n.load(Ordering::Relaxed)))
         .filter(|&(_, n)| n > 0)
         .collect();
-    (
+    Ok((
         c,
         ExecReport {
             devices,
@@ -933,9 +1230,10 @@ pub fn execute_numeric_with(
             gemm_kernel_counts,
             pool_stats: pools.iter().map(TilePool::stats).collect(),
             metrics,
+            recovery,
             trace: trace_data,
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -966,9 +1264,9 @@ mod tests {
         let b_gen = |k: usize, j: usize, rows: usize, cols: usize, pool: &TilePool| {
             let t = pool.random(rows, cols, tile_seed(seed ^ 0xB, k, j));
             assert_eq!(b.tile(k, j).unwrap(), &t, "b_gen consistent with matrix");
-            t
+            Ok(Arc::new(t))
         };
-        let (c, report) = execute_numeric(spec, &plan, &a, &b_gen);
+        let (c, report) = execute_numeric(spec, &plan, &a, &b_gen).expect("fault-free run");
 
         let mut c_ref =
             BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
@@ -1087,10 +1385,9 @@ mod tests {
 
     /// Both control-edge families off, devices sized exactly for the
     /// disciplined schedule: the scheduler races ahead and the memory
-    /// manager faults — the §4 justification for the control DAG. (The
-    /// engine converts the worker panic into a propagated scope panic.)
+    /// manager faults — the §4 justification for the control DAG. The OOM
+    /// now surfaces as a typed [`ExecError::DeviceOom`] instead of a panic.
     #[test]
-    #[should_panic(expected = "a scoped thread panicked")]
     fn removing_control_edges_causes_device_oom() {
         let a = MatrixStructure::dense(Tiling::uniform(16, 4), Tiling::uniform(24, 4));
         let b = MatrixStructure::dense(Tiling::uniform(24, 4), Tiling::uniform(24, 4));
@@ -1099,20 +1396,24 @@ mod tests {
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 5);
         let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            pool.random(r, c, tile_seed(5 ^ 0xB, k, j))
+            Ok(Arc::new(pool.random(r, c, tile_seed(5 ^ 0xB, k, j))))
         };
         // Sanity: with the control edges the very same plan runs fine
         // (checked by `tight_memory_forces_many_blocks_and_chunks`).
-        let (_c, _r) = execute_numeric_with(
+        let err = execute_numeric_with(
             &spec,
             &plan,
             &am,
             &b_gen,
-            ExecOptions {
-                prefetch_window: false,
-                block_serialization: false,
-                ..ExecOptions::default()
-            },
+            ExecOptions::builder()
+                .prefetch_window(false)
+                .block_serialization(false)
+                .build(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ExecError::DeviceOom { node: 0, gpu: 0, .. }),
+            "expected a typed device OOM, got {err}"
         );
     }
 
@@ -1124,18 +1425,17 @@ mod tests {
         let config = cfg(1, 2, 1, 1 << 20);
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen =
-            |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| pool.random(r, c, 0);
+        let b_gen = |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| {
+            Ok(Arc::new(pool.random(r, c, 0)))
+        };
         let (_c, report) = execute_numeric_with(
             &spec,
             &plan,
             &am,
             &b_gen,
-            ExecOptions {
-                tracing: true,
-                ..ExecOptions::default()
-            },
-        );
+            ExecOptions::builder().tracing(true).build(),
+        )
+        .unwrap();
         let trace = report.trace.as_ref().expect("trace requested");
         assert!(trace.total_ns > 0);
         // Every op kind that this dense 1x2 problem exercises shows up.
@@ -1171,11 +1471,13 @@ mod tests {
         let spec = ProblemSpec::new(a, b, None);
         let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen =
-            |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| pool.random(r, c, 0);
-        let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen);
+        let b_gen = |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| {
+            Ok(Arc::new(pool.random(r, c, 0)))
+        };
+        let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen).unwrap();
         assert!(report.trace.is_none());
         assert!(report.metrics.is_empty());
+        assert!(!report.recovery.any(), "zero-fault run reported recovery");
     }
 
     #[test]
@@ -1190,9 +1492,9 @@ mod tests {
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
         let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            pool.random(r, c, bst_sparse::matrix::tile_seed(2, k, j))
+            Ok(Arc::new(pool.random(r, c, bst_sparse::matrix::tile_seed(2, k, j))))
         };
-        let (c, report) = execute_numeric(&spec, &plan, &am, &b_gen);
+        let (c, report) = execute_numeric(&spec, &plan, &am, &b_gen).unwrap();
         assert!(
             report.a_forward_messages > 0,
             "expected tree forwarding ({} messages total)",
@@ -1220,9 +1522,10 @@ mod tests {
         let config = cfg(1, 2, 1, 1 << 20);
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen =
-            |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| pool.random(r, c, 0);
-        let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen);
+        let b_gen = |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| {
+            Ok(Arc::new(pool.random(r, c, 0)))
+        };
+        let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen).unwrap();
         assert_eq!(report.gemm_tasks, 4 * 4 * 4);
         let expect_net = plan.stats(&spec).a_network_bytes;
         assert_eq!(report.a_network_bytes, expect_net);
@@ -1242,7 +1545,7 @@ mod tests {
         let plan = ExecutionPlan::build(&spec, config).unwrap();
         let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 5);
         let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            pool.random(r, c, tile_seed(5 ^ 0xB, k, j))
+            Ok(Arc::new(pool.random(r, c, tile_seed(5 ^ 0xB, k, j))))
         };
 
         let run = |kernel: KernelSelect| {
@@ -1251,11 +1554,9 @@ mod tests {
                 &plan,
                 &am,
                 &b_gen,
-                ExecOptions {
-                    kernel,
-                    ..ExecOptions::default()
-                },
+                ExecOptions::builder().kernel(kernel).build(),
             )
+            .unwrap()
         };
         let (c_base, r_base) = run(KernelSelect::Baseline);
         let (c_heur, r_heur) = run(KernelSelect::Heuristic);
@@ -1301,7 +1602,7 @@ mod tests {
             while entered.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
                 std::thread::yield_now();
             }
-            t
+            Ok(Arc::new(t))
         };
         let run = |genb_workers: usize| {
             execute_numeric_with(
@@ -1309,15 +1610,140 @@ mod tests {
                 &plan,
                 &am,
                 &b_gen,
-                ExecOptions {
-                    tracing: true,
-                    genb_workers,
-                    ..ExecOptions::default()
-                },
+                ExecOptions::builder()
+                    .tracing(true)
+                    .genb_workers(genb_workers)
+                    .build(),
             )
+            .unwrap()
             .1
         };
         assert!(max_concurrent_genb(&run(4)) > 1, "4 GenB workers never overlapped");
         assert_eq!(max_concurrent_genb(&run(0)), 1, "legacy path must serialize");
+    }
+
+    /// The fluent builder produces the same options as `Default` when
+    /// untouched and sets every knob it exposes.
+    #[test]
+    fn builder_matches_default_and_sets_knobs() {
+        let d = ExecOptions::default();
+        let b = ExecOptions::builder().build();
+        assert_eq!(
+            (b.prefetch_window, b.block_serialization, b.tracing, b.genb_workers),
+            (d.prefetch_window, d.block_serialization, d.tracing, d.genb_workers)
+        );
+        assert_eq!(b.kernel, d.kernel);
+        assert!(b.fault_plan.is_none());
+        let fp = FaultPlan::transient(9, 0.05);
+        let o = ExecOptions::builder()
+            .prefetch_window(false)
+            .block_serialization(false)
+            .tracing(true)
+            .kernel(KernelSelect::Baseline)
+            .genb_workers(7)
+            .fault_plan(fp)
+            .retry(RetryPolicy { budget: 9, backoff_base_us: 1, backoff_max_us: 2 })
+            .build();
+        assert!(!o.prefetch_window && !o.block_serialization && o.tracing);
+        assert_eq!(o.kernel, KernelSelect::Baseline);
+        assert_eq!(o.genb_workers, 7);
+        assert_eq!(o.fault_plan, Some(fp));
+        assert_eq!(o.retry.budget, 9);
+    }
+
+    /// A permanent generator failure aborts the run with the typed error;
+    /// a transient one is retried to success and counted in the report.
+    #[test]
+    fn generator_failures_abort_or_recover_by_transience() {
+        let a = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
+        let b = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
+        let spec = ProblemSpec::new(a, b, None);
+        let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
+        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
+
+        let permanent = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+            if (k, j) == (1, 2) {
+                Err(GenError::Failed {
+                    k,
+                    j,
+                    reason: "backend gone".into(),
+                    transient: false,
+                })
+            } else {
+                Ok(Arc::new(pool.random(r, c, 0)))
+            }
+        };
+        let err = execute_numeric(&spec, &plan, &am, &permanent).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::Gen(GenError::Failed {
+                k: 1,
+                j: 2,
+                reason: "backend gone".into(),
+                transient: false,
+            })
+        );
+
+        // Transient: every tile's first generation attempt fails.
+        let tried = Mutex::new(std::collections::HashSet::new());
+        let flaky = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+            if tried.lock().insert((k, j)) {
+                Err(GenError::Failed {
+                    k,
+                    j,
+                    reason: "timeout".into(),
+                    transient: true,
+                })
+            } else {
+                Ok(Arc::new(pool.random(r, c, bst_sparse::matrix::tile_seed(7, k, j))))
+            }
+        };
+        let (c, report) = execute_numeric(&spec, &plan, &am, &flaky).unwrap();
+        assert_eq!(report.recovery.retried_tasks, report.b_tiles_generated);
+        assert_eq!(report.recovery.max_attempts, 2);
+        let bm = BlockSparseMatrix::from_structure(spec.b.clone(), |k, j, r, cc| {
+            bst_tile::Tile::random(r, cc, bst_sparse::matrix::tile_seed(7, k, j))
+        });
+        let mut c_ref =
+            BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
+        c_ref.gemm_acc_reference(&am, &bm);
+        assert!(c.max_abs_diff(&c_ref) < 1e-9, "recovered result wrong");
+    }
+
+    /// A budget too small for the generator's failure streak surfaces as
+    /// `RetryExhausted` carrying the last cause.
+    #[test]
+    fn retry_budget_exhaustion_reports_exhausted() {
+        let a = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
+        let b = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
+        let spec = ProblemSpec::new(a, b, None);
+        let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
+        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
+        let always_fail = |k: usize, j: usize, _r: usize, _c: usize, _p: &TilePool| {
+            Err(GenError::Failed {
+                k,
+                j,
+                reason: "hard down".into(),
+                transient: true,
+            })
+        };
+        let err = execute_numeric_with(
+            &spec,
+            &plan,
+            &am,
+            &always_fail,
+            ExecOptions::builder()
+                .retry(RetryPolicy { budget: 2, backoff_base_us: 0, backoff_max_us: 0 })
+                .build(),
+        )
+        .unwrap_err();
+        match err {
+            ExecError::RetryExhausted { detail, attempts, cause } => {
+                assert!(detail.starts_with("GenB("), "{detail}");
+                assert_eq!(attempts, 2);
+                assert!(cause.contains("hard down"), "{cause}");
+            }
+            other => panic!("expected RetryExhausted, got {other}"),
+        }
     }
 }

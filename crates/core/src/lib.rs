@@ -32,16 +32,20 @@ pub mod api;
 pub mod assign;
 pub mod chunk;
 pub mod config;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod partition;
 pub mod plan;
 pub mod spec;
 pub mod stationary_c;
 
 pub use config::{DeviceConfig, GridConfig, PlanError, PlannerConfig};
+pub use error::{BstError, ExecError, GenError};
 pub use exec::{
-    max_concurrent_genb, validate_trace_invariants, ExecOptions, ExecReport, ExecTraceData,
-    KernelSelect,
+    max_concurrent_genb, validate_trace_invariants, ExecOptions, ExecOptionsBuilder, ExecReport,
+    ExecTraceData, KernelSelect, RecoveryStats,
 };
+pub use fault::{FaultPlan, FaultSite, RetryPolicy};
 pub use plan::{ExecutionPlan, PlanStats};
 pub use spec::ProblemSpec;

@@ -74,14 +74,45 @@ impl ExecutionPlan {
     /// stays a negligible fraction of execution even at Summit scale
     /// (§3.2.4).
     pub fn build(spec: &ProblemSpec, config: PlannerConfig) -> Result<Self, PlanError> {
+        Self::build_with(spec, config, &[])
+    }
+
+    /// Builds the plan with the nodes in `dead_nodes` (flat indices,
+    /// `grid_row · q + grid_col`) treated as permanently failed: their `B`
+    /// columns are re-assigned among the *surviving* nodes of the same grid
+    /// row (graceful degradation after a node loss), and their plans come
+    /// out empty. The grid shape is unchanged — a dead node's host memory
+    /// is assumed to survive, so the `A` distribution and broadcast trees
+    /// still include it; only its generators and GPUs are written off.
+    ///
+    /// Fails with [`PlanError::NoSurvivingNodes`] if a grid row loses all
+    /// `q` of its nodes.
+    pub fn build_with(
+        spec: &ProblemSpec,
+        config: PlannerConfig,
+        dead_nodes: &[usize],
+    ) -> Result<Self, PlanError> {
         use rayon::prelude::*;
         let (p, q) = (config.grid.p, config.grid.q);
         // (grid_row, grid_col, columns) descriptors, then parallel lowering.
         let mut descriptors = Vec::with_capacity(p * q);
         for row in 0..p {
+            let alive: Vec<usize> = (0..q)
+                .filter(|&c| !dead_nodes.contains(&(row * q + c)))
+                .collect();
+            if alive.is_empty() {
+                return Err(PlanError::NoSurvivingNodes { row });
+            }
             let weights = column_weights(spec, row, p);
-            let (cols_per_node, _) = assign_columns_policy(&weights, q, config.assign_policy);
-            for (col_idx, cols) in cols_per_node.into_iter().enumerate() {
+            // Assign over the surviving slots only, then map each slot back
+            // to its grid column; dead nodes get no columns.
+            let (cols_per_slot, _) =
+                assign_columns_policy(&weights, alive.len(), config.assign_policy);
+            let mut per_col: Vec<Vec<usize>> = vec![Vec::new(); q];
+            for (slot, cols) in cols_per_slot.into_iter().enumerate() {
+                per_col[alive[slot]] = cols;
+            }
+            for (col_idx, cols) in per_col.into_iter().enumerate() {
                 descriptors.push((row, col_idx, cols));
             }
         }
@@ -472,6 +503,45 @@ mod tests {
         // Single node, single GPU, everything fits: A loaded exactly once.
         assert_eq!(stats.a_h2d_bytes, s.a.bytes());
         assert_eq!(stats.bc_h2d_bytes, s.b.bytes() + 8 * 16 * 8);
+    }
+
+    #[test]
+    fn degraded_replan_moves_columns_to_row_peers() {
+        let s = spec(8, 40, 60, 2);
+        let cfg = config(2, 3, 2, 2000);
+        let full = ExecutionPlan::build(&s, cfg).unwrap();
+        // Kill node (0,1) = flat index 1.
+        let degraded = ExecutionPlan::build_with(&s, cfg, &[1]).unwrap();
+        let dead = degraded.node(0, 1);
+        assert!(dead.columns.is_empty());
+        assert!(dead.gpus.iter().all(|g| g.blocks.is_empty()));
+        // Row 0 still covers every column, on the two survivors only.
+        let mut col_seen = vec![false; s.tile_cols()];
+        for c in 0..3 {
+            for &j in &degraded.node(0, c).columns {
+                assert!(!col_seen[j]);
+                col_seen[j] = true;
+            }
+        }
+        assert!(col_seen.iter().all(|&x| x), "row 0 lost a column");
+        // Row 1 is untouched by a row-0 failure.
+        for c in 0..3 {
+            assert_eq!(degraded.node(1, c).columns, full.node(1, c).columns);
+        }
+        // The degraded plan still enumerates every task exactly once.
+        let mut seen = std::collections::HashSet::new();
+        degraded.for_each_task(&s, |_, _, t| assert!(seen.insert(t)));
+        let mut full_seen = std::collections::HashSet::new();
+        full.for_each_task(&s, |_, _, t| assert!(full_seen.insert(t)));
+        assert_eq!(seen, full_seen);
+    }
+
+    #[test]
+    fn degraded_replan_rejects_empty_row() {
+        let s = spec(8, 12, 16, 2);
+        let cfg = config(2, 2, 1, 1 << 20);
+        let err = ExecutionPlan::build_with(&s, cfg, &[2, 3]).unwrap_err();
+        assert_eq!(err, PlanError::NoSurvivingNodes { row: 1 });
     }
 
     #[test]

@@ -68,7 +68,7 @@ fn traced_run_full(spec: &ProblemSpec, opts: ExecOptions) -> (BlockSparseMatrix,
                 std::thread::yield_now();
             }
         }
-        t
+        Ok(std::sync::Arc::new(t))
     };
     let (c, report) = execute_numeric_with(
         spec,
@@ -79,7 +79,8 @@ fn traced_run_full(spec: &ProblemSpec, opts: ExecOptions) -> (BlockSparseMatrix,
             tracing: true,
             ..opts
         },
-    );
+    )
+    .expect("traced run");
     (c, report)
 }
 

@@ -63,9 +63,9 @@ fn main() {
     );
     let plan = ExecutionPlan::build(&spec, config).expect("plan");
     let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
-        pool.random(r, c, tile_seed(2, k, j))
+        Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(2, k, j))))
     };
-    let (c_bst, report) = execute_numeric(&spec, &plan, &a, &b_gen);
+    let (c_bst, report) = execute_numeric(&spec, &plan, &a, &b_gen).expect("execution");
     println!(
         "B-stationary 2x2x2: {} GEMMs, A over network {:.1} MB ({} msgs, {} forwarded), B never moves; |diff| = {:.2e}",
         report.gemm_tasks,

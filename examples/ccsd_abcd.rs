@@ -59,9 +59,11 @@ fn main() {
     // exactly as in the paper's benchmark (random data, physical shape).
     let t = BlockSparseMatrix::random_from_structure(problem.t.clone(), 0x7E);
     let v_seed = 0xABCDu64;
-    let v_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(v_seed, k, j));
-    let (r, report) = bst::contract::exec::execute_numeric(&spec, &plan, &t, &v_gen);
+    let v_gen = |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+        Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(v_seed, k, j))))
+    };
+    let (r, report) =
+        bst::contract::exec::execute_numeric(&spec, &plan, &t, &v_gen).expect("execution");
     println!(
         "executed: {} GEMMs, {} V tiles generated on demand",
         report.gemm_tasks, report.b_tiles_generated

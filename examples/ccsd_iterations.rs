@@ -73,7 +73,7 @@ fn main() {
     let v_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
         let mut t = pool.random(r, c, tile_seed(v_seed, k, j));
         t.scale(spectral_scale);
-        t
+        Ok(std::sync::Arc::new(t))
     };
 
     let g = BlockSparseMatrix::random_from_structure(problem.t.clone(), 7);

@@ -62,9 +62,11 @@ fn main() {
     // on the node that needs each tile (pure function of its coordinates).
     let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
     let b_seed = 2u64;
-    let b_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(b_seed, k, j));
-    let (c, report) = bst::contract::exec::execute_numeric(&spec, &plan, &a, &b_gen);
+    let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+        Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(b_seed, k, j))))
+    };
+    let (c, report) =
+        bst::contract::exec::execute_numeric(&spec, &plan, &a, &b_gen).expect("execution");
     println!(
         "executed {} GEMMs on {} simulated devices; {} B tiles generated, {:.1} MB of A over the network",
         report.gemm_tasks,

@@ -31,7 +31,7 @@ fn check_molecule(molecule: &Molecule, seed: u64) {
     );
     let t = BlockSparseMatrix::random_from_structure(problem.t.clone(), seed);
     let v_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
-        pool.random(r, c, tile_seed(seed ^ 0xF, k, j))
+        Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(seed ^ 0xF, k, j))))
     };
     let (r, report) = multiply_on_demand(&t, &problem.v, &v_gen, spec.c_shape.clone(), config(2, 2))
         .expect("plan");
@@ -105,7 +105,7 @@ fn tensor_level_abcd_on_molecule() {
     ]);
     let t = BlockSparseTensor4::random_from_structure(meta, problem.t.clone(), 3);
     let v_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(4, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(4, k, j))));
     let (r, report) =
         contract_abcd(&t, &problem.v, &v_gen, Some(problem.r.shape().clone()), config(1, 2))
             .expect("contract");

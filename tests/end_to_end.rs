@@ -47,8 +47,8 @@ fn parsec_style_and_cannon_agree_on_synthetic_problem() {
     let spec = ProblemSpec::new(prob.a.clone(), prob.b.clone(), None);
     let plan = ExecutionPlan::build(&spec, cfg(2, 2, 2, 1 << 20)).unwrap();
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(2, k, j));
-    let (c_parsec, _) = execute_numeric(&spec, &plan, &a, &b_gen);
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(2, k, j))));
+    let (c_parsec, _) = execute_numeric(&spec, &plan, &a, &b_gen).unwrap();
 
     // The DBCSR-style baseline.
     let (c_cannon, _) = cannon_multiply(&a, &b, 3);
@@ -77,8 +77,8 @@ fn abcd_term_end_to_end_small_molecule() {
     let plan = ExecutionPlan::build(&spec, cfg(1, 2, 2, 32 << 20)).unwrap();
     let t = BlockSparseMatrix::random_from_structure(problem.t.clone(), 5);
     let v_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(6, k, j));
-    let (r, report) = execute_numeric(&spec, &plan, &t, &v_gen);
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(6, k, j))));
+    let (r, report) = execute_numeric(&spec, &plan, &t, &v_gen).unwrap();
     assert!(report.gemm_tasks > 0);
 
     let v = BlockSparseMatrix::from_structure(problem.v.clone(), |k, j, rr, cc| {
@@ -109,8 +109,8 @@ fn plan_stats_match_numeric_execution() {
     let stats = plan.stats(&spec);
     let a = BlockSparseMatrix::random_from_structure(prob.a, 3);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(4, k, j));
-    let (_c, report) = execute_numeric(&spec, &plan, &a, &b_gen);
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(4, k, j))));
+    let (_c, report) = execute_numeric(&spec, &plan, &a, &b_gen).unwrap();
     assert_eq!(report.gemm_tasks, stats.total_tasks);
     assert_eq!(report.a_network_bytes, stats.a_network_bytes);
     // Device h2d totals are bounded by the plan's A-traffic plus the B
@@ -147,8 +147,8 @@ fn simulator_and_numeric_executor_count_same_work() {
 
     let a = BlockSparseMatrix::random_from_structure(prob.a, 3);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(4, k, j));
-    let (_c, report) = execute_numeric(&spec, &plan, &a, &b_gen);
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(4, k, j))));
+    let (_c, report) = execute_numeric(&spec, &plan, &a, &b_gen).unwrap();
 
     assert_eq!(sim.total_tasks, report.gemm_tasks);
     assert_eq!(sim.a_network_bytes, report.a_network_bytes);
@@ -172,7 +172,7 @@ fn shrunken_gpu_memory_still_correct_with_more_blocks() {
     let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), 2);
     let c_ref = reference(&a, &b);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(2, k, j));
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(2, k, j))));
 
     let mut last_blocks = 0;
     for mem in [1u64 << 20, 64 << 10, 24 << 10] {
@@ -180,7 +180,7 @@ fn shrunken_gpu_memory_still_correct_with_more_blocks() {
         let stats = plan.stats(&spec);
         assert!(stats.num_blocks >= last_blocks);
         last_blocks = stats.num_blocks;
-        let (c, _) = execute_numeric(&spec, &plan, &a, &b_gen);
+        let (c, _) = execute_numeric(&spec, &plan, &a, &b_gen).unwrap();
         assert!(
             c.max_abs_diff(&c_ref) < 1e-9,
             "wrong result at {mem} B of GPU memory"
@@ -217,8 +217,8 @@ fn oversized_column_splitting_keeps_result_exact() {
     let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), 1);
     let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), 2);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(2, k, j));
-    let (c, _) = execute_numeric(&spec, &plan, &a, &b_gen);
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(2, k, j))));
+    let (c, _) = execute_numeric(&spec, &plan, &a, &b_gen).unwrap();
     assert!(c.max_abs_diff(&reference(&a, &b)) < 1e-9);
 }
 
@@ -237,9 +237,9 @@ fn determinism_across_runs() {
     let plan = ExecutionPlan::build(&spec, cfg(2, 1, 2, 1 << 20)).unwrap();
     let a = BlockSparseMatrix::random_from_structure(prob.a, 3);
     let b_gen =
-        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| pool.random(r, c, tile_seed(4, k, j));
-    let (c1, _) = execute_numeric(&spec, &plan, &a, &b_gen);
-    let (c2, _) = execute_numeric(&spec, &plan, &a, &b_gen);
+        |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(4, k, j))));
+    let (c1, _) = execute_numeric(&spec, &plan, &a, &b_gen).unwrap();
+    let (c2, _) = execute_numeric(&spec, &plan, &a, &b_gen).unwrap();
     // Scheduling is nondeterministic but the result must not be: within a
     // destination tile, accumulation order is fixed by the chunk order.
     assert_eq!(c1.max_abs_diff(&c2), 0.0);

@@ -57,9 +57,9 @@ proptest! {
         let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), params.seed);
         let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), params.seed ^ 0xB);
         let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
-            pool.random(r, c, tile_seed(params.seed ^ 0xB, k, j))
+            Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(params.seed ^ 0xB, k, j))))
         };
-        let (c, _) = execute_numeric(&spec, &plan, &a, &b_gen);
+        let (c, _) = execute_numeric(&spec, &plan, &a, &b_gen).unwrap();
         let mut c_ref = BlockSparseMatrix::zeros(
             prob.a.row_tiling().clone(),
             prob.b.col_tiling().clone(),
