@@ -265,8 +265,8 @@ fn print_hot_path_comparison(
     println!("#   kernel mix: {}", kernels.join(" "));
     println!(
         "#   GenB max concurrency per node: {} -> {} (workers fanned out)",
-        bst_contract::max_concurrent_genb(baseline),
-        bst_contract::max_concurrent_genb(tuned)
+        baseline.max_concurrent_genb(),
+        tuned.max_concurrent_genb()
     );
     let (hits, misses): (u64, u64) = tuned
         .pool_stats

@@ -1,0 +1,209 @@
+//! Parity gates for the engine collapse: the six legacy `execute*` wrappers
+//! must behave identically to the policy stacks on `Engine::run` they now
+//! delegate to, and the numeric engine must produce the same answer with
+//! and without injected faults.
+//!
+//! Two levels:
+//!
+//! * **runtime level** — a deterministic dataflow graph (every task's value
+//!   is a pure function of its dependencies' values) executed through each
+//!   legacy wrapper and through the equivalent `Engine` policy stack, gated
+//!   **byte-identical**, with every recorded trace invariant-clean;
+//! * **core level** — the repro binaries' tiny numeric instance
+//!   (`repro_trace --numeric --tiny`), fault-free vs `--faults`-style
+//!   transient injection, gated at ≤ 1e-10 (fp accumulation order may
+//!   differ across schedules) with both traces invariant-clean.
+
+#![allow(deprecated)] // exercising the legacy wrappers is the point
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bst_bench::{tiny_numeric_spec, traced_numeric_run};
+use bst_contract::{validate_trace_invariants, ExecOptions, FaultPlan};
+use bst_runtime::engine::Engine;
+use bst_runtime::graph::{RetryOptions, TaskError, TaskGraph, WorkerId};
+
+/// A layered deterministic DAG: task `t`'s value is a pure fold of its
+/// dependencies' values, so *any* valid schedule produces bit-identical
+/// results — which is exactly what lets us gate the wrappers byte-for-byte.
+fn build_graph() -> (TaskGraph<usize>, Vec<WorkerId>) {
+    let workers: Vec<WorkerId> = (0..2)
+        .flat_map(|node| (0..3).map(move |lane| WorkerId { node, lane }))
+        .collect();
+    let mut graph = TaskGraph::new();
+    for t in 0..60usize {
+        let id = graph.add_task(t, workers[t % workers.len()]);
+        // A couple of cross-lane edges per task keeps every wrapper's
+        // scheduler honest without serialising the graph.
+        if t >= 1 {
+            graph.add_dep(id, id - 1);
+        }
+        if t >= 7 {
+            graph.add_dep(id, id - 7);
+        }
+    }
+    (graph, workers)
+}
+
+/// The task body: fold the dependencies' results through a few
+/// transcendental ops. Infallible form.
+fn value_of(graph: &TaskGraph<usize>, out: &[AtomicU64], id: usize) -> f64 {
+    let mut acc = 1.0f64 + id as f64;
+    for &d in graph.deps(id) {
+        acc += f64::from_bits(out[d].load(Ordering::SeqCst));
+    }
+    (acc.sqrt() + (id as f64).sin()).ln_1p()
+}
+
+fn bits(out: &[AtomicU64]) -> Vec<u64> {
+    out.iter().map(|b| b.load(Ordering::SeqCst)).collect()
+}
+
+/// Whether this task fails (transiently) on its first attempt in the
+/// fault-injected legs — deterministic in the task id.
+fn faulty(id: usize) -> bool {
+    id % 7 == 3
+}
+
+#[test]
+fn infallible_wrappers_match_engine_byte_for_byte() {
+    let (graph, workers) = build_graph();
+    let n = graph.len();
+    let run_with = |exec: &dyn Fn(&TaskGraph<usize>, &[AtomicU64])| {
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        exec(&graph, &out);
+        bits(&out)
+    };
+
+    let engine = run_with(&|g, out| {
+        let handler = |&id: &usize, _w: WorkerId, _c: &mut (), _a: u32| {
+            out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
+            Ok::<(), TaskError<std::convert::Infallible>>(())
+        };
+        Engine::new()
+            .run(g, &workers, |_| (), handler)
+            .unwrap();
+    });
+
+    let legacy_execute = run_with(&|g, out| {
+        g.execute(&workers, |_| (), |&id, _w, _c: &mut ()| {
+            out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
+        });
+    });
+    assert_eq!(engine, legacy_execute, "execute() diverged from Engine::run");
+
+    let legacy_traced = run_with(&|g, out| {
+        let trace = g.execute_traced(&workers, |_| (), |&id, _w, _c: &mut ()| {
+            out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
+        });
+        assert!(trace.validate(g).is_empty(), "legacy trace has violations");
+        assert_eq!(trace.event_count(), 3 * g.len());
+    });
+    assert_eq!(engine, legacy_traced, "execute_traced() diverged");
+
+    let legacy_clocked = run_with(&|g, out| {
+        let clock = bst_runtime::trace::TraceClock::start();
+        let trace = g.execute_traced_with_clock(
+            &workers,
+            |_| (),
+            |&id, _w, _c: &mut ()| {
+                out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
+            },
+            clock,
+        );
+        assert!(trace.validate(g).is_empty());
+    });
+    assert_eq!(engine, legacy_clocked, "execute_traced_with_clock() diverged");
+}
+
+#[test]
+fn fallible_wrappers_match_engine_with_and_without_faults() {
+    let (graph, workers) = build_graph();
+    let n = graph.len();
+    let retry = RetryOptions::default();
+
+    // One shared fallible body: first attempt of a "faulty" task fails
+    // transiently; the retry recomputes the identical value.
+    let run_with = |exec: &dyn Fn(
+        &TaskGraph<usize>,
+        &[AtomicU64],
+        &(dyn Fn(&usize, WorkerId, &mut (), u32) -> Result<(), TaskError<String>> + Sync),
+    )| {
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let (g, o) = (&graph, &out);
+        let body = move |&id: &usize, _w: WorkerId, _c: &mut (), attempt: u32| {
+            if faulty(id) && attempt == 1 {
+                return Err(TaskError::Transient(format!("task {id} flaked")));
+            }
+            o[id].store(value_of(g, o, id).to_bits(), Ordering::SeqCst);
+            Ok(())
+        };
+        exec(&graph, &out, &body);
+        bits(&out)
+    };
+
+    let engine = run_with(&|g, _out, body| {
+        let run = Engine::new()
+            .with_retry(retry)
+            .run(g, &workers, |_| (), body)
+            .expect("transient faults must recover");
+        assert_eq!(run.retried_tasks(), (0..n).filter(|&t| faulty(t)).count() as u64);
+    });
+
+    let legacy_plain = run_with(&|g, _out, body| {
+        g.execute_fallible(&workers, |_| (), body, retry)
+            .expect("legacy wrapper must recover");
+    });
+    assert_eq!(engine, legacy_plain, "execute_fallible() diverged");
+
+    let legacy_traced = run_with(&|g, _out, body| {
+        let run = g
+            .execute_fallible_traced(&workers, |_| (), body, retry)
+            .expect("legacy traced wrapper must recover");
+        let trace = run.trace.expect("tracing was requested");
+        assert!(trace.validate(g).is_empty(), "legacy faulted trace invalid");
+    });
+    assert_eq!(engine, legacy_traced, "execute_fallible_traced() diverged");
+
+    let legacy_clocked = run_with(&|g, _out, body| {
+        let clock = bst_runtime::trace::TraceClock::start();
+        let run = g
+            .execute_fallible_traced_with_clock(&workers, |_| (), body, retry, clock)
+            .expect("legacy clocked wrapper must recover");
+        assert!(run.trace.expect("traced").validate(g).is_empty());
+    });
+    assert_eq!(engine, legacy_clocked, "execute_fallible_traced_with_clock() diverged");
+}
+
+/// The `repro_trace --numeric --tiny` instance: a fault-free run and a
+/// `--faults`-style transient-injection run must agree to ≤ 1e-10, both
+/// traces must be invariant-clean, and only the faulted run may report
+/// recovery activity.
+#[test]
+fn tiny_numeric_instance_agrees_fault_free_vs_faulted() {
+    let gpu_mem = 1 << 21;
+    let spec = tiny_numeric_spec(42);
+
+    let clean_opts = ExecOptions::builder().tracing(true).build();
+    let (c_clean, r_clean) = traced_numeric_run(&spec, 2, 2, gpu_mem, 42, clean_opts);
+
+    let faulted_opts = ExecOptions::builder()
+        .tracing(true)
+        .fault_plan(FaultPlan::transient(42, 0.08))
+        .build();
+    let (c_faulted, r_faulted) = traced_numeric_run(&spec, 2, 2, gpu_mem, 42, faulted_opts);
+
+    let diff = c_clean.max_abs_diff(&c_faulted);
+    assert!(diff <= 1e-10, "faulted run diverged by {diff}");
+    assert!(!r_clean.recovery.any(), "clean run reported recovery");
+    assert!(r_faulted.recovery.any(), "0.08 injection rate never fired");
+
+    assert_eq!(
+        validate_trace_invariants(&r_clean, clean_opts, gpu_mem),
+        Vec::<String>::new()
+    );
+    assert_eq!(
+        validate_trace_invariants(&r_faulted, faulted_opts, gpu_mem),
+        Vec::<String>::new()
+    );
+}

@@ -1,21 +1,24 @@
-//! Generic task DAG and its multithreaded execution engine.
+//! Generic task DAG: tasks pinned to workers, plus the legacy `execute*`
+//! entry points.
 //!
 //! A [`TaskGraph`] is a DAG of payload-carrying tasks, each pinned to a
 //! [`WorkerId`] (a lane of a simulated node). Edges are plain dependencies;
 //! the caller decides whether an edge means "data flows here" or "control
 //! only" — the scheduler treats both identically, as PaRSEC's PTG does.
 //!
-//! [`TaskGraph::execute`] spawns one OS thread per worker. Each worker pulls
-//! ready tasks from its own FIFO; completing a task decrements the indegree
-//! of its successors, enqueueing those that become ready onto *their*
-//! worker's FIFO. Worker panics propagate to the caller.
+//! Execution lives in [`crate::engine`]: [`Engine::run`] spawns one OS
+//! thread per worker; each worker pulls ready tasks from its own FIFO;
+//! completing a task decrements the indegree of its successors, enqueueing
+//! those that become ready onto *their* worker's FIFO. Worker panics
+//! propagate to the caller. The six `TaskGraph::execute*` methods below are
+//! deprecated one-release compatibility wrappers over that single engine —
+//! each fixes one combination of the [`Tracer`](crate::engine::Tracer) /
+//! [`Clock`](crate::engine::Clock) /
+//! [`RetryPolicy`](crate::engine::RetryPolicy) policies that
+//! [`Engine`] composes freely.
 
-use crate::trace::{ExecTrace, TraceClock, TraceEvent, TracePhase, WorkerTrace};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::convert::Infallible;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use crate::engine::{infallible, Engine};
+use crate::trace::{ExecTrace, TraceClock};
 
 /// Address of an execution lane: a node and a lane within it.
 ///
@@ -32,10 +35,8 @@ pub struct WorkerId {
 /// Identifier of a task within its graph.
 pub type TaskId = usize;
 
-/// Poison value signalling queue shutdown.
-const DONE: TaskId = usize::MAX;
-
-/// Retry policy for [`TaskGraph::execute_fallible`]: how many attempts each
+/// Retry options for the engine's
+/// [`RetryPolicy`](crate::engine::RetryPolicy): how many attempts each
 /// task gets and how long the worker backs off between them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryOptions {
@@ -216,6 +217,7 @@ impl<T> TaskGraph<T> {
     ///
     /// # Panics
     /// Propagates handler panics; panics on duplicate workers.
+    #[deprecated(since = "0.1.0", note = "use `engine::Engine::new().run(...)`")]
     pub fn execute<C, F, M>(&self, workers: &[WorkerId], mk_ctx: M, run: F)
     where
         T: Sync,
@@ -223,7 +225,10 @@ impl<T> TaskGraph<T> {
         M: Fn(WorkerId) -> C + Sync,
         F: Fn(&T, WorkerId, &mut C) + Sync,
     {
-        self.execute_inner(workers, mk_ctx, run, false);
+        match Engine::new().run(self, workers, mk_ctx, infallible(run)) {
+            Ok(_) => (),
+            Err(abort) => match abort.error {},
+        }
     }
 
     /// Like [`TaskGraph::execute`], but records every task's life-cycle
@@ -239,6 +244,7 @@ impl<T> TaskGraph<T> {
     /// # Panics
     /// Same conditions as [`TaskGraph::execute`]. If a handler panics the
     /// partial trace is discarded and the panic propagates.
+    #[deprecated(since = "0.1.0", note = "use `engine::Engine::new().tracing().run(...)`")]
     pub fn execute_traced<C, F, M>(&self, workers: &[WorkerId], mk_ctx: M, run: F) -> ExecTrace
     where
         T: Sync,
@@ -246,6 +252,7 @@ impl<T> TaskGraph<T> {
         M: Fn(WorkerId) -> C + Sync,
         F: Fn(&T, WorkerId, &mut C) + Sync,
     {
+        #[allow(deprecated)]
         self.execute_traced_with_clock(workers, mk_ctx, run, TraceClock::start())
     }
 
@@ -253,6 +260,10 @@ impl<T> TaskGraph<T> {
     /// caller can timestamp its own side channels (e.g. device-memory
     /// occupancy samples taken inside handlers) on the same timeline as the
     /// task events.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `engine::Engine::new().tracing().with_clock(clock).run(...)`"
+    )]
     pub fn execute_traced_with_clock<C, F, M>(
         &self,
         workers: &[WorkerId],
@@ -266,8 +277,11 @@ impl<T> TaskGraph<T> {
         M: Fn(WorkerId) -> C + Sync,
         F: Fn(&T, WorkerId, &mut C) + Sync,
     {
-        self.execute_inner_with(workers, mk_ctx, run, true, clock)
-            .expect("tracing was requested")
+        match Engine::new().tracing().with_clock(clock).run(self, workers, mk_ctx, infallible(run))
+        {
+            Ok(r) => r.trace.expect("tracing was requested"),
+            Err(abort) => match abort.error {},
+        }
     }
 
     /// Executes the graph with a **fallible** handler: the handler returns
@@ -287,6 +301,7 @@ impl<T> TaskGraph<T> {
     /// # Panics
     /// Propagates handler panics (a panic is not an error value); panics on
     /// duplicate workers or tasks pinned to unknown workers.
+    #[deprecated(since = "0.1.0", note = "use `engine::Engine::new().with_retry(retry).run(...)`")]
     pub fn execute_fallible<C, E, F, M>(
         &self,
         workers: &[WorkerId],
@@ -301,13 +316,18 @@ impl<T> TaskGraph<T> {
         M: Fn(WorkerId) -> C + Sync,
         F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
     {
-        self.execute_fallible_inner(workers, mk_ctx, run, retry, false, TraceClock::start())
+        Engine::new().with_retry(retry).run(self, workers, mk_ctx, run)
     }
 
     /// [`TaskGraph::execute_fallible`] with tracing on: failed attempts and
-    /// re-enqueues are recorded as [`TracePhase::Failed`] /
-    /// [`TracePhase::Retried`] events in the returned
-    /// [`FallibleRun::trace`].
+    /// re-enqueues are recorded as
+    /// [`TracePhase::Failed`](crate::trace::TracePhase::Failed) /
+    /// [`TracePhase::Retried`](crate::trace::TracePhase::Retried) events in
+    /// the returned [`FallibleRun::trace`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `engine::Engine::new().tracing().with_retry(retry).run(...)`"
+    )]
     pub fn execute_fallible_traced<C, E, F, M>(
         &self,
         workers: &[WorkerId],
@@ -322,11 +342,15 @@ impl<T> TaskGraph<T> {
         M: Fn(WorkerId) -> C + Sync,
         F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
     {
-        self.execute_fallible_inner(workers, mk_ctx, run, retry, true, TraceClock::start())
+        Engine::new().tracing().with_retry(retry).run(self, workers, mk_ctx, run)
     }
 
     /// [`TaskGraph::execute_fallible_traced`] with a caller-supplied epoch
     /// (see [`TaskGraph::execute_traced_with_clock`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `engine::Engine::new().tracing().with_clock(clock).with_retry(retry).run(...)`"
+    )]
     pub fn execute_fallible_traced_with_clock<C, E, F, M>(
         &self,
         workers: &[WorkerId],
@@ -342,277 +366,17 @@ impl<T> TaskGraph<T> {
         M: Fn(WorkerId) -> C + Sync,
         F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
     {
-        self.execute_fallible_inner(workers, mk_ctx, run, retry, true, clock)
-    }
-
-    fn execute_inner<C, F, M>(
-        &self,
-        workers: &[WorkerId],
-        mk_ctx: M,
-        run: F,
-        trace: bool,
-    ) -> Option<ExecTrace>
-    where
-        T: Sync,
-        C: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C) + Sync,
-    {
-        self.execute_inner_with(workers, mk_ctx, run, trace, TraceClock::start())
-    }
-
-    /// The infallible paths are thin wrappers over the fallible core with
-    /// an uninhabited error type, so there is exactly one scheduler.
-    fn execute_inner_with<C, F, M>(
-        &self,
-        workers: &[WorkerId],
-        mk_ctx: M,
-        run: F,
-        trace: bool,
-        clock: TraceClock,
-    ) -> Option<ExecTrace>
-    where
-        T: Sync,
-        C: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C) + Sync,
-    {
-        let run = &run;
-        let adapted = |t: &T, w: WorkerId, ctx: &mut C, _attempt: u32| {
-            run(t, w, ctx);
-            Ok::<(), TaskError<Infallible>>(())
-        };
-        match self.execute_fallible_inner(workers, mk_ctx, adapted, RetryOptions::none(), trace, clock) {
-            Ok(r) => r.trace,
-            Err(abort) => match abort.error {},
-        }
-    }
-
-    fn execute_fallible_inner<C, E, F, M>(
-        &self,
-        workers: &[WorkerId],
-        mk_ctx: M,
-        run: F,
-        retry: RetryOptions,
-        trace: bool,
-        clock: TraceClock,
-    ) -> Result<FallibleRun, RunAbort<E>>
-    where
-        T: Sync,
-        C: Send,
-        E: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
-    {
-        if self.tasks.is_empty() {
-            return Ok(FallibleRun {
-                attempts: Vec::new(),
-                trace: trace.then(ExecTrace::default),
-            });
-        }
-        // Map workers to dense indices.
-        let mut sorted = workers.to_vec();
-        sorted.sort();
-        sorted.windows(2).for_each(|w| {
-            assert_ne!(w[0], w[1], "duplicate worker {:?}", w[0]);
-        });
-        let widx = |w: WorkerId| -> usize {
-            sorted
-                .binary_search(&w)
-                .unwrap_or_else(|_| panic!("task pinned to unknown worker {w:?}"))
-        };
-
-        // Successor lists and indegrees.
-        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); self.tasks.len()];
-        let mut indeg: Vec<AtomicUsize> = Vec::with_capacity(self.tasks.len());
-        for (id, t) in self.tasks.iter().enumerate() {
-            indeg.push(AtomicUsize::new(t.deps.len()));
-            for &d in &t.deps {
-                succs[d].push(id);
-            }
-        }
-
-        let channels: Vec<(Sender<TaskId>, Receiver<TaskId>)> =
-            (0..sorted.len()).map(|_| unbounded()).collect();
-        let remaining = AtomicUsize::new(self.tasks.len());
-        let budget = retry.budget.max(1);
-        let attempts: Vec<AtomicU32> = (0..self.tasks.len()).map(|_| AtomicU32::new(0)).collect();
-        // First fatal / budget-exhausting error wins; later ones (from
-        // workers draining their queues while the poison propagates) are
-        // dropped.
-        let abort: Mutex<Option<RunAbort<E>>> = Mutex::new(None);
-
-        // Trace recording is strictly thread-owned: `seed_events` belongs to
-        // this (submitting) thread, `bufs[i]` to worker thread i. Events of
-        // a ready transition are recorded by whoever caused it, so no buffer
-        // is ever shared and recording takes no locks.
-        let mut seed_events: Vec<TraceEvent> = Vec::new();
-        let mut bufs: Vec<Vec<TraceEvent>> = vec![Vec::new(); sorted.len()];
-
-        // Seed initially-ready tasks.
-        for (id, t) in self.tasks.iter().enumerate() {
-            if t.deps.is_empty() {
-                if trace {
-                    seed_events.push(TraceEvent {
-                        task: id,
-                        phase: TracePhase::Ready,
-                        t_ns: clock.now_ns(),
-                    });
-                }
-                channels[widx(t.worker)].0.send(id).unwrap();
-            }
-        }
-
-        std::thread::scope(|scope| {
-            for ((wi, w), buf) in sorted.iter().enumerate().zip(bufs.iter_mut()) {
-                let rx = channels[wi].1.clone();
-                let channels = &channels;
-                let succs = &succs;
-                let indeg = &indeg;
-                let remaining = &remaining;
-                let run = &run;
-                let mk_ctx = &mk_ctx;
-                let widx = &widx;
-                let attempts = &attempts;
-                let abort = &abort;
-                let w = *w;
-                scope.spawn(move || {
-                    let mut ctx = mk_ctx(w);
-                    while let Ok(id) = rx.recv() {
-                        if id == DONE {
-                            break;
-                        }
-                        let attempt = attempts[id].fetch_add(1, Ordering::Relaxed) + 1;
-                        if trace {
-                            buf.push(TraceEvent {
-                                task: id,
-                                phase: TracePhase::Running,
-                                t_ns: clock.now_ns(),
-                            });
-                        }
-                        // Panic safety: a panicking handler must not leave
-                        // the other workers blocked on their queues forever;
-                        // poison every queue, then propagate.
-                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || run(&self.tasks[id].payload, w, &mut ctx, attempt),
-                        ));
-                        let result = match outcome {
-                            Ok(r) => r,
-                            Err(payload) => {
-                                for (tx, _) in channels.iter() {
-                                    let _ = tx.send(DONE);
-                                }
-                                std::panic::resume_unwind(payload);
-                            }
-                        };
-                        if let Err(err) = result {
-                            if trace {
-                                buf.push(TraceEvent {
-                                    task: id,
-                                    phase: TracePhase::Failed,
-                                    t_ns: clock.now_ns(),
-                                });
-                            }
-                            let transient = matches!(err, TaskError::Transient(_));
-                            if transient && attempt < budget {
-                                // Back off, then re-enqueue onto this
-                                // worker's own FIFO. The task has not
-                                // completed, so no successor indegree was
-                                // touched: every data and control edge of
-                                // the DAG still gates exactly as planned.
-                                std::thread::sleep(Duration::from_micros(
-                                    retry.backoff_us(attempt),
-                                ));
-                                if trace {
-                                    buf.push(TraceEvent {
-                                        task: id,
-                                        phase: TracePhase::Retried,
-                                        t_ns: clock.now_ns(),
-                                    });
-                                }
-                                channels[wi].0.send(id).unwrap();
-                            } else {
-                                let mut slot = abort.lock().unwrap();
-                                if slot.is_none() {
-                                    *slot = Some(RunAbort {
-                                        task: id,
-                                        attempts: attempt,
-                                        budget_exhausted: transient,
-                                        error: err.into_inner(),
-                                    });
-                                }
-                                drop(slot);
-                                for (tx, _) in channels.iter() {
-                                    let _ = tx.send(DONE);
-                                }
-                                break;
-                            }
-                            continue;
-                        }
-                        if trace {
-                            buf.push(TraceEvent {
-                                task: id,
-                                phase: TracePhase::Done,
-                                t_ns: clock.now_ns(),
-                            });
-                        }
-                        for &s in &succs[id] {
-                            if indeg[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                if trace {
-                                    // The releasing worker logs the
-                                    // successor's readiness into its own
-                                    // buffer, keeping ownership strict.
-                                    buf.push(TraceEvent {
-                                        task: s,
-                                        phase: TracePhase::Ready,
-                                        t_ns: clock.now_ns(),
-                                    });
-                                }
-                                channels[widx(self.tasks[s].worker)].0.send(s).unwrap();
-                            }
-                        }
-                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            // Last task done: poison every queue so all
-                            // workers (including this one) exit.
-                            for (tx, _) in channels.iter() {
-                                let _ = tx.send(DONE);
-                            }
-                            break;
-                        }
-                    }
-                });
-            }
-        });
-
-        if let Some(abort) = abort.into_inner().unwrap() {
-            return Err(abort);
-        }
-
-        // All tasks must have completed.
-        assert_eq!(
-            remaining.load(Ordering::Acquire),
-            0,
-            "deadlock: tasks never became ready (cycle through control edges?)"
-        );
-
-        Ok(FallibleRun {
-            attempts: attempts.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
-            trace: trace.then(|| ExecTrace {
-                workers: sorted
-                    .into_iter()
-                    .zip(bufs)
-                    .map(|(worker, events)| WorkerTrace { worker, events })
-                    .collect(),
-                seed_events,
-                total_ns: clock.now_ns(),
-            }),
-        })
+        Engine::new().tracing().with_clock(clock).with_retry(retry).run(self, workers, mk_ctx, run)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy wrappers stay under test for their deprecation release.
+    #![allow(deprecated)]
+
     use super::*;
+    use std::sync::atomic::Ordering;
     use parking_lot::Mutex;
 
     fn w(node: usize, lane: usize) -> WorkerId {

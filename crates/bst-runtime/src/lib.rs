@@ -14,8 +14,13 @@
 //!
 //! * [`graph`] — a generic task DAG ([`graph::TaskGraph`]) whose edges are
 //!   dependencies (dataflow or control flow — the scheduler treats them
-//!   uniformly, exactly like PTG control flows) and an engine with one OS
-//!   thread per *worker* (a CPU lane or a GPU lane of a simulated node);
+//!   uniformly, exactly like PTG control flows);
+//! * [`engine`] — the single policy-driven scheduler ([`engine::Engine`]):
+//!   one OS thread per *worker* (a CPU lane or a GPU lane of a simulated
+//!   node), with tracing, timestamping and transient-failure retry chosen
+//!   by composable [`engine::Tracer`] / [`engine::Clock`] /
+//!   [`engine::RetryPolicy`] policy objects instead of hand-written entry
+//!   points per combination;
 //! * [`data`] — per-node [`data::TileStore`]s with consumer reference
 //!   counts: a tile is retained while tasks still need it and dropped after
 //!   its last consumer, reproducing PaRSEC's data life-cycle management;
@@ -25,8 +30,8 @@
 //!   GPU memory (loads fail rather than silently exceed capacity) plus a
 //!   node-level residency registry enabling device-to-device transfers when
 //!   a sibling GPU already holds a tile (the NVLink path of §4);
-//! * [`trace`] — lock-cheap per-worker task life-cycle recording
-//!   ([`graph::TaskGraph::execute_traced`]), trace well-formedness
+//! * [`trace`] — lock-cheap per-worker task life-cycle recording (the
+//!   [`engine::Recorder`] tracing policy), trace well-formedness
 //!   validation, and exporters (Chrome-trace JSON, plain-text summary).
 //!
 //! Executors built on this crate allocate their working tiles through the
@@ -36,6 +41,7 @@
 
 pub mod data;
 pub mod device;
+pub mod engine;
 pub mod graph;
 pub mod ptg;
 pub mod trace;
@@ -43,6 +49,7 @@ pub mod trace;
 pub use bst_tile::pool::{PoolStats, TilePool};
 pub use data::{DataKey, TileStore};
 pub use device::{DeviceMemory, NodeResidency};
+pub use engine::{Clock, Engine, NoTracer, Recorder, Tracer};
 pub use graph::{FallibleRun, RetryOptions, RunAbort, TaskError, TaskGraph, WorkerId};
 pub use ptg::PtgProgram;
 pub use trace::{ExecTrace, TaskRecord, TraceEvent, TracePhase};

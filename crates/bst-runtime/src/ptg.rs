@@ -203,6 +203,9 @@ pub fn space_1d(n: i64) -> impl Fn() -> Vec<Params> {
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the legacy execute* wrappers on purpose.
+    #![allow(deprecated)]
+
     use super::*;
     use parking_lot::Mutex;
 

@@ -1,0 +1,213 @@
+//! Task-accurate DAG replay over the numeric engine's **own** lowering.
+//!
+//! Where [`crate::replay`] is event-coarse (one event per chunk/block, for
+//! Summit-scale speed), this module replays the *exact* task DAG the numeric
+//! engine executes: it calls the same inspector
+//! ([`bst_contract::engine::inspector::lower`]) the engine calls, then walks
+//! the lowered graph with a deterministic list scheduler over [`Platform`]
+//! costs, driving a real [`bst_runtime::DeviceMemory`] per GPU lane.
+//!
+//! Because the DAG is *shared* — not re-derived — simulated and numeric runs
+//! are structurally identical by construction: same tasks, same dataflow and
+//! control-flow edges, same per-lane execution order. The replay emits a
+//! labeled [`ExecReport`] in the engine's trace vocabulary, so
+//! [`bst_contract::validate_trace_invariants`] gates the simulated schedule
+//! with the very checker that gates numeric traces.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bst_contract::engine::inspector::{self, Op};
+use bst_contract::{ExecOptions, ExecReport, ExecTraceData, ExecutionPlan, ProblemSpec};
+use bst_runtime::data::DataKey;
+use bst_runtime::device::{DeviceMemory, NodeResidency};
+use bst_runtime::graph::WorkerId;
+use bst_runtime::trace::{aggregate_by_kind, MemSample, TaskRecord, TaskSpan};
+
+use crate::platform::Platform;
+
+/// Nanoseconds of a simulated duration in seconds.
+fn ns(seconds: f64) -> u64 {
+    (seconds * 1e9).round().max(0.0) as u64
+}
+
+/// Replays the numeric engine's lowered task DAG for `(spec, plan)` on
+/// `platform`, returning a traced [`ExecReport`] in the engine's task
+/// vocabulary. `opts` selects the same lowering policies the numeric engine
+/// honors (control-flow edges, `GenB` fan-out); the replay is always traced
+/// regardless of [`ExecOptions::tracing`], since the trace *is* its output.
+///
+/// Device memory is not modeled but enforced: every `LoadBlock`/`LoadA`
+/// allocation goes through a real [`DeviceMemory`] with the plan's byte
+/// budget, so a lowering that would OOM a real device panics here too.
+///
+/// # Panics
+/// Panics if the replayed schedule overruns a device budget (a lowering bug
+/// or an [`ExecOptions`] without the §3.2.2/§3.2.3 control edges) or if a
+/// `Gemm` reaches a lane before its operands are resident.
+pub fn replay_dag(
+    spec: &ProblemSpec,
+    plan: &ExecutionPlan,
+    platform: &Platform,
+    opts: &ExecOptions,
+) -> ExecReport {
+    let low = inspector::lower(spec, plan, opts);
+    let (p, q) = (plan.config.grid.p, plan.config.grid.q);
+    let n_nodes = p * q;
+    let registries: Vec<Arc<NodeResidency>> =
+        (0..n_nodes).map(|_| Arc::new(NodeResidency::new())).collect();
+    let mut devices: HashMap<WorkerId, DeviceMemory> = HashMap::new();
+    let mut mem_samples: HashMap<(usize, usize), Vec<MemSample>> = HashMap::new();
+
+    // Deterministic list schedule. Task ids are topologically ordered (the
+    // graph builder asserts dep < task), and the engine drains each lane's
+    // FIFO in submission order — so walking ids in order while tracking
+    // per-lane free time reproduces the engine's per-lane execution order
+    // exactly, with platform costs instead of wall clock.
+    let n = low.graph.len();
+    let mut end = vec![0u64; n];
+    let mut lane_free: HashMap<WorkerId, u64> = HashMap::new();
+    let mut records = Vec::with_capacity(n);
+    let (mut a_net, mut a_msgs, mut a_fwd, mut gemms, mut bgens) = (0u64, 0u64, 0u64, 0u64, 0u64);
+
+    for id in 0..n {
+        let op = low.graph.payload(id);
+        let w = low.graph.worker(id);
+        let ready_ns = low.graph.deps(id).iter().map(|&d| end[d]).max().unwrap_or(0);
+        let start_ns = ready_ns.max(*lane_free.entry(w).or_insert(0));
+
+        let mut sample_after: Option<(usize, usize)> = None;
+        let dur = match op {
+            Op::SendA { i, k, to } => {
+                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                a_net += bytes;
+                a_msgs += 1;
+                if w.node != inspector::owner_of(p, q, *i as usize, *k as usize) {
+                    a_fwd += 1;
+                }
+                let _ = to;
+                ns(bytes as f64 / platform.nic_bw + platform.nic_msg_overhead_s)
+                    + ns(platform.nic_latency_s)
+            }
+            Op::GenB { k, j } => {
+                bgens += 1;
+                let bytes = spec.b.tile_bytes(*k as usize, *j as usize);
+                ns(bytes as f64 / platform.cpu_gen_rate)
+            }
+            Op::LoadBlock { node, gpu, block } => {
+                let dev = devices.entry(w).or_insert_with(|| {
+                    DeviceMemory::new(*gpu, plan.config.device.gpu_mem_bytes, registries[*node].clone())
+                });
+                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
+                let row = plan.nodes[*node].grid_row;
+                let (mut bytes, mut tiles) = (0u64, 0u64);
+                for (k, j) in inspector::block_b_tiles(spec, &bp.block) {
+                    let sz = spec.b.tile_bytes(k, j);
+                    dev.load(DataKey::B(k as u32, j as u32), sz)
+                        .expect("simulated device OOM on LoadBlock");
+                    bytes += sz;
+                    tiles += 1;
+                }
+                for (i, j) in inspector::block_c_tiles(spec, &bp.block, row, p) {
+                    let sz = spec.a.row_tiling().size(i) * spec.b.col_tiling().size(j) * 8;
+                    dev.alloc(DataKey::C(i as u32, j as u32), sz)
+                        .expect("simulated device OOM on C allocation");
+                }
+                sample_after = Some((*node, *gpu));
+                ns(bytes as f64 / platform.h2d_bw + tiles as f64 * platform.h2d_latency_s)
+            }
+            Op::LoadA { i, k } => {
+                let dev = devices.get_mut(&w).expect("LoadA after LoadBlock on its lane");
+                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                dev.load(DataKey::A(*i, *k), bytes)
+                    .expect("simulated device OOM on LoadA");
+                sample_after = Some((w.node, w.lane - 1));
+                ns(bytes as f64 / platform.h2d_bw + platform.h2d_latency_s)
+            }
+            Op::Gemm { i, k, j } => {
+                let dev = &devices[&w];
+                assert!(dev.is_resident(DataKey::A(*i, *k)), "A({i},{k}) not resident");
+                assert!(dev.is_resident(DataKey::B(*k, *j)), "B({k},{j}) not resident");
+                assert!(dev.is_resident(DataKey::C(*i, *j)), "C({i},{j}) not resident");
+                gemms += 1;
+                let m = spec.a.row_tiling().size(*i as usize);
+                let nn = spec.b.col_tiling().size(*j as usize);
+                let kk = spec.a.col_tiling().size(*k as usize);
+                ns(platform.gemm_time(m, nn, kk))
+            }
+            Op::EvictChunk { node, gpu, block, chunk } => {
+                let dev = devices.get_mut(&w).expect("evict on a loaded lane");
+                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
+                for &(i, k) in &bp.chunks[*chunk].tiles {
+                    dev.evict(DataKey::A(i, k), false);
+                }
+                sample_after = Some((*node, *gpu));
+                0
+            }
+            Op::FlushBlock { node, gpu, block } => {
+                let dev = devices.get_mut(&w).expect("flush on a loaded lane");
+                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
+                let row = plan.nodes[*node].grid_row;
+                for (k, j) in inspector::block_b_tiles(spec, &bp.block) {
+                    dev.evict(DataKey::B(k as u32, j as u32), false);
+                }
+                let (mut bytes, mut tiles) = (0u64, 0u64);
+                for (i, j) in inspector::block_c_tiles(spec, &bp.block, row, p) {
+                    dev.evict(DataKey::C(i as u32, j as u32), true);
+                    bytes += spec.a.row_tiling().size(i) * spec.b.col_tiling().size(j) * 8;
+                    tiles += 1;
+                }
+                sample_after = Some((*node, *gpu));
+                ns(bytes as f64 / platform.d2h_bw + tiles as f64 * platform.h2d_latency_s)
+            }
+        };
+
+        let end_ns = start_ns + dur;
+        end[id] = end_ns;
+        lane_free.insert(w, end_ns);
+        if let Some(key) = sample_after {
+            mem_samples
+                .entry(key)
+                .or_default()
+                .push((end_ns, devices[&w].used()));
+        }
+        records.push(TaskRecord {
+            task: id,
+            kind: op.kind(),
+            detail: op.detail(),
+            worker: w,
+            span: TaskSpan { ready_ns, start_ns, end_ns },
+            attempts: 1,
+        });
+    }
+
+    let mut dev_stats: Vec<_> = devices
+        .iter()
+        .map(|(w, dev)| ((w.node, w.lane - 1), dev.stats()))
+        .collect();
+    dev_stats.sort_by_key(|(k, _)| *k);
+    let mut samples: Vec<_> = mem_samples.into_iter().collect();
+    samples.sort_by_key(|(k, _)| *k);
+    let total_ns = end.iter().copied().max().unwrap_or(0);
+    let metrics = aggregate_by_kind(&records);
+    ExecReport {
+        devices: dev_stats,
+        a_network_bytes: a_net,
+        a_messages: a_msgs,
+        a_forward_messages: a_fwd,
+        gemm_tasks: gemms,
+        b_tiles_generated: bgens,
+        metrics,
+        trace: Some(ExecTraceData {
+            records,
+            mem_samples: samples,
+            total_ns,
+        }),
+        ..ExecReport::default()
+    }
+}
+
+/// The simulated makespan of a [`replay_dag`] report, in seconds.
+pub fn makespan_s(report: &ExecReport) -> f64 {
+    report.trace.as_ref().map(|t| t.total_ns as f64 / 1e9).unwrap_or(0.0)
+}

@@ -1,0 +1,250 @@
+//! Task-body handlers: what each [`Op`] does when its turn comes.
+//!
+//! [`HandlerEnv`] bundles the shared, read-mostly state of one execution —
+//! problem, plan, stores, pools, kernel table, fault plan, counters — and
+//! exposes the single fallible entry point [`HandlerEnv::handle`] that the
+//! engine drives for every task. Fault injection happens **at handler
+//! entry**, before any side effect, so a retried attempt re-runs from a
+//! clean slate and recovery is idempotent by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bst_runtime::data::DataKey;
+use bst_runtime::device::DeviceStats;
+use bst_runtime::graph::{TaskError, WorkerId};
+use bst_runtime::TileStore;
+use bst_tile::kernel::{KernelKind, KernelTable};
+use bst_tile::pool::TilePool;
+use bst_tile::Tile;
+use parking_lot::Mutex;
+
+use super::inspector::{block_b_tiles, block_c_tiles, owner_of, Lowered, Op};
+use super::memory::Ctx;
+use super::report::DeviceMemLog;
+use super::BGen;
+use crate::error::{ExecError, GenError};
+use crate::fault::{FaultPlan, FaultSite};
+use crate::plan::ExecutionPlan;
+use crate::spec::ProblemSpec;
+
+/// Atomic tallies the handlers bump while the engine runs.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub a_net: AtomicU64,
+    pub a_msgs: AtomicU64,
+    pub a_fwd_msgs: AtomicU64,
+    pub gemms: AtomicU64,
+    pub bgens: AtomicU64,
+    pub injected_genb: AtomicU64,
+    pub injected_alloc: AtomicU64,
+    pub injected_send: AtomicU64,
+    pub stalls: AtomicU64,
+}
+
+/// The shared environment of one execution's task handlers.
+pub(crate) struct HandlerEnv<'a> {
+    pub spec: &'a ProblemSpec,
+    pub plan: &'a ExecutionPlan,
+    pub low: &'a Lowered,
+    pub b_gen: BGen<'a>,
+    pub stores: &'a [TileStore],
+    pub pools: &'a [TilePool],
+    pub ktable: Option<KernelTable>,
+    pub kernel_counts: Vec<AtomicU64>,
+    pub fault: Option<FaultPlan>,
+    /// `(p, q)` of the process grid (for `A` ownership).
+    pub grid: (usize, usize),
+    pub counters: Counters,
+    /// Flushed C tiles, accumulated into the result after the run.
+    pub collector: Mutex<Vec<((usize, usize), Tile)>>,
+    /// Per-(node, gpu) device statistics, pushed at each device's last flush.
+    pub dev_stats: Mutex<Vec<((usize, usize), DeviceStats)>>,
+    /// Per-(node, gpu) occupancy samples (traced runs only).
+    pub mem_log: Mutex<DeviceMemLog>,
+}
+
+impl HandlerEnv<'_> {
+    /// Runs one task. This is the engine's only handler — every policy
+    /// combination (traced or not, faulted or not) funnels through it.
+    pub fn handle(
+        &self,
+        op: &Op,
+        w: WorkerId,
+        ctx: &mut Ctx,
+        attempt: u32,
+    ) -> Result<(), TaskError<ExecError>> {
+        // ---- Fault injection, at handler entry (before any side effect,
+        // so a retried attempt re-runs from a clean slate) ---------------
+        if let Some(fp) = &self.fault {
+            let key = FaultPlan::site_key(op, w);
+            if attempt == 1 {
+                if let Some(delay) = fp.stall(key) {
+                    self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(delay);
+                }
+            }
+            match op {
+                Op::GenB { k, j } if fp.injects(FaultSite::GenB, key, attempt) => {
+                    self.counters.injected_genb.fetch_add(1, Ordering::Relaxed);
+                    return Err(TaskError::Transient(ExecError::Gen(GenError::Injected {
+                        k: *k as usize,
+                        j: *j as usize,
+                        attempt,
+                    })));
+                }
+                Op::SendA { .. } if fp.injects(FaultSite::Send, key, attempt) => {
+                    self.counters.injected_send.fetch_add(1, Ordering::Relaxed);
+                    return Err(TaskError::Transient(ExecError::Injected {
+                        site: FaultSite::Send,
+                        detail: op.detail(),
+                        attempt,
+                    }));
+                }
+                Op::LoadBlock { .. } | Op::LoadA { .. }
+                    if fp.injects(FaultSite::Alloc, key, attempt) =>
+                {
+                    self.counters.injected_alloc.fetch_add(1, Ordering::Relaxed);
+                    return Err(TaskError::Transient(ExecError::Injected {
+                        site: FaultSite::Alloc,
+                        detail: op.detail(),
+                        attempt,
+                    }));
+                }
+                _ => {}
+            }
+        }
+        let oom = |e: &dyn std::fmt::Display| {
+            TaskError::Fatal(ExecError::DeviceOom {
+                node: w.node,
+                gpu: w.lane.saturating_sub(1),
+                detail: op.detail(),
+                reason: e.to_string(),
+            })
+        };
+        let (spec, plan, c) = (self.spec, self.plan, &self.counters);
+        match (op, ctx) {
+            (Op::SendA { i, k, to }, Ctx::Cpu) => {
+                let key = DataKey::A(*i, *k);
+                let tile = self.stores[w.node].get(key);
+                c.a_net.fetch_add(tile.bytes(), Ordering::Relaxed);
+                c.a_msgs.fetch_add(1, Ordering::Relaxed);
+                let (p, q) = self.grid;
+                if w.node != owner_of(p, q, *i as usize, *k as usize) {
+                    c.a_fwd_msgs.fetch_add(1, Ordering::Relaxed);
+                }
+                // The destination consumes the tile once per local device
+                // load plus once per tree hop it forwards.
+                let consumers = self.low.a_consumers(*to, (*i, *k));
+                self.stores[*to].put(key, tile, consumers);
+                self.stores[w.node].consume(key);
+                Ok(())
+            }
+            (Op::GenB { k, j }, Ctx::Cpu) => {
+                let rows = spec.b.row_tiling().size(*k as usize) as usize;
+                let cols = spec.b.col_tiling().size(*j as usize) as usize;
+                let tile = (self.b_gen)(*k as usize, *j as usize, rows, cols, &self.pools[w.node])
+                    .map_err(|e| {
+                        if e.is_transient() {
+                            TaskError::Transient(ExecError::Gen(e))
+                        } else {
+                            TaskError::Fatal(ExecError::Gen(e))
+                        }
+                    })?;
+                if (tile.rows(), tile.cols()) != (rows, cols) {
+                    return Err(TaskError::Fatal(ExecError::Gen(GenError::WrongShape {
+                        k: *k as usize,
+                        j: *j as usize,
+                        got: (tile.rows(), tile.cols()),
+                        want: (rows, cols),
+                    })));
+                }
+                c.bgens.fetch_add(1, Ordering::Relaxed);
+                self.stores[w.node].put(DataKey::B(*k, *j), tile, 1);
+                Ok(())
+            }
+            (Op::LoadBlock { node, gpu, block }, Ctx::Gpu(mm)) => {
+                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
+                let row = plan.nodes[*node].grid_row;
+                for (k, j) in block_b_tiles(spec, &bp.block) {
+                    let key = DataKey::B(k as u32, j as u32);
+                    let tile = self.stores[*node].get(key);
+                    mm.load_b((k as u32, j as u32), tile).map_err(|e| oom(&e))?;
+                    self.stores[*node].consume(key);
+                }
+                for (i, j) in block_c_tiles(spec, &bp.block, row, self.grid.0) {
+                    let rows = spec.a.row_tiling().size(i) as usize;
+                    let cols = spec.b.col_tiling().size(j) as usize;
+                    mm.alloc_c(
+                        (i as u32, j as u32),
+                        self.pools[*node].zeroed(rows, cols),
+                    )
+                    .map_err(|e| oom(&e))?;
+                }
+                mm.sample_mem();
+                Ok(())
+            }
+            (Op::LoadA { i, k }, Ctx::Gpu(mm)) => {
+                let key = DataKey::A(*i, *k);
+                let tile = self.stores[w.node].get(key);
+                mm.load_a((*i, *k), tile).map_err(|e| oom(&e))?;
+                self.stores[w.node].consume(key);
+                mm.sample_mem();
+                Ok(())
+            }
+            (Op::Gemm { i, k, j }, Ctx::Gpu(mm)) => {
+                let (at, bt, ct) = mm.gemm_operands(*i, *k, *j);
+                let kind = match &self.ktable {
+                    None => KernelKind::Blocked,
+                    Some(table) => table.select(ct.rows(), ct.cols(), at.cols()),
+                };
+                kind.run(1.0, &at, &bt, ct);
+                self.kernel_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+                c.gemms.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            (
+                Op::EvictChunk {
+                    node, gpu, block, chunk,
+                },
+                Ctx::Gpu(mm),
+            ) => {
+                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
+                for &t in &bp.chunks[*chunk].tiles {
+                    // A later chunk may have re-loaded (refcounted) the
+                    // tile already; the manager keeps it until the last
+                    // reference drops.
+                    mm.evict_a(t);
+                }
+                mm.sample_mem();
+                Ok(())
+            }
+            (Op::FlushBlock { node, gpu, block }, Ctx::Gpu(mm)) => {
+                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
+                let row = plan.nodes[*node].grid_row;
+                let mut out = Vec::new();
+                for (k, j) in block_b_tiles(spec, &bp.block) {
+                    if let Some(arc) = mm.evict_b((k as u32, j as u32)) {
+                        // This lane held the last reference (the store
+                        // dropped its own at LoadBlock), so the buffer
+                        // goes back to the node pool for the next
+                        // GenB / C zero-fill of the same size.
+                        self.pools[*node].release_arc(arc);
+                    }
+                }
+                for (i, j) in block_c_tiles(spec, &bp.block, row, self.grid.0) {
+                    out.push(((i, j), mm.evict_c((i as u32, j as u32))));
+                }
+                self.collector.lock().extend(out);
+                mm.sample_mem();
+                if *block + 1 == plan.nodes[*node].gpus[*gpu].blocks.len() {
+                    self.dev_stats.lock().push(((*node, *gpu), mm.stats()));
+                    if mm.traced() {
+                        self.mem_log.lock().push(((*node, *gpu), mm.take_samples()));
+                    }
+                }
+                Ok(())
+            }
+            (op, _) => unreachable!("op {op:?} on wrong lane"),
+        }
+    }
+}

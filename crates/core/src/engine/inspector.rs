@@ -1,0 +1,444 @@
+//! The inspector: lowering an [`ExecutionPlan`] to the task DAG the engine
+//! executes (the paper's §4 PTG materialisation).
+//!
+//! [`lower`] is **data-free** — it reads only the plan and the problem's
+//! structure (tilings + shapes), never tile values — so the same lowering
+//! serves the numeric executor (`crate::engine::run`) and the `bst-sim`
+//! discrete-event replay: both execute *structurally identical* DAGs, and
+//! the trace invariants validate either.
+//!
+//! The DAG has two families of edges:
+//!
+//! * **dataflow** — `GenB → LoadBlock` (a block transfer needs its B tiles
+//!   generated), `SendA → LoadA` (a device transfer needs the tile to have
+//!   arrived over the network), `LoadA/LoadBlock → Gemm`,
+//!   `Gemm/LoadA → EvictChunk`, `EvictChunk/LoadBlock → FlushBlock`;
+//! * **control flow** — `FlushBlock(b) → LoadBlock(b+1)` (§3.2.2 blocking
+//!   block transfers) and `EvictChunk(n−1−depth) → LoadA(chunk n)` (§3.2.3
+//!   prefetch window). Control edges never change the result — removing
+//!   them only breaks the device-memory budget, which the memory manager
+//!   reports as an OOM, exactly like the real GPU would.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bst_runtime::graph::{TaskGraph, TaskId, WorkerId};
+
+use super::policies::ExecOptions;
+use crate::partition::Block;
+use crate::plan::ExecutionPlan;
+use crate::spec::ProblemSpec;
+
+/// The task vocabulary of the lowered DAG.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Send `A(i,k)` from its owner (this task's node) to `to`.
+    SendA {
+        /// A-tile row.
+        i: u32,
+        /// A-tile column.
+        k: u32,
+        /// Destination node.
+        to: usize,
+    },
+    /// Generate `B(k,j)` on this node's CPU.
+    GenB {
+        /// B-tile row.
+        k: u32,
+        /// B-tile column.
+        j: u32,
+    },
+    /// Load a block's B columns and allocate its C tiles on the device.
+    LoadBlock {
+        /// Owning node.
+        node: usize,
+        /// GPU index within the node.
+        gpu: usize,
+        /// Block index within the GPU's sequence.
+        block: usize,
+    },
+    /// Transfer `A(i,k)` host→device for a chunk.
+    LoadA {
+        /// A-tile row.
+        i: u32,
+        /// A-tile column.
+        k: u32,
+    },
+    /// `C_ij += A_ik · B_kj` on the device.
+    Gemm {
+        /// C/A-tile row.
+        i: u32,
+        /// Contraction tile index.
+        k: u32,
+        /// C/B-tile column.
+        j: u32,
+    },
+    /// Free the A tiles of a chunk.
+    EvictChunk {
+        /// Owning node.
+        node: usize,
+        /// GPU index within the node.
+        gpu: usize,
+        /// Block index within the GPU's sequence.
+        block: usize,
+        /// Chunk index within the block.
+        chunk: usize,
+    },
+    /// Write back and free the block's C tiles, free its B tiles.
+    FlushBlock {
+        /// Owning node.
+        node: usize,
+        /// GPU index within the node.
+        gpu: usize,
+        /// Block index within the GPU's sequence.
+        block: usize,
+    },
+}
+
+impl Op {
+    /// The per-kind aggregation label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::SendA { .. } => "SendA",
+            Op::GenB { .. } => "GenB",
+            Op::LoadBlock { .. } => "LoadBlock",
+            Op::LoadA { .. } => "LoadA",
+            Op::Gemm { .. } => "Gemm",
+            Op::EvictChunk { .. } => "EvictChunk",
+            Op::FlushBlock { .. } => "FlushBlock",
+        }
+    }
+
+    /// Compact instance label. Stable format — the trace-invariant tests
+    /// parse these (`Gemm(i,k,j)`, `LoadA(i,k)`, `LoadBlock(b)`,
+    /// `EvictChunk(b,c)`, `FlushBlock(b)`, `SendA(i,k->n)`, `GenB(k,j)`).
+    pub fn detail(&self) -> String {
+        match self {
+            Op::SendA { i, k, to } => format!("SendA({i},{k}->{to})"),
+            Op::GenB { k, j } => format!("GenB({k},{j})"),
+            Op::LoadBlock { block, .. } => format!("LoadBlock({block})"),
+            Op::LoadA { i, k } => format!("LoadA({i},{k})"),
+            Op::Gemm { i, k, j } => format!("Gemm({i},{k},{j})"),
+            Op::EvictChunk { block, chunk, .. } => format!("EvictChunk({block},{chunk})"),
+            Op::FlushBlock { block, .. } => format!("FlushBlock({block})"),
+        }
+    }
+}
+
+/// The node owning `A(i,k)` under the 2D-cyclic distribution over a
+/// `p × q` grid (row-major node numbering).
+pub fn owner_of(p: usize, q: usize, i: usize, k: usize) -> usize {
+    debug_assert!(p > 0 && q > 0);
+    (i % p) * q + (k % q)
+}
+
+/// A node's CPU lane (lane 0: `SendA` hops, plus legacy serialised `GenB`).
+pub fn cpu_lane(node: usize) -> WorkerId {
+    WorkerId { node, lane: 0 }
+}
+
+/// A node's GPU executor lane (`1..=gpus_per_node`).
+pub fn gpu_lane(node: usize, gpu: usize) -> WorkerId {
+    WorkerId { node, lane: 1 + gpu }
+}
+
+/// A node's dedicated `GenB` worker lane; these sit above the GPU lanes
+/// (`lane = 1 + gpus_per_node + worker`).
+pub fn genb_lane(gpus_per_node: usize, node: usize, worker: usize) -> WorkerId {
+    WorkerId {
+        node,
+        lane: 1 + gpus_per_node + worker,
+    }
+}
+
+/// The `(k, j)` B tiles a block transfers, in the exact order the
+/// `LoadBlock` / `FlushBlock` handlers (and the bst-sim replay) walk them.
+pub fn block_b_tiles(spec: &ProblemSpec, block: &Block) -> Vec<(usize, usize)> {
+    let mut tiles = Vec::new();
+    for span in &block.spans {
+        let j = span.col as usize;
+        for k in spec.b.shape().nonzero_rows_in_col(j) {
+            if span.contains(k) {
+                tiles.push((k, j));
+            }
+        }
+    }
+    tiles
+}
+
+/// The `(i, j)` C tiles a block allocates and flushes for a node on grid
+/// row `grid_row` of a `p`-row grid, in handler walk order.
+pub fn block_c_tiles(
+    spec: &ProblemSpec,
+    block: &Block,
+    grid_row: usize,
+    p: usize,
+) -> Vec<(usize, usize)> {
+    let mut tiles = Vec::new();
+    for j in block.distinct_columns() {
+        for i in spec.c_col_support(j, grid_row, p) {
+            tiles.push((i, j));
+        }
+    }
+    tiles
+}
+
+/// An `A` tile viewed from a node: the key of the broadcast/consumption
+/// maps in [`Lowered`].
+pub type NodeTile = (usize, (u32, u32));
+
+/// Binomial broadcast fan-out: `(node, tile) → nodes that node forwards
+/// the tile to`.
+pub type TreeChildren = Arc<HashMap<NodeTile, Vec<usize>>>;
+
+/// The inspector's output: the task DAG plus the broadcast/consumption
+/// bookkeeping the handlers (numeric or simulated) need to drive it.
+pub struct Lowered {
+    /// The task DAG (dataflow + control edges).
+    pub graph: TaskGraph<Op>,
+    /// Every worker lane tasks are pinned to: per node, the CPU lane, the
+    /// GPU lanes, then the `GenB` worker lanes.
+    pub workers: Vec<WorkerId>,
+    /// `LoadA` count per `(node, A tile)` — the device-load consumer
+    /// refcount of each tile on each node.
+    pub a_loads: HashMap<NodeTile, usize>,
+    /// `(owner, tile) → destination nodes` needing the tile remotely.
+    pub sends: HashMap<NodeTile, Vec<usize>>,
+    /// Binomial broadcast trees: `(node, tile) → nodes this node forwards
+    /// the tile to` (the A broadcast "happens in the background, at the
+    /// tile granularity", §4).
+    pub tree_children: TreeChildren,
+}
+
+impl Lowered {
+    /// Consumer refcount of `A` tile `t` on `node`: local device loads plus
+    /// tree hops forwarded from there.
+    pub fn a_consumers(&self, node: usize, t: (u32, u32)) -> usize {
+        self.a_loads.get(&(node, t)).copied().unwrap_or(0)
+            + self
+                .tree_children
+                .get(&(node, t))
+                .map(|v| v.len())
+                .unwrap_or(0)
+    }
+}
+
+/// Lowers `plan` to the task DAG. Pure in `(spec structure, plan, opts)` —
+/// no tile data is touched, so simulation and numeric execution share it.
+pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lowered {
+    let (p, q) = (plan.config.grid.p, plan.config.grid.q);
+    let g = plan.config.device.gpus_per_node;
+    let n_nodes = p * q;
+
+    // ---- Pass 1: count LoadA tasks per (node, tile) ---------------------
+    let mut a_loads: HashMap<(usize, (u32, u32)), usize> = HashMap::new();
+    for (ni, node) in plan.nodes.iter().enumerate() {
+        for gpu in &node.gpus {
+            for bp in &gpu.blocks {
+                for chunk in &bp.chunks {
+                    for &t in &chunk.tiles {
+                        *a_loads.entry((ni, t)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // sends[(owner, tile)] = destination nodes needing the tile remotely.
+    let mut sends: HashMap<(usize, (u32, u32)), Vec<usize>> = HashMap::new();
+    for &(ni, t) in a_loads.keys() {
+        let owner = owner_of(p, q, t.0 as usize, t.1 as usize);
+        if owner != ni {
+            sends.entry((owner, t)).or_default().push(ni);
+        }
+    }
+    // Broadcast trees: a binomial tree spreads the forwarding load over the
+    // receiving nodes instead of serialising on the owner.
+    let mut tree_children: HashMap<(usize, (u32, u32)), Vec<usize>> = HashMap::new();
+    for (&(owner, t), dests) in &sends {
+        let mut members = Vec::with_capacity(dests.len() + 1);
+        members.push(owner);
+        let mut sorted = dests.clone();
+        sorted.sort_unstable();
+        members.extend(sorted);
+        for idx in 1..members.len() {
+            // Binomial-tree parent: clear the highest set bit of the index.
+            let parent = idx - (1 << (usize::BITS - 1 - idx.leading_zeros()));
+            tree_children
+                .entry((members[parent], t))
+                .or_default()
+                .push(members[idx]);
+        }
+    }
+    let tree_children = Arc::new(tree_children);
+
+    // ---- Pass 2: build the task graph ------------------------------------
+    let mut graph: TaskGraph<Op> = TaskGraph::new();
+
+    // GenB tasks, one per (node, B tile), dealt round-robin across the
+    // node's GenB workers so generation overlaps.
+    let mut genb_ids: HashMap<(usize, (u32, u32)), TaskId> = HashMap::new();
+    let mut genb_rr = vec![0usize; n_nodes];
+    for (ni, node) in plan.nodes.iter().enumerate() {
+        for &j in &node.columns {
+            for k in spec.b.shape().nonzero_rows_in_col(j) {
+                let key = (ni, (k as u32, j as u32));
+                if genb_ids.contains_key(&key) {
+                    continue;
+                }
+                let worker = if opts.genb_workers == 0 {
+                    cpu_lane(ni)
+                } else {
+                    let w = genb_rr[ni] % opts.genb_workers;
+                    genb_rr[ni] += 1;
+                    genb_lane(g, ni, w)
+                };
+                let id = graph.add_task(
+                    Op::GenB {
+                        k: k as u32,
+                        j: j as u32,
+                    },
+                    worker,
+                );
+                genb_ids.insert(key, id);
+            }
+        }
+    }
+
+    // SendA tasks (the background broadcast of A across grid rows),
+    // following the binomial trees: each hop forwards from the node that
+    // just received the tile.
+    let mut senda_ids: HashMap<(usize, (u32, u32)), TaskId> = HashMap::new();
+    for &(owner, t) in sends.keys() {
+        // BFS over the tree so a hop's delivering task exists before the
+        // hops that forward from its destination.
+        let mut frontier = vec![owner];
+        while let Some(from) = frontier.pop() {
+            let Some(children) = tree_children.get(&(from, t)) else {
+                continue;
+            };
+            for &to in children {
+                let id = graph.add_task(Op::SendA { i: t.0, k: t.1, to }, cpu_lane(from));
+                if from != owner {
+                    graph.add_dep(id, senda_ids[&(from, t)]);
+                }
+                senda_ids.insert((to, t), id);
+                frontier.push(to);
+            }
+        }
+    }
+
+    // Per-GPU block/chunk pipelines.
+    for (ni, node) in plan.nodes.iter().enumerate() {
+        for (gi, gpu) in node.gpus.iter().enumerate() {
+            let lane = gpu_lane(ni, gi);
+            let mut prev_flush: Option<TaskId> = None;
+            // Evict ids of the GPU-global chunk sequence (across blocks):
+            // chunk n's loads wait on chunk n−2's evict — one chunk active,
+            // one prefetching.
+            let mut evict_ids: Vec<TaskId> = Vec::new();
+            for (bi, bp) in gpu.blocks.iter().enumerate() {
+                let load_block = graph.add_task(
+                    Op::LoadBlock {
+                        node: ni,
+                        gpu: gi,
+                        block: bi,
+                    },
+                    lane,
+                );
+                if let (Some(f), true) = (prev_flush, opts.block_serialization) {
+                    graph.add_dep(load_block, f); // control: blocking block transfer
+                }
+                for (k, j) in block_b_tiles(spec, &bp.block) {
+                    graph.add_dep(load_block, genb_ids[&(ni, (k as u32, j as u32))]);
+                }
+                let mut chunk_evicts = Vec::with_capacity(bp.chunks.len());
+                for (ci, chunk) in bp.chunks.iter().enumerate() {
+                    // Prefetch window: chunk n's transfers wait on the evict
+                    // of chunk n - 1 - depth (depth chunks in flight beyond
+                    // the one computing).
+                    let window = plan.config.prefetch_depth + 1;
+                    let window_dep = if evict_ids.len() >= window {
+                        Some(evict_ids[evict_ids.len() - window])
+                    } else {
+                        None
+                    };
+                    let mut load_ids = HashMap::new();
+                    for &t in &chunk.tiles {
+                        let id = graph.add_task(Op::LoadA { i: t.0, k: t.1 }, lane);
+                        if let (Some(wd), true) = (window_dep, opts.prefetch_window) {
+                            graph.add_dep(id, wd); // control: prefetch window
+                        }
+                        if let Some(&send) = senda_ids.get(&(ni, t)) {
+                            graph.add_dep(id, send); // dataflow: network arrival
+                        }
+                        load_ids.insert(t, id);
+                    }
+                    let mut gemm_ids = Vec::new();
+                    ExecutionPlan::for_each_chunk_task(spec, &bp.block, chunk, |t| {
+                        let id = graph.add_task(
+                            Op::Gemm {
+                                i: t.i,
+                                k: t.k,
+                                j: t.j,
+                            },
+                            lane,
+                        );
+                        graph.add_dep(id, load_ids[&(t.i, t.k)]);
+                        graph.add_dep(id, load_block);
+                        gemm_ids.push(id);
+                    });
+                    let evict = graph.add_task(
+                        Op::EvictChunk {
+                            node: ni,
+                            gpu: gi,
+                            block: bi,
+                            chunk: ci,
+                        },
+                        lane,
+                    );
+                    for gid in gemm_ids {
+                        graph.add_dep(evict, gid);
+                    }
+                    for lid in load_ids.values() {
+                        graph.add_dep(evict, *lid);
+                    }
+                    evict_ids.push(evict);
+                    chunk_evicts.push(evict);
+                }
+                let flush = graph.add_task(
+                    Op::FlushBlock {
+                        node: ni,
+                        gpu: gi,
+                        block: bi,
+                    },
+                    lane,
+                );
+                graph.add_dep(flush, load_block);
+                for e in chunk_evicts {
+                    graph.add_dep(flush, e);
+                }
+                prev_flush = Some(flush);
+            }
+        }
+    }
+
+    let mut workers: Vec<WorkerId> = Vec::new();
+    for ni in 0..n_nodes {
+        workers.push(cpu_lane(ni));
+        for gi in 0..g {
+            workers.push(gpu_lane(ni, gi));
+        }
+        for wi in 0..opts.genb_workers {
+            workers.push(genb_lane(g, ni, wi));
+        }
+    }
+
+    Lowered {
+        graph,
+        workers,
+        a_loads,
+        sends,
+        tree_children,
+    }
+}

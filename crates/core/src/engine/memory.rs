@@ -1,0 +1,144 @@
+//! Per-GPU-lane memory management: residency, eviction, OOM, occupancy
+//! sampling.
+//!
+//! [`MemoryManager`] owns one lane's [`DeviceMemory`] (the strict byte
+//! accounting with NVLink d2d residency) *and* the host-side handles of the
+//! tiles currently resident — A inputs, B inputs, and the mutable C
+//! accumulators. Handlers never touch the raw device map: every load,
+//! allocation and eviction goes through a manager method, so the byte
+//! accounting and the tile handles can never drift apart.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bst_runtime::data::DataKey;
+use bst_runtime::device::{DeviceMemory, DeviceOom, DeviceStats, NodeResidency};
+use bst_runtime::trace::{MemSample, TraceClock};
+use bst_tile::Tile;
+
+/// Per-worker mutable context: CPU lanes carry no state; GPU lanes own a
+/// [`MemoryManager`].
+pub(crate) enum Ctx {
+    /// Lane 0 (`SendA` + legacy `GenB`) and the dedicated `GenB` lanes.
+    Cpu,
+    /// A GPU executor lane.
+    Gpu(Box<MemoryManager>),
+}
+
+/// One GPU lane's device memory plus the resident tile handles.
+pub(crate) struct MemoryManager {
+    dev: DeviceMemory,
+    a_tiles: HashMap<(u32, u32), Arc<Tile>>,
+    b_tiles: HashMap<(u32, u32), Arc<Tile>>,
+    c_tiles: HashMap<(u32, u32), Tile>,
+    /// Occupancy samples (one per device-touching task) when tracing.
+    mem_samples: Vec<MemSample>,
+    /// The execution's trace clock; `Some` iff tracing.
+    clock: Option<TraceClock>,
+}
+
+impl MemoryManager {
+    pub fn new(
+        gpu: usize,
+        capacity: u64,
+        registry: Arc<NodeResidency>,
+        clock: Option<TraceClock>,
+    ) -> Self {
+        Self {
+            dev: DeviceMemory::new(gpu, capacity, registry),
+            a_tiles: HashMap::new(),
+            b_tiles: HashMap::new(),
+            c_tiles: HashMap::new(),
+            mem_samples: Vec::new(),
+            clock,
+        }
+    }
+
+    /// Records an occupancy sample on the trace clock (no-op untraced).
+    pub fn sample_mem(&mut self) {
+        if let Some(clock) = self.clock {
+            self.mem_samples.push((clock.now_ns(), self.dev.used()));
+        }
+    }
+
+    /// Transfers `A(i,k)` host→device (or refcounts it if already there).
+    pub fn load_a(&mut self, t: (u32, u32), tile: Arc<Tile>) -> Result<(), DeviceOom> {
+        self.dev.load(DataKey::A(t.0, t.1), tile.bytes())?;
+        self.a_tiles.insert(t, tile);
+        Ok(())
+    }
+
+    /// Transfers `B(k,j)` host→device as part of a block load.
+    pub fn load_b(&mut self, t: (u32, u32), tile: Arc<Tile>) -> Result<(), DeviceOom> {
+        self.dev.load(DataKey::B(t.0, t.1), tile.bytes())?;
+        self.b_tiles.insert(t, tile);
+        Ok(())
+    }
+
+    /// Reserves device space for the `C(i,j)` accumulator and adopts its
+    /// zeroed host buffer (no host→device transfer — C is produced on the
+    /// device).
+    pub fn alloc_c(&mut self, t: (u32, u32), tile: Tile) -> Result<(), DeviceOom> {
+        self.dev
+            .alloc(DataKey::C(t.0, t.1), (tile.rows() * tile.cols() * 8) as u64)?;
+        self.c_tiles.insert(t, tile);
+        Ok(())
+    }
+
+    /// The operands of `C_ij += A_ik · B_kj`, asserting device residency —
+    /// a Gemm reaching a non-resident operand means the control DAG failed.
+    pub fn gemm_operands(
+        &mut self,
+        i: u32,
+        k: u32,
+        j: u32,
+    ) -> (Arc<Tile>, Arc<Tile>, &mut Tile) {
+        assert!(
+            self.dev.is_resident(DataKey::A(i, k)),
+            "A({i},{k}) not resident (in a_tiles: {})",
+            self.a_tiles.contains_key(&(i, k))
+        );
+        assert!(self.dev.is_resident(DataKey::B(k, j)), "B not resident");
+        assert!(self.dev.is_resident(DataKey::C(i, j)), "C not resident");
+        let at = self.a_tiles[&(i, k)].clone();
+        let bt = self.b_tiles[&(k, j)].clone();
+        let ct = self.c_tiles.get_mut(&(i, j)).expect("C tile allocated");
+        (at, bt, ct)
+    }
+
+    /// Drops one device reference to `A` tile `t`; frees the handle when
+    /// the last reference goes (a later chunk may have re-loaded it).
+    pub fn evict_a(&mut self, t: (u32, u32)) {
+        if self.dev.evict(DataKey::A(t.0, t.1), false) {
+            self.a_tiles.remove(&t);
+        }
+    }
+
+    /// Evicts `B` tile `t` without write-back, returning the buffer (for
+    /// pool recycling) if this lane held it.
+    pub fn evict_b(&mut self, t: (u32, u32)) -> Option<Arc<Tile>> {
+        self.dev.evict(DataKey::B(t.0, t.1), false);
+        self.b_tiles.remove(&t)
+    }
+
+    /// Evicts `C` tile `t` with write-back, yielding the accumulated tile.
+    pub fn evict_c(&mut self, t: (u32, u32)) -> Tile {
+        self.dev.evict(DataKey::C(t.0, t.1), true);
+        self.c_tiles.remove(&t).expect("flushing C tile")
+    }
+
+    /// Transfer/peak statistics of the underlying device.
+    pub fn stats(&self) -> DeviceStats {
+        self.dev.stats()
+    }
+
+    /// Drains the recorded occupancy samples (end-of-device hand-off).
+    pub fn take_samples(&mut self) -> Vec<MemSample> {
+        std::mem::take(&mut self.mem_samples)
+    }
+
+    /// Whether this manager records occupancy samples.
+    pub fn traced(&self) -> bool {
+        self.clock.is_some()
+    }
+}

@@ -1,0 +1,265 @@
+//! The execution engine: one policy-driven path from plan to result.
+//!
+//! Formerly a single 1,700-line `exec.rs` monolith, the engine is split by
+//! responsibility:
+//!
+//! * [`inspector`] — **plan → DAG**: materialises the task graph with its
+//!   dataflow and control-flow edges (the paper's §4 PTG). Data-free, so
+//!   `bst-sim` replays the *same* lowering it can never drift from;
+//! * [`policies`] — [`policies::ExecOptions`]: the composable
+//!   knob surface (control edges, tracing, kernels, GenB fan-out, faults,
+//!   retry);
+//! * `memory` — the per-GPU `MemoryManager`: residency, eviction, OOM, and
+//!   occupancy sampling behind one interface;
+//! * `handlers` — the task bodies (`GenB`/`SendA`/`Gemm`/loads/evictions)
+//!   plus kernel dispatch and fault injection;
+//! * [`report`] — [`report::ExecReport`], recovery statistics,
+//!   and the trace-invariant checker.
+//!
+//! The crate-private `run` function is the **only** execution path. Tracing
+//! on/off, faults on/off, retry budgets — every combination is a policy
+//! selection on the `bst-runtime` [`bst_runtime::engine::Engine`], not a
+//! separate code path; `crate::exec::execute_numeric*` and the `crate::api`
+//! entry points are thin wrappers over this function.
+
+pub mod inspector;
+pub mod policies;
+pub mod report;
+
+mod handlers;
+mod memory;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bst_runtime::device::NodeResidency;
+use bst_runtime::engine::Engine;
+use bst_runtime::graph::{FallibleRun, RunAbort, WorkerId};
+use bst_runtime::trace::{aggregate_by_kind, TaskRecord, TraceClock};
+use bst_runtime::TileStore;
+use bst_sparse::BlockSparseMatrix;
+use bst_tile::kernel::{KernelKind, KernelTable};
+use bst_tile::pool::TilePool;
+use bst_tile::Tile;
+use parking_lot::Mutex;
+
+use crate::error::{ExecError, GenError};
+use crate::fault::FaultPlan;
+use crate::plan::ExecutionPlan;
+use crate::spec::ProblemSpec;
+
+use handlers::{Counters, HandlerEnv};
+use inspector::{owner_of, Op};
+use memory::{Ctx, MemoryManager};
+use policies::{ExecOptions, KernelSelect};
+use report::{DeviceMemLog, ExecReport, ExecTraceData, RecoveryStats};
+
+/// Generator of `B` tiles:
+/// `(tile_row k, tile_col j, rows, cols, node pool) -> Result<Arc<Tile>, GenError>`.
+///
+/// The generator receives the executing node's [`TilePool`] so it can build
+/// the tile into a recycled buffer (`pool.random(rows, cols, seed)` /
+/// `pool.take_with`); generators that don't care may ignore it and allocate
+/// normally. A failure is reported as a [`GenError`] instead of a panic: the
+/// executor retries the generating task when
+/// [`GenError::is_transient`] holds (within
+/// [`ExecOptions::retry`](policies::ExecOptions::retry)'s budget)
+/// and aborts the execution with a typed error otherwise.
+pub type BGen<'a> =
+    &'a (dyn Fn(usize, usize, usize, usize, &TilePool) -> Result<Arc<Tile>, GenError> + Sync);
+
+/// Executes `plan` numerically under `opts` — the single engine path every
+/// public entry point funnels into.
+pub(crate) fn run(
+    spec: &ProblemSpec,
+    plan: &ExecutionPlan,
+    a: &BlockSparseMatrix,
+    b_gen: BGen<'_>,
+    opts: ExecOptions,
+) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
+    // ---- Degraded re-planning on a permanent node loss -------------------
+    // The dead node's B columns move to its surviving row peers; its host
+    // memory (and therefore its A slice and SendA forwarding duties)
+    // survives, only its generators and GPUs are written off.
+    let replanned_storage;
+    let (plan, replanned_columns, dead_nodes): (&ExecutionPlan, u64, Vec<usize>) =
+        match opts.fault_plan.and_then(|f| f.dead_node) {
+            Some(dead) => {
+                let moved = plan
+                    .nodes
+                    .get(dead)
+                    .map(|n| n.columns.len() as u64)
+                    .unwrap_or(0);
+                replanned_storage = ExecutionPlan::build_with(spec, plan.config, &[dead])
+                    .map_err(ExecError::Replan)?;
+                (&replanned_storage, moved, vec![dead])
+            }
+            None => (plan, 0, Vec::new()),
+        };
+
+    let (p, q) = (plan.config.grid.p, plan.config.grid.q);
+    let g = plan.config.device.gpus_per_node;
+    let n_nodes = p * q;
+
+    // ---- Inspector: lower the plan to the task DAG -----------------------
+    let low = inspector::lower(spec, plan, &opts);
+
+    // ---- Pre-seed the owner stores with A --------------------------------
+    let stores: Vec<TileStore> = (0..n_nodes).map(|_| TileStore::new()).collect();
+    for (&(i, k), tile) in a.iter_tile_arcs() {
+        let t = (i as u32, k as u32);
+        let owner = owner_of(p, q, i, k);
+        let consumers = low.a_consumers(owner, t);
+        if consumers > 0 {
+            // Share the matrix's own Arc — A tiles are immutable for the
+            // whole execution, so seeding is reference counting, not a copy.
+            stores[owner].put(bst_runtime::data::DataKey::A(t.0, t.1), Arc::clone(tile), consumers);
+        }
+    }
+
+    // ---- Per-node buffer pools & kernel selection -------------------------
+    let pools: Vec<TilePool> = (0..n_nodes).map(|_| TilePool::new()).collect();
+    let ktable: Option<KernelTable> = match opts.kernel {
+        KernelSelect::Baseline => None,
+        KernelSelect::Heuristic => Some(KernelTable::heuristic()),
+        KernelSelect::Autotune => Some(KernelTable::autotune(&plan.gemm_shape_histogram(spec))),
+    };
+
+    // ---- Execute ----------------------------------------------------------
+    let registries: Vec<Arc<NodeResidency>> =
+        (0..n_nodes).map(|_| Arc::new(NodeResidency::new())).collect();
+    let clock = TraceClock::start();
+
+    let env = HandlerEnv {
+        spec,
+        plan,
+        low: &low,
+        b_gen,
+        stores: &stores,
+        pools: &pools,
+        ktable,
+        kernel_counts: KernelKind::ALL.iter().map(|_| AtomicU64::new(0)).collect(),
+        fault: opts.fault_plan.filter(FaultPlan::is_active),
+        grid: (p, q),
+        counters: Counters::default(),
+        collector: Mutex::new(Vec::new()),
+        dev_stats: Mutex::new(Vec::new()),
+        mem_log: Mutex::new(DeviceMemLog::new()),
+    };
+
+    let mk_ctx = |w: WorkerId| {
+        if w.lane == 0 || w.lane > g {
+            Ctx::Cpu // lane 0: SendA (+ legacy GenB); lanes > g: GenB workers
+        } else {
+            Ctx::Gpu(Box::new(MemoryManager::new(
+                w.lane - 1,
+                plan.config.device.gpu_mem_bytes,
+                registries[w.node].clone(),
+                opts.tracing.then_some(clock),
+            )))
+        }
+    };
+    let handler =
+        |op: &Op, w: WorkerId, ctx: &mut Ctx, attempt: u32| env.handle(op, w, ctx, attempt);
+
+    // The only branch on tracing is the policy selection — both arms reach
+    // the identical Engine::run scheduler; the Recorder arm merely
+    // monomorphizes event recording in.
+    let engine = Engine::new().with_clock(clock).with_retry(opts.retry);
+    let run: Result<FallibleRun, RunAbort<ExecError>> = if opts.tracing {
+        engine
+            .tracing()
+            .run(&low.graph, &low.workers, mk_ctx, handler)
+    } else {
+        engine.run(&low.graph, &low.workers, mk_ctx, handler)
+    };
+    let run = match run {
+        Ok(run) => run,
+        Err(abort) => {
+            // The abort carries the first failing task; exhausted budgets
+            // get the retry context attached, fatal errors pass through.
+            let detail = low.graph.payload(abort.task).detail();
+            return Err(if abort.budget_exhausted {
+                ExecError::RetryExhausted {
+                    detail,
+                    attempts: abort.attempts,
+                    cause: abort.error.to_string(),
+                }
+            } else {
+                abort.error
+            });
+        }
+    };
+
+    // Label the raw trace with the ops' kinds, details and attempt counts.
+    let (metrics, trace_data) = match &run.trace {
+        Some(tr) => {
+            let spans = tr.task_spans();
+            let records: Vec<TaskRecord> = (0..low.graph.len())
+                .map(|id| TaskRecord {
+                    task: id,
+                    kind: low.graph.payload(id).kind(),
+                    detail: low.graph.payload(id).detail(),
+                    worker: low.graph.worker(id),
+                    span: spans.get(&id).copied().unwrap_or_default(),
+                    attempts: run.attempts.get(id).copied().unwrap_or(1),
+                })
+                .collect();
+            let metrics = aggregate_by_kind(&records);
+            let mut mem_samples = env.mem_log.into_inner();
+            mem_samples.sort_by_key(|(k, _)| *k);
+            (
+                metrics,
+                Some(ExecTraceData {
+                    records,
+                    mem_samples,
+                    total_ns: tr.total_ns,
+                }),
+            )
+        }
+        None => (Vec::new(), None),
+    };
+    let c = &env.counters;
+    let recovery = RecoveryStats {
+        injected_genb: c.injected_genb.load(Ordering::Relaxed),
+        injected_alloc: c.injected_alloc.load(Ordering::Relaxed),
+        injected_send: c.injected_send.load(Ordering::Relaxed),
+        stalls: c.stalls.load(Ordering::Relaxed),
+        retried_tasks: run.retried_tasks(),
+        retry_attempts: run.failed_attempts(),
+        max_attempts: run.max_attempts(),
+        replanned_columns,
+        dead_nodes,
+    };
+
+    // ---- Assemble the result ----------------------------------------------
+    let mut out = BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
+    for ((i, j), tile) in env.collector.into_inner() {
+        // Column parts produce partial sums for the same C tile; accumulate.
+        out.accumulate_tile(i, j, &tile);
+    }
+    let mut devices = env.dev_stats.into_inner();
+    devices.sort_by_key(|(k, _)| *k);
+    let gemm_kernel_counts: Vec<(&'static str, u64)> = KernelKind::ALL
+        .iter()
+        .zip(&env.kernel_counts)
+        .map(|(kind, n)| (kind.name(), n.load(Ordering::Relaxed)))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    Ok((
+        out,
+        ExecReport {
+            devices,
+            a_network_bytes: c.a_net.load(Ordering::Relaxed),
+            a_messages: c.a_msgs.load(Ordering::Relaxed),
+            a_forward_messages: c.a_fwd_msgs.load(Ordering::Relaxed),
+            gemm_tasks: c.gemms.load(Ordering::Relaxed),
+            b_tiles_generated: c.bgens.load(Ordering::Relaxed),
+            gemm_kernel_counts,
+            pool_stats: pools.iter().map(TilePool::stats).collect(),
+            metrics,
+            recovery,
+            trace: trace_data,
+        },
+    ))
+}

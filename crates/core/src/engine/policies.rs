@@ -1,0 +1,149 @@
+//! Execution policies: the option set a numeric run is configured with.
+//!
+//! [`ExecOptions`] is the single knob surface of the engine — control-flow
+//! edges, tracing, kernel selection, GenB fan-out, fault injection and retry
+//! policy all compose here and reach one execution path
+//! (`crate::engine::run`), never separate entry points.
+
+use crate::fault::{FaultPlan, RetryPolicy};
+
+/// How the executor picks a GEMM kernel for each `Gemm` task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelSelect {
+    /// Always `gemm_blocked` — the pre-dispatch behaviour, kept as the
+    /// comparison baseline for the traced perf reports.
+    Baseline,
+    /// Shape-rule dispatch ([`bst_tile::kernel::select_heuristic`]): zero
+    /// startup cost, good choices for common shapes. The default.
+    #[default]
+    Heuristic,
+    /// One-shot micro-autotune: benchmark the candidate kernels on the
+    /// plan's actual tile-shape distribution
+    /// ([`ExecutionPlan::gemm_shape_histogram`]) before executing, and
+    /// dispatch through the resulting [`KernelTable`]. Costs a few
+    /// milliseconds at startup; worth it for anything but tiny runs.
+    ///
+    /// [`ExecutionPlan::gemm_shape_histogram`]:
+    ///     crate::plan::ExecutionPlan::gemm_shape_histogram
+    /// [`KernelTable`]: bst_tile::kernel::KernelTable
+    Autotune,
+}
+
+/// Which control-flow edges to emit when lowering the plan. Both default to
+/// on — disabling either reproduces the failure mode the paper's §4 control
+/// DAG exists to prevent (the scheduler "selecting a GEMM that is ready but
+/// that requires to eject some data"): the device memory manager reports an
+/// OOM instead of thrashing.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Chunk *n*'s loads wait for chunk *n−2*'s evict (§3.2.3 prefetch
+    /// window).
+    pub prefetch_window: bool,
+    /// Block *b+1*'s transfer waits for block *b*'s flush (§3.2.2 blocking
+    /// block transfers).
+    pub block_serialization: bool,
+    /// Record the full task life-cycle trace plus device-memory occupancy
+    /// samples; populates [`ExecReport::metrics`] and [`ExecReport::trace`].
+    /// Off by default — tracing costs a few `Vec` pushes per task.
+    ///
+    /// [`ExecReport::metrics`]: crate::engine::report::ExecReport::metrics
+    /// [`ExecReport::trace`]: crate::engine::report::ExecReport::trace
+    pub tracing: bool,
+    /// GEMM kernel selection policy (see [`KernelSelect`]).
+    pub kernel: KernelSelect,
+    /// Dedicated `GenB` worker lanes per node. `0` keeps the legacy
+    /// behaviour (generation serialised on the node's CPU lane, interleaved
+    /// with `SendA`); `w > 0` fans `GenB` tasks round-robin across `w`
+    /// extra lanes so generation overlaps with communication and compute.
+    pub genb_workers: usize,
+    /// Deterministic fault-injection schedule (see [`FaultPlan`]); `None`
+    /// disables injection entirely (the default). Injected transient faults
+    /// are recovered through [`ExecOptions::retry`]; a
+    /// [`FaultPlan::dead_node`] triggers degraded re-planning before
+    /// execution.
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-task retry budget and exponential backoff applied to transient
+    /// failures (injected or reported by the generator —
+    /// see [`BGen`](crate::exec::BGen)).
+    pub retry: RetryPolicy,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            prefetch_window: true,
+            block_serialization: true,
+            tracing: false,
+            kernel: KernelSelect::default(),
+            genb_workers: 2,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Starts a fluent builder over the default options:
+    /// `ExecOptions::builder().tracing(true).fault_plan(fp).build()`.
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder {
+            opts: Self::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`ExecOptions`] (see [`ExecOptions::builder`]); every
+/// knob defaults to [`ExecOptions::default`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptionsBuilder {
+    opts: ExecOptions,
+}
+
+impl ExecOptionsBuilder {
+    /// Sets [`ExecOptions::prefetch_window`].
+    pub fn prefetch_window(mut self, on: bool) -> Self {
+        self.opts.prefetch_window = on;
+        self
+    }
+
+    /// Sets [`ExecOptions::block_serialization`].
+    pub fn block_serialization(mut self, on: bool) -> Self {
+        self.opts.block_serialization = on;
+        self
+    }
+
+    /// Sets [`ExecOptions::tracing`].
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.opts.tracing = on;
+        self
+    }
+
+    /// Sets [`ExecOptions::kernel`].
+    pub fn kernel(mut self, kernel: KernelSelect) -> Self {
+        self.opts.kernel = kernel;
+        self
+    }
+
+    /// Sets [`ExecOptions::genb_workers`].
+    pub fn genb_workers(mut self, workers: usize) -> Self {
+        self.opts.genb_workers = workers;
+        self
+    }
+
+    /// Enables fault injection with `plan` (see [`ExecOptions::fault_plan`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.opts.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets [`ExecOptions::retry`].
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.opts.retry = retry;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ExecOptions {
+        self.opts
+    }
+}

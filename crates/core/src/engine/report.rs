@@ -1,0 +1,321 @@
+//! Execution reports, recovery statistics, and trace validation.
+//!
+//! Everything the engine tells the caller *about* a run lives here: the
+//! aggregate [`ExecReport`], the fault/recovery tallies ([`RecoveryStats`]),
+//! the labeled trace ([`ExecTraceData`]), and the schedule-invariant checker
+//! ([`validate_trace_invariants`]) that gates both numeric traces and the
+//! bst-sim replay of the same plan.
+
+use std::collections::HashMap;
+
+use bst_runtime::device::DeviceStats;
+use bst_runtime::graph::WorkerId;
+use bst_runtime::trace::{chrome_trace_json, text_summary, KindMetrics, MemSample, TaskRecord};
+use bst_tile::pool::PoolStats;
+
+use super::policies::ExecOptions;
+
+/// Fault-injection and recovery counters of one execution. All zeros (and
+/// empty `dead_nodes`) when no [`ExecOptions::fault_plan`] was active.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Injected `GenB` failures (one per failed attempt).
+    pub injected_genb: u64,
+    /// Injected allocation failures on `LoadBlock`/`LoadA`.
+    pub injected_alloc: u64,
+    /// Injected dropped `SendA` transfers.
+    pub injected_send: u64,
+    /// Injected lane stalls.
+    pub stalls: u64,
+    /// Tasks that needed more than one attempt.
+    pub retried_tasks: u64,
+    /// Total retry attempts (failed attempts across all tasks).
+    pub retry_attempts: u64,
+    /// Largest per-task attempt count.
+    pub max_attempts: u32,
+    /// `B` columns moved off dead nodes by degraded re-planning.
+    pub replanned_columns: u64,
+    /// Nodes written off by degraded re-planning.
+    pub dead_nodes: Vec<usize>,
+}
+
+impl RecoveryStats {
+    /// Whether anything at all was injected, retried, or re-planned. A
+    /// clean run reports `max_attempts == 1` (every task ran once), which
+    /// does not count as recovery activity.
+    pub fn any(&self) -> bool {
+        self.injected_genb
+            + self.injected_alloc
+            + self.injected_send
+            + self.stalls
+            + self.retried_tasks
+            + self.retry_attempts
+            + self.replanned_columns
+            > 0
+            || self.max_attempts > 1
+            || !self.dead_nodes.is_empty()
+    }
+}
+
+/// Aggregate report of a numeric execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExecReport {
+    /// Per-(node, gpu) device statistics.
+    pub devices: Vec<((usize, usize), DeviceStats)>,
+    /// Bytes of `A` tiles sent across node boundaries.
+    pub a_network_bytes: u64,
+    /// `A` tile messages sent (tree edges).
+    pub a_messages: u64,
+    /// `A` tile messages forwarded by non-owner nodes (tree interior hops).
+    pub a_forward_messages: u64,
+    /// GEMM tasks executed.
+    pub gemm_tasks: u64,
+    /// `B` tiles generated (counting per-node replicas).
+    pub b_tiles_generated: u64,
+    /// How many `Gemm` tasks each kernel variant executed, as
+    /// `(kernel name, count)` — only variants that ran at least once.
+    pub gemm_kernel_counts: Vec<(&'static str, u64)>,
+    /// Per-node tile-pool counters (index = node): buffer-recycling hits
+    /// and misses for C zero-fills and generated B tiles.
+    pub pool_stats: Vec<PoolStats>,
+    /// Per-task-kind aggregate timings (empty unless
+    /// [`ExecOptions::tracing`]).
+    pub metrics: Vec<KindMetrics>,
+    /// Fault-injection and recovery counters (all zero without an active
+    /// [`ExecOptions::fault_plan`]).
+    pub recovery: RecoveryStats,
+    /// The full labeled trace (present only under [`ExecOptions::tracing`]).
+    pub trace: Option<ExecTraceData>,
+}
+
+impl ExecReport {
+    /// Plain-text summary: per-kind time breakdown plus per-device
+    /// peak/transfer/eviction lines. `gpu_capacity` is the per-device byte
+    /// budget the peaks are reported against (`config.device.gpu_mem_bytes`).
+    /// Without [`ExecOptions::tracing`] only the device table is populated.
+    pub fn text_summary(&self, gpu_capacity: u64) -> String {
+        let devices: Vec<_> = self
+            .devices
+            .iter()
+            .map(|&((node, gpu), s)| {
+                (
+                    node,
+                    gpu,
+                    s.peak_bytes,
+                    gpu_capacity,
+                    s.h2d_bytes,
+                    s.d2d_bytes,
+                    s.d2h_bytes,
+                    s.evictions,
+                )
+            })
+            .collect();
+        let total_ns = self.trace.as_ref().map(|t| t.total_ns).unwrap_or(0);
+        let mut out = text_summary(&self.metrics, total_ns, &devices);
+        if self.recovery.any() {
+            let r = &self.recovery;
+            out.push_str(&format!(
+                "recovery: {} injected (GenB {}, alloc {}, send {}), {} stalls, \
+                 {} tasks retried over {} attempts (max {}), \
+                 {} columns re-planned off {:?}\n",
+                r.injected_genb + r.injected_alloc + r.injected_send,
+                r.injected_genb,
+                r.injected_alloc,
+                r.injected_send,
+                r.stalls,
+                r.retried_tasks,
+                r.retry_attempts,
+                r.max_attempts,
+                r.replanned_columns,
+                r.dead_nodes,
+            ));
+        }
+        out
+    }
+
+    /// The maximum number of `GenB` task spans overlapping in time on any
+    /// single node of this traced report — `1` means generation was fully
+    /// serialised, `> 1` means the `GenB` worker fan-out actually
+    /// overlapped generation.
+    ///
+    /// # Panics
+    /// Panics if the report carries no trace (run with
+    /// [`ExecOptions::tracing`]).
+    pub fn max_concurrent_genb(&self) -> usize {
+        let trace = self
+            .trace
+            .as_ref()
+            .expect("max_concurrent_genb needs a traced report");
+        // Sweep line per node over (start, +1) / (end, -1) events.
+        let mut events: HashMap<usize, Vec<(u64, i64)>> = HashMap::new();
+        for r in trace.records.iter().filter(|r| r.kind == "GenB") {
+            let node = events.entry(r.worker.node).or_default();
+            node.push((r.span.start_ns, 1));
+            node.push((r.span.end_ns, -1));
+        }
+        let mut peak = 0i64;
+        for (_, mut evs) in events {
+            // End before start at equal timestamps: touching spans don't
+            // overlap.
+            evs.sort_by_key(|&(t, d)| (t, d));
+            let mut live = 0i64;
+            for (_, d) in evs {
+                live += d;
+                peak = peak.max(live);
+            }
+        }
+        peak.max(0) as usize
+    }
+}
+
+/// Per-device memory-occupancy logs, keyed by `(node, gpu)`.
+pub type DeviceMemLog = Vec<((usize, usize), Vec<MemSample>)>;
+
+/// The labeled task records and device-memory samples of one traced
+/// execution ([`ExecOptions::tracing`]).
+#[derive(Clone, Debug, Default)]
+pub struct ExecTraceData {
+    /// One record per DAG task, labeled from the executor's task vocabulary
+    /// (kinds: `SendA`, `GenB`, `LoadBlock`, `LoadA`, `Gemm`, `EvictChunk`,
+    /// `FlushBlock`).
+    pub records: Vec<TaskRecord>,
+    /// Per-(node, gpu) resident-byte samples, one taken after every
+    /// device-touching task, on the same clock as the records.
+    pub mem_samples: DeviceMemLog,
+    /// Wall-clock span of the execution in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl ExecTraceData {
+    /// Renders the trace as `chrome://tracing` / Perfetto JSON (one track
+    /// per worker lane, counter tracks for device occupancy).
+    pub fn chrome_trace_json(&self) -> String {
+        chrome_trace_json(&self.records, &self.mem_samples)
+    }
+}
+
+/// Checks the executor-level trace invariants on a traced report, returning
+/// human-readable violations (empty = all hold):
+///
+/// 1. every task's life-cycle is ordered (ready ≤ start ≤ end);
+/// 2. no `Gemm` starts before a `LoadA` of its A tile *and* some
+///    `LoadBlock` finished on its lane (its operands must be on-device);
+/// 3. with [`ExecOptions::block_serialization`], `LoadBlock(b+1)` never
+///    starts before `FlushBlock(b)` finished on the same lane (§3.2.2
+///    blocking block transfers);
+/// 4. every device's high-water mark stays within `gpu_capacity`.
+///
+/// The invariants hold for any trace in the engine's task vocabulary — the
+/// numeric engine's traces and the bst-sim DAG replay of the same plan are
+/// both validated with this one checker.
+///
+/// # Panics
+/// Panics if the report carries no trace (run with
+/// [`ExecOptions::tracing`]).
+pub fn validate_trace_invariants(
+    report: &ExecReport,
+    opts: ExecOptions,
+    gpu_capacity: u64,
+) -> Vec<String> {
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("validate_trace_invariants needs a traced report");
+    let mut errors = Vec::new();
+
+    // Parses "Kind(a,b,...)" details into their integer arguments.
+    fn args_of(detail: &str) -> Vec<u64> {
+        let inner = detail
+            .split_once('(')
+            .and_then(|(_, rest)| rest.strip_suffix(')'))
+            .unwrap_or("");
+        inner
+            .split([',', '-', '>'])
+            .filter_map(|s| s.parse::<u64>().ok())
+            .collect()
+    }
+
+    for r in &trace.records {
+        if !(r.span.ready_ns <= r.span.start_ns && r.span.start_ns <= r.span.end_ns) {
+            errors.push(format!("{}: life-cycle out of order", r.detail));
+        }
+    }
+
+    let mut by_lane: HashMap<WorkerId, Vec<&TaskRecord>> = HashMap::new();
+    for r in &trace.records {
+        by_lane.entry(r.worker).or_default().push(r);
+    }
+    for (lane, records) in &by_lane {
+        if lane.lane == 0 {
+            continue; // CPU lanes have no device discipline to check
+        }
+        for gemm in records.iter().filter(|r| r.kind == "Gemm") {
+            let args = args_of(&gemm.detail);
+            let (i, k) = (args[0], args[1]);
+            let has_a = records.iter().any(|r| {
+                r.kind == "LoadA"
+                    && args_of(&r.detail) == [i, k]
+                    && r.span.end_ns <= gemm.span.start_ns
+            });
+            if !has_a {
+                errors.push(format!(
+                    "{} on {lane:?} started before any LoadA({i},{k}) finished",
+                    gemm.detail
+                ));
+            }
+            let has_block = records
+                .iter()
+                .any(|r| r.kind == "LoadBlock" && r.span.end_ns <= gemm.span.start_ns);
+            if !has_block {
+                errors.push(format!(
+                    "{} on {lane:?} started before any LoadBlock finished",
+                    gemm.detail
+                ));
+            }
+        }
+        if opts.block_serialization {
+            let mut flush_end: HashMap<u64, u64> = HashMap::new();
+            for r in records.iter().filter(|r| r.kind == "FlushBlock") {
+                flush_end.insert(args_of(&r.detail)[0], r.span.end_ns);
+            }
+            for r in records.iter().filter(|r| r.kind == "LoadBlock") {
+                let b = args_of(&r.detail)[0];
+                if b == 0 {
+                    continue;
+                }
+                match flush_end.get(&(b - 1)) {
+                    Some(&end) if r.span.start_ns >= end => {}
+                    Some(_) => errors.push(format!(
+                        "LoadBlock({b}) on {lane:?} started before FlushBlock({}) finished",
+                        b - 1
+                    )),
+                    None => errors.push(format!(
+                        "LoadBlock({b}) on {lane:?} has no FlushBlock({})",
+                        b - 1
+                    )),
+                }
+            }
+        }
+    }
+
+    for &((node, gpu), stats) in &report.devices {
+        if stats.peak_bytes > gpu_capacity {
+            errors.push(format!(
+                "device n{node}.g{gpu} peaked at {} B > budget {gpu_capacity} B",
+                stats.peak_bytes
+            ));
+        }
+    }
+
+    errors
+}
+
+/// Free-function form of [`ExecReport::max_concurrent_genb`].
+///
+/// # Panics
+/// Panics if the report carries no trace (run with
+/// [`ExecOptions::tracing`]).
+#[deprecated(since = "0.1.0", note = "use `ExecReport::max_concurrent_genb()`")]
+pub fn max_concurrent_genb(report: &ExecReport) -> usize {
+    report.max_concurrent_genb()
+}

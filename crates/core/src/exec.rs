@@ -1,5 +1,5 @@
-//! Numeric execution of an [`ExecutionPlan`] on the `bst-runtime` dataflow
-//! runtime.
+//! Numeric execution of an [`ExecutionPlan`] — the public facade of
+//! [`crate::engine`].
 //!
 //! The plan is lowered to a task DAG with the same structure the paper's
 //! generic PTG executes over PaRSEC (§4):
@@ -19,577 +19,30 @@
 //!   [`bst_runtime::DeviceMemory`] then reports as an OOM, exactly like the
 //!   real GPU would.
 //!
-//! Every node's tiles live in its private [`TileStore`]; `A` starts
-//! 2D-cyclic-distributed and crosses node boundaries only through explicit
-//! `SendA` tasks.
+//! Every node's tiles live in its private [`bst_runtime::TileStore`]; `A`
+//! starts 2D-cyclic-distributed and crosses node boundaries only through
+//! explicit `SendA` tasks.
+//!
+//! The machinery itself lives in the [`crate::engine`] module tree —
+//! [`crate::engine::inspector`] (plan → DAG), the memory manager and task
+//! handlers, and [`crate::engine::report`] (reports + trace validation);
+//! this module re-exports the public vocabulary and keeps the two
+//! signature-stable entry points, which are thin wrappers over the single
+//! policy-driven engine path.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use bst_runtime::data::DataKey;
-use bst_runtime::device::{DeviceMemory, DeviceStats, NodeResidency};
-use bst_runtime::graph::{TaskError, TaskGraph, TaskId, WorkerId};
-use bst_runtime::trace::{
-    aggregate_by_kind, chrome_trace_json, text_summary, KindMetrics, MemSample, TaskRecord,
-    TraceClock,
-};
-use bst_runtime::TileStore;
 use bst_sparse::BlockSparseMatrix;
-use bst_tile::kernel::{KernelKind, KernelTable};
-use bst_tile::pool::{PoolStats, TilePool};
-use bst_tile::Tile;
-use parking_lot::Mutex;
 
-use crate::error::{ExecError, GenError};
-use crate::fault::{FaultPlan, FaultSite, RetryPolicy};
+use crate::error::ExecError;
 use crate::plan::ExecutionPlan;
 use crate::spec::ProblemSpec;
 
-/// Generator of `B` tiles:
-/// `(tile_row k, tile_col j, rows, cols, node pool) -> Result<Arc<Tile>, GenError>`.
-///
-/// The generator receives the executing node's [`TilePool`] so it can build
-/// the tile into a recycled buffer (`pool.random(rows, cols, seed)` /
-/// `pool.take_with`); generators that don't care may ignore it and allocate
-/// normally. A failure is reported as a [`GenError`] instead of a panic: the
-/// executor retries the generating task when
-/// [`GenError::is_transient`] holds (within [`ExecOptions::retry`]'s budget)
-/// and aborts the execution with a typed error otherwise.
-pub type BGen<'a> =
-    &'a (dyn Fn(usize, usize, usize, usize, &TilePool) -> Result<Arc<Tile>, GenError> + Sync);
-
-/// How the executor picks a GEMM kernel for each `Gemm` task.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum KernelSelect {
-    /// Always `gemm_blocked` — the pre-dispatch behaviour, kept as the
-    /// comparison baseline for the traced perf reports.
-    Baseline,
-    /// Shape-rule dispatch ([`bst_tile::kernel::select_heuristic`]): zero
-    /// startup cost, good choices for common shapes. The default.
-    #[default]
-    Heuristic,
-    /// One-shot micro-autotune: benchmark the candidate kernels on the
-    /// plan's actual tile-shape distribution
-    /// ([`ExecutionPlan::gemm_shape_histogram`]) before executing, and
-    /// dispatch through the resulting [`KernelTable`]. Costs a few
-    /// milliseconds at startup; worth it for anything but tiny runs.
-    Autotune,
-}
-
-/// Which control-flow edges to emit when lowering the plan. Both default to
-/// on — disabling either reproduces the failure mode the paper's §4 control
-/// DAG exists to prevent (the scheduler "selecting a GEMM that is ready but
-/// that requires to eject some data"): the device memory manager reports an
-/// OOM instead of thrashing.
-#[derive(Clone, Copy, Debug)]
-pub struct ExecOptions {
-    /// Chunk *n*'s loads wait for chunk *n−2*'s evict (§3.2.3 prefetch
-    /// window).
-    pub prefetch_window: bool,
-    /// Block *b+1*'s transfer waits for block *b*'s flush (§3.2.2 blocking
-    /// block transfers).
-    pub block_serialization: bool,
-    /// Record the full task life-cycle trace plus device-memory occupancy
-    /// samples; populates [`ExecReport::metrics`] and [`ExecReport::trace`].
-    /// Off by default — tracing costs a few `Vec` pushes per task.
-    pub tracing: bool,
-    /// GEMM kernel selection policy (see [`KernelSelect`]).
-    pub kernel: KernelSelect,
-    /// Dedicated `GenB` worker lanes per node. `0` keeps the legacy
-    /// behaviour (generation serialised on the node's CPU lane, interleaved
-    /// with `SendA`); `w > 0` fans `GenB` tasks round-robin across `w`
-    /// extra lanes so generation overlaps with communication and compute.
-    pub genb_workers: usize,
-    /// Deterministic fault-injection schedule (see [`FaultPlan`]); `None`
-    /// disables injection entirely (the default). Injected transient faults
-    /// are recovered through [`ExecOptions::retry`]; a
-    /// [`FaultPlan::dead_node`] triggers degraded re-planning before
-    /// execution.
-    pub fault_plan: Option<FaultPlan>,
-    /// Per-task retry budget and exponential backoff applied to transient
-    /// failures (injected or reported by the [`BGen`] generator).
-    pub retry: RetryPolicy,
-}
-
-impl Default for ExecOptions {
-    fn default() -> Self {
-        Self {
-            prefetch_window: true,
-            block_serialization: true,
-            tracing: false,
-            kernel: KernelSelect::default(),
-            genb_workers: 2,
-            fault_plan: None,
-            retry: RetryPolicy::default(),
-        }
-    }
-}
-
-impl ExecOptions {
-    /// Starts a fluent builder over the default options:
-    /// `ExecOptions::builder().tracing(true).fault_plan(fp).build()`.
-    pub fn builder() -> ExecOptionsBuilder {
-        ExecOptionsBuilder {
-            opts: Self::default(),
-        }
-    }
-}
-
-/// Fluent builder for [`ExecOptions`] (see [`ExecOptions::builder`]); every
-/// knob defaults to [`ExecOptions::default`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ExecOptionsBuilder {
-    opts: ExecOptions,
-}
-
-impl ExecOptionsBuilder {
-    /// Sets [`ExecOptions::prefetch_window`].
-    pub fn prefetch_window(mut self, on: bool) -> Self {
-        self.opts.prefetch_window = on;
-        self
-    }
-
-    /// Sets [`ExecOptions::block_serialization`].
-    pub fn block_serialization(mut self, on: bool) -> Self {
-        self.opts.block_serialization = on;
-        self
-    }
-
-    /// Sets [`ExecOptions::tracing`].
-    pub fn tracing(mut self, on: bool) -> Self {
-        self.opts.tracing = on;
-        self
-    }
-
-    /// Sets [`ExecOptions::kernel`].
-    pub fn kernel(mut self, kernel: KernelSelect) -> Self {
-        self.opts.kernel = kernel;
-        self
-    }
-
-    /// Sets [`ExecOptions::genb_workers`].
-    pub fn genb_workers(mut self, workers: usize) -> Self {
-        self.opts.genb_workers = workers;
-        self
-    }
-
-    /// Enables fault injection with `plan` (see [`ExecOptions::fault_plan`]).
-    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.opts.fault_plan = Some(plan);
-        self
-    }
-
-    /// Sets [`ExecOptions::retry`].
-    pub fn retry(mut self, retry: RetryPolicy) -> Self {
-        self.opts.retry = retry;
-        self
-    }
-
-    /// Finishes the builder.
-    pub fn build(self) -> ExecOptions {
-        self.opts
-    }
-}
-
-/// Fault-injection and recovery counters of one execution. All zeros (and
-/// empty `dead_nodes`) when no [`ExecOptions::fault_plan`] was active.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct RecoveryStats {
-    /// Injected `GenB` failures (one per failed attempt).
-    pub injected_genb: u64,
-    /// Injected allocation failures on `LoadBlock`/`LoadA`.
-    pub injected_alloc: u64,
-    /// Injected dropped `SendA` transfers.
-    pub injected_send: u64,
-    /// Injected lane stalls.
-    pub stalls: u64,
-    /// Tasks that needed more than one attempt.
-    pub retried_tasks: u64,
-    /// Total retry attempts (failed attempts across all tasks).
-    pub retry_attempts: u64,
-    /// Largest per-task attempt count.
-    pub max_attempts: u32,
-    /// `B` columns moved off dead nodes by degraded re-planning.
-    pub replanned_columns: u64,
-    /// Nodes written off by degraded re-planning.
-    pub dead_nodes: Vec<usize>,
-}
-
-impl RecoveryStats {
-    /// Whether anything at all was injected, retried, or re-planned. A
-    /// clean run reports `max_attempts == 1` (every task ran once), which
-    /// does not count as recovery activity.
-    pub fn any(&self) -> bool {
-        self.injected_genb
-            + self.injected_alloc
-            + self.injected_send
-            + self.stalls
-            + self.retried_tasks
-            + self.retry_attempts
-            + self.replanned_columns
-            > 0
-            || self.max_attempts > 1
-            || !self.dead_nodes.is_empty()
-    }
-}
-
-/// Aggregate report of a numeric execution.
-#[derive(Clone, Debug, Default)]
-pub struct ExecReport {
-    /// Per-(node, gpu) device statistics.
-    pub devices: Vec<((usize, usize), DeviceStats)>,
-    /// Bytes of `A` tiles sent across node boundaries.
-    pub a_network_bytes: u64,
-    /// `A` tile messages sent (tree edges).
-    pub a_messages: u64,
-    /// `A` tile messages forwarded by non-owner nodes (tree interior hops).
-    pub a_forward_messages: u64,
-    /// GEMM tasks executed.
-    pub gemm_tasks: u64,
-    /// `B` tiles generated (counting per-node replicas).
-    pub b_tiles_generated: u64,
-    /// How many `Gemm` tasks each kernel variant executed, as
-    /// `(kernel name, count)` — only variants that ran at least once.
-    pub gemm_kernel_counts: Vec<(&'static str, u64)>,
-    /// Per-node tile-pool counters (index = node): buffer-recycling hits
-    /// and misses for C zero-fills and generated B tiles.
-    pub pool_stats: Vec<PoolStats>,
-    /// Per-task-kind aggregate timings (empty unless
-    /// [`ExecOptions::tracing`]).
-    pub metrics: Vec<KindMetrics>,
-    /// Fault-injection and recovery counters (all zero without an active
-    /// [`ExecOptions::fault_plan`]).
-    pub recovery: RecoveryStats,
-    /// The full labeled trace (present only under [`ExecOptions::tracing`]).
-    pub trace: Option<ExecTraceData>,
-}
-
-impl ExecReport {
-    /// Plain-text summary: per-kind time breakdown plus per-device
-    /// peak/transfer/eviction lines. `gpu_capacity` is the per-device byte
-    /// budget the peaks are reported against (`config.device.gpu_mem_bytes`).
-    /// Without [`ExecOptions::tracing`] only the device table is populated.
-    pub fn text_summary(&self, gpu_capacity: u64) -> String {
-        let devices: Vec<_> = self
-            .devices
-            .iter()
-            .map(|&((node, gpu), s)| {
-                (
-                    node,
-                    gpu,
-                    s.peak_bytes,
-                    gpu_capacity,
-                    s.h2d_bytes,
-                    s.d2d_bytes,
-                    s.d2h_bytes,
-                    s.evictions,
-                )
-            })
-            .collect();
-        let total_ns = self.trace.as_ref().map(|t| t.total_ns).unwrap_or(0);
-        let mut out = text_summary(&self.metrics, total_ns, &devices);
-        if self.recovery.any() {
-            let r = &self.recovery;
-            out.push_str(&format!(
-                "recovery: {} injected (GenB {}, alloc {}, send {}), {} stalls, \
-                 {} tasks retried over {} attempts (max {}), \
-                 {} columns re-planned off {:?}\n",
-                r.injected_genb + r.injected_alloc + r.injected_send,
-                r.injected_genb,
-                r.injected_alloc,
-                r.injected_send,
-                r.stalls,
-                r.retried_tasks,
-                r.retry_attempts,
-                r.max_attempts,
-                r.replanned_columns,
-                r.dead_nodes,
-            ));
-        }
-        out
-    }
-}
-
-/// Per-device memory-occupancy logs, keyed by `(node, gpu)`.
-pub type DeviceMemLog = Vec<((usize, usize), Vec<MemSample>)>;
-
-/// The labeled task records and device-memory samples of one traced
-/// execution ([`ExecOptions::tracing`]).
-#[derive(Clone, Debug, Default)]
-pub struct ExecTraceData {
-    /// One record per DAG task, labeled from the executor's task vocabulary
-    /// (kinds: `SendA`, `GenB`, `LoadBlock`, `LoadA`, `Gemm`, `EvictChunk`,
-    /// `FlushBlock`).
-    pub records: Vec<TaskRecord>,
-    /// Per-(node, gpu) resident-byte samples, one taken after every
-    /// device-touching task, on the same clock as the records.
-    pub mem_samples: DeviceMemLog,
-    /// Wall-clock span of the execution in nanoseconds.
-    pub total_ns: u64,
-}
-
-impl ExecTraceData {
-    /// Renders the trace as `chrome://tracing` / Perfetto JSON (one track
-    /// per worker lane, counter tracks for device occupancy).
-    pub fn chrome_trace_json(&self) -> String {
-        chrome_trace_json(&self.records, &self.mem_samples)
-    }
-}
-
-/// Checks the executor-level trace invariants on a traced report, returning
-/// human-readable violations (empty = all hold):
-///
-/// 1. every task's life-cycle is ordered (ready ≤ start ≤ end);
-/// 2. no `Gemm` starts before a `LoadA` of its A tile *and* some
-///    `LoadBlock` finished on its lane (its operands must be on-device);
-/// 3. with [`ExecOptions::block_serialization`], `LoadBlock(b+1)` never
-///    starts before `FlushBlock(b)` finished on the same lane (§3.2.2
-///    blocking block transfers);
-/// 4. every device's high-water mark stays within `gpu_capacity`.
-///
-/// # Panics
-/// Panics if the report carries no trace (run with
-/// [`ExecOptions::tracing`]).
-pub fn validate_trace_invariants(
-    report: &ExecReport,
-    opts: ExecOptions,
-    gpu_capacity: u64,
-) -> Vec<String> {
-    let trace = report
-        .trace
-        .as_ref()
-        .expect("validate_trace_invariants needs a traced report");
-    let mut errors = Vec::new();
-
-    // Parses "Kind(a,b,...)" details into their integer arguments.
-    fn args_of(detail: &str) -> Vec<u64> {
-        let inner = detail
-            .split_once('(')
-            .and_then(|(_, rest)| rest.strip_suffix(')'))
-            .unwrap_or("");
-        inner
-            .split([',', '-', '>'])
-            .filter_map(|s| s.parse::<u64>().ok())
-            .collect()
-    }
-
-    for r in &trace.records {
-        if !(r.span.ready_ns <= r.span.start_ns && r.span.start_ns <= r.span.end_ns) {
-            errors.push(format!("{}: life-cycle out of order", r.detail));
-        }
-    }
-
-    let mut by_lane: HashMap<WorkerId, Vec<&TaskRecord>> = HashMap::new();
-    for r in &trace.records {
-        by_lane.entry(r.worker).or_default().push(r);
-    }
-    for (lane, records) in &by_lane {
-        if lane.lane == 0 {
-            continue; // CPU lanes have no device discipline to check
-        }
-        for gemm in records.iter().filter(|r| r.kind == "Gemm") {
-            let args = args_of(&gemm.detail);
-            let (i, k) = (args[0], args[1]);
-            let has_a = records.iter().any(|r| {
-                r.kind == "LoadA"
-                    && args_of(&r.detail) == [i, k]
-                    && r.span.end_ns <= gemm.span.start_ns
-            });
-            if !has_a {
-                errors.push(format!(
-                    "{} on {lane:?} started before any LoadA({i},{k}) finished",
-                    gemm.detail
-                ));
-            }
-            let has_block = records
-                .iter()
-                .any(|r| r.kind == "LoadBlock" && r.span.end_ns <= gemm.span.start_ns);
-            if !has_block {
-                errors.push(format!(
-                    "{} on {lane:?} started before any LoadBlock finished",
-                    gemm.detail
-                ));
-            }
-        }
-        if opts.block_serialization {
-            let mut flush_end: HashMap<u64, u64> = HashMap::new();
-            for r in records.iter().filter(|r| r.kind == "FlushBlock") {
-                flush_end.insert(args_of(&r.detail)[0], r.span.end_ns);
-            }
-            for r in records.iter().filter(|r| r.kind == "LoadBlock") {
-                let b = args_of(&r.detail)[0];
-                if b == 0 {
-                    continue;
-                }
-                match flush_end.get(&(b - 1)) {
-                    Some(&end) if r.span.start_ns >= end => {}
-                    Some(_) => errors.push(format!(
-                        "LoadBlock({b}) on {lane:?} started before FlushBlock({}) finished",
-                        b - 1
-                    )),
-                    None => errors.push(format!(
-                        "LoadBlock({b}) on {lane:?} has no FlushBlock({})",
-                        b - 1
-                    )),
-                }
-            }
-        }
-    }
-
-    for &((node, gpu), stats) in &report.devices {
-        if stats.peak_bytes > gpu_capacity {
-            errors.push(format!(
-                "device n{node}.g{gpu} peaked at {} B > budget {gpu_capacity} B",
-                stats.peak_bytes
-            ));
-        }
-    }
-
-    errors
-}
-
-/// The maximum number of `GenB` task spans overlapping in time on any single
-/// node of a traced report — `1` means generation was fully serialised,
-/// `> 1` means the `GenB` worker fan-out actually overlapped generation.
-///
-/// # Panics
-/// Panics if the report carries no trace (run with
-/// [`ExecOptions::tracing`]).
-pub fn max_concurrent_genb(report: &ExecReport) -> usize {
-    let trace = report
-        .trace
-        .as_ref()
-        .expect("max_concurrent_genb needs a traced report");
-    // Sweep line per node over (start, +1) / (end, -1) events.
-    let mut events: HashMap<usize, Vec<(u64, i64)>> = HashMap::new();
-    for r in trace.records.iter().filter(|r| r.kind == "GenB") {
-        let node = events.entry(r.worker.node).or_default();
-        node.push((r.span.start_ns, 1));
-        node.push((r.span.end_ns, -1));
-    }
-    let mut peak = 0i64;
-    for (_, mut evs) in events {
-        // End before start at equal timestamps: touching spans don't overlap.
-        evs.sort_by_key(|&(t, d)| (t, d));
-        let mut live = 0i64;
-        for (_, d) in evs {
-            live += d;
-            peak = peak.max(live);
-        }
-    }
-    peak.max(0) as usize
-}
-
-/// The task vocabulary of the lowered DAG.
-#[derive(Clone, Debug)]
-enum Op {
-    /// Send `A(i,k)` from its owner (this task's node) to `to`.
-    SendA { i: u32, k: u32, to: usize },
-    /// Generate `B(k,j)` on this node's CPU.
-    GenB { k: u32, j: u32 },
-    /// Load a block's B columns and allocate its C tiles on the device.
-    LoadBlock { node: usize, gpu: usize, block: usize },
-    /// Transfer `A(i,k)` host→device for a chunk.
-    LoadA { i: u32, k: u32 },
-    /// `C_ij += A_ik · B_kj` on the device.
-    Gemm { i: u32, k: u32, j: u32 },
-    /// Free the A tiles of a chunk.
-    EvictChunk {
-        node: usize,
-        gpu: usize,
-        block: usize,
-        chunk: usize,
-    },
-    /// Write back and free the block's C tiles, free its B tiles.
-    FlushBlock { node: usize, gpu: usize, block: usize },
-}
-
-impl Op {
-    /// The per-kind aggregation label.
-    fn kind(&self) -> &'static str {
-        match self {
-            Op::SendA { .. } => "SendA",
-            Op::GenB { .. } => "GenB",
-            Op::LoadBlock { .. } => "LoadBlock",
-            Op::LoadA { .. } => "LoadA",
-            Op::Gemm { .. } => "Gemm",
-            Op::EvictChunk { .. } => "EvictChunk",
-            Op::FlushBlock { .. } => "FlushBlock",
-        }
-    }
-
-    /// Compact instance label. Stable format — the trace-invariant tests
-    /// parse these (`Gemm(i,k,j)`, `LoadA(i,k)`, `LoadBlock(b)`,
-    /// `EvictChunk(b,c)`, `FlushBlock(b)`, `SendA(i,k->n)`, `GenB(k,j)`).
-    fn detail(&self) -> String {
-        match self {
-            Op::SendA { i, k, to } => format!("SendA({i},{k}->{to})"),
-            Op::GenB { k, j } => format!("GenB({k},{j})"),
-            Op::LoadBlock { block, .. } => format!("LoadBlock({block})"),
-            Op::LoadA { i, k } => format!("LoadA({i},{k})"),
-            Op::Gemm { i, k, j } => format!("Gemm({i},{k},{j})"),
-            Op::EvictChunk { block, chunk, .. } => format!("EvictChunk({block},{chunk})"),
-            Op::FlushBlock { block, .. } => format!("FlushBlock({block})"),
-        }
-    }
-}
-
-/// Per-GPU-lane mutable context.
-struct GpuCtx {
-    dev: DeviceMemory,
-    a_tiles: HashMap<(u32, u32), Arc<Tile>>,
-    b_tiles: HashMap<(u32, u32), Arc<Tile>>,
-    c_tiles: HashMap<(u32, u32), Tile>,
-    /// Occupancy samples (one per device-touching task) when tracing.
-    mem_samples: Vec<MemSample>,
-    /// The execution's trace clock; `Some` iff tracing.
-    clock: Option<TraceClock>,
-}
-
-impl GpuCtx {
-    fn sample_mem(&mut self) {
-        if let Some(clock) = self.clock {
-            self.mem_samples.push((clock.now_ns(), self.dev.used()));
-        }
-    }
-}
-
-enum Ctx {
-    Cpu,
-    Gpu(Box<GpuCtx>),
-}
-
-/// The deterministic identity a task presents to the [`FaultPlan`]: a pure
-/// function of *what* the task is and *where* it runs, independent of task
-/// numbering or timing, so the injection schedule survives re-planning and
-/// graph-construction changes.
-fn fault_key(op: &Op, w: WorkerId) -> u64 {
-    const P: u64 = 0x100_0000_01B3; // FNV-ish odd multiplier
-    let fold = |fields: &[u64]| {
-        fields
-            .iter()
-            .fold(0u64, |acc, &f| acc.wrapping_mul(P) ^ f.wrapping_add(1))
-    };
-    match op {
-        Op::SendA { i, k, to } => fold(&[1, u64::from(*i), u64::from(*k), *to as u64]),
-        Op::GenB { k, j } => fold(&[2, w.node as u64, u64::from(*k), u64::from(*j)]),
-        Op::LoadBlock { node, gpu, block } => fold(&[3, *node as u64, *gpu as u64, *block as u64]),
-        Op::LoadA { i, k } => fold(&[4, w.node as u64, w.lane as u64, u64::from(*i), u64::from(*k)]),
-        Op::Gemm { i, k, j } => fold(&[
-            5,
-            w.node as u64,
-            w.lane as u64,
-            u64::from(*i),
-            u64::from(*k),
-            u64::from(*j),
-        ]),
-        Op::EvictChunk {
-            node, gpu, block, chunk,
-        } => fold(&[6, *node as u64, *gpu as u64, *block as u64, *chunk as u64]),
-        Op::FlushBlock { node, gpu, block } => fold(&[7, *node as u64, *gpu as u64, *block as u64]),
-    }
-}
+pub use crate::engine::policies::{ExecOptions, ExecOptionsBuilder, KernelSelect};
+#[allow(deprecated)]
+pub use crate::engine::report::max_concurrent_genb;
+pub use crate::engine::report::{
+    validate_trace_invariants, DeviceMemLog, ExecReport, ExecTraceData, RecoveryStats,
+};
+pub use crate::engine::BGen;
 
 /// Executes `plan` numerically: `A` given as a block-sparse matrix
 /// (conceptually pre-distributed 2D-cyclically), `B` generated on demand by
@@ -603,7 +56,7 @@ pub fn execute_numeric(
     a: &BlockSparseMatrix,
     b_gen: BGen<'_>,
 ) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
-    execute_numeric_with(spec, plan, a, b_gen, ExecOptions::default())
+    crate::engine::run(spec, plan, a, b_gen, ExecOptions::default())
 }
 
 /// [`execute_numeric`] with selectable control-flow edges, fault injection
@@ -617,1133 +70,5 @@ pub fn execute_numeric_with(
     b_gen: BGen<'_>,
     opts: ExecOptions,
 ) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
-    // ---- Degraded re-planning on a permanent node loss -------------------
-    // The dead node's B columns move to its surviving row peers; its host
-    // memory (and therefore its A slice and SendA forwarding duties)
-    // survives, only its generators and GPUs are written off.
-    let replanned_storage;
-    let (plan, replanned_columns, dead_nodes): (&ExecutionPlan, u64, Vec<usize>) =
-        match opts.fault_plan.and_then(|f| f.dead_node) {
-            Some(dead) => {
-                let moved = plan
-                    .nodes
-                    .get(dead)
-                    .map(|n| n.columns.len() as u64)
-                    .unwrap_or(0);
-                replanned_storage = ExecutionPlan::build_with(spec, plan.config, &[dead])
-                    .map_err(ExecError::Replan)?;
-                (&replanned_storage, moved, vec![dead])
-            }
-            None => (plan, 0, Vec::new()),
-        };
-    let fault: Option<FaultPlan> = opts.fault_plan.filter(FaultPlan::is_active);
-
-    let (p, q) = (plan.config.grid.p, plan.config.grid.q);
-    let g = plan.config.device.gpus_per_node;
-    let n_nodes = p * q;
-
-    // ---- Pass 1: count LoadA tasks per (node, tile) ---------------------
-    let mut a_loads: HashMap<(usize, (u32, u32)), usize> = HashMap::new();
-    for (ni, node) in plan.nodes.iter().enumerate() {
-        for gpu in &node.gpus {
-            for bp in &gpu.blocks {
-                for chunk in &bp.chunks {
-                    for &t in &chunk.tiles {
-                        *a_loads.entry((ni, t)).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    // ---- Pre-seed the owner stores with A --------------------------------
-    let stores: Vec<TileStore> = (0..n_nodes).map(|_| TileStore::new()).collect();
-    let owner_of = |i: usize, k: usize| -> usize { (i % p) * q + (k % q) };
-    // sends[(owner, tile)] = destination nodes needing the tile remotely.
-    let mut sends: HashMap<(usize, (u32, u32)), Vec<usize>> = HashMap::new();
-    for &(ni, t) in a_loads.keys() {
-        let owner = owner_of(t.0 as usize, t.1 as usize);
-        if owner != ni {
-            sends.entry((owner, t)).or_default().push(ni);
-        }
-    }
-    // Broadcast trees: the A broadcast "happens in the background, at the
-    // tile granularity" (§4); a binomial tree spreads the forwarding load
-    // over the receiving nodes instead of serialising on the owner.
-    // tree_children[(node, tile)] = nodes this node forwards the tile to.
-    let mut tree_children: HashMap<(usize, (u32, u32)), Vec<usize>> = HashMap::new();
-    for (&(owner, t), dests) in &sends {
-        let mut members = Vec::with_capacity(dests.len() + 1);
-        members.push(owner);
-        let mut sorted = dests.clone();
-        sorted.sort_unstable();
-        members.extend(sorted);
-        for idx in 1..members.len() {
-            // Binomial-tree parent: clear the highest set bit of the index.
-            let parent = idx - (1 << (usize::BITS - 1 - idx.leading_zeros()));
-            tree_children
-                .entry((members[parent], t))
-                .or_default()
-                .push(members[idx]);
-        }
-    }
-    let tree_children = std::sync::Arc::new(tree_children);
-
-    for (&(i, k), tile) in a.iter_tile_arcs() {
-        let t = (i as u32, k as u32);
-        let owner = owner_of(i, k);
-        let local_loads = a_loads.get(&(owner, t)).copied().unwrap_or(0);
-        let n_sends = tree_children
-            .get(&(owner, t))
-            .map(|v| v.len())
-            .unwrap_or(0);
-        if local_loads + n_sends > 0 {
-            // Share the matrix's own Arc — A tiles are immutable for the
-            // whole execution, so seeding is reference counting, not a copy.
-            stores[owner].put(DataKey::A(t.0, t.1), Arc::clone(tile), local_loads + n_sends);
-        }
-    }
-
-    // ---- Per-node buffer pools & kernel selection -------------------------
-    let pools: Vec<TilePool> = (0..n_nodes).map(|_| TilePool::new()).collect();
-    let ktable: Option<KernelTable> = match opts.kernel {
-        KernelSelect::Baseline => None,
-        KernelSelect::Heuristic => Some(KernelTable::heuristic()),
-        KernelSelect::Autotune => Some(KernelTable::autotune(&plan.gemm_shape_histogram(spec))),
-    };
-    let kernel_counts: Vec<AtomicU64> =
-        KernelKind::ALL.iter().map(|_| AtomicU64::new(0)).collect();
-
-    // ---- Pass 2: build the task graph ------------------------------------
-    let mut graph: TaskGraph<Op> = TaskGraph::new();
-    let cpu = |node: usize| WorkerId { node, lane: 0 };
-    let gpu_lane = |node: usize, gpu: usize| WorkerId { node, lane: 1 + gpu };
-    // GenB worker lanes sit above the GPU lanes: lane 1+g+w. With
-    // genb_workers == 0 generation stays on the CPU lane (lane 0), the
-    // legacy serialised behaviour.
-    let genb_lane = |node: usize, worker: usize| WorkerId {
-        node,
-        lane: 1 + g + worker,
-    };
-
-    // GenB tasks, one per (node, B tile), dealt round-robin across the
-    // node's GenB workers so generation overlaps.
-    let mut genb_ids: HashMap<(usize, (u32, u32)), TaskId> = HashMap::new();
-    let mut genb_rr = vec![0usize; n_nodes];
-    for (ni, node) in plan.nodes.iter().enumerate() {
-        for &j in &node.columns {
-            for k in spec.b.shape().nonzero_rows_in_col(j) {
-                let key = (ni, (k as u32, j as u32));
-                if genb_ids.contains_key(&key) {
-                    continue;
-                }
-                let worker = if opts.genb_workers == 0 {
-                    cpu(ni)
-                } else {
-                    let w = genb_rr[ni] % opts.genb_workers;
-                    genb_rr[ni] += 1;
-                    genb_lane(ni, w)
-                };
-                let id = graph.add_task(
-                    Op::GenB {
-                        k: k as u32,
-                        j: j as u32,
-                    },
-                    worker,
-                );
-                genb_ids.insert(key, id);
-            }
-        }
-    }
-
-    // SendA tasks (the background broadcast of A across grid rows),
-    // following the binomial trees: each hop forwards from the node that
-    // just received the tile.
-    let mut senda_ids: HashMap<(usize, (u32, u32)), TaskId> = HashMap::new();
-    for &(owner, t) in sends.keys() {
-        // BFS over the tree so a hop's delivering task exists before the
-        // hops that forward from its destination.
-        let mut frontier = vec![owner];
-        while let Some(from) = frontier.pop() {
-            let Some(children) = tree_children.get(&(from, t)) else {
-                continue;
-            };
-            for &to in children {
-                let id = graph.add_task(Op::SendA { i: t.0, k: t.1, to }, cpu(from));
-                if from != owner {
-                    graph.add_dep(id, senda_ids[&(from, t)]);
-                }
-                senda_ids.insert((to, t), id);
-                frontier.push(to);
-            }
-        }
-    }
-
-    // Per-GPU block/chunk pipelines.
-    for (ni, node) in plan.nodes.iter().enumerate() {
-        for (gi, gpu) in node.gpus.iter().enumerate() {
-            let lane = gpu_lane(ni, gi);
-            let mut prev_flush: Option<TaskId> = None;
-            // Evict ids of the GPU-global chunk sequence (across blocks):
-            // chunk n's loads wait on chunk n−2's evict — one chunk active,
-            // one prefetching.
-            let mut evict_ids: Vec<TaskId> = Vec::new();
-            for (bi, bp) in gpu.blocks.iter().enumerate() {
-                let load_block = graph.add_task(
-                    Op::LoadBlock {
-                        node: ni,
-                        gpu: gi,
-                        block: bi,
-                    },
-                    lane,
-                );
-                if let (Some(f), true) = (prev_flush, opts.block_serialization) {
-                    graph.add_dep(load_block, f); // control: blocking block transfer
-                }
-                for span in &bp.block.spans {
-                    let j = span.col as usize;
-                    for k in spec.b.shape().nonzero_rows_in_col(j) {
-                        if span.contains(k) {
-                            graph.add_dep(load_block, genb_ids[&(ni, (k as u32, j as u32))]);
-                        }
-                    }
-                }
-                let mut chunk_evicts = Vec::with_capacity(bp.chunks.len());
-                for (ci, chunk) in bp.chunks.iter().enumerate() {
-                    // Prefetch window: chunk n's transfers wait on the evict
-                    // of chunk n - 1 - depth (depth chunks in flight beyond
-                    // the one computing).
-                    let window = plan.config.prefetch_depth + 1;
-                    let window_dep = if evict_ids.len() >= window {
-                        Some(evict_ids[evict_ids.len() - window])
-                    } else {
-                        None
-                    };
-                    let mut load_ids = HashMap::new();
-                    for &t in &chunk.tiles {
-                        let id = graph.add_task(Op::LoadA { i: t.0, k: t.1 }, lane);
-                        if let (Some(wd), true) = (window_dep, opts.prefetch_window) {
-                            graph.add_dep(id, wd); // control: prefetch window
-                        }
-                        if let Some(&send) = senda_ids.get(&(ni, t)) {
-                            graph.add_dep(id, send); // dataflow: network arrival
-                        }
-                        load_ids.insert(t, id);
-                    }
-                    let mut gemm_ids = Vec::new();
-                    ExecutionPlan::for_each_chunk_task(spec, &bp.block, chunk, |t| {
-                        let id = graph.add_task(
-                            Op::Gemm {
-                                i: t.i,
-                                k: t.k,
-                                j: t.j,
-                            },
-                            lane,
-                        );
-                        graph.add_dep(id, load_ids[&(t.i, t.k)]);
-                        graph.add_dep(id, load_block);
-                        gemm_ids.push(id);
-                    });
-                    let evict = graph.add_task(
-                        Op::EvictChunk {
-                            node: ni,
-                            gpu: gi,
-                            block: bi,
-                            chunk: ci,
-                        },
-                        lane,
-                    );
-                    for gid in gemm_ids {
-                        graph.add_dep(evict, gid);
-                    }
-                    for lid in load_ids.values() {
-                        graph.add_dep(evict, *lid);
-                    }
-                    evict_ids.push(evict);
-                    chunk_evicts.push(evict);
-                }
-                let flush = graph.add_task(
-                    Op::FlushBlock {
-                        node: ni,
-                        gpu: gi,
-                        block: bi,
-                    },
-                    lane,
-                );
-                graph.add_dep(flush, load_block);
-                for e in chunk_evicts {
-                    graph.add_dep(flush, e);
-                }
-                prev_flush = Some(flush);
-            }
-        }
-    }
-
-    // ---- Execute ----------------------------------------------------------
-    let registries: Vec<Arc<NodeResidency>> =
-        (0..n_nodes).map(|_| Arc::new(NodeResidency::new())).collect();
-    let collector: Mutex<Vec<((usize, usize), Tile)>> = Mutex::new(Vec::new());
-    let a_net = AtomicU64::new(0);
-    let a_msgs = AtomicU64::new(0);
-    let a_fwd_msgs = AtomicU64::new(0);
-    let gemms = AtomicU64::new(0);
-    let bgens = AtomicU64::new(0);
-    let injected_genb = AtomicU64::new(0);
-    let injected_alloc = AtomicU64::new(0);
-    let injected_send = AtomicU64::new(0);
-    let stalls = AtomicU64::new(0);
-    let dev_stats: Mutex<Vec<((usize, usize), DeviceStats)>> = Mutex::new(Vec::new());
-    let mem_log: Mutex<DeviceMemLog> = Mutex::new(Vec::new());
-    let clock = TraceClock::start();
-
-    let mut workers: Vec<WorkerId> = Vec::new();
-    for ni in 0..n_nodes {
-        workers.push(cpu(ni));
-        for gi in 0..g {
-            workers.push(gpu_lane(ni, gi));
-        }
-        for wi in 0..opts.genb_workers {
-            workers.push(genb_lane(ni, wi));
-        }
-    }
-
-    let mk_ctx = |w: WorkerId| {
-        if w.lane == 0 || w.lane > g {
-            Ctx::Cpu // lane 0: SendA (+ legacy GenB); lanes > g: GenB workers
-        } else {
-            Ctx::Gpu(Box::new(GpuCtx {
-                dev: DeviceMemory::new(
-                    w.lane - 1,
-                    plan.config.device.gpu_mem_bytes,
-                    registries[w.node].clone(),
-                ),
-                a_tiles: HashMap::new(),
-                b_tiles: HashMap::new(),
-                c_tiles: HashMap::new(),
-                mem_samples: Vec::new(),
-                clock: opts.tracing.then_some(clock),
-            }))
-        }
-    };
-    let handler = |op: &Op, w: WorkerId, ctx: &mut Ctx, attempt: u32| {
-        // ---- Fault injection, at handler entry (before any side effect,
-        // so a retried attempt re-runs from a clean slate) ---------------
-        if let Some(fp) = &fault {
-            let key = fault_key(op, w);
-            if attempt == 1 {
-                if let Some(delay) = fp.stall(key) {
-                    stalls.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(delay);
-                }
-            }
-            match op {
-                Op::GenB { k, j } if fp.injects(FaultSite::GenB, key, attempt) => {
-                    injected_genb.fetch_add(1, Ordering::Relaxed);
-                    return Err(TaskError::Transient(ExecError::Gen(GenError::Injected {
-                        k: *k as usize,
-                        j: *j as usize,
-                        attempt,
-                    })));
-                }
-                Op::SendA { .. } if fp.injects(FaultSite::Send, key, attempt) => {
-                    injected_send.fetch_add(1, Ordering::Relaxed);
-                    return Err(TaskError::Transient(ExecError::Injected {
-                        site: FaultSite::Send,
-                        detail: op.detail(),
-                        attempt,
-                    }));
-                }
-                Op::LoadBlock { .. } | Op::LoadA { .. }
-                    if fp.injects(FaultSite::Alloc, key, attempt) =>
-                {
-                    injected_alloc.fetch_add(1, Ordering::Relaxed);
-                    return Err(TaskError::Transient(ExecError::Injected {
-                        site: FaultSite::Alloc,
-                        detail: op.detail(),
-                        attempt,
-                    }));
-                }
-                _ => {}
-            }
-        }
-        let oom = |e: &dyn std::fmt::Display| {
-            TaskError::Fatal(ExecError::DeviceOom {
-                node: w.node,
-                gpu: w.lane.saturating_sub(1),
-                detail: op.detail(),
-                reason: e.to_string(),
-            })
-        };
-        match (op, ctx) {
-            (Op::SendA { i, k, to }, Ctx::Cpu) => {
-                let key = DataKey::A(*i, *k);
-                let tile = stores[w.node].get(key);
-                a_net.fetch_add(tile.bytes(), Ordering::Relaxed);
-                a_msgs.fetch_add(1, Ordering::Relaxed);
-                if w.node != owner_of(*i as usize, *k as usize) {
-                    a_fwd_msgs.fetch_add(1, Ordering::Relaxed);
-                }
-                // The destination consumes the tile once per local device
-                // load plus once per tree hop it forwards.
-                let consumers = a_loads.get(&(*to, (*i, *k))).copied().unwrap_or(0)
-                    + tree_children
-                        .get(&(*to, (*i, *k)))
-                        .map(|v| v.len())
-                        .unwrap_or(0);
-                stores[*to].put(key, tile, consumers);
-                stores[w.node].consume(key);
-                Ok(())
-            }
-            (Op::GenB { k, j }, Ctx::Cpu) => {
-                let rows = spec.b.row_tiling().size(*k as usize) as usize;
-                let cols = spec.b.col_tiling().size(*j as usize) as usize;
-                let tile = b_gen(*k as usize, *j as usize, rows, cols, &pools[w.node])
-                    .map_err(|e| {
-                        if e.is_transient() {
-                            TaskError::Transient(ExecError::Gen(e))
-                        } else {
-                            TaskError::Fatal(ExecError::Gen(e))
-                        }
-                    })?;
-                if (tile.rows(), tile.cols()) != (rows, cols) {
-                    return Err(TaskError::Fatal(ExecError::Gen(GenError::WrongShape {
-                        k: *k as usize,
-                        j: *j as usize,
-                        got: (tile.rows(), tile.cols()),
-                        want: (rows, cols),
-                    })));
-                }
-                bgens.fetch_add(1, Ordering::Relaxed);
-                stores[w.node].put(DataKey::B(*k, *j), tile, 1);
-                Ok(())
-            }
-            (Op::LoadBlock { node, gpu, block }, Ctx::Gpu(gctx)) => {
-                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
-                let row = plan.nodes[*node].grid_row;
-                for span in &bp.block.spans {
-                    let j = span.col as usize;
-                    for k in spec.b.shape().nonzero_rows_in_col(j) {
-                        if !span.contains(k) {
-                            continue;
-                        }
-                        let key = DataKey::B(k as u32, j as u32);
-                        let tile = stores[*node].get(key);
-                        gctx.dev.load(key, tile.bytes()).map_err(|e| oom(&e))?;
-                        gctx.b_tiles.insert((k as u32, j as u32), tile);
-                        stores[*node].consume(key);
-                    }
-                }
-                for j in bp.block.distinct_columns() {
-                    for i in spec.c_col_support(j, row, plan.config.grid.p) {
-                        let rows = spec.a.row_tiling().size(i) as usize;
-                        let cols = spec.b.col_tiling().size(j) as usize;
-                        let key = DataKey::C(i as u32, j as u32);
-                        gctx.dev
-                            .alloc(key, (rows * cols * 8) as u64)
-                            .map_err(|e| oom(&e))?;
-                        gctx.c_tiles
-                            .insert((i as u32, j as u32), pools[*node].zeroed(rows, cols));
-                    }
-                }
-                gctx.sample_mem();
-                Ok(())
-            }
-            (Op::LoadA { i, k }, Ctx::Gpu(gctx)) => {
-                let key = DataKey::A(*i, *k);
-                let tile = stores[w.node].get(key);
-                gctx.dev.load(key, tile.bytes()).map_err(|e| oom(&e))?;
-                gctx.a_tiles.insert((*i, *k), tile);
-                stores[w.node].consume(key);
-                gctx.sample_mem();
-                Ok(())
-            }
-            (Op::Gemm { i, k, j }, Ctx::Gpu(gctx)) => {
-                assert!(gctx.dev.is_resident(DataKey::A(*i, *k)),
-                    "A({i},{k}) not resident on {w:?} (in a_tiles: {})", gctx.a_tiles.contains_key(&(*i, *k)));
-                assert!(gctx.dev.is_resident(DataKey::B(*k, *j)), "B not resident");
-                assert!(gctx.dev.is_resident(DataKey::C(*i, *j)), "C not resident");
-                let at = gctx.a_tiles[&(*i, *k)].clone();
-                let bt = gctx.b_tiles[&(*k, *j)].clone();
-                let ct = gctx.c_tiles.get_mut(&(*i, *j)).expect("C tile allocated");
-                let kind = match &ktable {
-                    None => KernelKind::Blocked,
-                    Some(table) => table.select(ct.rows(), ct.cols(), at.cols()),
-                };
-                kind.run(1.0, &at, &bt, ct);
-                kernel_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
-                gemms.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            (
-                Op::EvictChunk {
-                    node,
-                    gpu,
-                    block,
-                    chunk,
-                },
-                Ctx::Gpu(gctx),
-            ) => {
-                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
-                for &t in &bp.chunks[*chunk].tiles {
-                    // A later chunk may have re-loaded (refcounted) the
-                    // tile already; keep it until the last reference drops.
-                    if gctx.dev.evict(DataKey::A(t.0, t.1), false) {
-                        gctx.a_tiles.remove(&t);
-                    }
-                }
-                gctx.sample_mem();
-                Ok(())
-            }
-            (Op::FlushBlock { node, gpu, block }, Ctx::Gpu(gctx)) => {
-                let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
-                let row = plan.nodes[*node].grid_row;
-                let mut out = Vec::new();
-                for span in &bp.block.spans {
-                    let j = span.col as usize;
-                    for k in spec.b.shape().nonzero_rows_in_col(j) {
-                        if !span.contains(k) {
-                            continue;
-                        }
-                        gctx.dev.evict(DataKey::B(k as u32, j as u32), false);
-                        if let Some(arc) = gctx.b_tiles.remove(&(k as u32, j as u32)) {
-                            // This lane held the last reference (the store
-                            // dropped its own at LoadBlock), so the buffer
-                            // goes back to the node pool for the next
-                            // GenB / C zero-fill of the same size.
-                            pools[*node].release_arc(arc);
-                        }
-                    }
-                }
-                for j in bp.block.distinct_columns() {
-                    for i in spec.c_col_support(j, row, plan.config.grid.p) {
-                        gctx.dev.evict(DataKey::C(i as u32, j as u32), true);
-                        let tile = gctx
-                            .c_tiles
-                            .remove(&(i as u32, j as u32))
-                            .expect("flushing C tile");
-                        out.push(((i, j), tile));
-                    }
-                }
-                collector.lock().extend(out);
-                gctx.sample_mem();
-                if *block + 1 == plan.nodes[*node].gpus[*gpu].blocks.len() {
-                    dev_stats.lock().push(((*node, *gpu), gctx.dev.stats()));
-                    if gctx.clock.is_some() {
-                        mem_log
-                            .lock()
-                            .push(((*node, *gpu), std::mem::take(&mut gctx.mem_samples)));
-                    }
-                }
-                Ok(())
-            }
-            (op, _) => unreachable!("op {op:?} on wrong lane"),
-        }
-    };
-
-    let retry = opts.retry.to_engine();
-    let run = if opts.tracing {
-        graph.execute_fallible_traced_with_clock(&workers, mk_ctx, handler, retry, clock)
-    } else {
-        graph.execute_fallible(&workers, mk_ctx, handler, retry)
-    };
-    let run = match run {
-        Ok(run) => run,
-        Err(abort) => {
-            // The abort carries the first failing task; exhausted budgets
-            // get the retry context attached, fatal errors pass through.
-            let detail = graph.payload(abort.task).detail();
-            return Err(if abort.budget_exhausted {
-                ExecError::RetryExhausted {
-                    detail,
-                    attempts: abort.attempts,
-                    cause: abort.error.to_string(),
-                }
-            } else {
-                abort.error
-            });
-        }
-    };
-
-    // Label the raw trace with the ops' kinds, details and attempt counts.
-    let (metrics, trace_data) = match &run.trace {
-        Some(tr) => {
-            let spans = tr.task_spans();
-            let records: Vec<TaskRecord> = (0..graph.len())
-                .map(|id| TaskRecord {
-                    task: id,
-                    kind: graph.payload(id).kind(),
-                    detail: graph.payload(id).detail(),
-                    worker: graph.worker(id),
-                    span: spans.get(&id).copied().unwrap_or_default(),
-                    attempts: run.attempts.get(id).copied().unwrap_or(1),
-                })
-                .collect();
-            let metrics = aggregate_by_kind(&records);
-            let mut mem_samples = mem_log.into_inner();
-            mem_samples.sort_by_key(|(k, _)| *k);
-            (
-                metrics,
-                Some(ExecTraceData {
-                    records,
-                    mem_samples,
-                    total_ns: tr.total_ns,
-                }),
-            )
-        }
-        None => (Vec::new(), None),
-    };
-    let recovery = RecoveryStats {
-        injected_genb: injected_genb.into_inner(),
-        injected_alloc: injected_alloc.into_inner(),
-        injected_send: injected_send.into_inner(),
-        stalls: stalls.into_inner(),
-        retried_tasks: run.retried_tasks(),
-        retry_attempts: run.failed_attempts(),
-        max_attempts: run.max_attempts(),
-        replanned_columns,
-        dead_nodes,
-    };
-
-    // ---- Assemble the result ----------------------------------------------
-    let mut c = BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
-    for ((i, j), tile) in collector.into_inner() {
-        // Column parts produce partial sums for the same C tile; accumulate.
-        c.accumulate_tile(i, j, &tile);
-    }
-    let mut devices = dev_stats.into_inner();
-    devices.sort_by_key(|(k, _)| *k);
-    let gemm_kernel_counts: Vec<(&'static str, u64)> = KernelKind::ALL
-        .iter()
-        .zip(&kernel_counts)
-        .map(|(kind, n)| (kind.name(), n.load(Ordering::Relaxed)))
-        .filter(|&(_, n)| n > 0)
-        .collect();
-    Ok((
-        c,
-        ExecReport {
-            devices,
-            a_network_bytes: a_net.into_inner(),
-            a_messages: a_msgs.into_inner(),
-            a_forward_messages: a_fwd_msgs.into_inner(),
-            gemm_tasks: gemms.into_inner(),
-            b_tiles_generated: bgens.into_inner(),
-            gemm_kernel_counts,
-            pool_stats: pools.iter().map(TilePool::stats).collect(),
-            metrics,
-            recovery,
-            trace: trace_data,
-        },
-    ))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::{DeviceConfig, GridConfig, PlannerConfig};
-    use bst_sparse::generate::{generate, SyntheticParams};
-    use bst_sparse::matrix::tile_seed;
-    use bst_sparse::MatrixStructure;
-    use bst_tile::Tiling;
-
-    fn cfg(p: usize, q: usize, g: usize, mem: u64) -> PlannerConfig {
-        PlannerConfig::paper(
-            GridConfig { p, q },
-            DeviceConfig {
-                gpus_per_node: g,
-                gpu_mem_bytes: mem,
-            },
-        )
-    }
-
-    /// Runs the full pipeline and compares against the single-threaded
-    /// block-sparse reference.
-    fn check(spec: &ProblemSpec, config: PlannerConfig, seed: u64) {
-        let plan = ExecutionPlan::build(spec, config).unwrap();
-        let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), seed);
-        let b = BlockSparseMatrix::random_from_structure(spec.b.clone(), seed ^ 0xB);
-        let b_gen = |k: usize, j: usize, rows: usize, cols: usize, pool: &TilePool| {
-            let t = pool.random(rows, cols, tile_seed(seed ^ 0xB, k, j));
-            assert_eq!(b.tile(k, j).unwrap(), &t, "b_gen consistent with matrix");
-            Ok(Arc::new(t))
-        };
-        let (c, report) = execute_numeric(spec, &plan, &a, &b_gen).expect("fault-free run");
-
-        let mut c_ref =
-            BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
-        c_ref.gemm_acc_reference(&a, &b);
-        let c_ref = if let Some(cs) = &spec.c_shape {
-            let mut masked =
-                BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
-            for (&(i, j), t) in c_ref.iter_tiles() {
-                if cs.is_nonzero(i, j) {
-                    masked.insert_tile(i, j, t.clone());
-                }
-            }
-            masked
-        } else {
-            c_ref
-        };
-        assert!(
-            c.max_abs_diff(&c_ref) < 1e-9,
-            "distributed result disagrees with reference"
-        );
-        assert!(report.gemm_tasks > 0);
-    }
-
-    #[test]
-    fn dense_single_node_single_gpu() {
-        let a = MatrixStructure::dense(Tiling::uniform(8, 3), Tiling::uniform(10, 4));
-        let b = MatrixStructure::dense(Tiling::uniform(10, 4), Tiling::uniform(12, 5));
-        let spec = ProblemSpec::new(a, b, None);
-        check(&spec, cfg(1, 1, 1, 1 << 20), 1);
-    }
-
-    #[test]
-    fn dense_grid_2x2_2gpus() {
-        let a = MatrixStructure::dense(Tiling::uniform(12, 3), Tiling::uniform(16, 4));
-        let b = MatrixStructure::dense(Tiling::uniform(16, 4), Tiling::uniform(20, 5));
-        let spec = ProblemSpec::new(a, b, None);
-        check(&spec, cfg(2, 2, 2, 1 << 20), 2);
-    }
-
-    #[test]
-    fn sparse_irregular_many_nodes() {
-        let prob = generate(&SyntheticParams {
-            m: 40,
-            n: 120,
-            k: 100,
-            density: 0.5,
-            tile_min: 5,
-            tile_max: 17,
-            seed: 7,
-        });
-        let spec = ProblemSpec::new(prob.a, prob.b, None);
-        check(&spec, cfg(2, 3, 2, 1 << 20), 3);
-    }
-
-    #[test]
-    fn screened_c_shape() {
-        let prob = generate(&SyntheticParams {
-            m: 30,
-            n: 80,
-            k: 60,
-            density: 0.6,
-            tile_min: 4,
-            tile_max: 12,
-            seed: 9,
-        });
-        let mut cs = prob.c.shape().clone();
-        let mut removed = 0;
-        'outer: for i in 0..cs.rows() {
-            for j in 0..cs.cols() {
-                if cs.is_nonzero(i, j) && (i + j) % 3 == 0 {
-                    cs.zero_out(i, j);
-                    removed += 1;
-                    if removed >= 5 {
-                        break 'outer;
-                    }
-                }
-            }
-        }
-        let spec = ProblemSpec::new(prob.a, prob.b, Some(cs));
-        check(&spec, cfg(1, 2, 2, 1 << 20), 11);
-    }
-
-    #[test]
-    fn tight_memory_forces_many_blocks_and_chunks() {
-        let a = MatrixStructure::dense(Tiling::uniform(16, 4), Tiling::uniform(24, 4));
-        let b = MatrixStructure::dense(Tiling::uniform(24, 4), Tiling::uniform(24, 4));
-        let spec = ProblemSpec::new(a, b, None);
-        // One B column: 24x4 doubles = 768 B; C col: 16x4 = 512 B; total
-        // 1280 ≤ block budget → mem ≥ 2560. Chunk budget 650 = 5 A tiles.
-        let config = cfg(1, 1, 1, 2600);
-        let plan = ExecutionPlan::build(&spec, config).unwrap();
-        let stats = plan.stats(&spec);
-        assert!(stats.num_blocks >= 6, "expected many blocks, got {}", stats.num_blocks);
-        assert!(stats.num_chunks > stats.num_blocks);
-        // A must be re-transferred for every block.
-        assert!(stats.a_h2d_bytes > spec.a.bytes());
-        check(&spec, config, 5);
-    }
-
-    #[test]
-    fn p2_matches_p1() {
-        let prob = generate(&SyntheticParams {
-            m: 24,
-            n: 60,
-            k: 60,
-            density: 0.7,
-            tile_min: 4,
-            tile_max: 10,
-            seed: 13,
-        });
-        let spec = ProblemSpec::new(prob.a, prob.b, None);
-        check(&spec, cfg(1, 4, 1, 1 << 20), 17);
-        check(&spec, cfg(2, 2, 1, 1 << 20), 17);
-        check(&spec, cfg(4, 1, 1, 1 << 20), 17);
-    }
-
-    /// Both control-edge families off, devices sized exactly for the
-    /// disciplined schedule: the scheduler races ahead and the memory
-    /// manager faults — the §4 justification for the control DAG. The OOM
-    /// now surfaces as a typed [`ExecError::DeviceOom`] instead of a panic.
-    #[test]
-    fn removing_control_edges_causes_device_oom() {
-        let a = MatrixStructure::dense(Tiling::uniform(16, 4), Tiling::uniform(24, 4));
-        let b = MatrixStructure::dense(Tiling::uniform(24, 4), Tiling::uniform(24, 4));
-        let spec = ProblemSpec::new(a, b, None);
-        let config = cfg(1, 1, 1, 2600);
-        let plan = ExecutionPlan::build(&spec, config).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 5);
-        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            Ok(Arc::new(pool.random(r, c, tile_seed(5 ^ 0xB, k, j))))
-        };
-        // Sanity: with the control edges the very same plan runs fine
-        // (checked by `tight_memory_forces_many_blocks_and_chunks`).
-        let err = execute_numeric_with(
-            &spec,
-            &plan,
-            &am,
-            &b_gen,
-            ExecOptions::builder()
-                .prefetch_window(false)
-                .block_serialization(false)
-                .build(),
-        )
-        .unwrap_err();
-        assert!(
-            matches!(err, ExecError::DeviceOom { node: 0, gpu: 0, .. }),
-            "expected a typed device OOM, got {err}"
-        );
-    }
-
-    #[test]
-    fn tracing_populates_metrics_and_trace() {
-        let a = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
-        let b = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
-        let spec = ProblemSpec::new(a, b, None);
-        let config = cfg(1, 2, 1, 1 << 20);
-        let plan = ExecutionPlan::build(&spec, config).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen = |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| {
-            Ok(Arc::new(pool.random(r, c, 0)))
-        };
-        let (_c, report) = execute_numeric_with(
-            &spec,
-            &plan,
-            &am,
-            &b_gen,
-            ExecOptions::builder().tracing(true).build(),
-        )
-        .unwrap();
-        let trace = report.trace.as_ref().expect("trace requested");
-        assert!(trace.total_ns > 0);
-        // Every op kind that this dense 1x2 problem exercises shows up.
-        let gemm = report.metrics.iter().find(|m| m.kind == "Gemm").unwrap();
-        assert_eq!(gemm.count, report.gemm_tasks);
-        let genb = report.metrics.iter().find(|m| m.kind == "GenB").unwrap();
-        assert_eq!(genb.count, report.b_tiles_generated);
-        // One record per task, each with a coherent span.
-        assert_eq!(
-            report.metrics.iter().map(|m| m.count).sum::<u64>(),
-            trace.records.len() as u64
-        );
-        for r in &trace.records {
-            assert!(r.span.ready_ns <= r.span.start_ns && r.span.start_ns <= r.span.end_ns);
-        }
-        // Device occupancy was sampled on every device and drains to zero.
-        assert_eq!(trace.mem_samples.len(), report.devices.len());
-        for ((_, _), samples) in &trace.mem_samples {
-            assert!(!samples.is_empty());
-            assert_eq!(samples.last().unwrap().1, 0, "all memory released");
-        }
-        // The exporters produce non-trivial output.
-        let json = trace.chrome_trace_json();
-        assert!(json.contains("\"ph\":\"X\"") && json.contains("\"ph\":\"C\""));
-        let summary = report.text_summary(1 << 20);
-        assert!(summary.contains("Gemm") && summary.contains("n0.g0"), "{summary}");
-    }
-
-    #[test]
-    fn untraced_report_has_no_trace() {
-        let a = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
-        let b = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
-        let spec = ProblemSpec::new(a, b, None);
-        let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen = |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| {
-            Ok(Arc::new(pool.random(r, c, 0)))
-        };
-        let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen).unwrap();
-        assert!(report.trace.is_none());
-        assert!(report.metrics.is_empty());
-        assert!(!report.recovery.any(), "zero-fault run reported recovery");
-    }
-
-    #[test]
-    fn broadcast_tree_forwards_through_non_owners() {
-        // A wide grid row (q = 4): every dense A tile is needed on three
-        // remote nodes, so the binomial tree must route at least one hop
-        // through a non-owner — and the result must stay exact.
-        let a = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
-        let b = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(16, 2));
-        let spec = ProblemSpec::new(a, b, None);
-        let config = cfg(1, 4, 1, 1 << 20);
-        let plan = ExecutionPlan::build(&spec, config).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            Ok(Arc::new(pool.random(r, c, bst_sparse::matrix::tile_seed(2, k, j))))
-        };
-        let (c, report) = execute_numeric(&spec, &plan, &am, &b_gen).unwrap();
-        assert!(
-            report.a_forward_messages > 0,
-            "expected tree forwarding ({} messages total)",
-            report.a_messages
-        );
-        // Total messages = tree edges = number of (node, tile) deliveries.
-        assert_eq!(
-            report.a_messages,
-            plan.stats(&spec).a_network_bytes / (2 * 2 * 8)
-        );
-        let bm = BlockSparseMatrix::from_structure(spec.b.clone(), |k, j, r, cc| {
-            bst_tile::Tile::random(r, cc, bst_sparse::matrix::tile_seed(2, k, j))
-        });
-        let mut c_ref =
-            BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
-        c_ref.gemm_acc_reference(&am, &bm);
-        assert!(c.max_abs_diff(&c_ref) < 1e-9);
-    }
-
-    #[test]
-    fn report_counts_network_and_gemms() {
-        let a = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
-        let b = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
-        let spec = ProblemSpec::new(a, b, None);
-        let config = cfg(1, 2, 1, 1 << 20);
-        let plan = ExecutionPlan::build(&spec, config).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let b_gen = |_k: usize, _j: usize, r: usize, c: usize, pool: &TilePool| {
-            Ok(Arc::new(pool.random(r, c, 0)))
-        };
-        let (_c, report) = execute_numeric(&spec, &plan, &am, &b_gen).unwrap();
-        assert_eq!(report.gemm_tasks, 4 * 4 * 4);
-        let expect_net = plan.stats(&spec).a_network_bytes;
-        assert_eq!(report.a_network_bytes, expect_net);
-        assert_eq!(report.b_tiles_generated, 16);
-        assert_eq!(report.devices.len(), 2);
-    }
-
-    /// All three kernel-selection modes produce the same numbers (within
-    /// fp associativity), the report names the variants that ran, and the
-    /// per-node tile pools actually recycle buffers on a multi-block run.
-    #[test]
-    fn kernel_modes_agree_and_pools_recycle() {
-        let a = MatrixStructure::dense(Tiling::uniform(16, 4), Tiling::uniform(24, 4));
-        let b = MatrixStructure::dense(Tiling::uniform(24, 4), Tiling::uniform(24, 4));
-        let spec = ProblemSpec::new(a, b, None);
-        let config = cfg(1, 1, 1, 2600); // tight: many blocks → pool reuse
-        let plan = ExecutionPlan::build(&spec, config).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 5);
-        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            Ok(Arc::new(pool.random(r, c, tile_seed(5 ^ 0xB, k, j))))
-        };
-
-        let run = |kernel: KernelSelect| {
-            execute_numeric_with(
-                &spec,
-                &plan,
-                &am,
-                &b_gen,
-                ExecOptions::builder().kernel(kernel).build(),
-            )
-            .unwrap()
-        };
-        let (c_base, r_base) = run(KernelSelect::Baseline);
-        let (c_heur, r_heur) = run(KernelSelect::Heuristic);
-        let (c_auto, _r_auto) = run(KernelSelect::Autotune);
-        assert!(c_base.max_abs_diff(&c_heur) < 1e-10);
-        assert!(c_base.max_abs_diff(&c_auto) < 1e-10);
-
-        // Baseline pins every Gemm to the blocked kernel; the dispatcher
-        // reports whatever it actually chose, totalling all Gemm tasks.
-        assert_eq!(r_base.gemm_kernel_counts, vec![("blocked", r_base.gemm_tasks)]);
-        let dispatched: u64 = r_heur.gemm_kernel_counts.iter().map(|&(_, n)| n).sum();
-        assert_eq!(dispatched, r_heur.gemm_tasks);
-        assert!(!r_heur.gemm_kernel_counts.is_empty());
-
-        // The single node's pool saw reuse: later blocks' C zero-fills and
-        // generated B tiles come from recycled buffers.
-        assert_eq!(r_heur.pool_stats.len(), 1);
-        let ps = &r_heur.pool_stats[0];
-        assert!(ps.hits > 0, "no pool reuse on a multi-block run: {ps:?}");
-        assert!(ps.released > 0, "flushed B buffers never returned: {ps:?}");
-    }
-
-    /// `max_concurrent_genb` measures real overlap from the trace: the
-    /// fan-out executor reaches > 1, the serialized one stays at 1.
-    #[test]
-    fn genb_fanout_overlaps_and_legacy_serializes() {
-        let a = MatrixStructure::dense(Tiling::uniform(12, 3), Tiling::uniform(36, 3));
-        let b = MatrixStructure::dense(Tiling::uniform(36, 3), Tiling::uniform(36, 3));
-        let spec = ProblemSpec::new(a, b, None);
-        let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 3);
-        // On a loaded (or single-core) machine two short GenB spans may never
-        // be preempted mid-task, so force a rendezvous: the first generator
-        // call spins until a second call is in flight. With real fan-out the
-        // second worker arrives and both spans overlap; on the serialized
-        // path the spin times out alone and no spans ever overlap.
-        let entered = std::sync::atomic::AtomicUsize::new(0);
-        let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            use std::sync::atomic::Ordering;
-            let t = pool.random(r, c, tile_seed(3 ^ 0xB, k, j));
-            entered.fetch_add(1, Ordering::SeqCst);
-            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
-            while entered.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
-                std::thread::yield_now();
-            }
-            Ok(Arc::new(t))
-        };
-        let run = |genb_workers: usize| {
-            execute_numeric_with(
-                &spec,
-                &plan,
-                &am,
-                &b_gen,
-                ExecOptions::builder()
-                    .tracing(true)
-                    .genb_workers(genb_workers)
-                    .build(),
-            )
-            .unwrap()
-            .1
-        };
-        assert!(max_concurrent_genb(&run(4)) > 1, "4 GenB workers never overlapped");
-        assert_eq!(max_concurrent_genb(&run(0)), 1, "legacy path must serialize");
-    }
-
-    /// The fluent builder produces the same options as `Default` when
-    /// untouched and sets every knob it exposes.
-    #[test]
-    fn builder_matches_default_and_sets_knobs() {
-        let d = ExecOptions::default();
-        let b = ExecOptions::builder().build();
-        assert_eq!(
-            (b.prefetch_window, b.block_serialization, b.tracing, b.genb_workers),
-            (d.prefetch_window, d.block_serialization, d.tracing, d.genb_workers)
-        );
-        assert_eq!(b.kernel, d.kernel);
-        assert!(b.fault_plan.is_none());
-        let fp = FaultPlan::transient(9, 0.05);
-        let o = ExecOptions::builder()
-            .prefetch_window(false)
-            .block_serialization(false)
-            .tracing(true)
-            .kernel(KernelSelect::Baseline)
-            .genb_workers(7)
-            .fault_plan(fp)
-            .retry(RetryPolicy { budget: 9, backoff_base_us: 1, backoff_max_us: 2 })
-            .build();
-        assert!(!o.prefetch_window && !o.block_serialization && o.tracing);
-        assert_eq!(o.kernel, KernelSelect::Baseline);
-        assert_eq!(o.genb_workers, 7);
-        assert_eq!(o.fault_plan, Some(fp));
-        assert_eq!(o.retry.budget, 9);
-    }
-
-    /// A permanent generator failure aborts the run with the typed error;
-    /// a transient one is retried to success and counted in the report.
-    #[test]
-    fn generator_failures_abort_or_recover_by_transience() {
-        let a = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
-        let b = MatrixStructure::dense(Tiling::uniform(8, 2), Tiling::uniform(8, 2));
-        let spec = ProblemSpec::new(a, b, None);
-        let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-
-        let permanent = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            if (k, j) == (1, 2) {
-                Err(GenError::Failed {
-                    k,
-                    j,
-                    reason: "backend gone".into(),
-                    transient: false,
-                })
-            } else {
-                Ok(Arc::new(pool.random(r, c, 0)))
-            }
-        };
-        let err = execute_numeric(&spec, &plan, &am, &permanent).unwrap_err();
-        assert_eq!(
-            err,
-            ExecError::Gen(GenError::Failed {
-                k: 1,
-                j: 2,
-                reason: "backend gone".into(),
-                transient: false,
-            })
-        );
-
-        // Transient: every tile's first generation attempt fails.
-        let tried = Mutex::new(std::collections::HashSet::new());
-        let flaky = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
-            if tried.lock().insert((k, j)) {
-                Err(GenError::Failed {
-                    k,
-                    j,
-                    reason: "timeout".into(),
-                    transient: true,
-                })
-            } else {
-                Ok(Arc::new(pool.random(r, c, bst_sparse::matrix::tile_seed(7, k, j))))
-            }
-        };
-        let (c, report) = execute_numeric(&spec, &plan, &am, &flaky).unwrap();
-        assert_eq!(report.recovery.retried_tasks, report.b_tiles_generated);
-        assert_eq!(report.recovery.max_attempts, 2);
-        let bm = BlockSparseMatrix::from_structure(spec.b.clone(), |k, j, r, cc| {
-            bst_tile::Tile::random(r, cc, bst_sparse::matrix::tile_seed(7, k, j))
-        });
-        let mut c_ref =
-            BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
-        c_ref.gemm_acc_reference(&am, &bm);
-        assert!(c.max_abs_diff(&c_ref) < 1e-9, "recovered result wrong");
-    }
-
-    /// A budget too small for the generator's failure streak surfaces as
-    /// `RetryExhausted` carrying the last cause.
-    #[test]
-    fn retry_budget_exhaustion_reports_exhausted() {
-        let a = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
-        let b = MatrixStructure::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 2));
-        let spec = ProblemSpec::new(a, b, None);
-        let plan = ExecutionPlan::build(&spec, cfg(1, 1, 1, 1 << 20)).unwrap();
-        let am = BlockSparseMatrix::random_from_structure(spec.a.clone(), 1);
-        let always_fail = |k: usize, j: usize, _r: usize, _c: usize, _p: &TilePool| {
-            Err(GenError::Failed {
-                k,
-                j,
-                reason: "hard down".into(),
-                transient: true,
-            })
-        };
-        let err = execute_numeric_with(
-            &spec,
-            &plan,
-            &am,
-            &always_fail,
-            ExecOptions::builder()
-                .retry(RetryPolicy { budget: 2, backoff_base_us: 0, backoff_max_us: 0 })
-                .build(),
-        )
-        .unwrap_err();
-        match err {
-            ExecError::RetryExhausted { detail, attempts, cause } => {
-                assert!(detail.starts_with("GenB("), "{detail}");
-                assert_eq!(attempts, 2);
-                assert!(cause.contains("hard down"), "{cause}");
-            }
-            other => panic!("expected RetryExhausted, got {other}"),
-        }
-    }
+    crate::engine::run(spec, plan, a, b_gen, opts)
 }

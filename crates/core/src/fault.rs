@@ -11,7 +11,7 @@
 //! faults → same retry counts) and what keeps recovered results
 //! reproducible.
 //!
-//! Injection sites (see `core::exec` for where each fires):
+//! Injection sites (see the engine's task handlers for where each fires):
 //!
 //! * [`FaultSite::GenB`] — transient on-demand B-tile generation failures
 //!   (e.g. an integral-screening backend timing out);
@@ -176,6 +176,46 @@ impl FaultPlan {
         self.injects(FaultSite::Stall, key, 1)
             .then(|| Duration::from_micros(self.stall_us))
     }
+
+    /// The stable site-instance key of task `op` on worker `w` — the `key`
+    /// fed to [`FaultPlan::injects`] / [`FaultPlan::stall`]. Keys identify
+    /// the *logical* site (per-node for `GenB`, per-lane for `LoadA`/`Gemm`)
+    /// so every attempt of the same task draws the same schedule, which is
+    /// what makes prefix-failure injection (and therefore recovery)
+    /// deterministic.
+    pub fn site_key(op: &crate::engine::inspector::Op, w: bst_runtime::graph::WorkerId) -> u64 {
+        use crate::engine::inspector::Op;
+        const P: u64 = 0x100_0000_01B3; // FNV-ish odd multiplier
+        let fold = |fields: &[u64]| {
+            fields
+                .iter()
+                .fold(0u64, |acc, &f| acc.wrapping_mul(P) ^ f.wrapping_add(1))
+        };
+        match op {
+            Op::SendA { i, k, to } => fold(&[1, u64::from(*i), u64::from(*k), *to as u64]),
+            Op::GenB { k, j } => fold(&[2, w.node as u64, u64::from(*k), u64::from(*j)]),
+            Op::LoadBlock { node, gpu, block } => {
+                fold(&[3, *node as u64, *gpu as u64, *block as u64])
+            }
+            Op::LoadA { i, k } => {
+                fold(&[4, w.node as u64, w.lane as u64, u64::from(*i), u64::from(*k)])
+            }
+            Op::Gemm { i, k, j } => fold(&[
+                5,
+                w.node as u64,
+                w.lane as u64,
+                u64::from(*i),
+                u64::from(*k),
+                u64::from(*j),
+            ]),
+            Op::EvictChunk {
+                node, gpu, block, chunk,
+            } => fold(&[6, *node as u64, *gpu as u64, *block as u64, *chunk as u64]),
+            Op::FlushBlock { node, gpu, block } => {
+                fold(&[7, *node as u64, *gpu as u64, *block as u64])
+            }
+        }
+    }
 }
 
 /// Per-task retry policy of the executor: attempt budget and exponential
@@ -210,6 +250,17 @@ impl RetryPolicy {
             backoff_base_us: self.backoff_base_us,
             backoff_max_us: self.backoff_max_us,
         }
+    }
+}
+
+// The executor hands this policy straight to `Engine::run`.
+impl bst_runtime::engine::RetryPolicy for RetryPolicy {
+    fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    fn backoff_us(&self, attempt: u32) -> u64 {
+        bst_runtime::engine::RetryPolicy::backoff_us(&self.to_engine(), attempt)
     }
 }
 

@@ -24,14 +24,16 @@
 //!
 //! The [`plan`] module runs all of the above as an *inspector* producing an
 //! [`plan::ExecutionPlan`] — the same inspector/executor split the paper
-//! implements over PaRSEC's PTG — and [`exec`] executes a plan numerically
-//! on the `bst-runtime` dataflow runtime. The performance simulator
-//! (`bst-sim`) replays the same plans against a Summit platform model.
+//! implements over PaRSEC's PTG — and the [`engine`] module tree executes a
+//! plan numerically on the `bst-runtime` dataflow runtime (with [`exec`] as
+//! its signature-stable facade). The performance simulator (`bst-sim`)
+//! replays the same inspector lowering against a Summit platform model.
 
 pub mod api;
 pub mod assign;
 pub mod chunk;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod fault;
@@ -42,9 +44,11 @@ pub mod stationary_c;
 
 pub use config::{DeviceConfig, GridConfig, PlanError, PlannerConfig};
 pub use error::{BstError, ExecError, GenError};
+#[allow(deprecated)]
+pub use exec::max_concurrent_genb;
 pub use exec::{
-    max_concurrent_genb, validate_trace_invariants, ExecOptions, ExecOptionsBuilder, ExecReport,
-    ExecTraceData, KernelSelect, RecoveryStats,
+    validate_trace_invariants, ExecOptions, ExecOptionsBuilder, ExecReport, ExecTraceData,
+    KernelSelect, RecoveryStats,
 };
 pub use fault::{FaultPlan, FaultSite, RetryPolicy};
 pub use plan::{ExecutionPlan, PlanStats};

@@ -9,8 +9,8 @@
 
 use bst_contract::exec::execute_numeric_with;
 use bst_contract::{
-    max_concurrent_genb, validate_trace_invariants, DeviceConfig, ExecOptions, ExecReport,
-    ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec,
+    validate_trace_invariants, DeviceConfig, ExecOptions, ExecReport, ExecutionPlan, GridConfig,
+    PlannerConfig, ProblemSpec,
 };
 use bst_runtime::graph::WorkerId;
 use bst_runtime::TaskRecord;
@@ -257,7 +257,7 @@ fn parallel_genb_keeps_invariants_and_overlaps() {
     }
     // ...and some of it genuinely ran concurrently.
     assert!(
-        max_concurrent_genb(&report) > 1,
+        report.max_concurrent_genb() > 1,
         "GenB spans never overlap despite 3 workers"
     );
 
@@ -269,7 +269,7 @@ fn parallel_genb_keeps_invariants_and_overlaps() {
         ..ExecOptions::default()
     };
     let (c_serial, report_serial) = traced_run_full(&spec, serial);
-    assert_eq!(max_concurrent_genb(&report_serial), 1);
+    assert_eq!(report_serial.max_concurrent_genb(), 1);
     assert!(c.max_abs_diff(&c_serial) < 1e-10);
 }
 
