@@ -1,0 +1,319 @@
+//! Measures the `bst-comm` transport on a traced numeric contraction and
+//! emits a self-validated `results/BENCH_comm.json`.
+//!
+//! Three legs over the same problem and seed:
+//!
+//! * **reference** — default options (FIFO delivery, unshaped link);
+//! * **reorder** — seeded [`DeliveryPolicy::Reorder`] stressor; the result
+//!   must be *byte-identical* to the reference (the reduction's canonical
+//!   accumulation order makes delivery order unobservable);
+//! * **shaped** — [`LinkShaper::summit_nic`] (23 GB/s, 3 µs), the leg the
+//!   transport metrics are read from: per-node bytes/messages moved, the
+//!   effective link rate over the recorded `Sent -> Received` spans, and
+//!   the fraction of in-flight communication time overlapped with `Gemm`
+//!   execution.
+//!
+//! The emitted JSON is re-parsed and checked — conservation (every byte
+//! sent is received), byte-identity across legs, effective rate within the
+//! calibrated NIC peak — and any violation exits non-zero, so CI can gate
+//! on this binary directly.
+//!
+//! Usage:
+//! ```text
+//! repro_comm [--tiny] [--nodes N] [--out FILE]
+//! ```
+
+use bst_bench::{minijson, tiny_numeric_spec, traced_numeric_run};
+use bst_contract::{DeliveryPolicy, ExecOptions, ExecReport, LinkShaper, ProblemSpec};
+use bst_runtime::trace::TracePhase;
+use bst_sparse::generate::{generate, SyntheticParams};
+use std::collections::HashMap;
+
+const USAGE: &str = "usage: repro_comm [--tiny] [--nodes N] [--out FILE]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tiny = false;
+    let mut nodes = 4usize;
+    let mut out_path = "results/BENCH_comm.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--nodes" => {
+                let s = it.next().unwrap_or_else(|| panic!("--nodes needs a count"));
+                nodes = s.parse().unwrap_or_else(|_| panic!("--nodes must be a usize, got {s}"));
+                assert!(nodes >= 1, "--nodes must be >= 1");
+            }
+            "--out" => {
+                out_path = it.next().unwrap_or_else(|| panic!("--out needs a file path")).clone()
+            }
+            other => panic!("unknown argument {other}\n{USAGE}"),
+        }
+    }
+
+    let (spec, gpu_mem): (ProblemSpec, u64) = if tiny {
+        (tiny_numeric_spec(42), 1 << 21)
+    } else {
+        let prob = generate(&SyntheticParams {
+            m: 400,
+            n: 3200,
+            k: 3200,
+            density: 0.5,
+            tile_min: 48,
+            tile_max: 128,
+            seed: 42,
+        });
+        (ProblemSpec::new(prob.a, prob.b, None), 1 << 23)
+    };
+
+    println!(
+        "# transport benchmark — {}x{}x{} on {nodes} nodes x 2 GPUs",
+        spec.a.rows(),
+        spec.b.cols(),
+        spec.a.cols()
+    );
+
+    // Leg 1: the reference run (FIFO, unshaped).
+    let reference = ExecOptions::builder().tracing(true).build();
+    let (c_ref, _) = traced_numeric_run(&spec, nodes, 2, gpu_mem, 42, reference);
+
+    // Leg 2: the delivery-reorder stressor must not change a single bit.
+    let reorder = ExecOptions::builder()
+        .tracing(true)
+        .delivery(DeliveryPolicy::Reorder { seed: 0xC0FFEE, window: 8 })
+        .build();
+    let (c_reorder, _) = traced_numeric_run(&spec, nodes, 2, gpu_mem, 42, reorder);
+    let reorder_diff = c_reorder.max_abs_diff(&c_ref);
+
+    // Leg 3: the shaped link — the metrics leg.
+    let shaped = ExecOptions::builder()
+        .tracing(true)
+        .link_shaper(LinkShaper::summit_nic())
+        .build();
+    let (c_shaped, report) = traced_numeric_run(&spec, nodes, 2, gpu_mem, 42, shaped);
+    let shaped_diff = c_shaped.max_abs_diff(&c_ref);
+
+    let m = transport_metrics(&report);
+    let (sent_bytes, recv_bytes): (u64, u64) = report
+        .comm
+        .iter()
+        .fold((0, 0), |(s, r), n| (s + n.sent_bytes, r + n.recv_bytes));
+    let (sent_msgs, recv_msgs): (u64, u64) = report
+        .comm
+        .iter()
+        .fold((0, 0), |(s, r), n| (s + n.sent_msgs, r + n.recv_msgs));
+
+    println!("# bytes moved: {sent_bytes} over {sent_msgs} messages");
+    println!(
+        "# effective link rate: {:.3} GB/s over {} matched transfers (NIC peak 23.0)",
+        m.effective_gbps, m.matched_transfers
+    );
+    println!(
+        "# comm/Gemm overlap: {:.1}% of {:.3} ms in-flight time",
+        m.overlap_fraction * 100.0,
+        m.comm_busy_s * 1e3
+    );
+    println!("# reorder max |diff| = {reorder_diff:.3e}, shaped max |diff| = {shaped_diff:.3e}");
+
+    let per_node: Vec<String> = report
+        .comm
+        .iter()
+        .enumerate()
+        .map(|(n, s)| {
+            format!(
+                "    {{\"node\": {n}, \"sent_bytes\": {}, \"sent_msgs\": {}, \
+\"recv_bytes\": {}, \"recv_msgs\": {}, \"dropped_msgs\": {}, \"duplicate_msgs\": {}, \
+\"max_in_flight\": {}, \"credit_window\": {}}}",
+                s.sent_bytes,
+                s.sent_msgs,
+                s.recv_bytes,
+                s.recv_msgs,
+                s.dropped_msgs,
+                s.duplicate_msgs,
+                s.max_in_flight,
+                s.credit_window
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"problem\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"tiny\": {tiny}}},\n  \
+\"nodes\": {nodes},\n  \
+\"bytes_moved\": {sent_bytes},\n  \"messages\": {sent_msgs},\n  \
+\"recv_bytes\": {recv_bytes},\n  \"recv_msgs\": {recv_msgs},\n  \
+\"effective_gbps\": {:.4},\n  \"matched_transfers\": {},\n  \
+\"comm_busy_s\": {:.6},\n  \"overlap_fraction\": {:.4},\n  \
+\"reorder_max_diff\": {reorder_diff:.3e},\n  \"shaped_max_diff\": {shaped_diff:.3e},\n  \
+\"per_node\": [\n{}\n  ]\n}}\n",
+        spec.a.rows(),
+        spec.b.cols(),
+        spec.a.cols(),
+        m.effective_gbps,
+        m.matched_transfers,
+        m.comm_busy_s,
+        m.overlap_fraction,
+        per_node.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH JSON");
+
+    // ---- Self-validation --------------------------------------------------
+    let mut errors = Vec::new();
+    if reorder_diff != 0.0 {
+        errors.push(format!(
+            "delivery reorder changed the result by {reorder_diff:.3e} (must be byte-identical)"
+        ));
+    }
+    if shaped_diff != 0.0 {
+        errors.push(format!(
+            "link shaping changed the result by {shaped_diff:.3e} (must be byte-identical)"
+        ));
+    }
+    if sent_bytes != recv_bytes || sent_msgs != recv_msgs {
+        errors.push(format!(
+            "conservation violated: sent {sent_bytes} B / {sent_msgs} msgs vs \
+received {recv_bytes} B / {recv_msgs} msgs"
+        ));
+    }
+    if nodes > 1 && sent_bytes == 0 {
+        errors.push("no bytes crossed the fabric on a multi-node run".into());
+    }
+    if nodes > 1 && !(0.0 < m.effective_gbps && m.effective_gbps <= 23.0 + 1e-9) {
+        errors.push(format!(
+            "effective rate {:.3} GB/s outside (0, 23] — shaping is miscalibrated",
+            m.effective_gbps
+        ));
+    }
+    if !(0.0..=1.0).contains(&m.overlap_fraction) {
+        errors.push(format!("overlap fraction {} outside [0, 1]", m.overlap_fraction));
+    }
+    match minijson::parse(&json) {
+        Ok(doc) => {
+            for key in [
+                "problem",
+                "nodes",
+                "bytes_moved",
+                "messages",
+                "effective_gbps",
+                "overlap_fraction",
+                "per_node",
+            ] {
+                if doc.get(key).is_none() {
+                    errors.push(format!("emitted JSON lacks \"{key}\""));
+                }
+            }
+            let n_rows = doc.get("per_node").and_then(minijson::Value::as_arr).map(|a| a.len());
+            if n_rows != Some(nodes) {
+                errors.push(format!("per_node has {n_rows:?} rows, want {nodes}"));
+            }
+        }
+        Err(e) => errors.push(format!("emitted JSON does not re-parse: {e}")),
+    }
+    if !errors.is_empty() {
+        eprintln!("error: BENCH_comm self-validation failed:");
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("# wrote {out_path}: self-validation OK");
+}
+
+/// Transport metrics read from one traced shaped run.
+struct TransportMetrics {
+    /// Bytes over seconds of the matched `Sent -> Received` spans, in GB/s.
+    effective_gbps: f64,
+    /// Received events with a matching Sent.
+    matched_transfers: usize,
+    /// Union length of the in-flight spans (seconds).
+    comm_busy_s: f64,
+    /// Fraction of `comm_busy_s` during which some `Gemm` was running.
+    overlap_fraction: f64,
+}
+
+fn transport_metrics(report: &ExecReport) -> TransportMetrics {
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    let mut sent_at: HashMap<(String, usize, usize, u32), u64> = HashMap::new();
+    for e in &trace.comm_events {
+        if e.phase == TracePhase::Sent {
+            sent_at.entry((format!("{:?}", e.key), e.src, e.dst, e.epoch)).or_insert(e.t_ns);
+        }
+    }
+    let mut spans: Vec<(u64, u64)> = Vec::new();
+    let (mut bytes, mut dt_ns) = (0u64, 0u64);
+    for e in &trace.comm_events {
+        if e.phase != TracePhase::Received {
+            continue;
+        }
+        if let Some(&s) = sent_at.get(&(format!("{:?}", e.key), e.src, e.dst, e.epoch)) {
+            if e.t_ns > s {
+                spans.push((s, e.t_ns));
+                bytes += e.bytes;
+                dt_ns += e.t_ns - s;
+            }
+        }
+    }
+    let matched_transfers = spans.len();
+    let effective_gbps = if dt_ns > 0 {
+        bytes as f64 / (dt_ns as f64 / 1e9) / 1e9
+    } else {
+        0.0
+    };
+    let comm_union = union_intervals(spans);
+    let gemm_union = union_intervals(
+        trace
+            .records
+            .iter()
+            .filter(|r| r.kind == "Gemm")
+            .map(|r| (r.span.start_ns, r.span.end_ns))
+            .collect(),
+    );
+    let comm_busy: u64 = comm_union.iter().map(|(a, b)| b - a).sum();
+    let overlap = intersection_len(&comm_union, &gemm_union);
+    TransportMetrics {
+        effective_gbps,
+        matched_transfers,
+        comm_busy_s: comm_busy as f64 / 1e9,
+        overlap_fraction: if comm_busy > 0 {
+            overlap as f64 / comm_busy as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Sorts and merges intervals into a disjoint union.
+fn union_intervals(mut spans: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    spans.retain(|(a, b)| b > a);
+    spans.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+    for (a, b) in spans {
+        match out.last_mut() {
+            Some((_, e)) if a <= *e => *e = (*e).max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Total overlap length of two disjoint sorted interval unions.
+fn intersection_len(xs: &[(u64, u64)], ys: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0, 0, 0u64);
+    while i < xs.len() && j < ys.len() {
+        let lo = xs[i].0.max(ys[j].0);
+        let hi = xs[i].1.min(ys[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if xs[i].1 <= ys[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}

@@ -36,8 +36,8 @@ use bst_sim::replay::{simulate_traced, Trace};
 use bst_sim::Platform;
 use bst_sparse::generate::{generate, SyntheticParams};
 
-const USAGE: &str =
-    "usage: repro_trace [v1|v2|v3] | repro_trace --numeric [--tiny] [--out FILE] [--faults SEED]";
+const USAGE: &str = "usage: repro_trace [v1|v2|v3] | repro_trace --numeric \
+[--tiny] [--nodes N] [--out FILE] [--faults SEED]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +52,7 @@ fn main() {
 /// The traced numeric run: execute, summarise, export, self-validate.
 fn numeric_mode(args: &[String]) {
     let mut tiny = false;
+    let mut nodes = 2usize;
     let mut out_path = "results/trace.json".to_string();
     let mut faults: Option<u64> = None;
     let mut it = args.iter();
@@ -59,6 +60,11 @@ fn numeric_mode(args: &[String]) {
         match a.as_str() {
             "--numeric" => {}
             "--tiny" => tiny = true,
+            "--nodes" => {
+                let s = it.next().unwrap_or_else(|| panic!("--nodes needs a count"));
+                nodes = s.parse().unwrap_or_else(|_| panic!("--nodes must be a usize, got {s}"));
+                assert!(nodes >= 1, "--nodes must be >= 1");
+            }
             "--out" => {
                 out_path = it.next().unwrap_or_else(|| panic!("--out needs a file path")).clone()
             }
@@ -88,7 +94,7 @@ fn numeric_mode(args: &[String]) {
     };
 
     if let Some(seed) = faults {
-        faults_mode(&spec, gpu_mem, seed, &out_path);
+        faults_mode(&spec, nodes, gpu_mem, seed, &out_path);
         return;
     }
     // Three legs. The Gemm comparison (baseline vs kernel leg) holds the
@@ -131,10 +137,10 @@ fn numeric_mode(args: &[String]) {
         }
     };
     for _ in 0..3 {
-        let b = traced_numeric_report(&spec, 2, 2, gpu_mem, 42, baseline_opts);
+        let b = traced_numeric_report(&spec, nodes, 2, gpu_mem, 42, baseline_opts);
         fold_best(&mut baseline_best, &b);
         baseline = Some(b);
-        let k = traced_numeric_report(&spec, 2, 2, gpu_mem, 42, kernel_opts);
+        let k = traced_numeric_report(&spec, nodes, 2, gpu_mem, 42, kernel_opts);
         fold_best(&mut kernel_best, &k);
         kernel_leg = Some(k);
     }
@@ -142,10 +148,10 @@ fn numeric_mode(args: &[String]) {
     let gemm_best_ms =
         |best: &std::collections::HashMap<String, u64>| best.values().sum::<u64>() as f64 / 1e6;
     let (baseline_gemm_ms, kernel_gemm_ms) = (gemm_best_ms(&baseline_best), gemm_best_ms(&kernel_best));
-    let report = traced_numeric_report(&spec, 2, 2, gpu_mem, 42, opts);
+    let report = traced_numeric_report(&spec, nodes, 2, gpu_mem, 42, opts);
 
     println!(
-        "# traced numeric contraction — {}x{}x{} on 2 nodes x 2 GPUs ({} MiB each)",
+        "# traced numeric contraction — {}x{}x{} on {nodes} nodes x 2 GPUs ({} MiB each)",
         spec.a.rows(),
         spec.b.cols(),
         spec.a.cols(),
@@ -187,16 +193,16 @@ fn numeric_mode(args: &[String]) {
 /// transient faults on every injection site, and gate on recovery —
 /// matching numbers (1e-10), intact trace invariants, populated recovery
 /// counters. Exits non-zero on any violation so CI can run this directly.
-fn faults_mode(spec: &ProblemSpec, gpu_mem: u64, seed: u64, out_path: &str) {
+fn faults_mode(spec: &ProblemSpec, nodes: usize, gpu_mem: u64, seed: u64, out_path: &str) {
     let clean_opts = ExecOptions::builder().tracing(true).build();
-    let (c_clean, _) = traced_numeric_run(spec, 2, 2, gpu_mem, 42, clean_opts);
+    let (c_clean, _) = traced_numeric_run(spec, nodes, 2, gpu_mem, 42, clean_opts);
 
     let plan = FaultPlan::transient(seed, 0.08);
     let opts = ExecOptions::builder().tracing(true).fault_plan(plan).build();
-    let (c_faulted, report) = traced_numeric_run(spec, 2, 2, gpu_mem, 42, opts);
+    let (c_faulted, report) = traced_numeric_run(spec, nodes, 2, gpu_mem, 42, opts);
 
     println!(
-        "# fault-injection smoke — {}x{}x{} on 2 nodes x 2 GPUs, seed {seed}, 8% transient faults",
+        "# fault-injection smoke — {}x{}x{} on {nodes} nodes x 2 GPUs, seed {seed}, 8% transient faults",
         spec.a.rows(),
         spec.b.cols(),
         spec.a.cols()

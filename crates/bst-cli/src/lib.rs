@@ -381,6 +381,13 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
                 report.gemm_tasks,
                 report.devices.len()
             )?;
+            for (node, s) in report.comm.iter().enumerate() {
+                writeln!(
+                    out,
+                    "node {node}: sent {} B / {} msgs, received {} B / {} msgs",
+                    s.sent_bytes, s.sent_msgs, s.recv_bytes, s.recv_msgs
+                )?;
+            }
             if cli.trace_summary {
                 write!(out, "{}", report.text_summary(plan.config.device.gpu_mem_bytes))?;
             }
@@ -555,5 +562,8 @@ mod tests {
         run(&cli, &mut out).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("verification OK"), "{s}");
+        // Per-node transport totals, one line per node of the 2-node grid.
+        assert!(s.contains("node 0: sent"), "{s}");
+        assert!(s.contains("node 1: sent"), "{s}");
     }
 }

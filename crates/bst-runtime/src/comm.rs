@@ -1,0 +1,659 @@
+//! The inter-node message-passing transport (the "NIC" of the simulated
+//! cluster).
+//!
+//! The paper's machine model is distributed-memory: every MPI rank owns its
+//! tiles, and a tile is usable only after its message has arrived. This
+//! module makes that model real inside one process. A [`CommFabric`] gives
+//! each simulated node
+//!
+//! * a **bounded inbox** (a `crossbeam` bounded channel of frames) that
+//!   is the only way data enters the node,
+//! * a **progress thread** that drains the inbox into the node's private
+//!   [`TileStore`] (and, for C partial sums, into a reduction buffer),
+//! * a **credit gate** ([`CommConfig::window`] credits): a sender must
+//!   acquire a credit on the destination before a frame may leave, and the
+//!   credit returns only after the progress thread has *deposited* the
+//!   frame — so a slow node cannot be flooded past its window, end to end
+//!   (channel + reorder staging included), and
+//! * a pluggable [`LinkShaper`] that charges per-message wall-clock time
+//!   (latency + bytes/bandwidth, calibrated to the 23 GB/s Summit NIC of
+//!   `bst-sim`'s platform model) inside the progress thread, so transfer
+//!   times are visible between the `Sent` and `Received` trace events.
+//!
+//! Message vocabulary: [`TileMsg`] carries one A-tile broadcast hop
+//! (`{key, payload, epoch}` — the epoch is the sending task's attempt
+//! number, which makes duplicate delivery detectable), [`CPart`] carries a
+//! C-block partial sum toward the reduction root, and `Shutdown` is the
+//! completion control frame. Credits are the flow-control frames collapsed
+//! into a semaphore: releasing a credit *is* the credit-return message.
+//!
+//! Delivery is idempotent: the progress thread tracks delivered keys and
+//! drops (and counts) re-deliveries, so a retried send after a fault-
+//! injected drop can never double-deposit. A seeded [`DeliveryPolicy`]
+//! can shuffle delivery order within a window to prove the dataflow DAG —
+//! not arrival order — is what orders the computation.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bst_tile::Tile;
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::data::{DataKey, TileStore};
+use crate::trace::{TraceClock, TracePhase};
+
+/// Default credit window (frames in flight per receiving node).
+pub const DEFAULT_CREDIT_WINDOW: usize = 16;
+
+/// SplitMix64 finalizer (same mixing as the tile seeds / fault plans).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-message link cost model: a message of `b` bytes occupies the
+/// receiving node's ingress for `latency_s + b / bandwidth_bps` seconds of
+/// wall clock. [`LinkShaper::off`] charges nothing (the default for
+/// numeric tests, where only ordering matters).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkShaper {
+    /// Link bandwidth in bytes/second; `<= 0` disables the size term.
+    pub bandwidth_bps: f64,
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkShaper {
+    /// No shaping: messages are delivered as fast as threads move them.
+    pub const fn off() -> Self {
+        Self {
+            bandwidth_bps: 0.0,
+            latency_s: 0.0,
+        }
+    }
+
+    /// A NIC with the given bandwidth (bytes/s) and per-message latency (s).
+    pub const fn nic(bandwidth_bps: f64, latency_s: f64) -> Self {
+        Self {
+            bandwidth_bps,
+            latency_s,
+        }
+    }
+
+    /// The Summit-like NIC of `bst-sim`'s platform model: 23 GB/s,
+    /// 3 µs latency. (`bst_sim::platform::Platform::summit().link_shaper()`
+    /// returns exactly this — a calibration test keeps them in sync.)
+    pub const fn summit_nic() -> Self {
+        Self::nic(23e9, 3e-6)
+    }
+
+    /// Whether this shaper charges any time at all.
+    pub fn is_off(&self) -> bool {
+        self.bandwidth_bps <= 0.0 && self.latency_s <= 0.0
+    }
+
+    /// Modeled transfer time of a `bytes`-byte message, in seconds.
+    pub fn delay_s(&self, bytes: u64) -> f64 {
+        let size_term = if self.bandwidth_bps > 0.0 {
+            bytes as f64 / self.bandwidth_bps
+        } else {
+            0.0
+        };
+        (size_term + self.latency_s).max(0.0)
+    }
+
+    /// Modeled transfer time of a `bytes`-byte message.
+    pub fn delay(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(self.delay_s(bytes))
+    }
+}
+
+/// In what order a progress thread delivers the frames it has staged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// Strict arrival (FIFO) order.
+    #[default]
+    InOrder,
+    /// Seeded pseudo-random shuffling within a staging window of up to
+    /// `window` frames — a determinism stressor: the numeric result must
+    /// not depend on delivery order, only on the dataflow DAG.
+    Reorder {
+        /// Shuffle seed.
+        seed: u64,
+        /// Staging window (≥ 1; 1 degenerates to FIFO).
+        window: usize,
+    },
+}
+
+/// Configuration of a [`CommFabric`].
+#[derive(Clone, Copy, Debug)]
+pub struct CommConfig {
+    /// Credit window per receiving node (frames in flight, ≥ 1).
+    pub window: usize,
+    /// Link cost model (default: [`LinkShaper::off`]).
+    pub shaper: LinkShaper,
+    /// Delivery ordering policy (default: FIFO).
+    pub delivery: DeliveryPolicy,
+    /// When set, every send/delivery records a [`CommEvent`] on this clock.
+    pub clock: Option<TraceClock>,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        Self {
+            window: DEFAULT_CREDIT_WINDOW,
+            shaper: LinkShaper::off(),
+            delivery: DeliveryPolicy::InOrder,
+            clock: None,
+        }
+    }
+}
+
+/// One A-tile broadcast hop: tile `key` moving to a destination node.
+#[derive(Clone, Debug)]
+pub struct TileMsg {
+    /// Identity of the tile.
+    pub key: DataKey,
+    /// The tile payload (moved, never shared across stores: the receiving
+    /// store holds its own reference).
+    pub payload: Arc<Tile>,
+    /// The sending task's attempt number (1-based). A re-sent message after
+    /// a drop carries a higher epoch; duplicate delivery of any epoch is
+    /// suppressed idempotently.
+    pub epoch: u32,
+    /// Sending node.
+    pub src: usize,
+    /// Consumer refcount the destination store registers the tile with.
+    pub consumers: usize,
+}
+
+/// One C-block partial sum travelling to the reduction root.
+#[derive(Clone, Debug)]
+pub struct CPart {
+    /// C block-row.
+    pub i: usize,
+    /// C block-column.
+    pub j: usize,
+    /// Deterministic ordinal of this partial — `(node, gpu, block)` of the
+    /// flush that produced it. Reduction sorts on `(i, j, origin)` so the
+    /// floating-point accumulation order is independent of delivery order.
+    pub origin: (usize, usize, usize),
+    /// The partial-sum tile.
+    pub tile: Tile,
+}
+
+/// What travels on a node's inbox.
+enum Frame {
+    /// An A-tile broadcast hop.
+    Tile(TileMsg),
+    /// A C partial sum for reduction, from node `src`.
+    Reduce {
+        /// The partial.
+        part: CPart,
+        /// Sending node.
+        src: usize,
+    },
+    /// Completion control frame: the progress thread drains and exits.
+    Shutdown,
+}
+
+/// Error of [`CommFabric::send_tile`]: the message was dropped in flight
+/// (fault injection). The sender's tile was *not* consumed; a retry re-reads
+/// and re-sends it with a higher epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageDropped;
+
+/// One recorded transport event (only when [`CommConfig::clock`] is set).
+///
+/// `phase` uses the tracer's vocabulary: [`TracePhase::Sent`] when a frame
+/// leaves the sender, [`TracePhase::Received`] when the progress thread
+/// deposits it, [`TracePhase::Failed`] for an in-flight drop, and
+/// [`TracePhase::Retried`] for a suppressed duplicate delivery.
+#[derive(Clone, Copy, Debug)]
+pub struct CommEvent {
+    /// Transport phase (`Sent` / `Received` / `Failed` / `Retried`).
+    pub phase: TracePhase,
+    /// Identity of the datum moved.
+    pub key: DataKey,
+    /// Sending node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Sending attempt (A tiles; 0 for C partials).
+    pub epoch: u32,
+    /// Nanoseconds on the fabric's [`TraceClock`].
+    pub t_ns: u64,
+}
+
+/// Per-node transport totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCommStats {
+    /// Bytes this node put on the wire (including later-dropped frames).
+    pub sent_bytes: u64,
+    /// Messages this node put on the wire.
+    pub sent_msgs: u64,
+    /// Bytes delivered into this node.
+    pub recv_bytes: u64,
+    /// Messages delivered into this node.
+    pub recv_msgs: u64,
+    /// This node's messages dropped in flight (fault injection).
+    pub dropped_msgs: u64,
+    /// Duplicate deliveries this node suppressed.
+    pub duplicate_msgs: u64,
+    /// High-water mark of frames simultaneously in flight *to* this node.
+    pub max_in_flight: usize,
+    /// The credit window the high-water is bounded by.
+    pub credit_window: usize,
+}
+
+/// Counting semaphore implementing the credit loop: `acquire` blocks the
+/// sender while the receiving node's window is exhausted; the progress
+/// thread `release`s after depositing a frame.
+struct CreditGate {
+    avail: Mutex<usize>,
+    freed: Condvar,
+    window: usize,
+    max_in_flight: AtomicUsize,
+}
+
+impl CreditGate {
+    fn new(window: usize) -> Self {
+        Self {
+            avail: Mutex::new(window),
+            freed: Condvar::new(),
+            window,
+            max_in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut avail = self.avail.lock().unwrap_or_else(|e| e.into_inner());
+        while *avail == 0 {
+            avail = self.freed.wait(avail).unwrap_or_else(|e| e.into_inner());
+        }
+        *avail -= 1;
+        let in_flight = self.window - *avail;
+        self.max_in_flight.fetch_max(in_flight, Ordering::Relaxed);
+    }
+
+    fn release(&self) {
+        let mut avail = self.avail.lock().unwrap_or_else(|e| e.into_inner());
+        *avail += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// One node's side of the fabric.
+struct Endpoint {
+    /// Inbox sender (bounded to the credit window as belt-and-braces; with
+    /// credits honored it never blocks).
+    tx: Sender<Frame>,
+    /// Inbox receiver, taken by the node's progress thread at start.
+    rx: Mutex<Option<Receiver<Frame>>>,
+    credits: CreditGate,
+    /// Keys delivered into this node, ever (dedup + recv notification).
+    delivered: Mutex<HashSet<DataKey>>,
+    arrived: Condvar,
+    /// C partials reduced at this node (only the root accumulates).
+    reduced: Mutex<Vec<CPart>>,
+    sent_bytes: AtomicU64,
+    sent_msgs: AtomicU64,
+    recv_bytes: AtomicU64,
+    recv_msgs: AtomicU64,
+    dropped_msgs: AtomicU64,
+    duplicate_msgs: AtomicU64,
+}
+
+impl Endpoint {
+    fn new(window: usize) -> Self {
+        let (tx, rx) = bounded(window);
+        Self {
+            tx,
+            rx: Mutex::new(Some(rx)),
+            credits: CreditGate::new(window),
+            delivered: Mutex::new(HashSet::new()),
+            arrived: Condvar::new(),
+            reduced: Mutex::new(Vec::new()),
+            sent_bytes: AtomicU64::new(0),
+            sent_msgs: AtomicU64::new(0),
+            recv_bytes: AtomicU64::new(0),
+            recv_msgs: AtomicU64::new(0),
+            dropped_msgs: AtomicU64::new(0),
+            duplicate_msgs: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The transport connecting the simulated nodes (see the module docs).
+pub struct CommFabric {
+    endpoints: Vec<Endpoint>,
+    shaper: LinkShaper,
+    delivery: DeliveryPolicy,
+    clock: Option<TraceClock>,
+    events: Mutex<Vec<CommEvent>>,
+}
+
+impl CommFabric {
+    /// A fabric connecting `n_nodes` nodes under `cfg`.
+    pub fn new(n_nodes: usize, cfg: CommConfig) -> Self {
+        let window = cfg.window.max(1);
+        Self {
+            endpoints: (0..n_nodes).map(|_| Endpoint::new(window)).collect(),
+            shaper: cfg.shaper,
+            delivery: cfg.delivery,
+            clock: cfg.clock,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of connected nodes.
+    pub fn nodes(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn record(&self, phase: TracePhase, key: DataKey, src: usize, dst: usize, bytes: u64, epoch: u32) {
+        if let Some(clock) = self.clock {
+            self.events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(CommEvent {
+                    phase,
+                    key,
+                    src,
+                    dst,
+                    bytes,
+                    epoch,
+                    t_ns: clock.now_ns(),
+                });
+        }
+    }
+
+    /// Spawns one progress thread per node into `scope`, each draining its
+    /// node's inbox into that node's store in `stores`.
+    ///
+    /// # Panics
+    /// Panics if `stores` and the fabric disagree on node count, if a
+    /// store's owner doesn't match its index, or if called twice.
+    pub fn start<'env, 'scope>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        stores: &'env [TileStore],
+    ) {
+        assert_eq!(stores.len(), self.endpoints.len(), "one store per node");
+        for (node, (ep, store)) in self.endpoints.iter().zip(stores).enumerate() {
+            assert_eq!(store.owner(), node, "store {node} owned by {}", store.owner());
+            let rx = ep
+                .rx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("progress thread already started");
+            scope.spawn(move || self.progress_loop(node, rx, store));
+        }
+    }
+
+    /// Sends one A-tile broadcast hop to `dst`, honoring `dst`'s credit
+    /// window (blocks while it is exhausted — the backpressure path).
+    ///
+    /// With `drop_in_flight`, the frame is charged as sent and then dropped
+    /// by the fabric (the fault-injection site): the destination never sees
+    /// it, and [`MessageDropped`] tells the caller to retry — the retry
+    /// re-sends with a higher [`TileMsg::epoch`].
+    pub fn send_tile(
+        &self,
+        dst: usize,
+        msg: TileMsg,
+        drop_in_flight: bool,
+    ) -> Result<(), MessageDropped> {
+        let ep = &self.endpoints[dst];
+        let bytes = msg.payload.bytes();
+        ep.credits.acquire();
+        let src_ep = &self.endpoints[msg.src];
+        src_ep.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
+        src_ep.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        self.record(TracePhase::Sent, msg.key, msg.src, dst, bytes, msg.epoch);
+        if drop_in_flight {
+            src_ep.dropped_msgs.fetch_add(1, Ordering::Relaxed);
+            self.record(TracePhase::Failed, msg.key, msg.src, dst, bytes, msg.epoch);
+            ep.credits.release();
+            return Err(MessageDropped);
+        }
+        ep.tx
+            .send(Frame::Tile(msg))
+            .unwrap_or_else(|_| panic!("node {dst}'s progress thread is gone"));
+        Ok(())
+    }
+
+    /// Sends a C partial sum from `src` to the reduction root `dst`.
+    /// Loopback (`src == dst`) frames still traverse the inbox (one code
+    /// path) but are neither shaped nor counted as network traffic.
+    pub fn reduce(&self, src: usize, dst: usize, part: CPart) {
+        let ep = &self.endpoints[dst];
+        let bytes = part.tile.bytes();
+        ep.credits.acquire();
+        if src != dst {
+            let src_ep = &self.endpoints[src];
+            src_ep.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
+            src_ep.sent_msgs.fetch_add(1, Ordering::Relaxed);
+            let key = DataKey::C(part.i as u32, part.j as u32);
+            self.record(TracePhase::Sent, key, src, dst, bytes, 0);
+        }
+        ep.tx
+            .send(Frame::Reduce { part, src })
+            .unwrap_or_else(|_| panic!("node {dst}'s progress thread is gone"));
+    }
+
+    /// Blocks until `key` has been delivered into `node`'s store (the
+    /// `RecvA` task body). Returns immediately if it already was.
+    pub fn wait_delivered(&self, node: usize, key: DataKey) {
+        let ep = &self.endpoints[node];
+        let mut delivered = ep.delivered.lock().unwrap_or_else(|e| e.into_inner());
+        while !delivered.contains(&key) {
+            delivered = ep
+                .arrived
+                .wait(delivered)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Whether `key` has been delivered into `node` (non-blocking).
+    pub fn is_delivered(&self, node: usize, key: DataKey) -> bool {
+        self.endpoints[node]
+            .delivered
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&key)
+    }
+
+    /// Sends the completion control frame to every node. Each progress
+    /// thread finishes delivering everything already in flight (FIFO
+    /// inboxes guarantee nothing is skipped), then exits. Call after all
+    /// senders are done; the scope passed to [`CommFabric::start`] then
+    /// joins the threads.
+    pub fn shutdown(&self) {
+        for ep in &self.endpoints {
+            // The control frame obeys flow control like any other frame.
+            ep.credits.acquire();
+            let _ = ep.tx.send(Frame::Shutdown);
+        }
+    }
+
+    /// Takes the C partials reduced at `node` (the reduction root).
+    pub fn take_reduced(&self, node: usize) -> Vec<CPart> {
+        std::mem::take(
+            &mut *self.endpoints[node]
+                .reduced
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        )
+    }
+
+    /// Takes the recorded transport events, sorted by time (empty unless
+    /// the fabric was given a clock).
+    pub fn take_events(&self) -> Vec<CommEvent> {
+        let mut events =
+            std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()));
+        events.sort_by_key(|e| (e.t_ns, e.src, e.dst));
+        events
+    }
+
+    /// Per-node transport totals (index = node).
+    pub fn node_stats(&self) -> Vec<NodeCommStats> {
+        self.endpoints
+            .iter()
+            .map(|ep| NodeCommStats {
+                sent_bytes: ep.sent_bytes.load(Ordering::Relaxed),
+                sent_msgs: ep.sent_msgs.load(Ordering::Relaxed),
+                recv_bytes: ep.recv_bytes.load(Ordering::Relaxed),
+                recv_msgs: ep.recv_msgs.load(Ordering::Relaxed),
+                dropped_msgs: ep.dropped_msgs.load(Ordering::Relaxed),
+                duplicate_msgs: ep.duplicate_msgs.load(Ordering::Relaxed),
+                max_in_flight: ep.credits.max_in_flight.load(Ordering::Relaxed),
+                credit_window: ep.credits.window,
+            })
+            .collect()
+    }
+
+    /// The progress loop of `node`: stage (optionally reorder), shape,
+    /// deposit, return credit — until the `Shutdown` frame.
+    fn progress_loop(&self, node: usize, rx: Receiver<Frame>, store: &TileStore) {
+        let window = match self.delivery {
+            DeliveryPolicy::InOrder => 1,
+            DeliveryPolicy::Reorder { window, .. } => window.max(1),
+        };
+        let mut staged: Vec<Frame> = Vec::with_capacity(window);
+        let mut draws: u64 = 0;
+        let mut closing = false;
+        loop {
+            // Stage up to `window` frames without blocking. Staged frames
+            // still hold their credits, so staging never exceeds the window.
+            while staged.len() < window {
+                match rx.try_recv() {
+                    Ok(Frame::Shutdown) => closing = true,
+                    Ok(f) => staged.push(f),
+                    Err(_) => break,
+                }
+            }
+            if staged.is_empty() {
+                if closing {
+                    break;
+                }
+                match rx.recv() {
+                    Ok(Frame::Shutdown) => closing = true,
+                    Ok(f) => staged.push(f),
+                    Err(_) => break, // every sender gone: nothing more can come
+                }
+                continue;
+            }
+            let idx = match self.delivery {
+                DeliveryPolicy::InOrder => 0,
+                DeliveryPolicy::Reorder { seed, .. } => {
+                    draws += 1;
+                    (mix(seed ^ mix(draws)) % staged.len() as u64) as usize
+                }
+            };
+            let frame = staged.remove(idx);
+            self.deliver(node, store, frame);
+        }
+    }
+
+    fn deliver(&self, node: usize, store: &TileStore, frame: Frame) {
+        let ep = &self.endpoints[node];
+        match frame {
+            Frame::Tile(msg) => {
+                let bytes = msg.payload.bytes();
+                if msg.src != node && !self.shaper.is_off() {
+                    std::thread::sleep(self.shaper.delay(bytes));
+                }
+                let mut delivered = ep.delivered.lock().unwrap_or_else(|e| e.into_inner());
+                if delivered.insert(msg.key) {
+                    store.put(msg.key, msg.payload, msg.consumers);
+                    ep.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    ep.recv_msgs.fetch_add(1, Ordering::Relaxed);
+                    self.record(TracePhase::Received, msg.key, msg.src, node, bytes, msg.epoch);
+                } else {
+                    // Idempotent duplicate suppression: the key already
+                    // arrived under an earlier epoch.
+                    ep.duplicate_msgs.fetch_add(1, Ordering::Relaxed);
+                    self.record(TracePhase::Retried, msg.key, msg.src, node, bytes, msg.epoch);
+                }
+                drop(delivered);
+                ep.arrived.notify_all();
+                ep.credits.release();
+            }
+            Frame::Reduce { part, src } => {
+                let bytes = part.tile.bytes();
+                if src != node {
+                    if !self.shaper.is_off() {
+                        std::thread::sleep(self.shaper.delay(bytes));
+                    }
+                    ep.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    ep.recv_msgs.fetch_add(1, Ordering::Relaxed);
+                    let key = DataKey::C(part.i as u32, part.j as u32);
+                    self.record(TracePhase::Received, key, src, node, bytes, 0);
+                }
+                ep.reduced
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(part);
+                ep.credits.release();
+            }
+            Frame::Shutdown => unreachable!("Shutdown is consumed by the progress loop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shaper_delay_model() {
+        let off = LinkShaper::off();
+        assert!(off.is_off());
+        assert_eq!(off.delay_s(1 << 30), 0.0);
+
+        let nic = LinkShaper::nic(1e9, 1e-6);
+        assert!(!nic.is_off());
+        // 1 MB at 1 GB/s = 1 ms, plus 1 µs latency.
+        let d = nic.delay_s(1_000_000);
+        assert!((d - 1.001e-3).abs() < 1e-12, "{d}");
+        assert_eq!(nic.delay(0), Duration::from_secs_f64(1e-6));
+    }
+
+    #[test]
+    fn summit_nic_constants() {
+        let s = LinkShaper::summit_nic();
+        assert_eq!(s.bandwidth_bps, 23e9);
+        assert_eq!(s.latency_s, 3e-6);
+    }
+
+    #[test]
+    fn credit_gate_tracks_high_water() {
+        let g = CreditGate::new(3);
+        g.acquire();
+        g.acquire();
+        assert_eq!(g.max_in_flight.load(Ordering::Relaxed), 2);
+        g.release();
+        g.acquire();
+        // Back to 2 in flight; high-water stays 2.
+        assert_eq!(g.max_in_flight.load(Ordering::Relaxed), 2);
+        g.acquire();
+        assert_eq!(g.max_in_flight.load(Ordering::Relaxed), 3);
+        g.release();
+        g.release();
+        g.release();
+    }
+
+    #[test]
+    fn delivery_policy_default_is_fifo() {
+        assert_eq!(DeliveryPolicy::default(), DeliveryPolicy::InOrder);
+        assert_eq!(CommConfig::default().window, DEFAULT_CREDIT_WINDOW);
+    }
+}

@@ -7,8 +7,12 @@
 //! "cached as long as needed by any task, and discarded after this").
 //!
 //! A tile crossing node boundaries must be `put` into the destination store
-//! by an explicit communication task; nothing in this module shares state
-//! between stores.
+//! by an explicit communication task ([`crate::comm`]); nothing in this
+//! module shares state between stores. Each store is tagged with the node
+//! that owns it ([`TileStore::for_node`]): reads ([`TileStore::get`],
+//! [`TileStore::consume`]) declare the reading node, and a cross-node read
+//! panics in debug builds — the MPI-rank ownership discipline as an
+//! enforced invariant.
 
 use bst_tile::Tile;
 use parking_lot::Mutex;
@@ -39,15 +43,40 @@ struct Inner {
 }
 
 /// A node-private host-memory tile store with consumer reference counting.
-#[derive(Default)]
 pub struct TileStore {
     inner: Mutex<Inner>,
+    /// The node this store is the private memory of.
+    owner: usize,
 }
 
 impl TileStore {
-    /// An empty store.
-    pub fn new() -> Self {
-        Self::default()
+    /// An empty store owned by `node`. This is the only constructor — there
+    /// is deliberately no node-less "global" store: every store belongs to
+    /// exactly one simulated rank, and readers must identify themselves
+    /// (see [`TileStore::get`]).
+    pub fn for_node(node: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            owner: node,
+        }
+    }
+
+    /// The node owning this store.
+    pub fn owner(&self) -> usize {
+        self.owner
+    }
+
+    /// Debug-build ownership gate: reading another node's store is a
+    /// locality bug (on the paper's distributed-memory target it would be a
+    /// wild remote read), so it panics rather than silently working.
+    #[inline]
+    fn check_reader(&self, reader: usize, key: DataKey) {
+        debug_assert!(
+            reader == self.owner,
+            "cross-node access: node {reader} read {key:?} from node {}'s private store",
+            self.owner
+        );
+        let _ = (reader, key);
     }
 
     /// Inserts `tile` under `key`, to be read by `consumers` tasks. With
@@ -71,11 +100,14 @@ impl TileStore {
         assert!(prev.is_none(), "duplicate producer for {key:?}");
     }
 
-    /// Reads the tile under `key` without consuming it.
+    /// Reads the tile under `key` without consuming it. `reader` is the
+    /// node performing the read.
     ///
     /// # Panics
-    /// Panics if absent — the task DAG must guarantee availability.
-    pub fn get(&self, key: DataKey) -> Arc<Tile> {
+    /// Panics if absent — the task DAG must guarantee availability — and,
+    /// in debug builds, if `reader` is not this store's owner.
+    pub fn get(&self, reader: usize, key: DataKey) -> Arc<Tile> {
+        self.check_reader(reader, key);
         self.inner
             .lock()
             .entries
@@ -86,11 +118,14 @@ impl TileStore {
     }
 
     /// Declares one consumer of `key` done; drops the tile after the last.
-    /// Returns `true` if the tile was dropped.
+    /// Returns `true` if the tile was dropped. `reader` is the consuming
+    /// node.
     ///
     /// # Panics
-    /// Panics if absent or already fully consumed.
-    pub fn consume(&self, key: DataKey) -> bool {
+    /// Panics if absent or already fully consumed, and, in debug builds,
+    /// if `reader` is not this store's owner.
+    pub fn consume(&self, reader: usize, key: DataKey) -> bool {
+        self.check_reader(reader, key);
         let mut inner = self.inner.lock();
         let e = inner
             .entries
@@ -149,15 +184,15 @@ mod tests {
 
     #[test]
     fn put_get_consume_lifecycle() {
-        let s = TileStore::new();
+        let s = TileStore::for_node(0);
         let k = DataKey::A(1, 2);
         s.put(k, tile(), 2);
         assert!(s.contains(k));
         assert_eq!(s.current_bytes(), 32);
-        let _t = s.get(k);
-        assert!(!s.consume(k), "first consumer should not drop");
+        let _t = s.get(0, k);
+        assert!(!s.consume(0, k), "first consumer should not drop");
         assert!(s.contains(k));
-        assert!(s.consume(k), "last consumer drops");
+        assert!(s.consume(0, k), "last consumer drops");
         assert!(!s.contains(k));
         assert_eq!(s.current_bytes(), 0);
         assert_eq!(s.peak_bytes(), 32);
@@ -166,7 +201,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate producer")]
     fn double_put_panics() {
-        let s = TileStore::new();
+        let s = TileStore::for_node(0);
         s.put(DataKey::B(0, 0), tile(), 1);
         s.put(DataKey::B(0, 0), tile(), 1);
     }
@@ -174,23 +209,43 @@ mod tests {
     #[test]
     #[should_panic(expected = "not in store")]
     fn get_missing_panics() {
-        TileStore::new().get(DataKey::C(0, 0));
+        TileStore::for_node(0).get(0, DataKey::C(0, 0));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "cross-node access"))]
+    fn misrouted_get_panics_in_debug() {
+        let s = TileStore::for_node(3);
+        s.put(DataKey::A(0, 0), tile(), 1);
+        // Node 1 reading node 3's private store is the locality bug the
+        // ownership gate exists to catch.
+        // Release builds skip the gate (the read succeeds); debug builds
+        // panic — should_panic is applied only under debug_assertions.
+        let _ = s.get(1, DataKey::A(0, 0));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "cross-node access"))]
+    fn misrouted_consume_panics_in_debug() {
+        let s = TileStore::for_node(2);
+        s.put(DataKey::B(1, 1), tile(), 1);
+        s.consume(0, DataKey::B(1, 1));
     }
 
     #[test]
     #[should_panic(expected = "over-consumption")]
     fn over_consume_panics() {
-        let s = TileStore::new();
+        let s = TileStore::for_node(0);
         s.put(DataKey::A(0, 0), tile(), 1);
-        s.consume(DataKey::A(0, 0));
+        s.consume(0, DataKey::A(0, 0));
         // Tile was dropped at refcount 0; consuming again is "absent".
         s.put(DataKey::A(0, 0), tile(), 0);
-        s.consume(DataKey::A(0, 0));
+        s.consume(0, DataKey::A(0, 0));
     }
 
     #[test]
     fn zero_consumers_retained_until_removed() {
-        let s = TileStore::new();
+        let s = TileStore::for_node(0);
         let k = DataKey::C(3, 4);
         s.put(k, tile(), 0);
         assert!(s.contains(k));
@@ -202,10 +257,10 @@ mod tests {
 
     #[test]
     fn peak_tracks_high_water() {
-        let s = TileStore::new();
+        let s = TileStore::for_node(0);
         s.put(DataKey::A(0, 0), tile(), 1);
         s.put(DataKey::A(0, 1), tile(), 1);
-        s.consume(DataKey::A(0, 0));
+        s.consume(0, DataKey::A(0, 0));
         s.put(DataKey::A(0, 2), tile(), 1);
         assert_eq!(s.peak_bytes(), 64);
         assert_eq!(s.current_bytes(), 64);
@@ -213,7 +268,7 @@ mod tests {
 
     #[test]
     fn keys_lists_contents() {
-        let s = TileStore::new();
+        let s = TileStore::for_node(0);
         s.put(DataKey::A(0, 0), tile(), 1);
         s.put(DataKey::B(1, 1), tile(), 1);
         let mut keys = s.keys();

@@ -26,6 +26,11 @@
 //!   its last consumer, reproducing PaRSEC's data life-cycle management;
 //!   nodes never read each other's stores — inter-node edges must go
 //!   through explicit send tasks;
+//! * [`comm`] — the message-passing transport between nodes
+//!   ([`comm::CommFabric`]): bounded per-node inboxes drained by progress
+//!   threads into the node-private stores, credit-based backpressure, and a
+//!   pluggable link-cost shaper, so "a tile is usable only after its
+//!   message arrived" is enforced rather than simulated;
 //! * [`device`] — [`device::DeviceMemory`], a strict accounting of simulated
 //!   GPU memory (loads fail rather than silently exceed capacity) plus a
 //!   node-level residency registry enabling device-to-device transfers when
@@ -39,6 +44,7 @@
 //! zero-fills and on-demand tile generation recycle buffers instead of
 //! hitting the allocator — the PaRSEC arena idea at tile granularity.
 
+pub mod comm;
 pub mod data;
 pub mod device;
 pub mod engine;
@@ -47,6 +53,10 @@ pub mod ptg;
 pub mod trace;
 
 pub use bst_tile::pool::{PoolStats, TilePool};
+pub use comm::{
+    CommConfig, CommEvent, CommFabric, CPart, DeliveryPolicy, LinkShaper, MessageDropped,
+    NodeCommStats, TileMsg,
+};
 pub use data::{DataKey, TileStore};
 pub use device::{DeviceMemory, NodeResidency};
 pub use engine::{Clock, Engine, NoTracer, Recorder, Tracer};

@@ -69,6 +69,13 @@ pub enum TracePhase {
     /// After backoff, the failed task was re-enqueued onto its worker's
     /// FIFO for another attempt.
     Retried,
+    /// Transport phase (not a task life-cycle event): a message left its
+    /// sending node. Recorded by [`crate::comm::CommFabric`] as
+    /// [`crate::comm::CommEvent`]s, never in task event buffers.
+    Sent,
+    /// Transport phase: a message was deposited into its destination node's
+    /// store by the progress thread. See [`TracePhase::Sent`].
+    Received,
 }
 
 /// One recorded event: task `task` entered `phase` at `t_ns`.
@@ -257,7 +264,10 @@ impl ExecTrace {
                 TracePhase::Ready => s.ready_ns = e.t_ns,
                 TracePhase::Running => s.start_ns = e.t_ns,
                 TracePhase::Done => s.end_ns = e.t_ns,
-                TracePhase::Failed | TracePhase::Retried => {}
+                TracePhase::Failed
+                | TracePhase::Retried
+                | TracePhase::Sent
+                | TracePhase::Received => {}
             }
         }
         spans
@@ -300,7 +310,7 @@ impl ExecTrace {
             }
         }
 
-        let mut counts: HashMap<TaskId, [usize; 5]> = HashMap::new();
+        let mut counts: HashMap<TaskId, [usize; 7]> = HashMap::new();
         let mut ran_on: HashMap<TaskId, WorkerId> = HashMap::new();
         for (wid, e) in self.iter_events() {
             let c = counts.entry(e.task).or_default();
@@ -551,7 +561,63 @@ pub fn chrome_trace_json(
     records: &[TaskRecord],
     mem_samples: &[((usize, usize), Vec<MemSample>)],
 ) -> String {
+    chrome_trace_json_full(records, mem_samples, &[])
+}
+
+/// The `tid` of a node's NIC track in the Chrome export — far above any
+/// real lane so the transport renders as its own row under each node.
+pub const NIC_TID: usize = 999;
+
+/// Like [`chrome_trace_json`], but also renders the transport's
+/// [`CommEvent`](crate::comm::CommEvent) stream: each delivered message
+/// becomes a slice on the destination node's `nic` track spanning `Sent →
+/// Received` (so transfer/wait time is visible next to the compute lanes),
+/// with byte counts and epoch in the detail pane; in-flight drops and
+/// suppressed duplicates render as zero-width marker slices.
+pub fn chrome_trace_json_full(
+    records: &[TaskRecord],
+    mem_samples: &[((usize, usize), Vec<MemSample>)],
+    comm_events: &[crate::comm::CommEvent],
+) -> String {
     let mut b = ChromeTraceBuilder::new();
+    let mut nic_named: std::collections::HashSet<usize> = Default::default();
+    // Match each non-Sent event to its Sent time by (key, src, dst, epoch).
+    let mut sent_at: HashMap<(String, usize, usize, u32), u64> = HashMap::new();
+    for e in comm_events {
+        if e.phase == TracePhase::Sent {
+            sent_at.insert((format!("{:?}", e.key), e.src, e.dst, e.epoch), e.t_ns);
+        }
+    }
+    for e in comm_events {
+        let (name_prefix, cat) = match e.phase {
+            TracePhase::Sent => continue, // rendered as the slice start
+            TracePhase::Received => ("recv", "Comm"),
+            TracePhase::Failed => ("drop", "CommDrop"),
+            TracePhase::Retried => ("dup", "CommDup"),
+            _ => continue,
+        };
+        if nic_named.insert(e.dst) {
+            b.name_event("thread_name", e.dst, NIC_TID, "nic");
+        }
+        let key_s = format!("{:?}", e.key);
+        let start_ns = sent_at
+            .get(&(key_s.clone(), e.src, e.dst, e.epoch))
+            .copied()
+            .unwrap_or(e.t_ns);
+        b.complete_event(
+            &format!("{name_prefix} {key_s} {}->{}", e.src, e.dst),
+            cat,
+            e.dst,
+            NIC_TID,
+            start_ns.min(e.t_ns) as f64 / 1e3,
+            e.t_ns.saturating_sub(start_ns) as f64 / 1e3,
+            &[
+                ("bytes", e.bytes.to_string()),
+                ("epoch", e.epoch.to_string()),
+                ("src", e.src.to_string()),
+            ],
+        );
+    }
     let mut seen_threads: std::collections::HashSet<(usize, usize)> = Default::default();
     for r in records {
         if seen_threads.insert((r.worker.node, r.worker.lane)) {

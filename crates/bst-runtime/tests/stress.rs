@@ -16,7 +16,7 @@ fn w(node: usize, lane: usize) -> WorkerId {
 fn tile_store_concurrent_producers_and_consumers() {
     // 8 threads produce disjoint keys with 3 consumers each; 3 x 8 threads
     // consume them. The store must end empty with correct peak accounting.
-    let store = Arc::new(TileStore::new());
+    let store = Arc::new(TileStore::for_node(0));
     let n_keys = 400usize;
     std::thread::scope(|scope| {
         for t in 0..8 {
@@ -38,8 +38,8 @@ fn tile_store_concurrent_producers_and_consumers() {
                 scope.spawn(move || {
                     for i in (t..n_keys).step_by(8) {
                         let key = DataKey::A(i as u32, 0);
-                        let _tile = store.get(key);
-                        store.consume(key);
+                        let _tile = store.get(0, key);
+                        store.consume(0, key);
                         consumed.fetch_add(1, Ordering::Relaxed);
                     }
                 });

@@ -19,10 +19,11 @@ use std::sync::Arc;
 
 use bst_contract::engine::inspector::{self, Op};
 use bst_contract::{ExecOptions, ExecReport, ExecTraceData, ExecutionPlan, ProblemSpec};
+use bst_runtime::comm::{CommEvent, NodeCommStats};
 use bst_runtime::data::DataKey;
 use bst_runtime::device::{DeviceMemory, NodeResidency};
 use bst_runtime::graph::WorkerId;
-use bst_runtime::trace::{aggregate_by_kind, MemSample, TaskRecord, TaskSpan};
+use bst_runtime::trace::{aggregate_by_kind, MemSample, TaskRecord, TaskSpan, TracePhase};
 
 use crate::platform::Platform;
 
@@ -69,6 +70,8 @@ pub fn replay_dag(
     let mut lane_free: HashMap<WorkerId, u64> = HashMap::new();
     let mut records = Vec::with_capacity(n);
     let (mut a_net, mut a_msgs, mut a_fwd, mut gemms, mut bgens) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut comm_events: Vec<CommEvent> = Vec::new();
+    let mut comm_stats = vec![NodeCommStats::default(); n_nodes];
 
     for id in 0..n {
         let op = low.graph.payload(id);
@@ -78,16 +81,22 @@ pub fn replay_dag(
 
         let mut sample_after: Option<(usize, usize)> = None;
         let dur = match op {
-            Op::SendA { i, k, to } => {
+            Op::SendA { i, k, to: _ } => {
                 let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
                 a_net += bytes;
                 a_msgs += 1;
                 if w.node != inspector::owner_of(p, q, *i as usize, *k as usize) {
                     a_fwd += 1;
                 }
-                let _ = to;
-                ns(bytes as f64 / platform.nic_bw + platform.nic_msg_overhead_s)
-                    + ns(platform.nic_latency_s)
+                // The sender is busy only for the per-message software
+                // overhead; the wire time is charged to the RecvA task.
+                ns(platform.nic_msg_overhead_s)
+            }
+            Op::RecvA { i, k, from: _ } => {
+                // The shaped transfer: latency plus bytes over the NIC —
+                // the same model bst_runtime::comm::LinkShaper applies.
+                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                ns(platform.link_shaper().delay_s(bytes))
             }
             Op::GenB { k, j } => {
                 bgens += 1;
@@ -165,6 +174,37 @@ pub fn replay_dag(
         let end_ns = start_ns + dur;
         end[id] = end_ns;
         lane_free.insert(w, end_ns);
+        match op {
+            Op::SendA { i, k, to } => {
+                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                comm_stats[w.node].sent_bytes += bytes;
+                comm_stats[w.node].sent_msgs += 1;
+                comm_events.push(CommEvent {
+                    phase: TracePhase::Sent,
+                    key: DataKey::A(*i, *k),
+                    src: w.node,
+                    dst: *to,
+                    bytes,
+                    epoch: 1,
+                    t_ns: end_ns,
+                });
+            }
+            Op::RecvA { i, k, from } => {
+                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                comm_stats[w.node].recv_bytes += bytes;
+                comm_stats[w.node].recv_msgs += 1;
+                comm_events.push(CommEvent {
+                    phase: TracePhase::Received,
+                    key: DataKey::A(*i, *k),
+                    src: *from,
+                    dst: w.node,
+                    bytes,
+                    epoch: 1,
+                    t_ns: end_ns,
+                });
+            }
+            _ => {}
+        }
         if let Some(key) = sample_after {
             mem_samples
                 .entry(key)
@@ -198,9 +238,11 @@ pub fn replay_dag(
         gemm_tasks: gemms,
         b_tiles_generated: bgens,
         metrics,
+        comm: comm_stats,
         trace: Some(ExecTraceData {
             records,
             mem_samples: samples,
+            comm_events,
             total_ns,
         }),
         ..ExecReport::default()

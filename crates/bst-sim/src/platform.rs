@@ -155,6 +155,15 @@ impl Platform {
     pub fn gemm_rate(&self, m: u64, n: u64, k: u64) -> f64 {
         2.0 * m as f64 * n as f64 * k as f64 / self.gemm_kernel_time(m, n, k)
     }
+
+    /// The transport cost model of this platform's NIC, in the shape the
+    /// real message-passing layer consumes: calibrating
+    /// [`bst_runtime::comm::CommConfig::shaper`] with this makes shaped
+    /// numeric runs and [`crate::dag::replay_dag`] charge the same per-tile
+    /// wire time.
+    pub fn link_shaper(&self) -> bst_runtime::comm::LinkShaper {
+        bst_runtime::comm::LinkShaper::nic(self.nic_bw, self.nic_latency_s)
+    }
 }
 
 #[cfg(test)]
@@ -238,5 +247,17 @@ mod tests {
     #[should_panic]
     fn summit_gpus_rejects_ragged() {
         Platform::summit_gpus(10);
+    }
+
+    #[test]
+    fn summit_link_shaper_matches_comm_calibration() {
+        // The transport's Summit preset and the platform model must agree —
+        // both describe the same dual-rail EDR NIC.
+        let shaper = Platform::summit(1).link_shaper();
+        let preset = bst_runtime::comm::LinkShaper::summit_nic();
+        assert_eq!(shaper.bandwidth_bps, preset.bandwidth_bps);
+        assert_eq!(shaper.latency_s, preset.latency_s);
+        let mib = 1 << 20;
+        assert!((shaper.delay_s(mib) - preset.delay_s(mib)).abs() < 1e-12);
     }
 }

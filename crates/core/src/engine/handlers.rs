@@ -1,21 +1,32 @@
 //! Task-body handlers: what each [`Op`] does when its turn comes.
 //!
 //! [`HandlerEnv`] bundles the shared, read-mostly state of one execution —
-//! problem, plan, stores, pools, kernel table, fault plan, counters — and
-//! exposes the single fallible entry point [`HandlerEnv::handle`] that the
-//! engine drives for every task. Fault injection happens **at handler
-//! entry**, before any side effect, so a retried attempt re-runs from a
-//! clean slate and recovery is idempotent by construction.
+//! problem, plan, stores, comm fabric, pools, kernel table, fault plan,
+//! counters — and exposes the single fallible entry point
+//! [`HandlerEnv::handle`] that the engine drives for every task. Fault
+//! injection happens **at handler entry**, before any side effect, so a
+//! retried attempt re-runs from a clean slate and recovery is idempotent by
+//! construction — except the `Send` site, which fires inside the
+//! transport's send path (a dropped frame is a real network side effect);
+//! the receiver's idempotent duplicate suppression keeps the retry safe.
+//!
+//! Ownership discipline: every handler reads tiles only from **its own
+//! node's** store (`stores[w.node]`, with the reader declared — a
+//! cross-node read panics in debug builds). Data crosses nodes exclusively
+//! through [`CommFabric`]: `SendA` puts a tile on the wire, `RecvA` blocks
+//! until the destination's progress thread deposited it, and `FlushBlock`
+//! ships C partial sums to the reduction root instead of touching shared
+//! memory.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use bst_runtime::comm::{CPart, CommFabric, TileMsg};
 use bst_runtime::data::DataKey;
 use bst_runtime::device::DeviceStats;
 use bst_runtime::graph::{TaskError, WorkerId};
 use bst_runtime::TileStore;
 use bst_tile::kernel::{KernelKind, KernelTable};
 use bst_tile::pool::TilePool;
-use bst_tile::Tile;
 use parking_lot::Mutex;
 
 use super::inspector::{block_b_tiles, block_c_tiles, owner_of, Lowered, Op};
@@ -48,6 +59,7 @@ pub(crate) struct HandlerEnv<'a> {
     pub low: &'a Lowered,
     pub b_gen: BGen<'a>,
     pub stores: &'a [TileStore],
+    pub fabric: &'a CommFabric,
     pub pools: &'a [TilePool],
     pub ktable: Option<KernelTable>,
     pub kernel_counts: Vec<AtomicU64>,
@@ -55,8 +67,6 @@ pub(crate) struct HandlerEnv<'a> {
     /// `(p, q)` of the process grid (for `A` ownership).
     pub grid: (usize, usize),
     pub counters: Counters,
-    /// Flushed C tiles, accumulated into the result after the run.
-    pub collector: Mutex<Vec<((usize, usize), Tile)>>,
     /// Per-(node, gpu) device statistics, pushed at each device's last flush.
     pub dev_stats: Mutex<Vec<((usize, usize), DeviceStats)>>,
     /// Per-(node, gpu) occupancy samples (traced runs only).
@@ -92,14 +102,8 @@ impl HandlerEnv<'_> {
                         attempt,
                     })));
                 }
-                Op::SendA { .. } if fp.injects(FaultSite::Send, key, attempt) => {
-                    self.counters.injected_send.fetch_add(1, Ordering::Relaxed);
-                    return Err(TaskError::Transient(ExecError::Injected {
-                        site: FaultSite::Send,
-                        detail: op.detail(),
-                        attempt,
-                    }));
-                }
+                // Op::SendA's Send site is injected inside the send path
+                // below — the drop happens on the wire, not at entry.
                 Op::LoadBlock { .. } | Op::LoadA { .. }
                     if fp.injects(FaultSite::Alloc, key, attempt) =>
                 {
@@ -125,18 +129,50 @@ impl HandlerEnv<'_> {
         match (op, ctx) {
             (Op::SendA { i, k, to }, Ctx::Cpu) => {
                 let key = DataKey::A(*i, *k);
-                let tile = self.stores[w.node].get(key);
-                c.a_net.fetch_add(tile.bytes(), Ordering::Relaxed);
-                c.a_msgs.fetch_add(1, Ordering::Relaxed);
-                let (p, q) = self.grid;
-                if w.node != owner_of(p, q, *i as usize, *k as usize) {
-                    c.a_fwd_msgs.fetch_add(1, Ordering::Relaxed);
-                }
+                let tile = self.stores[w.node].get(w.node, key);
+                let bytes = tile.bytes();
                 // The destination consumes the tile once per local device
                 // load plus once per tree hop it forwards.
                 let consumers = self.low.a_consumers(*to, (*i, *k));
-                self.stores[*to].put(key, tile, consumers);
-                self.stores[w.node].consume(key);
+                let drop_in_flight = self.fault.as_ref().is_some_and(|fp| {
+                    fp.injects(FaultSite::Send, FaultPlan::site_key(op, w), attempt)
+                });
+                let msg = TileMsg {
+                    key,
+                    payload: tile,
+                    epoch: attempt,
+                    src: w.node,
+                    consumers,
+                };
+                match self.fabric.send_tile(*to, msg, drop_in_flight) {
+                    Ok(()) => {
+                        c.a_net.fetch_add(bytes, Ordering::Relaxed);
+                        c.a_msgs.fetch_add(1, Ordering::Relaxed);
+                        let (p, q) = self.grid;
+                        if w.node != owner_of(p, q, *i as usize, *k as usize) {
+                            c.a_fwd_msgs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Only a *delivered* send consumes the local copy:
+                        // a dropped message leaves it for the retry.
+                        self.stores[w.node].consume(w.node, key);
+                        Ok(())
+                    }
+                    Err(_dropped) => {
+                        self.counters.injected_send.fetch_add(1, Ordering::Relaxed);
+                        Err(TaskError::Transient(ExecError::Injected {
+                            site: FaultSite::Send,
+                            detail: op.detail(),
+                            attempt,
+                        }))
+                    }
+                }
+            }
+            (Op::RecvA { i, k, from: _ }, Ctx::Cpu) => {
+                // The receive completes when this node's progress thread has
+                // deposited the tile — "a tile is usable only after its
+                // message arrived". Safe to block: the paired SendA task
+                // finished only after the frame entered our inbox.
+                self.fabric.wait_delivered(w.node, DataKey::A(*i, *k));
                 Ok(())
             }
             (Op::GenB { k, j }, Ctx::Cpu) => {
@@ -167,9 +203,9 @@ impl HandlerEnv<'_> {
                 let row = plan.nodes[*node].grid_row;
                 for (k, j) in block_b_tiles(spec, &bp.block) {
                     let key = DataKey::B(k as u32, j as u32);
-                    let tile = self.stores[*node].get(key);
+                    let tile = self.stores[w.node].get(w.node, key);
                     mm.load_b((k as u32, j as u32), tile).map_err(|e| oom(&e))?;
-                    self.stores[*node].consume(key);
+                    self.stores[w.node].consume(w.node, key);
                 }
                 for (i, j) in block_c_tiles(spec, &bp.block, row, self.grid.0) {
                     let rows = spec.a.row_tiling().size(i) as usize;
@@ -185,9 +221,9 @@ impl HandlerEnv<'_> {
             }
             (Op::LoadA { i, k }, Ctx::Gpu(mm)) => {
                 let key = DataKey::A(*i, *k);
-                let tile = self.stores[w.node].get(key);
+                let tile = self.stores[w.node].get(w.node, key);
                 mm.load_a((*i, *k), tile).map_err(|e| oom(&e))?;
-                self.stores[w.node].consume(key);
+                self.stores[w.node].consume(w.node, key);
                 mm.sample_mem();
                 Ok(())
             }
@@ -221,7 +257,6 @@ impl HandlerEnv<'_> {
             (Op::FlushBlock { node, gpu, block }, Ctx::Gpu(mm)) => {
                 let bp = &plan.nodes[*node].gpus[*gpu].blocks[*block];
                 let row = plan.nodes[*node].grid_row;
-                let mut out = Vec::new();
                 for (k, j) in block_b_tiles(spec, &bp.block) {
                     if let Some(arc) = mm.evict_b((k as u32, j as u32)) {
                         // This lane held the last reference (the store
@@ -232,9 +267,21 @@ impl HandlerEnv<'_> {
                     }
                 }
                 for (i, j) in block_c_tiles(spec, &bp.block, row, self.grid.0) {
-                    out.push(((i, j), mm.evict_c((i as u32, j as u32))));
+                    // Ship the C partial sum to the reduction root over the
+                    // fabric (loopback when this *is* the root). The origin
+                    // ordinal makes the root's accumulation order
+                    // canonical, independent of delivery order.
+                    self.fabric.reduce(
+                        w.node,
+                        super::REDUCE_ROOT,
+                        CPart {
+                            i,
+                            j,
+                            origin: (*node, *gpu, *block),
+                            tile: mm.evict_c((i as u32, j as u32)),
+                        },
+                    );
                 }
-                self.collector.lock().extend(out);
                 mm.sample_mem();
                 if *block + 1 == plan.nodes[*node].gpus[*gpu].blocks.len() {
                     self.dev_stats.lock().push(((*node, *gpu), mm.stats()));

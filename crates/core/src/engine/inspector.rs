@@ -10,8 +10,13 @@
 //! The DAG has two families of edges:
 //!
 //! * **dataflow** — `GenB → LoadBlock` (a block transfer needs its B tiles
-//!   generated), `SendA → LoadA` (a device transfer needs the tile to have
-//!   arrived over the network), `LoadA/LoadBlock → Gemm`,
+//!   generated), `SendA → RecvA → LoadA` (each broadcast hop is a real
+//!   send/receive pair over [`bst_runtime::comm`]: the send puts the
+//!   message on the wire, the receive completes when the destination's
+//!   progress thread has deposited it, and only then may a device transfer
+//!   read the tile), `LoadA/LoadBlock → Gemm`, `Gemm(i,·,j) → Gemm(i,·,j)`
+//!   (successive accumulations into one C tile are chained, fixing the
+//!   floating-point order so delivery timing is numerically unobservable),
 //!   `Gemm/LoadA → EvictChunk`, `EvictChunk/LoadBlock → FlushBlock`;
 //! * **control flow** — `FlushBlock(b) → LoadBlock(b+1)` (§3.2.2 blocking
 //!   block transfers) and `EvictChunk(n−1−depth) → LoadA(chunk n)` (§3.2.3
@@ -40,6 +45,16 @@ pub enum Op {
         k: u32,
         /// Destination node.
         to: usize,
+    },
+    /// Receive `A(i,k)` on this task's node: complete when the message from
+    /// `from` has been deposited into the node-private store.
+    RecvA {
+        /// A-tile row.
+        i: u32,
+        /// A-tile column.
+        k: u32,
+        /// Sending node.
+        from: usize,
     },
     /// Generate `B(k,j)` on this node's CPU.
     GenB {
@@ -100,6 +115,7 @@ impl Op {
     pub fn kind(&self) -> &'static str {
         match self {
             Op::SendA { .. } => "SendA",
+            Op::RecvA { .. } => "RecvA",
             Op::GenB { .. } => "GenB",
             Op::LoadBlock { .. } => "LoadBlock",
             Op::LoadA { .. } => "LoadA",
@@ -111,10 +127,12 @@ impl Op {
 
     /// Compact instance label. Stable format — the trace-invariant tests
     /// parse these (`Gemm(i,k,j)`, `LoadA(i,k)`, `LoadBlock(b)`,
-    /// `EvictChunk(b,c)`, `FlushBlock(b)`, `SendA(i,k->n)`, `GenB(k,j)`).
+    /// `EvictChunk(b,c)`, `FlushBlock(b)`, `SendA(i,k->n)`,
+    /// `RecvA(i,k<-n)`, `GenB(k,j)`).
     pub fn detail(&self) -> String {
         match self {
             Op::SendA { i, k, to } => format!("SendA({i},{k}->{to})"),
+            Op::RecvA { i, k, from } => format!("RecvA({i},{k}<-{from})"),
             Op::GenB { k, j } => format!("GenB({k},{j})"),
             Op::LoadBlock { block, .. } => format!("LoadBlock({block})"),
             Op::LoadA { i, k } => format!("LoadA({i},{k})"),
@@ -305,12 +323,15 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
         }
     }
 
-    // SendA tasks (the background broadcast of A across grid rows),
-    // following the binomial trees: each hop forwards from the node that
-    // just received the tile.
-    let mut senda_ids: HashMap<(usize, (u32, u32)), TaskId> = HashMap::new();
+    // SendA/RecvA pairs (the background broadcast of A across grid rows),
+    // following the binomial trees: each hop is a real message — the send
+    // runs on the forwarding node's CPU lane and puts the tile on the wire,
+    // the receive runs on the destination's CPU lane and completes when the
+    // destination's progress thread deposited it. Each hop forwards from
+    // the node that just *received* the tile.
+    let mut recva_ids: HashMap<(usize, (u32, u32)), TaskId> = HashMap::new();
     for &(owner, t) in sends.keys() {
-        // BFS over the tree so a hop's delivering task exists before the
+        // BFS over the tree so a hop's delivering recv exists before the
         // hops that forward from its destination.
         let mut frontier = vec![owner];
         while let Some(from) = frontier.pop() {
@@ -318,11 +339,15 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
                 continue;
             };
             for &to in children {
-                let id = graph.add_task(Op::SendA { i: t.0, k: t.1, to }, cpu_lane(from));
+                let send = graph.add_task(Op::SendA { i: t.0, k: t.1, to }, cpu_lane(from));
                 if from != owner {
-                    graph.add_dep(id, senda_ids[&(from, t)]);
+                    // A forwarding hop may read the tile only after its own
+                    // node received it.
+                    graph.add_dep(send, recva_ids[&(from, t)]);
                 }
-                senda_ids.insert((to, t), id);
+                let recv = graph.add_task(Op::RecvA { i: t.0, k: t.1, from }, cpu_lane(to));
+                graph.add_dep(recv, send);
+                recva_ids.insert((to, t), recv);
                 frontier.push(to);
             }
         }
@@ -333,6 +358,11 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
         for (gi, gpu) in node.gpus.iter().enumerate() {
             let lane = gpu_lane(ni, gi);
             let mut prev_flush: Option<TaskId> = None;
+            // Last Gemm into each C tile: chaining them fixes the
+            // floating-point accumulation order per tile, so the numeric
+            // result is bit-identical however message delivery (and thus
+            // ready order) interleaves.
+            let mut last_gemm_on_c: HashMap<(u32, u32), TaskId> = HashMap::new();
             // Evict ids of the GPU-global chunk sequence (across blocks):
             // chunk n's loads wait on chunk n−2's evict — one chunk active,
             // one prefetching.
@@ -369,8 +399,8 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
                         if let (Some(wd), true) = (window_dep, opts.prefetch_window) {
                             graph.add_dep(id, wd); // control: prefetch window
                         }
-                        if let Some(&send) = senda_ids.get(&(ni, t)) {
-                            graph.add_dep(id, send); // dataflow: network arrival
+                        if let Some(&recv) = recva_ids.get(&(ni, t)) {
+                            graph.add_dep(id, recv); // dataflow: network arrival
                         }
                         load_ids.insert(t, id);
                     }
@@ -386,6 +416,10 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
                         );
                         graph.add_dep(id, load_ids[&(t.i, t.k)]);
                         graph.add_dep(id, load_block);
+                        if let Some(&prev) = last_gemm_on_c.get(&(t.i, t.j)) {
+                            graph.add_dep(id, prev); // determinism: C accumulation order
+                        }
+                        last_gemm_on_c.insert((t.i, t.j), id);
                         gemm_ids.push(id);
                     });
                     let evict = graph.add_task(

@@ -32,6 +32,7 @@ mod memory;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bst_runtime::comm::{CommConfig, CommFabric};
 use bst_runtime::device::NodeResidency;
 use bst_runtime::engine::Engine;
 use bst_runtime::graph::{FallibleRun, RunAbort, WorkerId};
@@ -53,6 +54,10 @@ use inspector::{owner_of, Op};
 use memory::{Ctx, MemoryManager};
 use policies::{ExecOptions, KernelSelect};
 use report::{DeviceMemLog, ExecReport, ExecTraceData, RecoveryStats};
+
+/// The node that accumulates C partial sums (flush handlers ship their
+/// partials here over the fabric).
+pub(crate) const REDUCE_ROOT: usize = 0;
 
 /// Generator of `B` tiles:
 /// `(tile_row k, tile_col j, rows, cols, node pool) -> Result<Arc<Tile>, GenError>`.
@@ -105,7 +110,7 @@ pub(crate) fn run(
     let low = inspector::lower(spec, plan, &opts);
 
     // ---- Pre-seed the owner stores with A --------------------------------
-    let stores: Vec<TileStore> = (0..n_nodes).map(|_| TileStore::new()).collect();
+    let stores: Vec<TileStore> = (0..n_nodes).map(TileStore::for_node).collect();
     for (&(i, k), tile) in a.iter_tile_arcs() {
         let t = (i as u32, k as u32);
         let owner = owner_of(p, q, i, k);
@@ -130,19 +135,32 @@ pub(crate) fn run(
         (0..n_nodes).map(|_| Arc::new(NodeResidency::new())).collect();
     let clock = TraceClock::start();
 
+    // The transport: per-node bounded inboxes, one progress thread per node
+    // (spawned into the scope below), credit backpressure, optional link
+    // shaping and delivery reordering.
+    let fabric = CommFabric::new(
+        n_nodes,
+        CommConfig {
+            window: opts.comm_window.max(1),
+            shaper: opts.link_shaper,
+            delivery: opts.delivery,
+            clock: opts.tracing.then_some(clock),
+        },
+    );
+
     let env = HandlerEnv {
         spec,
         plan,
         low: &low,
         b_gen,
         stores: &stores,
+        fabric: &fabric,
         pools: &pools,
         ktable,
         kernel_counts: KernelKind::ALL.iter().map(|_| AtomicU64::new(0)).collect(),
         fault: opts.fault_plan.filter(FaultPlan::is_active),
         grid: (p, q),
         counters: Counters::default(),
-        collector: Mutex::new(Vec::new()),
         dev_stats: Mutex::new(Vec::new()),
         mem_log: Mutex::new(DeviceMemLog::new()),
     };
@@ -166,13 +184,21 @@ pub(crate) fn run(
     // the identical Engine::run scheduler; the Recorder arm merely
     // monomorphizes event recording in.
     let engine = Engine::new().with_clock(clock).with_retry(opts.retry);
-    let run: Result<FallibleRun, RunAbort<ExecError>> = if opts.tracing {
-        engine
-            .tracing()
-            .run(&low.graph, &low.workers, mk_ctx, handler)
-    } else {
-        engine.run(&low.graph, &low.workers, mk_ctx, handler)
-    };
+    // Progress threads live exactly as long as the engine run: spawned just
+    // before it, shut down (completion control frames) right after — on the
+    // success *and* the abort path, so in-flight frames always drain.
+    let run: Result<FallibleRun, RunAbort<ExecError>> = std::thread::scope(|s| {
+        fabric.start(s, &stores);
+        let run = if opts.tracing {
+            engine
+                .tracing()
+                .run(&low.graph, &low.workers, mk_ctx, handler)
+        } else {
+            engine.run(&low.graph, &low.workers, mk_ctx, handler)
+        };
+        fabric.shutdown();
+        run
+    });
     let run = match run {
         Ok(run) => run,
         Err(abort) => {
@@ -213,6 +239,7 @@ pub(crate) fn run(
                 Some(ExecTraceData {
                     records,
                     mem_samples,
+                    comm_events: fabric.take_events(),
                     total_ns: tr.total_ns,
                 }),
             )
@@ -233,10 +260,14 @@ pub(crate) fn run(
     };
 
     // ---- Assemble the result ----------------------------------------------
+    // The C partials all arrived at the reduction root over the fabric.
+    // Sorting by (i, j, origin) makes the floating-point accumulation order
+    // canonical — the result is bit-identical however delivery interleaved.
     let mut out = BlockSparseMatrix::zeros(spec.a.row_tiling().clone(), spec.b.col_tiling().clone());
-    for ((i, j), tile) in env.collector.into_inner() {
-        // Column parts produce partial sums for the same C tile; accumulate.
-        out.accumulate_tile(i, j, &tile);
+    let mut parts = fabric.take_reduced(REDUCE_ROOT);
+    parts.sort_by_key(|part| (part.i, part.j, part.origin));
+    for part in &parts {
+        out.accumulate_tile(part.i, part.j, &part.tile);
     }
     let mut devices = env.dev_stats.into_inner();
     devices.sort_by_key(|(k, _)| *k);
@@ -257,6 +288,8 @@ pub(crate) fn run(
             b_tiles_generated: c.bgens.load(Ordering::Relaxed),
             gemm_kernel_counts,
             pool_stats: pools.iter().map(TilePool::stats).collect(),
+            comm: fabric.node_stats(),
+            host_peak_bytes: stores.iter().map(TileStore::peak_bytes).collect(),
             metrics,
             recovery,
             trace: trace_data,

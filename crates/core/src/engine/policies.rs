@@ -6,6 +6,7 @@
 //! (`crate::engine::run`), never separate entry points.
 
 use crate::fault::{FaultPlan, RetryPolicy};
+use bst_runtime::comm::{DeliveryPolicy, LinkShaper, DEFAULT_CREDIT_WINDOW};
 
 /// How the executor picks a GEMM kernel for each `Gemm` task.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,6 +67,18 @@ pub struct ExecOptions {
     /// failures (injected or reported by the generator —
     /// see [`BGen`](crate::exec::BGen)).
     pub retry: RetryPolicy,
+    /// Credit window of the inter-node transport: frames simultaneously in
+    /// flight toward any one node (see
+    /// [`bst_runtime::comm::CommConfig::window`]).
+    pub comm_window: usize,
+    /// Link cost model of the transport; [`LinkShaper::off`] (the default)
+    /// delivers as fast as threads move messages, so numeric runs aren't
+    /// slowed. Use [`LinkShaper::summit_nic`] for shaped traces.
+    pub link_shaper: LinkShaper,
+    /// Delivery ordering of each node's progress thread; the seeded
+    /// [`DeliveryPolicy::Reorder`] stressor must not change any numeric
+    /// result.
+    pub delivery: DeliveryPolicy,
 }
 
 impl Default for ExecOptions {
@@ -78,6 +91,9 @@ impl Default for ExecOptions {
             genb_workers: 2,
             fault_plan: None,
             retry: RetryPolicy::default(),
+            comm_window: DEFAULT_CREDIT_WINDOW,
+            link_shaper: LinkShaper::off(),
+            delivery: DeliveryPolicy::InOrder,
         }
     }
 }
@@ -139,6 +155,24 @@ impl ExecOptionsBuilder {
     /// Sets [`ExecOptions::retry`].
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.opts.retry = retry;
+        self
+    }
+
+    /// Sets [`ExecOptions::comm_window`] (clamped to ≥ 1).
+    pub fn comm_window(mut self, window: usize) -> Self {
+        self.opts.comm_window = window.max(1);
+        self
+    }
+
+    /// Sets [`ExecOptions::link_shaper`].
+    pub fn link_shaper(mut self, shaper: LinkShaper) -> Self {
+        self.opts.link_shaper = shaper;
+        self
+    }
+
+    /// Sets [`ExecOptions::delivery`].
+    pub fn delivery(mut self, delivery: DeliveryPolicy) -> Self {
+        self.opts.delivery = delivery;
         self
     }
 

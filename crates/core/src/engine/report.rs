@@ -8,9 +8,12 @@
 
 use std::collections::HashMap;
 
+use bst_runtime::comm::{CommEvent, NodeCommStats};
 use bst_runtime::device::DeviceStats;
 use bst_runtime::graph::WorkerId;
-use bst_runtime::trace::{chrome_trace_json, text_summary, KindMetrics, MemSample, TaskRecord};
+use bst_runtime::trace::{
+    chrome_trace_json_full, text_summary, KindMetrics, MemSample, TaskRecord, TracePhase,
+};
 use bst_tile::pool::PoolStats;
 
 use super::policies::ExecOptions;
@@ -78,6 +81,17 @@ pub struct ExecReport {
     /// Per-node tile-pool counters (index = node): buffer-recycling hits
     /// and misses for C zero-fills and generated B tiles.
     pub pool_stats: Vec<PoolStats>,
+    /// Per-node transport totals (index = node): wire-level bytes/messages
+    /// sent and received, drops, suppressed duplicates, and the in-flight
+    /// high-water mark against the credit window. Unlike
+    /// [`ExecReport::a_network_bytes`] (successful application-level `A`
+    /// traffic only), these count everything the fabric moved, including
+    /// dropped frames and C-reduction traffic.
+    pub comm: Vec<NodeCommStats>,
+    /// Per-node host-memory high-water marks (index = node) — each node's
+    /// private [`TileStore`](bst_runtime::TileStore) peak, no longer
+    /// aggregated across nodes.
+    pub host_peak_bytes: Vec<u64>,
     /// Per-task-kind aggregate timings (empty unless
     /// [`ExecOptions::tracing`]).
     pub metrics: Vec<KindMetrics>,
@@ -112,6 +126,24 @@ impl ExecReport {
             .collect();
         let total_ns = self.trace.as_ref().map(|t| t.total_ns).unwrap_or(0);
         let mut out = text_summary(&self.metrics, total_ns, &devices);
+        if self.comm.iter().any(|c| c.sent_msgs + c.recv_msgs > 0) {
+            for (node, cs) in self.comm.iter().enumerate() {
+                let host_peak = self.host_peak_bytes.get(node).copied().unwrap_or(0);
+                out.push_str(&format!(
+                    "comm n{node}: sent {} B / {} msgs, recv {} B / {} msgs, \
+                     dropped {}, dup {}, in-flight {}/{}, host peak {} B\n",
+                    cs.sent_bytes,
+                    cs.sent_msgs,
+                    cs.recv_bytes,
+                    cs.recv_msgs,
+                    cs.dropped_msgs,
+                    cs.duplicate_msgs,
+                    cs.max_in_flight,
+                    cs.credit_window,
+                    host_peak,
+                ));
+            }
+        }
         if self.recovery.any() {
             let r = &self.recovery;
             out.push_str(&format!(
@@ -176,21 +208,25 @@ pub type DeviceMemLog = Vec<((usize, usize), Vec<MemSample>)>;
 #[derive(Clone, Debug, Default)]
 pub struct ExecTraceData {
     /// One record per DAG task, labeled from the executor's task vocabulary
-    /// (kinds: `SendA`, `GenB`, `LoadBlock`, `LoadA`, `Gemm`, `EvictChunk`,
-    /// `FlushBlock`).
+    /// (kinds: `SendA`, `RecvA`, `GenB`, `LoadBlock`, `LoadA`, `Gemm`,
+    /// `EvictChunk`, `FlushBlock`).
     pub records: Vec<TaskRecord>,
     /// Per-(node, gpu) resident-byte samples, one taken after every
     /// device-touching task, on the same clock as the records.
     pub mem_samples: DeviceMemLog,
+    /// The transport's event stream (`Sent`/`Received`/drops/duplicates
+    /// with byte counts), time-sorted, on the same clock as the records.
+    pub comm_events: Vec<CommEvent>,
     /// Wall-clock span of the execution in nanoseconds.
     pub total_ns: u64,
 }
 
 impl ExecTraceData {
     /// Renders the trace as `chrome://tracing` / Perfetto JSON (one track
-    /// per worker lane, counter tracks for device occupancy).
+    /// per worker lane, counter tracks for device occupancy, and a `nic`
+    /// track per node with `Sent → Received` message slices).
     pub fn chrome_trace_json(&self) -> String {
-        chrome_trace_json(&self.records, &self.mem_samples)
+        chrome_trace_json_full(&self.records, &self.mem_samples, &self.comm_events)
     }
 }
 
@@ -203,7 +239,11 @@ impl ExecTraceData {
 /// 3. with [`ExecOptions::block_serialization`], `LoadBlock(b+1)` never
 ///    starts before `FlushBlock(b)` finished on the same lane (§3.2.2
 ///    blocking block transfers);
-/// 4. every device's high-water mark stays within `gpu_capacity`.
+/// 4. every device's high-water mark stays within `gpu_capacity`;
+/// 5. transport causality: every `Received` comm event has a matching
+///    earlier `Sent`, and a remotely-delivered tile's `Received(k)`
+///    happens-before the first `LoadA` of tile `k` on the destination node
+///    (no handler uses a tile its node has not received).
 ///
 /// The invariants hold for any trace in the engine's task vocabulary — the
 /// numeric engine's traces and the bst-sim DAG replay of the same plan are
@@ -304,6 +344,47 @@ pub fn validate_trace_invariants(
                 "device n{node}.g{gpu} peaked at {} B > budget {gpu_capacity} B",
                 stats.peak_bytes
             ));
+        }
+    }
+
+    // Transport causality. Keys are compared via their Debug form (the
+    // comm event carries the typed DataKey; task details carry the parsed
+    // integers).
+    let mut sent_time: HashMap<(usize, String, u32), u64> = HashMap::new();
+    let mut recv_time: HashMap<(usize, String), u64> = HashMap::new();
+    for e in &trace.comm_events {
+        let key = format!("{:?}", e.key);
+        match e.phase {
+            TracePhase::Sent => {
+                sent_time.entry((e.dst, key, e.epoch)).or_insert(e.t_ns);
+            }
+            TracePhase::Received => {
+                match sent_time.get(&(e.dst, key.clone(), e.epoch)) {
+                    Some(&s) if s <= e.t_ns => {}
+                    Some(&s) => errors.push(format!(
+                        "Received {key} on n{} at {} ns before its Sent at {s} ns",
+                        e.dst, e.t_ns
+                    )),
+                    None => errors.push(format!(
+                        "Received {key} (epoch {}) on n{} with no matching Sent",
+                        e.epoch, e.dst
+                    )),
+                }
+                recv_time.entry((e.dst, key)).or_insert(e.t_ns);
+            }
+            _ => {}
+        }
+    }
+    for r in trace.records.iter().filter(|r| r.kind == "LoadA") {
+        let args = args_of(&r.detail);
+        let key = format!("{:?}", bst_runtime::DataKey::A(args[0] as u32, args[1] as u32));
+        if let Some(&t) = recv_time.get(&(r.worker.node, key)) {
+            if r.span.start_ns < t {
+                errors.push(format!(
+                    "{} on n{} started at {} ns before its tile was Received at {t} ns",
+                    r.detail, r.worker.node, r.span.start_ns
+                ));
+            }
         }
     }
 

@@ -17,15 +17,21 @@
 //!   (e.g. an integral-screening backend timing out);
 //! * [`FaultSite::Alloc`] — transient device-memory allocation failures on
 //!   `LoadBlock` / `LoadA` (memory pressure from a co-tenant);
-//! * [`FaultSite::Send`] — dropped `SendA` transfers (a lost message that
-//!   must be resent);
+//! * [`FaultSite::Send`] — dropped `SendA` transfers: the message is
+//!   charged as sent and then dropped *in flight* by the comm fabric, so
+//!   the destination never sees it and the retry re-sends it with a higher
+//!   epoch;
 //! * [`FaultSite::Stall`] — lane stalls: the worker sleeps for
 //!   [`FaultPlan::stall_us`] before running the task (OS preemption, a slow
 //!   NIC), which perturbs the schedule without failing anything.
 //!
 //! Failures are injected *at handler entry*, before the handler has any
 //! side effects, so a retried attempt re-runs from a clean slate and
-//! recovery is idempotent by construction.
+//! recovery is idempotent by construction. The one exception is
+//! [`FaultSite::Send`], which fires inside the transport's send path — a
+//! dropped frame *is* a side effect on the network — but delivery is
+//! idempotent at the receiver (duplicate messages are suppressed), so the
+//! retry is still safe.
 
 use std::time::Duration;
 
@@ -193,6 +199,7 @@ impl FaultPlan {
         };
         match op {
             Op::SendA { i, k, to } => fold(&[1, u64::from(*i), u64::from(*k), *to as u64]),
+            Op::RecvA { i, k, from } => fold(&[8, u64::from(*i), u64::from(*k), *from as u64]),
             Op::GenB { k, j } => fold(&[2, w.node as u64, u64::from(*k), u64::from(*j)]),
             Op::LoadBlock { node, gpu, block } => {
                 fold(&[3, *node as u64, *gpu as u64, *block as u64])

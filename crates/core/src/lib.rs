@@ -53,3 +53,6 @@ pub use exec::{
 pub use fault::{FaultPlan, FaultSite, RetryPolicy};
 pub use plan::{ExecutionPlan, PlanStats};
 pub use spec::ProblemSpec;
+// The transport knob types [`ExecOptions`] carries, so callers configuring a
+// run don't need a direct `bst-runtime` dependency.
+pub use bst_runtime::comm::{DeliveryPolicy, LinkShaper, NodeCommStats};

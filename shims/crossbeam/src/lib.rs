@@ -1,12 +1,15 @@
 //! Offline stand-in for the `crossbeam` crate (this workspace builds with
 //! no network access — see `shims/README.md`).
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}`: an
-//! unbounded multi-producer multi-consumer FIFO channel built on a
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`:
+//! multi-producer multi-consumer FIFO channels built on a
 //! `Mutex<VecDeque>` + `Condvar`. The engine in `bst-runtime` uses one
-//! channel per worker with cloned receivers, so MPMC semantics (any clone of
-//! the receiver may take the next message) are required — `std::sync::mpsc`
-//! receivers cannot be cloned.
+//! unbounded channel per worker with cloned receivers, so MPMC semantics
+//! (any clone of the receiver may take the next message) are required —
+//! `std::sync::mpsc` receivers cannot be cloned. The comm fabric uses
+//! `bounded` channels as per-node inboxes: `send` blocks while the queue
+//! is at capacity, which is the backpressure the transport's credit scheme
+//! rides on.
 
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {
@@ -17,6 +20,10 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot.
+        space: Condvar,
+        /// `None` = unbounded; `Some(cap)` = `send` blocks at `cap` queued.
+        cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -45,15 +52,28 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn mk_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender(shared.clone()), Receiver(shared))
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        mk_channel(None)
+    }
+
+    /// Creates a bounded MPMC channel of capacity `cap` (≥ 1): `send`
+    /// blocks while `cap` messages are queued, until a receiver frees a
+    /// slot or every receiver is dropped.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        mk_channel(Some(cap.max(1)))
     }
 
     impl<T> Clone for Sender<T> {
@@ -74,16 +94,35 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`; fails only when every receiver is dropped.
+        /// Enqueues `value`; on a bounded channel, blocks while the queue is
+        /// at capacity. Fails only when every receiver is dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.0.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.0.cap {
+                while q.len() >= cap {
+                    if self.0.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    q = self.0.space.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            }
             q.push_back(value);
             drop(q);
             self.0.ready.notify_one();
             Ok(())
+        }
+
+        /// Messages currently queued (a racy snapshot).
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is empty right now (a racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -96,7 +135,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.0.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: wake senders blocked on a full
+                // bounded queue so they can observe disconnection.
+                self.0.space.notify_all();
+            }
         }
     }
 
@@ -106,6 +149,8 @@ pub mod channel {
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if self.0.senders.load(Ordering::Acquire) == 0 {
@@ -123,12 +168,26 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             match q.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(q);
+                    self.0.space.notify_one();
+                    Ok(v)
+                }
                 None if self.0.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
                 None => Err(TryRecvError::Empty),
             }
+        }
+
+        /// Messages currently queued (a racy snapshot).
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is empty right now (a racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 }
@@ -191,5 +250,61 @@ mod tests {
         let (tx, rx) = unbounded::<u32>();
         drop(rx);
         assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_at_capacity() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        // The third send must block until a slot frees; verify by receiving
+        // from another thread after a delay and timing the send.
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                assert_eq!(rx.recv().unwrap(), 1);
+            });
+            tx.send(3).unwrap();
+        });
+        assert!(start.elapsed() >= std::time::Duration::from_millis(40));
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_queue_never_exceeds_capacity() {
+        let (tx, rx) = bounded::<usize>(4);
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..300 {
+                    assert!(rx.len() <= 4, "queue exceeded its bound");
+                    rx.recv().unwrap();
+                }
+            });
+        });
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                drop(rx);
+            });
+            assert_eq!(tx.send(2), Err(SendError(2)));
+        });
     }
 }
