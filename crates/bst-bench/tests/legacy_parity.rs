@@ -1,20 +1,20 @@
-//! Parity gates for the engine collapse: the six legacy `execute*` wrappers
-//! must behave identically to the policy stacks on `Engine::run` they now
-//! delegate to, and the numeric engine must produce the same answer with
-//! and without injected faults.
+//! Parity gates for the collapsed engine: every tracing / clock / retry
+//! combination is a policy stack on `Engine::run` — gated byte-identical
+//! against the plain stack on a deterministic dataflow graph — plus one
+//! compatibility canary for the deprecated `execute()` wrapper and the
+//! numeric fault-free-vs-faulted agreement gate.
 //!
 //! Two levels:
 //!
 //! * **runtime level** — a deterministic dataflow graph (every task's value
 //!   is a pure function of its dependencies' values) executed through each
-//!   legacy wrapper and through the equivalent `Engine` policy stack, gated
-//!   **byte-identical**, with every recorded trace invariant-clean;
+//!   `Engine` policy stack, gated **byte-identical**, with every recorded
+//!   trace invariant-clean. One test keeps exercising the legacy
+//!   `TaskGraph::execute` wrapper as a compatibility canary;
 //! * **core level** — the repro binaries' tiny numeric instance
 //!   (`repro_trace --numeric --tiny`), fault-free vs `--faults`-style
 //!   transient injection, gated at ≤ 1e-10 (fp accumulation order may
 //!   differ across schedules) with both traces invariant-clean.
-
-#![allow(deprecated)] // exercising the legacy wrappers is the point
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -25,7 +25,8 @@ use bst_runtime::graph::{RetryOptions, TaskError, TaskGraph, WorkerId};
 
 /// A layered deterministic DAG: task `t`'s value is a pure fold of its
 /// dependencies' values, so *any* valid schedule produces bit-identical
-/// results — which is exactly what lets us gate the wrappers byte-for-byte.
+/// results — which is exactly what lets us gate the policy stacks
+/// byte-for-byte.
 fn build_graph() -> (TaskGraph<usize>, Vec<WorkerId>) {
     let workers: Vec<WorkerId> = (0..2)
         .flat_map(|node| (0..3).map(move |lane| WorkerId { node, lane }))
@@ -33,7 +34,7 @@ fn build_graph() -> (TaskGraph<usize>, Vec<WorkerId>) {
     let mut graph = TaskGraph::new();
     for t in 0..60usize {
         let id = graph.add_task(t, workers[t % workers.len()]);
-        // A couple of cross-lane edges per task keeps every wrapper's
+        // A couple of cross-lane edges per task keeps every policy stack's
         // scheduler honest without serialising the graph.
         if t >= 1 {
             graph.add_dep(id, id - 1);
@@ -65,8 +66,11 @@ fn faulty(id: usize) -> bool {
     id % 7 == 3
 }
 
+/// Tracing and a shared clock are pure observation: the traced and clocked
+/// policy stacks produce the same bytes as the plain stack, and their
+/// traces are invariant-clean.
 #[test]
-fn infallible_wrappers_match_engine_byte_for_byte() {
+fn tracing_and_clock_policies_match_plain_engine_byte_for_byte() {
     let (graph, workers) = build_graph();
     let n = graph.len();
     let run_with = |exec: &dyn Fn(&TaskGraph<usize>, &[AtomicU64])| {
@@ -74,50 +78,86 @@ fn infallible_wrappers_match_engine_byte_for_byte() {
         exec(&graph, &out);
         bits(&out)
     };
-
-    let engine = run_with(&|g, out| {
-        let handler = |&id: &usize, _w: WorkerId, _c: &mut (), _a: u32| {
+    let plain = run_with(&|g, out| {
+        let h = |&id: &usize, _w: WorkerId, _c: &mut (), _a: u32| {
             out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
             Ok::<(), TaskError<std::convert::Infallible>>(())
         };
-        Engine::new()
-            .run(g, &workers, |_| (), handler)
-            .unwrap();
+        Engine::new().run(g, &workers, |_| (), h).unwrap();
     });
 
-    let legacy_execute = run_with(&|g, out| {
-        g.execute(&workers, |_| (), |&id, _w, _c: &mut ()| {
+    let traced = run_with(&|g, out| {
+        let h = |&id: &usize, _w: WorkerId, _c: &mut (), _a: u32| {
             out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
-        });
-    });
-    assert_eq!(engine, legacy_execute, "execute() diverged from Engine::run");
-
-    let legacy_traced = run_with(&|g, out| {
-        let trace = g.execute_traced(&workers, |_| (), |&id, _w, _c: &mut ()| {
-            out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
-        });
-        assert!(trace.validate(g).is_empty(), "legacy trace has violations");
+            Ok::<(), TaskError<std::convert::Infallible>>(())
+        };
+        let run = Engine::new().tracing().run(g, &workers, |_| (), h).unwrap();
+        let trace = run.trace.expect("tracing policy records");
+        assert!(trace.validate(g).is_empty(), "traced run has violations");
         assert_eq!(trace.event_count(), 3 * g.len());
     });
-    assert_eq!(engine, legacy_traced, "execute_traced() diverged");
+    assert_eq!(plain, traced, "tracing policy changed the bytes");
 
-    let legacy_clocked = run_with(&|g, out| {
+    let clocked = run_with(&|g, out| {
+        let h = |&id: &usize, _w: WorkerId, _c: &mut (), _a: u32| {
+            out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
+            Ok::<(), TaskError<std::convert::Infallible>>(())
+        };
         let clock = bst_runtime::trace::TraceClock::start();
-        let trace = g.execute_traced_with_clock(
-            &workers,
-            |_| (),
-            |&id, _w, _c: &mut ()| {
-                out[id].store(value_of(g, out, id).to_bits(), Ordering::SeqCst);
-            },
-            clock,
-        );
-        assert!(trace.validate(g).is_empty());
+        let run = Engine::new()
+            .tracing()
+            .with_clock(clock)
+            .run(g, &workers, |_| (), h)
+            .unwrap();
+        assert!(run.trace.expect("traced").validate(g).is_empty());
     });
-    assert_eq!(engine, legacy_clocked, "execute_traced_with_clock() diverged");
+    assert_eq!(plain, clocked, "shared-clock policy changed the bytes");
 }
 
+/// Compatibility canary: the one remaining deprecated wrapper exercise.
+/// `TaskGraph::execute` must keep delegating to the same scheduler —
+/// byte-identical to `Engine::new().run` on the same graph.
 #[test]
-fn fallible_wrappers_match_engine_with_and_without_faults() {
+#[allow(deprecated)]
+fn deprecated_execute_wrapper_still_matches_engine() {
+    let (graph, workers) = build_graph();
+    let n = graph.len();
+
+    let engine_out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    {
+        let (g, o) = (&graph, &engine_out);
+        Engine::new()
+            .run(
+                g,
+                &workers,
+                |_| (),
+                |&id: &usize, _w, _c: &mut (), _a| {
+                    o[id].store(value_of(g, o, id).to_bits(), Ordering::SeqCst);
+                    Ok::<(), TaskError<std::convert::Infallible>>(())
+                },
+            )
+            .unwrap();
+    }
+
+    let legacy_out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    {
+        let (g, o) = (&graph, &legacy_out);
+        g.execute(&workers, |_| (), |&id, _w, _c: &mut ()| {
+            o[id].store(value_of(g, o, id).to_bits(), Ordering::SeqCst);
+        });
+    }
+    assert_eq!(
+        bits(&engine_out),
+        bits(&legacy_out),
+        "execute() canary diverged from Engine::run"
+    );
+}
+
+/// Retry policy stacks: transient failures recover to the same bytes as a
+/// fault-free run, with and without tracing, and the retry counters agree
+/// with the deterministic fault pattern.
+#[test]
+fn retry_policy_stacks_recover_to_identical_bytes() {
     let (graph, workers) = build_graph();
     let n = graph.len();
     let retry = RetryOptions::default();
@@ -142,37 +182,47 @@ fn fallible_wrappers_match_engine_with_and_without_faults() {
         bits(&out)
     };
 
-    let engine = run_with(&|g, _out, body| {
+    let expected_retries = (0..n).filter(|&t| faulty(t)).count() as u64;
+
+    let plain_retry = run_with(&|g, _out, body| {
         let run = Engine::new()
             .with_retry(retry)
             .run(g, &workers, |_| (), body)
             .expect("transient faults must recover");
-        assert_eq!(run.retried_tasks(), (0..n).filter(|&t| faulty(t)).count() as u64);
+        assert_eq!(run.retried_tasks(), expected_retries);
     });
 
-    let legacy_plain = run_with(&|g, _out, body| {
-        g.execute_fallible(&workers, |_| (), body, retry)
-            .expect("legacy wrapper must recover");
-    });
-    assert_eq!(engine, legacy_plain, "execute_fallible() diverged");
-
-    let legacy_traced = run_with(&|g, _out, body| {
-        let run = g
-            .execute_fallible_traced(&workers, |_| (), body, retry)
-            .expect("legacy traced wrapper must recover");
+    let traced_retry = run_with(&|g, _out, body| {
+        let run = Engine::new()
+            .tracing()
+            .with_retry(retry)
+            .run(g, &workers, |_| (), body)
+            .expect("traced retry stack must recover");
+        assert_eq!(run.retried_tasks(), expected_retries);
         let trace = run.trace.expect("tracing was requested");
-        assert!(trace.validate(g).is_empty(), "legacy faulted trace invalid");
+        assert!(trace.validate(g).is_empty(), "faulted trace invalid");
     });
-    assert_eq!(engine, legacy_traced, "execute_fallible_traced() diverged");
+    assert_eq!(plain_retry, traced_retry, "tracing + retry changed the bytes");
 
-    let legacy_clocked = run_with(&|g, _out, body| {
+    let clocked_retry = run_with(&|g, _out, body| {
         let clock = bst_runtime::trace::TraceClock::start();
-        let run = g
-            .execute_fallible_traced_with_clock(&workers, |_| (), body, retry, clock)
-            .expect("legacy clocked wrapper must recover");
+        let run = Engine::new()
+            .tracing()
+            .with_clock(clock)
+            .with_retry(retry)
+            .run(g, &workers, |_| (), body)
+            .expect("clocked retry stack must recover");
         assert!(run.trace.expect("traced").validate(g).is_empty());
     });
-    assert_eq!(engine, legacy_clocked, "execute_fallible_traced_with_clock() diverged");
+    assert_eq!(plain_retry, clocked_retry, "clock + retry changed the bytes");
+
+    // A fault-free run of the same graph lands on the same bytes: retries
+    // are pure re-execution, never a different computation.
+    let fault_free = run_with(&|g, _out, body| {
+        let wrapped = |id: &usize, w: WorkerId, c: &mut (), _a: u32| body(id, w, c, 2);
+        Engine::new().run(g, &workers, |_| (), wrapped).unwrap();
+    });
+    assert_eq!(plain_retry, fault_free, "recovered bytes differ from fault-free");
 }
 
 /// The `repro_trace --numeric --tiny` instance: a fault-free run and a

@@ -43,6 +43,10 @@ pub struct Cli {
     /// Inject ~8% transient faults seeded from this value and verify the
     /// executor recovers (verify only).
     pub faults: Option<u64>,
+    /// Concurrent client threads (serve only).
+    pub clients: usize,
+    /// Requests per client thread (serve only).
+    pub requests: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -58,6 +62,10 @@ pub enum Command {
     Simulate,
     /// Execute numerically and verify against the reference.
     Verify,
+    /// Smoke-test the persistent contraction service: concurrent clients
+    /// submit the same contraction; plans and B tiles must be served from
+    /// cache and every result must be bit-identical to the first.
+    Serve,
 }
 
 /// Where the problem comes from.
@@ -95,10 +103,11 @@ fn err(msg: impl Into<String>) -> CliError {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: bst <info|plan|simulate|verify> \
+pub const USAGE: &str = "usage: bst <info|plan|simulate|verify|serve> \
 [--molecule KIND:ARGS | --synthetic MxNxK:D] [--tiling v1|v2|v3] \
 [--nodes N] [--p P] [--gpus G] [--seed S] [--gantt] \
-[--trace FILE.json] [--trace-summary] [--faults SEED]";
+[--trace FILE.json] [--trace-summary] [--faults SEED] \
+[--clients N] [--requests M]";
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Cli, CliError> {
@@ -108,6 +117,7 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         Some("plan") => Command::Plan,
         Some("simulate") => Command::Simulate,
         Some("verify") => Command::Verify,
+        Some("serve") => Command::Serve,
         Some(other) => return Err(err(format!("unknown command {other}\n{USAGE}"))),
         None => return Err(err(USAGE)),
     };
@@ -122,6 +132,8 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         trace: None,
         trace_summary: false,
         faults: None,
+        clients: 2,
+        requests: 3,
         seed: 42,
     };
     while let Some(flag) = it.next() {
@@ -168,6 +180,12 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
             "--trace-summary" => cli.trace_summary = true,
             "--faults" => {
                 cli.faults = Some(value("--faults")?.parse().map_err(|_| err("bad --faults seed"))?)
+            }
+            "--clients" => {
+                cli.clients = value("--clients")?.parse().map_err(|_| err("bad --clients"))?
+            }
+            "--requests" => {
+                cli.requests = value("--requests")?.parse().map_err(|_| err("bad --requests"))?
             }
             other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
         }
@@ -404,6 +422,81 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
             }
             writeln!(out, "verification OK")?;
         }
+        Command::Serve => {
+            use bst_contract::{ContractionRequest, ContractionService, ServiceConfig};
+            use bst_sparse::matrix::tile_seed;
+            use bst_sparse::BlockSparseMatrix;
+            use std::sync::Arc;
+            let a = Arc::new(BlockSparseMatrix::random_from_structure(spec.a.clone(), cli.seed));
+            let seed = cli.seed ^ 0xB;
+            let b_gen: bst_contract::ServiceBGen =
+                Arc::new(move |k, j, r, c, pool: &bst_tile::TilePool| {
+                    Ok(Arc::new(pool.random(r, c, tile_seed(seed, k, j))))
+                });
+            let service = ContractionService::start(ServiceConfig {
+                workers: cli.clients.max(1),
+                queue_capacity: (cli.clients * cli.requests).max(8),
+                ..ServiceConfig::default()
+            });
+            let make_req = || ContractionRequest {
+                a: Arc::clone(&a),
+                b_structure: spec.b.clone(),
+                b_gen: Arc::clone(&b_gen),
+                b_key: cli.seed,
+                c_shape: spec.c_shape.clone(),
+                config,
+                opts: bst_contract::ExecOptions::default(),
+            };
+            // One cold request pins the reference bytes, then the client
+            // threads hammer the warm caches concurrently.
+            let reference = service.run(make_req()).map_err(Box::new)?;
+            let diverged = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..cli.clients {
+                    scope.spawn(|| {
+                        for _ in 0..cli.requests {
+                            match service.run(make_req()) {
+                                Ok(outcome)
+                                    if outcome.c.max_abs_diff(&reference.c) != 0.0 =>
+                                {
+                                    diverged.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                                Ok(_) => {}
+                                Err(_) => {
+                                    diverged.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            service.shutdown();
+            let stats = service.stats();
+            let total = 1 + cli.clients * cli.requests;
+            writeln!(
+                out,
+                "served {} requests ({} clients x {} + 1 cold)",
+                total, cli.clients, cli.requests
+            )?;
+            writeln!(
+                out,
+                "plan cache: {} hits / {} misses | B cache: {} hits / {} misses, {} B regeneration saved",
+                stats.plan_hits, stats.plan_misses, stats.b_hits, stats.b_misses, stats.b_bytes_saved
+            )?;
+            writeln!(
+                out,
+                "queue high-water {} | in-flight high-water {}",
+                stats.queue_depth_highwater, stats.in_flight_highwater
+            )?;
+            let diverged = diverged.load(std::sync::atomic::Ordering::Relaxed);
+            if diverged > 0 || stats.requests_failed > 0 {
+                return Err(Box::new(err(format!(
+                    "service smoke FAILED: {diverged} divergent, {} failed",
+                    stats.requests_failed
+                ))));
+            }
+            writeln!(out, "all warm results bit-identical to the cold run; service smoke OK")?;
+        }
     }
     Ok(())
 }
@@ -553,6 +646,32 @@ mod tests {
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("faults (seed 3):"), "{s}");
         assert!(s.contains("verification OK"), "{s}");
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let cli = parse(&args("serve --synthetic 100x800x800:0.6 --clients 3 --requests 5")).unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.clients, 3);
+        assert_eq!(cli.requests, 5);
+        assert!(parse(&args("serve --clients nope")).is_err());
+        assert!(parse(&args("serve --requests")).is_err());
+    }
+
+    #[test]
+    fn run_serve_smoke() {
+        let cli = parse(&args(
+            "serve --synthetic 100x800x800:0.6 --nodes 2 --gpus 2 --clients 2 --requests 2",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("served 5 requests"), "{s}");
+        assert!(s.contains("plan cache:"), "{s}");
+        assert!(s.contains("service smoke OK"), "{s}");
+        // The 4 warm requests must all have hit the plan cache.
+        assert!(s.contains("4 hits / 1 misses"), "{s}");
     }
 
     #[test]

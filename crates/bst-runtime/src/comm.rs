@@ -252,6 +252,23 @@ pub struct NodeCommStats {
     pub credit_window: usize,
 }
 
+impl NodeCommStats {
+    /// Accumulates another run's totals for the same node into `self`:
+    /// counters add, high-water marks take the maximum. A long-lived
+    /// service uses this to aggregate per-request transport totals into
+    /// lifetime per-node counters.
+    pub fn merge(&mut self, other: &NodeCommStats) {
+        self.sent_bytes += other.sent_bytes;
+        self.sent_msgs += other.sent_msgs;
+        self.recv_bytes += other.recv_bytes;
+        self.recv_msgs += other.recv_msgs;
+        self.dropped_msgs += other.dropped_msgs;
+        self.duplicate_msgs += other.duplicate_msgs;
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+        self.credit_window = self.credit_window.max(other.credit_window);
+    }
+}
+
 /// Counting semaphore implementing the credit loop: `acquire` blocks the
 /// sender while the receiving node's window is exhausted; the progress
 /// thread `release`s after depositing a frame.

@@ -16,7 +16,7 @@
 
 use bst_tile::Tile;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Identity of a datum in the contraction.
@@ -174,6 +174,178 @@ impl TileStore {
     }
 }
 
+/// Identity of a cached generated tile in a [`BTileCache`].
+///
+/// `ident` names the *operand* the tile belongs to (the caller's hash of
+/// the generator's content identity — different stationary operands served
+/// by the same cache must use different idents), `(k, j)` the tile within
+/// it. Entries with different idents share the cache's byte budget and
+/// evict each other through the same LRU order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BCacheKey {
+    /// Content identity of the generated operand.
+    pub ident: u64,
+    /// Tile row `k`.
+    pub k: u32,
+    /// Tile column `j`.
+    pub j: u32,
+}
+
+/// Counters of one [`BTileCache`] since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BCacheStats {
+    /// Lookups that found the tile resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Tiles inserted.
+    pub insertions: u64,
+    /// Tiles evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Bytes of generation avoided (sum of hit tiles' sizes).
+    pub bytes_saved: u64,
+    /// Bytes currently resident.
+    pub current_bytes: u64,
+    /// High-water mark of resident bytes (never exceeds the budget).
+    pub peak_bytes: u64,
+    /// The configured byte budget.
+    pub budget_bytes: u64,
+}
+
+struct BCacheEntry {
+    tile: Arc<Tile>,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct BCacheInner {
+    entries: HashMap<BCacheKey, BCacheEntry>,
+    /// Recency order: stamp → key. Stamps are unique (monotonic counter),
+    /// so eviction pops the smallest stamp in `O(log n)`.
+    lru: BTreeMap<u64, BCacheKey>,
+    next_stamp: u64,
+    stats: BCacheStats,
+}
+
+/// A byte-budgeted LRU cache of generated (stationary-operand) tiles,
+/// shared across executions of a long-lived node.
+///
+/// The one-shot engine generates every `B` tile from scratch on each run;
+/// a persistent service keeps the generated tiles of the stationary operand
+/// resident here between requests, handing the engine the cached `Arc`
+/// instead of re-running the generator. Tiles are immutable (`Arc<Tile>`),
+/// so a hit returns the *exact* bytes the original generation produced —
+/// which is what makes warm-cache results bit-identical to cold runs.
+///
+/// Eviction is strict LRU against `budget_bytes`; a tile larger than the
+/// whole budget is served but never cached. All methods take `&self`
+/// (internally locked) so one cache can serve a node's generator lanes
+/// concurrently.
+pub struct BTileCache {
+    inner: Mutex<BCacheInner>,
+    budget: u64,
+}
+
+impl BTileCache {
+    /// An empty cache bounded by `budget_bytes`.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        Self {
+            inner: Mutex::new(BCacheInner {
+                stats: BCacheStats {
+                    budget_bytes,
+                    ..BCacheStats::default()
+                },
+                ..BCacheInner::default()
+            }),
+            budget: budget_bytes,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. Counts a hit (plus
+    /// the tile's bytes as saved regeneration) or a miss.
+    pub fn get(&self, key: BCacheKey) -> Option<Arc<Tile>> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        match inner.entries.get_mut(&key) {
+            Some(e) => {
+                inner.lru.remove(&e.stamp);
+                e.stamp = inner.next_stamp;
+                inner.lru.insert(e.stamp, key);
+                inner.next_stamp += 1;
+                inner.stats.hits += 1;
+                inner.stats.bytes_saved += e.tile.bytes();
+                Some(Arc::clone(&e.tile))
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `tile` under `key`, evicting least-recently-used entries
+    /// until it fits the budget. A tile larger than the whole budget is not
+    /// cached; re-inserting a resident key only refreshes its recency (the
+    /// generators a cache serves are deterministic — same key, same bytes).
+    pub fn insert(&self, key: BCacheKey, tile: Arc<Tile>) {
+        let bytes = tile.bytes();
+        if bytes > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if let Some(e) = inner.entries.get_mut(&key) {
+            inner.lru.remove(&e.stamp);
+            e.stamp = inner.next_stamp;
+            inner.lru.insert(e.stamp, key);
+            inner.next_stamp += 1;
+            return;
+        }
+        while inner.stats.current_bytes + bytes > self.budget {
+            let (&stamp, &victim) = inner.lru.iter().next().expect("non-empty over budget");
+            inner.lru.remove(&stamp);
+            let evicted = inner.entries.remove(&victim).expect("lru/entries in sync");
+            inner.stats.current_bytes -= evicted.tile.bytes();
+            inner.stats.evictions += 1;
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.lru.insert(stamp, key);
+        inner.entries.insert(key, BCacheEntry { tile, stamp });
+        inner.stats.current_bytes += bytes;
+        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.current_bytes);
+        inner.stats.insertions += 1;
+    }
+
+    /// Drops every resident tile (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.lru.clear();
+        inner.stats.current_bytes = 0;
+    }
+
+    /// Number of resident tiles.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently resident.
+    pub fn current_bytes(&self) -> u64 {
+        self.inner.lock().stats.current_bytes
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> BCacheStats {
+        self.inner.lock().stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +446,67 @@ mod tests {
         let mut keys = s.keys();
         keys.sort_by_key(|k| format!("{k:?}"));
         assert_eq!(keys.len(), 2);
+    }
+
+    fn bkey(k: u32, j: u32) -> BCacheKey {
+        BCacheKey { ident: 7, k, j }
+    }
+
+    #[test]
+    fn bcache_hit_returns_same_arc_and_counts_saved_bytes() {
+        let c = BTileCache::with_budget(1 << 10);
+        let t = tile();
+        assert!(c.get(bkey(0, 0)).is_none());
+        c.insert(bkey(0, 0), Arc::clone(&t));
+        let hit = c.get(bkey(0, 0)).expect("resident");
+        assert!(Arc::ptr_eq(&hit, &t), "hit must return the cached Arc");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.bytes_saved, t.bytes());
+        assert_eq!(s.current_bytes, t.bytes());
+    }
+
+    #[test]
+    fn bcache_evicts_lru_within_budget() {
+        // Budget fits exactly two 32-byte tiles.
+        let c = BTileCache::with_budget(64);
+        c.insert(bkey(0, 0), tile());
+        c.insert(bkey(0, 1), tile());
+        // Touch (0,0) so (0,1) is the LRU victim.
+        assert!(c.get(bkey(0, 0)).is_some());
+        c.insert(bkey(0, 2), tile());
+        assert!(c.get(bkey(0, 1)).is_none(), "LRU entry must be evicted");
+        assert!(c.get(bkey(0, 0)).is_some());
+        assert!(c.get(bkey(0, 2)).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.current_bytes <= 64 && s.peak_bytes <= 64);
+    }
+
+    #[test]
+    fn bcache_oversized_tile_not_cached() {
+        let c = BTileCache::with_budget(16);
+        c.insert(bkey(0, 0), tile()); // 32 B > 16 B budget
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn bcache_idents_isolate_operands() {
+        let c = BTileCache::with_budget(1 << 10);
+        c.insert(BCacheKey { ident: 1, k: 0, j: 0 }, tile());
+        assert!(c.get(BCacheKey { ident: 2, k: 0, j: 0 }).is_none());
+        assert!(c.get(BCacheKey { ident: 1, k: 0, j: 0 }).is_some());
+    }
+
+    #[test]
+    fn bcache_clear_keeps_counters() {
+        let c = BTileCache::with_budget(1 << 10);
+        c.insert(bkey(0, 0), tile());
+        c.get(bkey(0, 0));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.current_bytes(), 0);
+        assert_eq!(c.stats().hits, 1);
     }
 }

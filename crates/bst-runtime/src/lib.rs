@@ -57,7 +57,7 @@ pub use comm::{
     CommConfig, CommEvent, CommFabric, CPart, DeliveryPolicy, LinkShaper, MessageDropped,
     NodeCommStats, TileMsg,
 };
-pub use data::{DataKey, TileStore};
+pub use data::{BCacheKey, BCacheStats, BTileCache, DataKey, TileStore};
 pub use device::{DeviceMemory, NodeResidency};
 pub use engine::{Clock, Engine, NoTracer, Recorder, Tracer};
 pub use graph::{FallibleRun, RetryOptions, RunAbort, TaskError, TaskGraph, WorkerId};

@@ -73,6 +73,17 @@ pub(crate) const REDUCE_ROOT: usize = 0;
 pub type BGen<'a> =
     &'a (dyn Fn(usize, usize, usize, usize, &TilePool) -> Result<Arc<Tile>, GenError> + Sync);
 
+/// Persistent per-node B-tile caches handed in by a long-lived caller (the
+/// contraction service). `ident` namespaces this request's operand inside
+/// the shared caches, so two different B structures sharing a budget can
+/// never alias each other's tiles.
+pub(crate) struct BCaches<'a> {
+    /// One cache per simulated node, indexed by node id.
+    pub caches: &'a [Arc<bst_runtime::BTileCache>],
+    /// Operand identity mixed into every cache key.
+    pub ident: u64,
+}
+
 /// Executes `plan` numerically under `opts` — the single engine path every
 /// public entry point funnels into.
 pub(crate) fn run(
@@ -81,6 +92,7 @@ pub(crate) fn run(
     a: &BlockSparseMatrix,
     b_gen: BGen<'_>,
     opts: ExecOptions,
+    b_caches: Option<BCaches<'_>>,
 ) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
     // ---- Degraded re-planning on a permanent node loss -------------------
     // The dead node's B columns move to its surviving row peers; its host
@@ -148,11 +160,13 @@ pub(crate) fn run(
         },
     );
 
+    let caching = b_caches.is_some();
     let env = HandlerEnv {
         spec,
         plan,
         low: &low,
         b_gen,
+        b_caches,
         stores: &stores,
         fabric: &fabric,
         pools: &pools,
@@ -292,6 +306,11 @@ pub(crate) fn run(
             host_peak_bytes: stores.iter().map(TileStore::peak_bytes).collect(),
             metrics,
             recovery,
+            b_cache: caching.then(|| report::BCacheRunStats {
+                hits: c.b_cache_hits.load(Ordering::Relaxed),
+                misses: c.b_cache_misses.load(Ordering::Relaxed),
+                bytes_saved: c.b_cache_saved.load(Ordering::Relaxed),
+            }),
             trace: trace_data,
         },
     ))

@@ -60,6 +60,21 @@ impl RecoveryStats {
     }
 }
 
+/// Per-run B-tile cache counters — what one execution took from and gave to
+/// a persistent [`BTileCache`](bst_runtime::BTileCache). Present only when
+/// the run was driven through a cache-equipped entry point (the
+/// `ContractionService`); the one-shot `execute_numeric*` paths leave it
+/// `None`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BCacheRunStats {
+    /// `GenB` tasks served from the cache (generator not called).
+    pub hits: u64,
+    /// `GenB` tasks that generated (and then cached) their tile.
+    pub misses: u64,
+    /// Bytes of regeneration the hits avoided.
+    pub bytes_saved: u64,
+}
+
 /// Aggregate report of a numeric execution.
 #[derive(Clone, Debug, Default)]
 pub struct ExecReport {
@@ -98,6 +113,9 @@ pub struct ExecReport {
     /// Fault-injection and recovery counters (all zero without an active
     /// [`ExecOptions::fault_plan`]).
     pub recovery: RecoveryStats,
+    /// Persistent B-tile cache counters of this run (`None` on the
+    /// one-shot paths, which run without a cache).
+    pub b_cache: Option<BCacheRunStats>,
     /// The full labeled trace (present only under [`ExecOptions::tracing`]).
     pub trace: Option<ExecTraceData>,
 }
@@ -143,6 +161,12 @@ impl ExecReport {
                     host_peak,
                 ));
             }
+        }
+        if let Some(bc) = &self.b_cache {
+            out.push_str(&format!(
+                "b-cache: {} hits / {} misses, {} B of regeneration saved\n",
+                bc.hits, bc.misses, bc.bytes_saved,
+            ));
         }
         if self.recovery.any() {
             let r = &self.recovery;

@@ -158,6 +158,38 @@ impl From<GenError> for ExecError {
     }
 }
 
+/// Failure of the contraction service's request frontend — admission
+/// control and request validation, as opposed to planning or execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded request queue was full; the request was not admitted.
+    /// Back off and resubmit.
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down (or shut down while the request was
+    /// waiting); no further requests are admitted.
+    ShuttingDown,
+    /// The request failed structural validation before admission (e.g.
+    /// mismatched inner tilings or a C shape of the wrong dimensions).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 /// Union error of the public block-sparse API surface.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BstError {
@@ -165,6 +197,8 @@ pub enum BstError {
     Plan(PlanError),
     /// Execution failed beyond recovery.
     Exec(ExecError),
+    /// The contraction service rejected or lost the request.
+    Service(ServiceError),
 }
 
 impl fmt::Display for BstError {
@@ -172,6 +206,7 @@ impl fmt::Display for BstError {
         match self {
             BstError::Plan(e) => write!(f, "planning failed: {e}"),
             BstError::Exec(e) => write!(f, "execution failed: {e}"),
+            BstError::Service(e) => write!(f, "service rejected request: {e}"),
         }
     }
 }
@@ -193,6 +228,12 @@ impl From<ExecError> for BstError {
 impl From<GenError> for BstError {
     fn from(e: GenError) -> Self {
         BstError::Exec(ExecError::Gen(e))
+    }
+}
+
+impl From<ServiceError> for BstError {
+    fn from(e: ServiceError) -> Self {
+        BstError::Service(e)
     }
 }
 

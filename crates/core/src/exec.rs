@@ -56,7 +56,7 @@ pub fn execute_numeric(
     a: &BlockSparseMatrix,
     b_gen: BGen<'_>,
 ) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
-    crate::engine::run(spec, plan, a, b_gen, ExecOptions::default())
+    crate::engine::run(spec, plan, a, b_gen, ExecOptions::default(), None)
 }
 
 /// [`execute_numeric`] with selectable control-flow edges, fault injection
@@ -70,5 +70,5 @@ pub fn execute_numeric_with(
     b_gen: BGen<'_>,
     opts: ExecOptions,
 ) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
-    crate::engine::run(spec, plan, a, b_gen, opts)
+    crate::engine::run(spec, plan, a, b_gen, opts, None)
 }

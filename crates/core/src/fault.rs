@@ -139,6 +139,13 @@ impl FaultPlan {
         self
     }
 
+    /// Whether this plan declares a permanent node loss — executions under
+    /// it re-plan around the dead node, so results (and cached plans) from a
+    /// degraded run must not be conflated with healthy ones.
+    pub fn is_degraded(&self) -> bool {
+        self.dead_node.is_some()
+    }
+
     /// Whether any injection (failure or stall) can ever fire.
     pub fn is_active(&self) -> bool {
         self.genb_rate > 0.0

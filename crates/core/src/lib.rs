@@ -28,6 +28,9 @@
 //! plan numerically on the `bst-runtime` dataflow runtime (with [`exec`] as
 //! its signature-stable facade). The performance simulator (`bst-sim`)
 //! replays the same inspector lowering against a Summit platform model.
+//! For iterative solvers that issue the same contraction shape repeatedly,
+//! the [`service`] module keeps a persistent engine: plans and generated B
+//! tiles are cached across requests behind a bounded, concurrent frontend.
 
 pub mod api;
 pub mod assign;
@@ -39,19 +42,25 @@ pub mod exec;
 pub mod fault;
 pub mod partition;
 pub mod plan;
+pub mod service;
 pub mod spec;
 pub mod stationary_c;
 
 pub use config::{DeviceConfig, GridConfig, PlanError, PlannerConfig};
-pub use error::{BstError, ExecError, GenError};
+pub use error::{BstError, ExecError, GenError, ServiceError};
 #[allow(deprecated)]
 pub use exec::max_concurrent_genb;
 pub use exec::{
     validate_trace_invariants, ExecOptions, ExecOptionsBuilder, ExecReport, ExecTraceData,
     KernelSelect, RecoveryStats,
 };
+pub use engine::report::BCacheRunStats;
 pub use fault::{FaultPlan, FaultSite, RetryPolicy};
 pub use plan::{ExecutionPlan, PlanStats};
+pub use service::{
+    ContractionRequest, ContractionService, PendingContraction, RequestOutcome, RequestStats,
+    ServiceBGen, ServiceConfig, ServiceStats,
+};
 pub use spec::ProblemSpec;
 // The transport knob types [`ExecOptions`] carries, so callers configuring a
 // run don't need a direct `bst-runtime` dependency.

@@ -63,6 +63,9 @@ pub struct ExecutionPlan {
     pub config: PlannerConfig,
     /// Node plans, row-major (`node = grid_row · q + grid_col`).
     pub nodes: Vec<NodePlan>,
+    /// Flat indices of the nodes this plan treats as permanently failed
+    /// (sorted). Empty for a healthy plan.
+    pub dead_nodes: Vec<usize>,
 }
 
 impl ExecutionPlan {
@@ -120,10 +123,20 @@ impl ExecutionPlan {
             .into_par_iter()
             .map(|(row, col_idx, cols)| Self::build_node(spec, &config, row, col_idx, cols))
             .collect();
+        let mut dead: Vec<usize> = dead_nodes.to_vec();
+        dead.sort_unstable();
+        dead.dedup();
         Ok(Self {
             config,
             nodes: nodes?,
+            dead_nodes: dead,
         })
+    }
+
+    /// Whether this plan was built around one or more dead nodes. Degraded
+    /// plans must never be cached under the healthy structure key.
+    pub fn is_degraded(&self) -> bool {
+        !self.dead_nodes.is_empty()
     }
 
     /// Builds one node's plan (§3.2.2 + §3.2.3).

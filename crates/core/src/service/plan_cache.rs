@@ -1,0 +1,202 @@
+//! The plan cache: structure-keyed, LRU-bounded, invalidation-aware.
+//!
+//! An [`ExecutionPlan`] depends only on the
+//! problem's *structure* (tilings, screening, C shape), the planner
+//! configuration and the dead-node set — never on tile values. The service
+//! therefore caches built plans under [`plan_key`](super::hash::plan_key)
+//! and reuses them across requests; for an iterative solver the inspector
+//! runs once, not once per sweep.
+//!
+//! Entries are `Arc`-shared: a hit hands out a clone of the `Arc`, so an
+//! eviction (or invalidation) never pulls a plan out from under a request
+//! already executing against it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::plan::ExecutionPlan;
+
+/// Counters for the plan cache, snapshot via [`PlanCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found a resident plan.
+    pub hits: u64,
+    /// Lookups that missed (caller then builds + inserts).
+    pub misses: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Plans dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Plans removed by explicit invalidation (degraded runs).
+    pub invalidations: u64,
+    /// Plans currently resident.
+    pub resident: usize,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    entries: HashMap<u64, (Arc<ExecutionPlan>, u64)>,
+    lru: BTreeMap<u64, u64>,
+    next_stamp: u64,
+    stats: PlanCacheStats,
+}
+
+/// A bounded, thread-safe, LRU plan cache keyed by structure hash.
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (`capacity == 0` disables
+    /// caching: every lookup misses, every insert is dropped).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache { inner: Mutex::new(PlanCacheInner::default()), capacity }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<ExecutionPlan>> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        match inner.entries.get_mut(&key) {
+            Some((plan, stamp)) => {
+                inner.lru.remove(stamp);
+                *stamp = inner.next_stamp;
+                inner.lru.insert(*stamp, key);
+                inner.next_stamp += 1;
+                inner.stats.hits += 1;
+                let plan = Arc::clone(plan);
+                inner.stats.resident = inner.entries.len();
+                Some(plan)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `plan` under `key`, evicting least-recently-used entries if
+    /// the capacity bound requires it. Re-inserting a resident key only
+    /// refreshes its recency.
+    pub fn insert(&self, key: u64, plan: Arc<ExecutionPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if let Some((_, stamp)) = inner.entries.get_mut(&key) {
+            inner.lru.remove(stamp);
+            *stamp = inner.next_stamp;
+            inner.lru.insert(*stamp, key);
+            inner.next_stamp += 1;
+            return;
+        }
+        while inner.entries.len() >= self.capacity {
+            let (&stamp, &victim) = inner.lru.iter().next().expect("lru tracks entries");
+            inner.lru.remove(&stamp);
+            inner.entries.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.entries.insert(key, (plan, stamp));
+        inner.lru.insert(stamp, key);
+        inner.stats.insertions += 1;
+        inner.stats.resident = inner.entries.len();
+    }
+
+    /// Drops `key` if resident. Used after a degraded request completes:
+    /// the engine re-planned around the dead node, so the healthy entry for
+    /// that structure can no longer be assumed current.
+    pub fn invalidate(&self, key: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        match inner.entries.remove(&key) {
+            Some((_, stamp)) => {
+                inner.lru.remove(&stamp);
+                inner.stats.invalidations += 1;
+                inner.stats.resident = inner.entries.len();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        let mut inner = self.inner.lock();
+        inner.stats.resident = inner.entries.len();
+        inner.stats
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceConfig, GridConfig, PlannerConfig};
+    use crate::plan::ExecutionPlan;
+    use crate::spec::ProblemSpec;
+    use bst_sparse::MatrixStructure;
+    use bst_tile::tiling::Tiling;
+
+    fn tiny_plan() -> Arc<ExecutionPlan> {
+        let t = Tiling::from_sizes(&[4, 4]);
+        let a = MatrixStructure::dense(t.clone(), t.clone());
+        let b = MatrixStructure::dense(t.clone(), t);
+        let spec = ProblemSpec::new(a, b, None);
+        let cfg = PlannerConfig::paper(
+            GridConfig { p: 1, q: 1 },
+            DeviceConfig { gpus_per_node: 1, gpu_mem_bytes: 1 << 20 },
+        );
+        Arc::new(ExecutionPlan::build(&spec, cfg).unwrap())
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let cache = PlanCache::with_capacity(2);
+        let p = tiny_plan();
+        assert!(cache.get(1).is_none());
+        cache.insert(1, Arc::clone(&p));
+        cache.insert(2, Arc::clone(&p));
+        assert!(cache.get(1).is_some()); // 1 is now most recent
+        cache.insert(3, Arc::clone(&p)); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.resident, 2);
+    }
+
+    #[test]
+    fn invalidation_removes_entry_and_counts() {
+        let cache = PlanCache::with_capacity(4);
+        cache.insert(9, tiny_plan());
+        assert!(cache.invalidate(9));
+        assert!(!cache.invalidate(9));
+        assert!(cache.get(9).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::with_capacity(0);
+        cache.insert(1, tiny_plan());
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+}

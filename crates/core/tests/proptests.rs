@@ -1,12 +1,18 @@
-//! Property tests for the planner's three heuristics (§3.2.1–§3.2.3) and
-//! the column-splitting extension.
+//! Property tests for the planner's three heuristics (§3.2.1–§3.2.3), the
+//! column-splitting extension, and the service layer's cache machinery
+//! (structure-hash soundness, B-cache budget accounting, hit/miss
+//! reconciliation).
 
 use bst_contract::assign::assign_columns;
 use bst_contract::chunk::{build_chunks, needed_tiles_per_row};
 use bst_contract::partition::{partition_spans, split_column, Block, ColumnSpan};
-use bst_contract::ProblemSpec;
+use bst_contract::service::hash;
+use bst_contract::{DeviceConfig, GridConfig, PlannerConfig, ProblemSpec};
+use bst_runtime::{BCacheKey, BTileCache};
 use bst_sparse::generate::{generate, SyntheticParams};
+use bst_tile::Tile;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     /// Mirrored-cyclic assignment: every column exactly once, and totals
@@ -121,5 +127,90 @@ proptest! {
                 prop_assert_eq!(seen.len(), expected);
             }
         }
+    }
+
+    /// Structure-hash soundness: equal specs (built twice from the same
+    /// seed) collide, and any mutation the planner can observe — screening
+    /// a tile out, changing the grid, killing a node — moves the plan key;
+    /// a pure norm perturbation (which the planner never reads, and which
+    /// solver iterations produce every sweep) does not.
+    #[test]
+    fn plan_key_soundness(seed in 0u64..200, q in 1usize..4) {
+        let params = SyntheticParams {
+            m: 24, n: 64, k: 64, density: 0.6, tile_min: 3, tile_max: 7, seed,
+        };
+        let spec = |p: &SyntheticParams| {
+            let prob = generate(p);
+            ProblemSpec::new(prob.a, prob.b, None)
+        };
+        let cfg = PlannerConfig::paper(
+            GridConfig { p: 1, q },
+            DeviceConfig { gpus_per_node: 1, gpu_mem_bytes: 1 << 20 },
+        );
+        let s1 = spec(&params);
+        let s2 = spec(&params);
+        let base = hash::plan_key(&s1, &cfg, &[]);
+        prop_assert_eq!(base, hash::plan_key(&s2, &cfg, &[]));
+
+        // Screen one non-zero B tile out: the key must move.
+        let mut screened = spec(&params);
+        let first_nz = screened.b.shape().iter_nonzero().next();
+        if let Some((r, c)) = first_nz {
+            screened.b.shape_mut().zero_out(r, c);
+            prop_assert_ne!(base, hash::plan_key(&screened, &cfg, &[]));
+        }
+
+        // Perturbing a screening norm without changing the pattern keeps
+        // the key: plan reuse must survive amplitude drift across sweeps.
+        let mut perturbed = spec(&params);
+        let first_nz = perturbed.b.shape().iter_nonzero().next();
+        if let Some((r, c)) = first_nz {
+            let n = perturbed.b.shape().norm(r, c);
+            perturbed.b.shape_mut().set_norm(r, c, n + 1.0);
+            prop_assert_eq!(base, hash::plan_key(&perturbed, &cfg, &[]));
+        }
+
+        // A different grid is a different key even for the same structure.
+        let other_grid = PlannerConfig::paper(
+            GridConfig { p: 1, q: q + 1 },
+            cfg.device,
+        );
+        prop_assert_ne!(base, hash::plan_key(&s1, &other_grid, &[]));
+
+        // Dead nodes are part of the key.
+        prop_assert_ne!(base, hash::plan_key(&s1, &cfg, &[0]));
+    }
+
+    /// B-cache accounting: under any interleaving of inserts and lookups
+    /// the resident bytes never exceed the budget, the peak never exceeds
+    /// it either, and hit + miss counts reconcile exactly with the lookup
+    /// total.
+    #[test]
+    fn b_cache_budget_and_reconciliation(
+        budget_tiles in 1u64..8,
+        ops in prop::collection::vec((0u32..12, 0u32..12, 0u32..2), 1..120),
+    ) {
+        // Every tile is 4x4 f64 = 128 bytes; the budget holds a few.
+        let tile_bytes = 4 * 4 * 8;
+        let cache = BTileCache::with_budget(budget_tiles * tile_bytes);
+        let mut lookups = 0u64;
+        for &(k, j, insert_flag) in &ops {
+            let key = BCacheKey { ident: 1, k, j };
+            lookups += 1;
+            let hit = cache.get(key).is_some();
+            if !hit && insert_flag == 1 {
+                cache.insert(key, Arc::new(Tile::zeros(4, 4)));
+            }
+            let s = cache.stats();
+            prop_assert!(
+                s.current_bytes <= budget_tiles * tile_bytes,
+                "resident {} over budget {}", s.current_bytes, budget_tiles * tile_bytes
+            );
+            prop_assert!(s.peak_bytes <= budget_tiles * tile_bytes);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups);
+        // Residency is consistent with the insert/evict ledger.
+        prop_assert_eq!(s.insertions - s.evictions, cache.len() as u64);
     }
 }

@@ -7,19 +7,25 @@
 //! amplitude equation `T·(I + V) = G` by Richardson iteration
 //! `T ← G − T·V` (the CC amplitude equations have exactly this
 //! contract-then-update structure, with the energy denominators providing
-//! the contraction). Each sweep evaluates the ABCD-style contraction `T·V`
-//! on the simulated distributed runtime; `V` is regenerated on demand each
-//! iteration (it is never stored whole), exactly as the paper's driver
-//! treats the stationary operand. With `‖V‖ < 1` the update norm decays
-//! geometrically.
+//! the contraction). The sweeps go through one persistent
+//! [`ContractionService`]: the execution plan is built on the first sweep
+//! and served from the plan cache afterwards, and the stationary `V` tiles
+//! stay resident in the service's B-tile cache — sweeps 2..N regenerate
+//! (nearly) nothing, which is exactly the paper's driver treatment of the
+//! stationary operand taken one step further. With `‖V‖ < 1` the update
+//! norm decays geometrically.
 //!
 //! ```text
 //! cargo run --release --example ccsd_iterations [carbons] [iterations]
 //! ```
 
+use std::sync::Arc;
+
+use bst::contract::{
+    ContractionRequest, ContractionService, DeviceConfig, ExecOptions, GridConfig, PlannerConfig,
+    ServiceBGen, ServiceConfig,
+};
 use bst::chem::{CcsdProblem, Molecule, ScreeningParams, TilingSpec};
-use bst::contract::api::multiply_on_demand;
-use bst::contract::{DeviceConfig, GridConfig, PlannerConfig};
 use bst::sparse::matrix::tile_seed;
 use bst::sparse::BlockSparseMatrix;
 
@@ -70,11 +76,33 @@ fn main() {
     // physical denominators provide in real CC iterations).
     let v_seed = 0xF1EDu64;
     let spectral_scale = 0.5 / (problem.v.rows() as f64 / 3.0).sqrt();
-    let v_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
-        let mut t = pool.random(r, c, tile_seed(v_seed, k, j));
-        t.scale(spectral_scale);
-        Ok(std::sync::Arc::new(t))
+    let v_gen: ServiceBGen =
+        Arc::new(move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+            let mut t = pool.random(r, c, tile_seed(v_seed, k, j));
+            t.scale(spectral_scale);
+            Ok(Arc::new(t))
+        });
+
+    // One service outlives every sweep: the plan is built once, V stays
+    // resident across iterations. Size the B-tile budget to hold all of V
+    // (per node only a 1/q column slice is generated, so this is ample) —
+    // a budget smaller than the working set would thrash the LRU and save
+    // nothing on this cyclic access pattern.
+    let v_bytes: u64 = {
+        let rows = problem.v.row_tiling();
+        let cols = problem.v.col_tiling();
+        problem
+            .v
+            .shape()
+            .iter_nonzero()
+            .map(|(r, c)| rows.size(r) * cols.size(c) * 8)
+            .sum()
     };
+    let service = ContractionService::start(ServiceConfig {
+        workers: 1, // the solver is sequential: sweep n+1 consumes sweep n
+        b_cache_budget_bytes: v_bytes + v_bytes / 8,
+        ..ServiceConfig::default()
+    });
 
     let g = BlockSparseMatrix::random_from_structure(problem.t.clone(), 7);
     let mut t = g.clone();
@@ -82,9 +110,19 @@ fn main() {
     println!("{:>5} {:>16} {:>12}", "iter", "||T_n+1 - T_n||", "GEMM tasks");
     let mut last_delta = f64::INFINITY;
     for it in 0..iterations {
-        // R = T_n · V on the distributed runtime.
-        let (r, report) = multiply_on_demand(&t, &problem.v, &v_gen, None, config)
+        // R = T_n · V through the persistent service.
+        let out = service
+            .run(ContractionRequest {
+                a: Arc::new(t.clone()),
+                b_structure: problem.v.clone(),
+                b_gen: Arc::clone(&v_gen),
+                b_key: v_seed,
+                c_shape: None,
+                config,
+                opts: ExecOptions::default(),
+            })
             .expect("contraction plans");
+        let (r, report) = (out.c, out.report);
         total_gemms += report.gemm_tasks;
         // T_{n+1} = G - R, restricted to T's block-sparse shape.
         let mut t_next = g.clone();
@@ -124,6 +162,17 @@ fn main() {
     println!(
         "{} GEMM tasks total across the sweeps; final update norm {last_delta:.3e}",
         total_gemms
+    );
+    let stats = service.stats();
+    service.shutdown();
+    println!(
+        "service caches: plan {} hits / {} misses; V tiles {} hits / {} misses, \
+{} B of regeneration saved",
+        stats.plan_hits, stats.plan_misses, stats.b_hits, stats.b_misses, stats.b_bytes_saved
+    );
+    assert!(
+        stats.plan_hits > 0 && stats.b_bytes_saved > 0,
+        "a stationary-V sweep sequence must hit both caches"
     );
     let _ = frobenius(&t);
     println!("OK");
