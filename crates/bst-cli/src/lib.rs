@@ -30,6 +30,10 @@ pub struct Cli {
     pub tiling: String,
     /// Node count.
     pub nodes: usize,
+    /// Ranks per physical node: the transport routes collective trees so
+    /// broadcasts cross the inter-node link once per physical node at most
+    /// (verify only; 1 = every rank its own node).
+    pub node_size: usize,
     /// Grid-row parameter `p`.
     pub p: usize,
     /// GPUs per node.
@@ -105,7 +109,7 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "usage: bst <info|plan|simulate|verify|serve> \
 [--molecule KIND:ARGS | --synthetic MxNxK:D] [--tiling v1|v2|v3] \
-[--nodes N] [--p P] [--gpus G] [--seed S] [--gantt] \
+[--nodes N] [--node-size S] [--p P] [--gpus G] [--seed S] [--gantt] \
 [--trace FILE.json] [--trace-summary] [--faults SEED] \
 [--clients N] [--requests M]";
 
@@ -126,6 +130,7 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         problem: ProblemKind::Molecule("alkane:20".into()),
         tiling: "v1".into(),
         nodes: 2,
+        node_size: 1,
         p: 1,
         gpus: 6,
         gantt: false,
@@ -171,6 +176,13 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
                 cli.nodes = value("--nodes")?
                     .parse()
                     .map_err(|_| err("bad --nodes"))?
+            }
+            "--node-size" => {
+                cli.node_size =
+                    value("--node-size")?.parse().map_err(|_| err("bad --node-size"))?;
+                if cli.node_size == 0 {
+                    return Err(err("--node-size must be >= 1"));
+                }
             }
             "--p" => cli.p = value("--p")?.parse().map_err(|_| err("bad --p"))?,
             "--gpus" => cli.gpus = value("--gpus")?.parse().map_err(|_| err("bad --gpus"))?,
@@ -352,7 +364,8 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
                 Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(seed, k, j))))
             };
             let mut builder = bst_contract::ExecOptions::builder()
-                .tracing(cli.trace.is_some() || cli.trace_summary);
+                .tracing(cli.trace.is_some() || cli.trace_summary)
+                .node_size(cli.node_size);
             if let Some(fault_seed) = cli.faults {
                 builder = builder.fault_plan(bst_contract::FaultPlan::transient(fault_seed, 0.08));
             }
@@ -402,8 +415,14 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
             for (node, s) in report.comm.iter().enumerate() {
                 writeln!(
                     out,
-                    "node {node}: sent {} B / {} msgs, received {} B / {} msgs",
-                    s.sent_bytes, s.sent_msgs, s.recv_bytes, s.recv_msgs
+                    "node {node}: sent {} B / {} msgs ({} B inter-node), \
+received {} B / {} msgs ({} B inter-node)",
+                    s.sent_bytes,
+                    s.sent_msgs,
+                    s.inter_sent_bytes,
+                    s.recv_bytes,
+                    s.recv_msgs,
+                    s.inter_recv_bytes
                 )?;
             }
             if cli.trace_summary {
@@ -684,5 +703,29 @@ mod tests {
         // Per-node transport totals, one line per node of the 2-node grid.
         assert!(s.contains("node 0: sent"), "{s}");
         assert!(s.contains("node 1: sent"), "{s}");
+    }
+
+    #[test]
+    fn parse_node_size() {
+        let cli = parse(&args("verify --synthetic 100x800x800:0.6 --nodes 4 --node-size 2"))
+            .unwrap();
+        assert_eq!(cli.node_size, 2);
+        assert!(parse(&args("verify --node-size 0")).is_err());
+        assert!(parse(&args("verify --node-size x")).is_err());
+    }
+
+    /// A node-aware 4-rank / 2-physical-node verify run still matches the
+    /// reference, and its per-node lines report the inter-node split.
+    #[test]
+    fn run_verify_node_aware() {
+        let cli = parse(&args(
+            "verify --synthetic 100x800x800:0.6 --nodes 4 --node-size 2 --gpus 2",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("verification OK"), "{s}");
+        assert!(s.contains("inter-node"), "{s}");
     }
 }

@@ -10,28 +10,42 @@
 //!   is the only way data enters the node,
 //! * a **progress thread** that drains the inbox into the node's private
 //!   [`TileStore`] (and, for C partial sums, into a reduction buffer),
-//! * a **credit gate** ([`CommConfig::window`] credits): a sender must
-//!   acquire a credit on the destination before a frame may leave, and the
-//!   credit returns only after the progress thread has *deposited* the
-//!   frame — so a slow node cannot be flooded past its window, end to end
-//!   (channel + reorder staging included), and
-//! * a pluggable [`LinkShaper`] that charges per-message wall-clock time
-//!   (latency + bytes/bandwidth, calibrated to the 23 GB/s Summit NIC of
-//!   `bst-sim`'s platform model) inside the progress thread, so transfer
-//!   times are visible between the `Sent` and `Received` trace events.
+//! * **per-link-class credit gates**: a sender must acquire a credit on the
+//!   destination's gate for the link class it crosses
+//!   ([`topology::LinkClass::Intra`] vs [`topology::LinkClass::Inter`], see
+//!   [`CommConfig::window`] / [`CommConfig::intra_window`]) before a frame
+//!   may leave, and the credit returns only after the progress thread has
+//!   *deposited* the frame — so a slow node cannot be flooded past its
+//!   window, end to end, and a saturated NIC window cannot throttle
+//!   intra-node traffic (or vice versa), and
+//! * **per-link-class [`LinkShaper`]s** that charge per-message wall-clock
+//!   time (latency + bytes/bandwidth) inside the progress thread:
+//!   [`CommConfig::shaper`] for inter-node frames (calibrated to the
+//!   23 GB/s Summit NIC of `bst-sim`'s platform model),
+//!   [`CommConfig::intra_shaper`] for frames between ranks sharing a
+//!   physical node (shared memory / NVLink). Loopback frames are never
+//!   shaped.
 //!
-//! Message vocabulary: [`TileMsg`] carries one A-tile broadcast hop
-//! (`{key, payload, epoch}` — the epoch is the sending task's attempt
-//! number, which makes duplicate delivery detectable), [`CPart`] carries a
-//! C-block partial sum toward the reduction root, and `Shutdown` is the
-//! completion control frame. Credits are the flow-control frames collapsed
-//! into a semaphore: releasing a credit *is* the credit-return message.
+//! Which class a frame crosses is decided by the fabric's
+//! [`topology::Topology`] ([`CommConfig::node_size`] ranks per physical
+//! node); the collective tree shapes routed over it live in [`topology`].
+//!
+//! Frame vocabulary: `Frame::BcastA` carries one hop of an A-tile
+//! broadcast tree ([`TileMsg`]: `{key, payload, epoch}` — the epoch is the
+//! sending task's attempt number, which makes duplicate delivery
+//! detectable), `Frame::ReduceC` carries a C-block partial sum
+//! ([`CPart`]) one hop up the reduction tree, and `Frame::Shutdown` is
+//! the completion control frame. Credits are the flow-control frames
+//! collapsed into semaphores: releasing a credit *is* the credit-return
+//! message.
 //!
 //! Delivery is idempotent: the progress thread tracks delivered keys and
 //! drops (and counts) re-deliveries, so a retried send after a fault-
 //! injected drop can never double-deposit. A seeded [`DeliveryPolicy`]
 //! can shuffle delivery order within a window to prove the dataflow DAG —
 //! not arrival order — is what orders the computation.
+
+pub mod topology;
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -44,7 +58,10 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use crate::data::{DataKey, TileStore};
 use crate::trace::{TraceClock, TracePhase};
 
-/// Default credit window (frames in flight per receiving node).
+pub use topology::{LinkClass, Topology};
+
+/// Default credit window (frames in flight per receiving node, per link
+/// class).
 pub const DEFAULT_CREDIT_WINDOW: usize = 16;
 
 /// SplitMix64 finalizer (same mixing as the tile seeds / fault plans).
@@ -91,6 +108,13 @@ impl LinkShaper {
         Self::nic(23e9, 3e-6)
     }
 
+    /// The Summit-like intra-node link (shared memory / NVLink-class):
+    /// 50 GB/s, 1 µs. (`Platform::summit().intra_shaper()` is pinned to
+    /// this by the same calibration test.)
+    pub const fn summit_intra() -> Self {
+        Self::nic(50e9, 1e-6)
+    }
+
     /// Whether this shaper charges any time at all.
     pub fn is_off(&self) -> bool {
         self.bandwidth_bps <= 0.0 && self.latency_s <= 0.0
@@ -132,10 +156,22 @@ pub enum DeliveryPolicy {
 /// Configuration of a [`CommFabric`].
 #[derive(Clone, Copy, Debug)]
 pub struct CommConfig {
-    /// Credit window per receiving node (frames in flight, ≥ 1).
+    /// Credit window per receiving node for **inter-node** frames (frames
+    /// in flight over the NIC, ≥ 1).
     pub window: usize,
-    /// Link cost model (default: [`LinkShaper::off`]).
+    /// Credit window per receiving node for **intra-node** (and loopback)
+    /// frames. Defaults to [`DEFAULT_CREDIT_WINDOW`]; size it independently
+    /// when the NIC window — not the link — is the throughput cap.
+    pub intra_window: usize,
+    /// Ranks per physical node (≥ 1; 1 = every link inter-node, the flat
+    /// legacy behaviour). See [`topology::Topology`].
+    pub node_size: usize,
+    /// Link cost model of **inter-node** frames (default:
+    /// [`LinkShaper::off`]).
     pub shaper: LinkShaper,
+    /// Link cost model of **intra-node** frames (default:
+    /// [`LinkShaper::off`]). Only meaningful with `node_size > 1`.
+    pub intra_shaper: LinkShaper,
     /// Delivery ordering policy (default: FIFO).
     pub delivery: DeliveryPolicy,
     /// When set, every send/delivery records a [`CommEvent`] on this clock.
@@ -146,7 +182,10 @@ impl Default for CommConfig {
     fn default() -> Self {
         Self {
             window: DEFAULT_CREDIT_WINDOW,
+            intra_window: DEFAULT_CREDIT_WINDOW,
+            node_size: 1,
             shaper: LinkShaper::off(),
+            intra_shaper: LinkShaper::off(),
             delivery: DeliveryPolicy::InOrder,
             clock: None,
         }
@@ -171,7 +210,7 @@ pub struct TileMsg {
     pub consumers: usize,
 }
 
-/// One C-block partial sum travelling to the reduction root.
+/// One C-block partial sum travelling one hop up the reduction tree.
 #[derive(Clone, Debug)]
 pub struct CPart {
     /// C block-row.
@@ -179,7 +218,9 @@ pub struct CPart {
     /// C block-column.
     pub j: usize,
     /// Deterministic ordinal of this partial — `(node, gpu, block)` of the
-    /// flush that produced it. Reduction sorts on `(i, j, origin)` so the
+    /// flush that produced it; an interior tree node's combined partial
+    /// carries the *minimum* origin of its subtree. Every combine step
+    /// sorts on `(i, j, origin)`, so with the fixed tree shape the
     /// floating-point accumulation order is independent of delivery order.
     pub origin: (usize, usize, usize),
     /// The partial-sum tile.
@@ -188,10 +229,10 @@ pub struct CPart {
 
 /// What travels on a node's inbox.
 enum Frame {
-    /// An A-tile broadcast hop.
-    Tile(TileMsg),
-    /// A C partial sum for reduction, from node `src`.
-    Reduce {
+    /// One hop of an A-tile broadcast tree.
+    BcastA(TileMsg),
+    /// A C partial sum moving one hop up the reduction tree, from `src`.
+    ReduceC {
         /// The partial.
         part: CPart,
         /// Sending node.
@@ -223,6 +264,8 @@ pub struct CommEvent {
     pub src: usize,
     /// Destination node.
     pub dst: usize,
+    /// Link class the frame crossed (loopback frames are not recorded).
+    pub class: LinkClass,
     /// Payload bytes.
     pub bytes: u64,
     /// Sending attempt (A tiles; 0 for C partials).
@@ -242,14 +285,35 @@ pub struct NodeCommStats {
     pub recv_bytes: u64,
     /// Messages delivered into this node.
     pub recv_msgs: u64,
+    /// Of [`NodeCommStats::sent_bytes`], the bytes that crossed an
+    /// **inter-node** (NIC) link; the remainder moved intra-node.
+    pub inter_sent_bytes: u64,
+    /// Of [`NodeCommStats::sent_msgs`], the messages that crossed an
+    /// inter-node link.
+    pub inter_sent_msgs: u64,
+    /// Of [`NodeCommStats::recv_bytes`], the bytes that arrived over an
+    /// inter-node link.
+    pub inter_recv_bytes: u64,
+    /// Of [`NodeCommStats::recv_msgs`], the messages that arrived over an
+    /// inter-node link.
+    pub inter_recv_msgs: u64,
     /// This node's messages dropped in flight (fault injection).
     pub dropped_msgs: u64,
     /// Duplicate deliveries this node suppressed.
     pub duplicate_msgs: u64,
-    /// High-water mark of frames simultaneously in flight *to* this node.
+    /// High-water mark of inter-node frames simultaneously in flight *to*
+    /// this node.
     pub max_in_flight: usize,
-    /// The credit window the high-water is bounded by.
+    /// The inter-node credit window the high-water is bounded by.
     pub credit_window: usize,
+    /// High-water mark of intra-node/loopback frames in flight to this node.
+    pub intra_max_in_flight: usize,
+    /// The intra-node credit window.
+    pub intra_credit_window: usize,
+    /// Nanoseconds this node's inter-node ingress spent shaped (busy).
+    pub inter_busy_ns: u64,
+    /// Nanoseconds this node's intra-node ingress spent shaped (busy).
+    pub intra_busy_ns: u64,
 }
 
 impl NodeCommStats {
@@ -262,10 +326,18 @@ impl NodeCommStats {
         self.sent_msgs += other.sent_msgs;
         self.recv_bytes += other.recv_bytes;
         self.recv_msgs += other.recv_msgs;
+        self.inter_sent_bytes += other.inter_sent_bytes;
+        self.inter_sent_msgs += other.inter_sent_msgs;
+        self.inter_recv_bytes += other.inter_recv_bytes;
+        self.inter_recv_msgs += other.inter_recv_msgs;
         self.dropped_msgs += other.dropped_msgs;
         self.duplicate_msgs += other.duplicate_msgs;
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
         self.credit_window = self.credit_window.max(other.credit_window);
+        self.intra_max_in_flight = self.intra_max_in_flight.max(other.intra_max_in_flight);
+        self.intra_credit_window = self.intra_credit_window.max(other.intra_credit_window);
+        self.inter_busy_ns += other.inter_busy_ns;
+        self.intra_busy_ns += other.intra_busy_ns;
     }
 }
 
@@ -306,43 +378,87 @@ impl CreditGate {
     }
 }
 
+/// Index into an endpoint's credit-gate pair: intra-node/loopback vs
+/// inter-node frames hold credits from independent windows.
+fn gate_of(class: LinkClass) -> usize {
+    match class {
+        LinkClass::Inter => 1,
+        LinkClass::Intra | LinkClass::Loopback => 0,
+    }
+}
+
 /// One node's side of the fabric.
 struct Endpoint {
-    /// Inbox sender (bounded to the credit window as belt-and-braces; with
-    /// credits honored it never blocks).
+    /// Inbox sender (bounded to the summed credit windows as
+    /// belt-and-braces; with credits honored it never blocks).
     tx: Sender<Frame>,
     /// Inbox receiver, taken by the node's progress thread at start.
     rx: Mutex<Option<Receiver<Frame>>>,
-    credits: CreditGate,
+    /// `[intra/loopback, inter]` credit gates (see [`gate_of`]).
+    credits: [CreditGate; 2],
     /// Keys delivered into this node, ever (dedup + recv notification).
     delivered: Mutex<HashSet<DataKey>>,
     arrived: Condvar,
-    /// C partials reduced at this node (only the root accumulates).
+    /// C partials delivered to this node (its reduction-tree inbox).
     reduced: Mutex<Vec<CPart>>,
+    /// Signalled on every `reduced` push (see
+    /// [`CommFabric::take_reduced_at_least`]).
+    part_arrived: Condvar,
     sent_bytes: AtomicU64,
     sent_msgs: AtomicU64,
     recv_bytes: AtomicU64,
     recv_msgs: AtomicU64,
+    inter_sent_bytes: AtomicU64,
+    inter_sent_msgs: AtomicU64,
+    inter_recv_bytes: AtomicU64,
+    inter_recv_msgs: AtomicU64,
     dropped_msgs: AtomicU64,
     duplicate_msgs: AtomicU64,
+    inter_busy_ns: AtomicU64,
+    intra_busy_ns: AtomicU64,
 }
 
 impl Endpoint {
-    fn new(window: usize) -> Self {
-        let (tx, rx) = bounded(window);
+    fn new(intra_window: usize, inter_window: usize) -> Self {
+        let (tx, rx) = bounded(intra_window + inter_window);
         Self {
             tx,
             rx: Mutex::new(Some(rx)),
-            credits: CreditGate::new(window),
+            credits: [CreditGate::new(intra_window), CreditGate::new(inter_window)],
             delivered: Mutex::new(HashSet::new()),
             arrived: Condvar::new(),
             reduced: Mutex::new(Vec::new()),
+            part_arrived: Condvar::new(),
             sent_bytes: AtomicU64::new(0),
             sent_msgs: AtomicU64::new(0),
             recv_bytes: AtomicU64::new(0),
             recv_msgs: AtomicU64::new(0),
+            inter_sent_bytes: AtomicU64::new(0),
+            inter_sent_msgs: AtomicU64::new(0),
+            inter_recv_bytes: AtomicU64::new(0),
+            inter_recv_msgs: AtomicU64::new(0),
             dropped_msgs: AtomicU64::new(0),
             duplicate_msgs: AtomicU64::new(0),
+            inter_busy_ns: AtomicU64::new(0),
+            intra_busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn count_sent(&self, bytes: u64, class: LinkClass) {
+        self.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        if class == LinkClass::Inter {
+            self.inter_sent_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.inter_sent_msgs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count_recv(&self, bytes: u64, class: LinkClass) {
+        self.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.recv_msgs.fetch_add(1, Ordering::Relaxed);
+        if class == LinkClass::Inter {
+            self.inter_recv_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.inter_recv_msgs.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -350,7 +466,9 @@ impl Endpoint {
 /// The transport connecting the simulated nodes (see the module docs).
 pub struct CommFabric {
     endpoints: Vec<Endpoint>,
+    topology: Topology,
     shaper: LinkShaper,
+    intra_shaper: LinkShaper,
     delivery: DeliveryPolicy,
     clock: Option<TraceClock>,
     events: Mutex<Vec<CommEvent>>,
@@ -359,10 +477,13 @@ pub struct CommFabric {
 impl CommFabric {
     /// A fabric connecting `n_nodes` nodes under `cfg`.
     pub fn new(n_nodes: usize, cfg: CommConfig) -> Self {
-        let window = cfg.window.max(1);
+        let intra = cfg.intra_window.max(1);
+        let inter = cfg.window.max(1);
         Self {
-            endpoints: (0..n_nodes).map(|_| Endpoint::new(window)).collect(),
+            endpoints: (0..n_nodes).map(|_| Endpoint::new(intra, inter)).collect(),
+            topology: Topology::new(n_nodes, cfg.node_size.max(1)),
             shaper: cfg.shaper,
+            intra_shaper: cfg.intra_shaper,
             delivery: cfg.delivery,
             clock: cfg.clock,
             events: Mutex::new(Vec::new()),
@@ -374,7 +495,29 @@ impl CommFabric {
         self.endpoints.len()
     }
 
-    fn record(&self, phase: TracePhase, key: DataKey, src: usize, dst: usize, bytes: u64, epoch: u32) {
+    /// The node-aware topology frames are classified against.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The shaper charged for `class` frames (loopback is never shaped).
+    fn shaper_of(&self, class: LinkClass) -> LinkShaper {
+        match class {
+            LinkClass::Inter => self.shaper,
+            LinkClass::Intra => self.intra_shaper,
+            LinkClass::Loopback => LinkShaper::off(),
+        }
+    }
+
+    fn record(
+        &self,
+        phase: TracePhase,
+        key: DataKey,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        epoch: u32,
+    ) {
         if let Some(clock) = self.clock {
             self.events
                 .lock()
@@ -384,6 +527,7 @@ impl CommFabric {
                     key,
                     src,
                     dst,
+                    class: self.topology.link_class(src, dst),
                     bytes,
                     epoch,
                     t_ns: clock.now_ns(),
@@ -415,8 +559,9 @@ impl CommFabric {
         }
     }
 
-    /// Sends one A-tile broadcast hop to `dst`, honoring `dst`'s credit
-    /// window (blocks while it is exhausted — the backpressure path).
+    /// Sends one hop of an A-tile broadcast tree to `dst`, honoring `dst`'s
+    /// credit window for the link class the hop crosses (blocks while it is
+    /// exhausted — the backpressure path).
     ///
     /// With `drop_in_flight`, the frame is charged as sent and then dropped
     /// by the fabric (the fault-injection site): the destination never sees
@@ -430,39 +575,39 @@ impl CommFabric {
     ) -> Result<(), MessageDropped> {
         let ep = &self.endpoints[dst];
         let bytes = msg.payload.bytes();
-        ep.credits.acquire();
+        let class = self.topology.link_class(msg.src, dst);
+        let gate = &ep.credits[gate_of(class)];
+        gate.acquire();
         let src_ep = &self.endpoints[msg.src];
-        src_ep.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
-        src_ep.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        src_ep.count_sent(bytes, class);
         self.record(TracePhase::Sent, msg.key, msg.src, dst, bytes, msg.epoch);
         if drop_in_flight {
             src_ep.dropped_msgs.fetch_add(1, Ordering::Relaxed);
             self.record(TracePhase::Failed, msg.key, msg.src, dst, bytes, msg.epoch);
-            ep.credits.release();
+            gate.release();
             return Err(MessageDropped);
         }
         ep.tx
-            .send(Frame::Tile(msg))
+            .send(Frame::BcastA(msg))
             .unwrap_or_else(|_| panic!("node {dst}'s progress thread is gone"));
         Ok(())
     }
 
-    /// Sends a C partial sum from `src` to the reduction root `dst`.
-    /// Loopback (`src == dst`) frames still traverse the inbox (one code
-    /// path) but are neither shaped nor counted as network traffic.
+    /// Sends a C partial sum from `src` one hop up the reduction tree to
+    /// `dst`. Loopback (`src == dst`) frames still traverse the inbox (one
+    /// code path) but are neither shaped nor counted as network traffic.
     pub fn reduce(&self, src: usize, dst: usize, part: CPart) {
         let ep = &self.endpoints[dst];
         let bytes = part.tile.bytes();
-        ep.credits.acquire();
+        let class = self.topology.link_class(src, dst);
+        ep.credits[gate_of(class)].acquire();
         if src != dst {
-            let src_ep = &self.endpoints[src];
-            src_ep.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
-            src_ep.sent_msgs.fetch_add(1, Ordering::Relaxed);
+            self.endpoints[src].count_sent(bytes, class);
             let key = DataKey::C(part.i as u32, part.j as u32);
             self.record(TracePhase::Sent, key, src, dst, bytes, 0);
         }
         ep.tx
-            .send(Frame::Reduce { part, src })
+            .send(Frame::ReduceC { part, src })
             .unwrap_or_else(|_| panic!("node {dst}'s progress thread is gone"));
     }
 
@@ -495,13 +640,14 @@ impl CommFabric {
     /// joins the threads.
     pub fn shutdown(&self) {
         for ep in &self.endpoints {
-            // The control frame obeys flow control like any other frame.
-            ep.credits.acquire();
+            // The control frame obeys flow control like any other (local)
+            // frame.
+            ep.credits[gate_of(LinkClass::Loopback)].acquire();
             let _ = ep.tx.send(Frame::Shutdown);
         }
     }
 
-    /// Takes the C partials reduced at `node` (the reduction root).
+    /// Takes the C partials delivered to `node` so far.
     pub fn take_reduced(&self, node: usize) -> Vec<CPart> {
         std::mem::take(
             &mut *self.endpoints[node]
@@ -509,6 +655,23 @@ impl CommFabric {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner()),
         )
+    }
+
+    /// Blocks until at least `expected` C partials have been delivered to
+    /// `node` since the last take, then takes them — the `ReduceC` task
+    /// body. The expected count is structural (from the lowering), so the
+    /// taken set — and therefore the combine — is independent of delivery
+    /// timing.
+    pub fn take_reduced_at_least(&self, node: usize, expected: usize) -> Vec<CPart> {
+        let ep = &self.endpoints[node];
+        let mut reduced = ep.reduced.lock().unwrap_or_else(|e| e.into_inner());
+        while reduced.len() < expected {
+            reduced = ep
+                .part_arrived
+                .wait(reduced)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        std::mem::take(&mut *reduced)
     }
 
     /// Takes the recorded transport events, sorted by time (empty unless
@@ -529,10 +692,18 @@ impl CommFabric {
                 sent_msgs: ep.sent_msgs.load(Ordering::Relaxed),
                 recv_bytes: ep.recv_bytes.load(Ordering::Relaxed),
                 recv_msgs: ep.recv_msgs.load(Ordering::Relaxed),
+                inter_sent_bytes: ep.inter_sent_bytes.load(Ordering::Relaxed),
+                inter_sent_msgs: ep.inter_sent_msgs.load(Ordering::Relaxed),
+                inter_recv_bytes: ep.inter_recv_bytes.load(Ordering::Relaxed),
+                inter_recv_msgs: ep.inter_recv_msgs.load(Ordering::Relaxed),
                 dropped_msgs: ep.dropped_msgs.load(Ordering::Relaxed),
                 duplicate_msgs: ep.duplicate_msgs.load(Ordering::Relaxed),
-                max_in_flight: ep.credits.max_in_flight.load(Ordering::Relaxed),
-                credit_window: ep.credits.window,
+                max_in_flight: ep.credits[1].max_in_flight.load(Ordering::Relaxed),
+                credit_window: ep.credits[1].window,
+                intra_max_in_flight: ep.credits[0].max_in_flight.load(Ordering::Relaxed),
+                intra_credit_window: ep.credits[0].window,
+                inter_busy_ns: ep.inter_busy_ns.load(Ordering::Relaxed),
+                intra_busy_ns: ep.intra_busy_ns.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -580,19 +751,33 @@ impl CommFabric {
         }
     }
 
+    /// Charges the link-shaping delay of a `class` frame arriving at
+    /// `node`, crediting the busy time to that node's per-class counter.
+    fn shape(&self, node: usize, class: LinkClass, bytes: u64) {
+        let shaper = self.shaper_of(class);
+        if shaper.is_off() {
+            return;
+        }
+        let delay = shaper.delay(bytes);
+        let busy = match class {
+            LinkClass::Inter => &self.endpoints[node].inter_busy_ns,
+            _ => &self.endpoints[node].intra_busy_ns,
+        };
+        busy.fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+        std::thread::sleep(delay);
+    }
+
     fn deliver(&self, node: usize, store: &TileStore, frame: Frame) {
         let ep = &self.endpoints[node];
         match frame {
-            Frame::Tile(msg) => {
+            Frame::BcastA(msg) => {
                 let bytes = msg.payload.bytes();
-                if msg.src != node && !self.shaper.is_off() {
-                    std::thread::sleep(self.shaper.delay(bytes));
-                }
+                let class = self.topology.link_class(msg.src, node);
+                self.shape(node, class, bytes);
                 let mut delivered = ep.delivered.lock().unwrap_or_else(|e| e.into_inner());
                 if delivered.insert(msg.key) {
                     store.put(msg.key, msg.payload, msg.consumers);
-                    ep.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    ep.recv_msgs.fetch_add(1, Ordering::Relaxed);
+                    ep.count_recv(bytes, class);
                     self.record(TracePhase::Received, msg.key, msg.src, node, bytes, msg.epoch);
                 } else {
                     // Idempotent duplicate suppression: the key already
@@ -602,16 +787,14 @@ impl CommFabric {
                 }
                 drop(delivered);
                 ep.arrived.notify_all();
-                ep.credits.release();
+                ep.credits[gate_of(class)].release();
             }
-            Frame::Reduce { part, src } => {
+            Frame::ReduceC { part, src } => {
                 let bytes = part.tile.bytes();
+                let class = self.topology.link_class(src, node);
                 if src != node {
-                    if !self.shaper.is_off() {
-                        std::thread::sleep(self.shaper.delay(bytes));
-                    }
-                    ep.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    ep.recv_msgs.fetch_add(1, Ordering::Relaxed);
+                    self.shape(node, class, bytes);
+                    ep.count_recv(bytes, class);
                     let key = DataKey::C(part.i as u32, part.j as u32);
                     self.record(TracePhase::Received, key, src, node, bytes, 0);
                 }
@@ -619,7 +802,8 @@ impl CommFabric {
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .push(part);
-                ep.credits.release();
+                ep.part_arrived.notify_all();
+                ep.credits[gate_of(class)].release();
             }
             Frame::Shutdown => unreachable!("Shutdown is consumed by the progress loop"),
         }
@@ -649,6 +833,8 @@ mod tests {
         let s = LinkShaper::summit_nic();
         assert_eq!(s.bandwidth_bps, 23e9);
         assert_eq!(s.latency_s, 3e-6);
+        let i = LinkShaper::summit_intra();
+        assert!(i.bandwidth_bps > s.bandwidth_bps, "intra-node is the fast link");
     }
 
     #[test]
@@ -671,6 +857,16 @@ mod tests {
     #[test]
     fn delivery_policy_default_is_fifo() {
         assert_eq!(DeliveryPolicy::default(), DeliveryPolicy::InOrder);
-        assert_eq!(CommConfig::default().window, DEFAULT_CREDIT_WINDOW);
+        let cfg = CommConfig::default();
+        assert_eq!(cfg.window, DEFAULT_CREDIT_WINDOW);
+        assert_eq!(cfg.intra_window, DEFAULT_CREDIT_WINDOW);
+        assert_eq!(cfg.node_size, 1);
+    }
+
+    #[test]
+    fn gate_indexing() {
+        assert_eq!(gate_of(LinkClass::Loopback), 0);
+        assert_eq!(gate_of(LinkClass::Intra), 0);
+        assert_eq!(gate_of(LinkClass::Inter), 1);
     }
 }

@@ -137,3 +137,99 @@ fn seeded_reorder_is_deterministic_and_permutes() {
     assert_eq!(sa, sf, "reorder must deliver the same multiset of keys");
     assert_ne!(a, fifo, "seed 7 must actually permute an 8-message burst");
 }
+
+/// Duplicate suppression holds at *interior* broadcast-tree hops, not just
+/// the owner's first send: a forwarder (node 1 in the 0 → 1 → 2 chain)
+/// re-receives a retried frame after it already forwarded the tile, the
+/// duplicate is suppressed, and the downstream delivery is unaffected.
+#[test]
+fn forwarded_hop_redelivery_is_suppressed() {
+    let fabric = CommFabric::new(3, CommConfig::default());
+    let stores = [TileStore::for_node(0), TileStore::for_node(1), TileStore::for_node(2)];
+    std::thread::scope(|s| {
+        fabric.start(s, &stores);
+        // Hop 1: owner → forwarder. Two consumers on node 1: the local
+        // device load and the forwarding hop.
+        let mut m = msg(0, 1, 0);
+        m.consumers = 2;
+        fabric.send_tile(1, m, false).unwrap();
+        fabric.wait_delivered(1, DataKey::A(0, 0));
+        // Hop 2: the forwarder re-sends its deposited copy downstream.
+        let tile = stores[1].get(1, DataKey::A(0, 0));
+        fabric
+            .send_tile(
+                2,
+                TileMsg {
+                    key: DataKey::A(0, 0),
+                    payload: tile,
+                    epoch: 1,
+                    src: 1,
+                    consumers: 1,
+                },
+                false,
+            )
+            .unwrap();
+        stores[1].consume(1, DataKey::A(0, 0));
+        fabric.wait_delivered(2, DataKey::A(0, 0));
+        // A spurious retry of hop 1 arrives *after* the forward: node 1
+        // already holds (and has partially consumed) the tile — the
+        // re-delivery must be suppressed, not double-deposited.
+        let mut dup = msg(0, 2, 0);
+        dup.consumers = 2;
+        fabric.send_tile(1, dup, false).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fabric.node_stats()[1].duplicate_msgs == 0 {
+            assert!(Instant::now() < deadline, "duplicate never processed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        fabric.shutdown();
+    });
+    let stats = fabric.node_stats();
+    assert_eq!(stats[1].recv_msgs, 1, "node 1 deposited the tile exactly once");
+    assert_eq!(stats[1].duplicate_msgs, 1, "the late retry was suppressed");
+    assert_eq!(stats[2].recv_msgs, 1, "the downstream hop delivered normally");
+    // Node 1's remaining consumer (the local load) still reads the tile.
+    let _ = stores[1].get(1, DataKey::A(0, 0));
+    stores[1].consume(1, DataKey::A(0, 0));
+    // Node 2's single consumer reads the forwarded copy.
+    let _ = stores[2].get(2, DataKey::A(0, 0));
+    stores[2].consume(2, DataKey::A(0, 0));
+}
+
+/// ReduceC frames ride the same per-class links as tile frames: intra-node
+/// partials count against the intra gate and stats, inter-node ones
+/// against the NIC, and loopback self-deposits are free. The blocking
+/// take returns exactly the expected structural count.
+#[test]
+fn reduce_frames_classify_per_link() {
+    use bst_runtime::comm::CPart;
+    let part = |i: usize, origin_node: usize| CPart {
+        i,
+        j: 0,
+        origin: (origin_node, 0, 0),
+        tile: Tile::zeros(2, 2),
+    };
+    let fabric = CommFabric::new(
+        4,
+        CommConfig {
+            node_size: 2, // physical nodes {0,1} and {2,3}
+            ..CommConfig::default()
+        },
+    );
+    let stores: Vec<TileStore> = (0..4).map(TileStore::for_node).collect();
+    std::thread::scope(|s| {
+        fabric.start(s, &stores);
+        fabric.reduce(0, 0, part(0, 0)); // loopback: free
+        fabric.reduce(1, 0, part(1, 1)); // intra-node
+        fabric.reduce(2, 0, part(2, 2)); // inter-node
+        let parts = fabric.take_reduced_at_least(0, 3);
+        assert_eq!(parts.len(), 3, "all three partials arrive before the take returns");
+        fabric.shutdown();
+    });
+    let stats = fabric.node_stats();
+    assert_eq!(stats[1].sent_msgs, 1);
+    assert_eq!(stats[1].inter_sent_msgs, 0, "1 → 0 shares a physical node");
+    assert_eq!(stats[2].inter_sent_msgs, 1, "2 → 0 crosses the NIC");
+    assert_eq!(stats[0].recv_msgs, 2, "the loopback self-deposit is not traffic");
+    assert_eq!(stats[0].inter_recv_msgs, 1);
+}

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use bst_contract::engine::inspector::{self, Op};
 use bst_contract::{ExecOptions, ExecReport, ExecTraceData, ExecutionPlan, ProblemSpec};
-use bst_runtime::comm::{CommEvent, NodeCommStats};
+use bst_runtime::comm::{CommEvent, LinkClass, NodeCommStats};
 use bst_runtime::data::DataKey;
 use bst_runtime::device::{DeviceMemory, NodeResidency};
 use bst_runtime::graph::WorkerId;
@@ -70,6 +70,7 @@ pub fn replay_dag(
     let mut lane_free: HashMap<WorkerId, u64> = HashMap::new();
     let mut records = Vec::with_capacity(n);
     let (mut a_net, mut a_msgs, mut a_fwd, mut gemms, mut bgens) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut a_net_inter = 0u64;
     let mut comm_events: Vec<CommEvent> = Vec::new();
     let mut comm_stats = vec![NodeCommStats::default(); n_nodes];
 
@@ -81,9 +82,12 @@ pub fn replay_dag(
 
         let mut sample_after: Option<(usize, usize)> = None;
         let dur = match op {
-            Op::SendA { i, k, to: _ } => {
+            Op::SendA { i, k, to } => {
                 let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
                 a_net += bytes;
+                if low.topology.link_class(w.node, *to) == LinkClass::Inter {
+                    a_net_inter += bytes;
+                }
                 a_msgs += 1;
                 if w.node != inspector::owner_of(p, q, *i as usize, *k as usize) {
                     a_fwd += 1;
@@ -92,11 +96,16 @@ pub fn replay_dag(
                 // overhead; the wire time is charged to the RecvA task.
                 ns(platform.nic_msg_overhead_s)
             }
-            Op::RecvA { i, k, from: _ } => {
-                // The shaped transfer: latency plus bytes over the NIC —
-                // the same model bst_runtime::comm::LinkShaper applies.
+            Op::RecvA { i, k, from } => {
+                // The shaped transfer: latency plus bytes over the link the
+                // hop actually crosses (NIC vs intra-node) — the same
+                // per-class model bst_runtime::comm::LinkShaper applies.
                 let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
-                ns(platform.link_shaper().delay_s(bytes))
+                let shaper = match low.topology.link_class(*from, w.node) {
+                    LinkClass::Inter => platform.link_shaper(),
+                    _ => platform.intra_shaper(),
+                };
+                ns(shaper.delay_s(bytes))
             }
             Op::GenB { k, j } => {
                 bgens += 1;
@@ -169,6 +178,30 @@ pub fn replay_dag(
                 sample_after = Some((*node, *gpu));
                 ns(bytes as f64 / platform.d2h_bw + tiles as f64 * platform.h2d_latency_s)
             }
+            Op::ReduceC { node } => {
+                // The combine itself is a handful of tile additions (HBM
+                // bound, negligible next to the wire); the forwarding of one
+                // combined partial per key up the reduction tree is what
+                // costs — charged on the sender, over the link class of the
+                // tree edge.
+                let rn = &low.reduce.as_ref().expect("ReduceC lowered without a tree")[*node];
+                match rn.parent {
+                    None => 0,
+                    Some(parent) => {
+                        let shaper = match low.topology.link_class(*node, parent) {
+                            LinkClass::Inter => platform.link_shaper(),
+                            _ => platform.intra_shaper(),
+                        };
+                        let mut t = 0.0;
+                        for &(i, j) in &rn.keys {
+                            let bytes =
+                                spec.a.row_tiling().size(i) * spec.b.col_tiling().size(j) * 8;
+                            t += platform.nic_msg_overhead_s + shaper.delay_s(bytes);
+                        }
+                        ns(t)
+                    }
+                }
+            }
         };
 
         let end_ns = start_ns + dur;
@@ -177,13 +210,19 @@ pub fn replay_dag(
         match op {
             Op::SendA { i, k, to } => {
                 let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                let class = low.topology.link_class(w.node, *to);
                 comm_stats[w.node].sent_bytes += bytes;
                 comm_stats[w.node].sent_msgs += 1;
+                if class == LinkClass::Inter {
+                    comm_stats[w.node].inter_sent_bytes += bytes;
+                    comm_stats[w.node].inter_sent_msgs += 1;
+                }
                 comm_events.push(CommEvent {
                     phase: TracePhase::Sent,
                     key: DataKey::A(*i, *k),
                     src: w.node,
                     dst: *to,
+                    class,
                     bytes,
                     epoch: 1,
                     t_ns: end_ns,
@@ -191,17 +230,55 @@ pub fn replay_dag(
             }
             Op::RecvA { i, k, from } => {
                 let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                let class = low.topology.link_class(*from, w.node);
                 comm_stats[w.node].recv_bytes += bytes;
                 comm_stats[w.node].recv_msgs += 1;
+                if class == LinkClass::Inter {
+                    comm_stats[w.node].inter_recv_bytes += bytes;
+                    comm_stats[w.node].inter_recv_msgs += 1;
+                }
                 comm_events.push(CommEvent {
                     phase: TracePhase::Received,
                     key: DataKey::A(*i, *k),
                     src: *from,
                     dst: w.node,
+                    class,
                     bytes,
                     epoch: 1,
                     t_ns: end_ns,
                 });
+            }
+            Op::ReduceC { node } => {
+                let rn = &low.reduce.as_ref().expect("ReduceC lowered without a tree")[*node];
+                if let Some(parent) = rn.parent {
+                    let class = low.topology.link_class(*node, parent);
+                    for &(i, j) in &rn.keys {
+                        let bytes =
+                            spec.a.row_tiling().size(i) * spec.b.col_tiling().size(j) * 8;
+                        comm_stats[*node].sent_bytes += bytes;
+                        comm_stats[*node].sent_msgs += 1;
+                        comm_stats[parent].recv_bytes += bytes;
+                        comm_stats[parent].recv_msgs += 1;
+                        if class == LinkClass::Inter {
+                            comm_stats[*node].inter_sent_bytes += bytes;
+                            comm_stats[*node].inter_sent_msgs += 1;
+                            comm_stats[parent].inter_recv_bytes += bytes;
+                            comm_stats[parent].inter_recv_msgs += 1;
+                        }
+                        for phase in [TracePhase::Sent, TracePhase::Received] {
+                            comm_events.push(CommEvent {
+                                phase,
+                                key: DataKey::C(i as u32, j as u32),
+                                src: *node,
+                                dst: parent,
+                                class,
+                                bytes,
+                                epoch: 0,
+                                t_ns: end_ns,
+                            });
+                        }
+                    }
+                }
             }
             _ => {}
         }
@@ -233,6 +310,7 @@ pub fn replay_dag(
     ExecReport {
         devices: dev_stats,
         a_network_bytes: a_net,
+        a_network_inter_bytes: a_net_inter,
         a_messages: a_msgs,
         a_forward_messages: a_fwd,
         gemm_tasks: gemms,

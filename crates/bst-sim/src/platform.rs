@@ -43,6 +43,12 @@ pub struct Platform {
     pub nic_bw: f64,
     /// Network latency (s).
     pub nic_latency_s: f64,
+    /// Bandwidth between ranks sharing a physical node (bytes/s): shared
+    /// memory / NVLink-class, several times the NIC. Node-aware collective
+    /// trees route most hops over this link.
+    pub intra_bw: f64,
+    /// Latency of an intra-node message (s).
+    pub intra_latency_s: f64,
     /// Per-message overhead of a tile broadcast (s): activation message,
     /// matching, rendezvous and progress-engine cost per tile. The A
     /// broadcast of a finely-tiled problem sends tens of thousands of
@@ -74,6 +80,8 @@ impl Platform {
             h2d_bulk_bw: 45e9,
             nic_bw: 23e9,
             nic_latency_s: 3e-6,
+            intra_bw: 50e9,
+            intra_latency_s: 1e-6,
             nic_msg_overhead_s: 700e-6,
             cpu_gen_rate: 20e9,
             cpu_flops_effective: 0.34e12,
@@ -100,6 +108,8 @@ impl Platform {
             h2d_bulk_bw: 120e9,
             nic_bw: 100e9,
             nic_latency_s: 2e-6,
+            intra_bw: 200e9,
+            intra_latency_s: 1e-6,
             nic_msg_overhead_s: 400e-6,
             cpu_gen_rate: 40e9,
             cpu_flops_effective: 1.0e12,
@@ -163,6 +173,13 @@ impl Platform {
     /// wire time.
     pub fn link_shaper(&self) -> bst_runtime::comm::LinkShaper {
         bst_runtime::comm::LinkShaper::nic(self.nic_bw, self.nic_latency_s)
+    }
+
+    /// The intra-node transport cost model (ranks sharing a physical node)
+    /// — calibrates [`bst_runtime::comm::CommConfig::intra_shaper`] the way
+    /// [`Platform::link_shaper`] calibrates the NIC.
+    pub fn intra_shaper(&self) -> bst_runtime::comm::LinkShaper {
+        bst_runtime::comm::LinkShaper::nic(self.intra_bw, self.intra_latency_s)
     }
 }
 
@@ -259,5 +276,10 @@ mod tests {
         assert_eq!(shaper.latency_s, preset.latency_s);
         let mib = 1 << 20;
         assert!((shaper.delay_s(mib) - preset.delay_s(mib)).abs() < 1e-12);
+        // Same agreement for the intra-node (shared-memory/NVLink) link.
+        let intra = Platform::summit(1).intra_shaper();
+        let preset = bst_runtime::comm::LinkShaper::summit_intra();
+        assert_eq!(intra.bandwidth_bps, preset.bandwidth_bps);
+        assert_eq!(intra.latency_s, preset.latency_s);
     }
 }

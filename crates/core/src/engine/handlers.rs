@@ -20,7 +20,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bst_runtime::comm::{CPart, CommFabric, TileMsg};
+use bst_runtime::comm::{CPart, CommFabric, LinkClass, TileMsg};
 use bst_runtime::data::{BCacheKey, DataKey};
 use bst_runtime::device::DeviceStats;
 use bst_runtime::graph::{TaskError, WorkerId};
@@ -42,6 +42,7 @@ use crate::spec::ProblemSpec;
 #[derive(Default)]
 pub(crate) struct Counters {
     pub a_net: AtomicU64,
+    pub a_net_inter: AtomicU64,
     pub a_msgs: AtomicU64,
     pub a_fwd_msgs: AtomicU64,
     pub gemms: AtomicU64,
@@ -152,6 +153,9 @@ impl HandlerEnv<'_> {
                 match self.fabric.send_tile(*to, msg, drop_in_flight) {
                     Ok(()) => {
                         c.a_net.fetch_add(bytes, Ordering::Relaxed);
+                        if self.fabric.topology().link_class(w.node, *to) == LinkClass::Inter {
+                            c.a_net_inter.fetch_add(bytes, Ordering::Relaxed);
+                        }
                         c.a_msgs.fetch_add(1, Ordering::Relaxed);
                         let (p, q) = self.grid;
                         if w.node != owner_of(p, q, *i as usize, *k as usize) {
@@ -293,14 +297,21 @@ impl HandlerEnv<'_> {
                         self.pools[*node].release_arc(arc);
                     }
                 }
+                // Under tree collectives a flush deposits its partials
+                // locally (loopback) — the node's ReduceC combines them and
+                // sends one message per C key up the reduction tree. Under
+                // unicast every partial ships straight to the root. Either
+                // way the origin ordinal makes each combine's accumulation
+                // order canonical, independent of delivery order.
+                let dst = if self.low.reduce.is_some() {
+                    w.node
+                } else {
+                    super::REDUCE_ROOT
+                };
                 for (i, j) in block_c_tiles(spec, &bp.block, row, self.grid.0) {
-                    // Ship the C partial sum to the reduction root over the
-                    // fabric (loopback when this *is* the root). The origin
-                    // ordinal makes the root's accumulation order
-                    // canonical, independent of delivery order.
                     self.fabric.reduce(
                         w.node,
-                        super::REDUCE_ROOT,
+                        dst,
                         CPart {
                             i,
                             j,
@@ -315,6 +326,46 @@ impl HandlerEnv<'_> {
                     if mm.traced() {
                         self.mem_log.lock().push(((*node, *gpu), mm.take_samples()));
                     }
+                }
+                Ok(())
+            }
+            (Op::ReduceC { node }, Ctx::Cpu) => {
+                debug_assert_eq!(*node, w.node);
+                let rn = &self.low.reduce.as_ref().expect("ReduceC lowered without a tree")
+                    [w.node];
+                // The expected count is structural (own flush partials plus
+                // one combined partial per child key), so the taken set —
+                // and with it the summation bracketing — is fixed by the
+                // plan, not by delivery timing. Safe to block: children's
+                // combines finished (DAG deps), so every expected frame is
+                // at least in flight, and the progress threads drain
+                // independently of this lane.
+                let mut parts = self.fabric.take_reduced_at_least(w.node, rn.expected);
+                parts.sort_by_key(|part| (part.i, part.j, part.origin));
+                let mut combined: Vec<CPart> = Vec::with_capacity(rn.keys.len());
+                for part in parts {
+                    match combined.last_mut() {
+                        // A run of equal (i, j) folds into its first (lowest
+                        // origin) partial, which then carries the subtree's
+                        // minimum origin upward.
+                        Some(last) if (last.i, last.j) == (part.i, part.j) => {
+                            last.tile.add_assign(&part.tile);
+                        }
+                        _ => combined.push(part),
+                    }
+                }
+                debug_assert_eq!(
+                    combined.len(),
+                    rn.keys.len(),
+                    "combined keys diverge from the lowering on node {}",
+                    w.node
+                );
+                // Forward one partial per key up the tree; the root
+                // re-deposits its fully-combined partials for the final
+                // assembly to take.
+                let dst = rn.parent.unwrap_or(w.node);
+                for part in combined {
+                    self.fabric.reduce(w.node, dst, part);
                 }
                 Ok(())
             }

@@ -24,12 +24,13 @@
 //!   them only breaks the device-memory budget, which the memory manager
 //!   reports as an OOM, exactly like the real GPU would.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+use bst_runtime::comm::Topology;
 use bst_runtime::graph::{TaskGraph, TaskId, WorkerId};
 
-use super::policies::ExecOptions;
+use super::policies::{Collectives, ExecOptions};
 use crate::partition::Block;
 use crate::plan::ExecutionPlan;
 use crate::spec::ProblemSpec;
@@ -108,6 +109,14 @@ pub enum Op {
         /// Block index within the GPU's sequence.
         block: usize,
     },
+    /// Combine the C partials delivered to this node in canonical
+    /// `(i, j, origin)` order and forward the combined partials one hop up
+    /// the reduction tree (tree collectives only; the root re-deposits its
+    /// combined partials for final assembly).
+    ReduceC {
+        /// The combining node.
+        node: usize,
+    },
 }
 
 impl Op {
@@ -122,13 +131,14 @@ impl Op {
             Op::Gemm { .. } => "Gemm",
             Op::EvictChunk { .. } => "EvictChunk",
             Op::FlushBlock { .. } => "FlushBlock",
+            Op::ReduceC { .. } => "ReduceC",
         }
     }
 
     /// Compact instance label. Stable format — the trace-invariant tests
     /// parse these (`Gemm(i,k,j)`, `LoadA(i,k)`, `LoadBlock(b)`,
     /// `EvictChunk(b,c)`, `FlushBlock(b)`, `SendA(i,k->n)`,
-    /// `RecvA(i,k<-n)`, `GenB(k,j)`).
+    /// `RecvA(i,k<-n)`, `GenB(k,j)`, `ReduceC(n)`).
     pub fn detail(&self) -> String {
         match self {
             Op::SendA { i, k, to } => format!("SendA({i},{k}->{to})"),
@@ -139,6 +149,7 @@ impl Op {
             Op::Gemm { i, k, j } => format!("Gemm({i},{k},{j})"),
             Op::EvictChunk { block, chunk, .. } => format!("EvictChunk({block},{chunk})"),
             Op::FlushBlock { block, .. } => format!("FlushBlock({block})"),
+            Op::ReduceC { node } => format!("ReduceC({node})"),
         }
     }
 }
@@ -205,9 +216,26 @@ pub fn block_c_tiles(
 /// maps in [`Lowered`].
 pub type NodeTile = (usize, (u32, u32));
 
-/// Binomial broadcast fan-out: `(node, tile) → nodes that node forwards
-/// the tile to`.
+/// Broadcast fan-out: `(node, tile) → nodes that node forwards the tile
+/// to` — a topology-aware tree under [`Collectives::Tree`], a one-level
+/// star from the owner under [`Collectives::Unicast`].
 pub type TreeChildren = Arc<HashMap<NodeTile, Vec<usize>>>;
+
+/// One node's role in the fixed C-reduction tree
+/// ([`Collectives::Tree`] lowering only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReduceNode {
+    /// Parent one hop up the tree (`None` at the reduction root).
+    pub parent: Option<usize>,
+    /// C partials delivered into this node before its combine runs: its own
+    /// flush partials plus one combined partial per key of each child.
+    /// Structural — from the plan, never from delivery timing — which is
+    /// what pins the summation bracketing.
+    pub expected: usize,
+    /// The distinct `(i, j)` keys this node's combined output carries
+    /// (sorted): the union of its local C tiles and its children's keys.
+    pub keys: Vec<(usize, usize)>,
+}
 
 /// The inspector's output: the task DAG plus the broadcast/consumption
 /// bookkeeping the handlers (numeric or simulated) need to drive it.
@@ -222,10 +250,16 @@ pub struct Lowered {
     pub a_loads: HashMap<NodeTile, usize>,
     /// `(owner, tile) → destination nodes` needing the tile remotely.
     pub sends: HashMap<NodeTile, Vec<usize>>,
-    /// Binomial broadcast trees: `(node, tile) → nodes this node forwards
+    /// Broadcast trees: `(node, tile) → nodes this node forwards
     /// the tile to` (the A broadcast "happens in the background, at the
     /// tile granularity", §4).
     pub tree_children: TreeChildren,
+    /// The node-aware topology the trees were routed over.
+    pub topology: Topology,
+    /// Per-node reduction-tree roles, indexed by node
+    /// ([`Collectives::Tree`] only; `None` under [`Collectives::Unicast`],
+    /// where every partial ships straight to the reduction root).
+    pub reduce: Option<Vec<ReduceNode>>,
 }
 
 impl Lowered {
@@ -270,22 +304,25 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
             sends.entry((owner, t)).or_default().push(ni);
         }
     }
-    // Broadcast trees: a binomial tree spreads the forwarding load over the
-    // receiving nodes instead of serialising on the owner.
+    // Broadcast shapes: under Tree collectives, a node-aware hierarchical
+    // tree (binomial over physical-node leaders, binomial inside each node)
+    // spreads the forwarding load and crosses the inter-node link the
+    // minimum number of times; under Unicast, the owner sends to every
+    // destination point-to-point (the comparison baseline).
+    let topology = Topology::new(n_nodes, opts.node_size.max(1));
     let mut tree_children: HashMap<(usize, (u32, u32)), Vec<usize>> = HashMap::new();
     for (&(owner, t), dests) in &sends {
-        let mut members = Vec::with_capacity(dests.len() + 1);
-        members.push(owner);
-        let mut sorted = dests.clone();
-        sorted.sort_unstable();
-        members.extend(sorted);
-        for idx in 1..members.len() {
-            // Binomial-tree parent: clear the highest set bit of the index.
-            let parent = idx - (1 << (usize::BITS - 1 - idx.leading_zeros()));
-            tree_children
-                .entry((members[parent], t))
-                .or_default()
-                .push(members[idx]);
+        match opts.collectives {
+            Collectives::Unicast => {
+                let mut sorted = dests.clone();
+                sorted.sort_unstable();
+                tree_children.insert((owner, t), sorted);
+            }
+            Collectives::Tree => {
+                for (parent, child) in topology.bcast_children(owner, dests) {
+                    tree_children.entry((parent, t)).or_default().push(child);
+                }
+            }
         }
     }
     let tree_children = Arc::new(tree_children);
@@ -354,6 +391,7 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
     }
 
     // Per-GPU block/chunk pipelines.
+    let mut flush_ids: Vec<Vec<TaskId>> = vec![Vec::new(); n_nodes];
     for (ni, node) in plan.nodes.iter().enumerate() {
         for (gi, gpu) in node.gpus.iter().enumerate() {
             let lane = gpu_lane(ni, gi);
@@ -452,10 +490,66 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
                 for e in chunk_evicts {
                     graph.add_dep(flush, e);
                 }
+                flush_ids[ni].push(flush);
                 prev_flush = Some(flush);
             }
         }
     }
+
+    // ReduceC tasks (Tree collectives): one combine per node, walking the
+    // fixed reduction tree of the topology. Children are lowered before
+    // parents (reduction parents always have lower rank), and each combine
+    // depends on its node's flushes plus its children's combines — so the
+    // *set* of partials a combine waits for is structural, and the
+    // summation bracketing is independent of delivery timing.
+    let reduce = match opts.collectives {
+        Collectives::Unicast => None,
+        Collectives::Tree => {
+            // Local partial counts and distinct local keys per node.
+            let mut local_count = vec![0usize; n_nodes];
+            let mut subtree_keys: Vec<BTreeSet<(usize, usize)>> =
+                vec![BTreeSet::new(); n_nodes];
+            for (ni, node) in plan.nodes.iter().enumerate() {
+                for gpu in &node.gpus {
+                    for bp in &gpu.blocks {
+                        let tiles = block_c_tiles(spec, &bp.block, node.grid_row, p);
+                        local_count[ni] += tiles.len();
+                        subtree_keys[ni].extend(tiles);
+                    }
+                }
+            }
+            // Fold children into parents, highest rank first (every child's
+            // rank exceeds its parent's), fixing expected counts and keys.
+            let mut nodes: Vec<ReduceNode> = (0..n_nodes)
+                .map(|ni| ReduceNode {
+                    parent: topology.reduce_parent(ni),
+                    expected: local_count[ni],
+                    keys: Vec::new(),
+                })
+                .collect();
+            for ni in (1..n_nodes).rev() {
+                let parent = nodes[ni].parent.expect("non-root has a parent");
+                nodes[parent].expected += subtree_keys[ni].len();
+                let keys = std::mem::take(&mut subtree_keys[ni]);
+                subtree_keys[parent].extend(keys.iter().copied());
+                nodes[ni].keys = keys.into_iter().collect();
+            }
+            nodes[0].keys = std::mem::take(&mut subtree_keys[0]).into_iter().collect();
+
+            let mut reduce_ids: Vec<Option<TaskId>> = vec![None; n_nodes];
+            for ni in (0..n_nodes).rev() {
+                let id = graph.add_task(Op::ReduceC { node: ni }, cpu_lane(ni));
+                for &f in &flush_ids[ni] {
+                    graph.add_dep(id, f);
+                }
+                for child in topology.reduce_children(ni) {
+                    graph.add_dep(id, reduce_ids[child].expect("children lowered first"));
+                }
+                reduce_ids[ni] = Some(id);
+            }
+            Some(nodes)
+        }
+    };
 
     let mut workers: Vec<WorkerId> = Vec::new();
     for ni in 0..n_nodes {
@@ -474,5 +568,7 @@ pub fn lower(spec: &ProblemSpec, plan: &ExecutionPlan, opts: &ExecOptions) -> Lo
         a_loads,
         sends,
         tree_children,
+        topology,
+        reduce,
     }
 }

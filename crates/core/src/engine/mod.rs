@@ -154,7 +154,10 @@ pub(crate) fn run(
         n_nodes,
         CommConfig {
             window: opts.comm_window.max(1),
+            intra_window: opts.intra_window.max(1),
+            node_size: opts.node_size.max(1),
             shaper: opts.link_shaper,
+            intra_shaper: opts.intra_shaper,
             delivery: opts.delivery,
             clock: opts.tracing.then_some(clock),
         },
@@ -296,6 +299,7 @@ pub(crate) fn run(
         ExecReport {
             devices,
             a_network_bytes: c.a_net.load(Ordering::Relaxed),
+            a_network_inter_bytes: c.a_net_inter.load(Ordering::Relaxed),
             a_messages: c.a_msgs.load(Ordering::Relaxed),
             a_forward_messages: c.a_fwd_msgs.load(Ordering::Relaxed),
             gemm_tasks: c.gemms.load(Ordering::Relaxed),

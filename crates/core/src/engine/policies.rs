@@ -8,6 +8,24 @@
 use crate::fault::{FaultPlan, RetryPolicy};
 use bst_runtime::comm::{DeliveryPolicy, LinkShaper, DEFAULT_CREDIT_WINDOW};
 
+/// Which communication primitives the lowering emits for A broadcasts and
+/// C reductions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Collectives {
+    /// Point-to-point baseline: the owner unicasts `A(i,k)` to every
+    /// consumer in turn, and every `CPart` is shipped straight to the
+    /// reduction root and summed there. Kept for byte-count comparison
+    /// (`repro_comm`'s unicast leg).
+    Unicast,
+    /// Topology-aware trees (the default): A tiles travel hierarchical
+    /// broadcast trees that cross the inter-node link at most
+    /// `physical_nodes − 1` times, and C partials combine pairwise up the
+    /// fixed reduction tree of [`bst_runtime::comm::Topology`] in canonical
+    /// `(i, j, origin)` order.
+    #[default]
+    Tree,
+}
+
 /// How the executor picks a GEMM kernel for each `Gemm` task.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum KernelSelect {
@@ -67,14 +85,29 @@ pub struct ExecOptions {
     /// failures (injected or reported by the generator —
     /// see [`BGen`](crate::exec::BGen)).
     pub retry: RetryPolicy,
-    /// Credit window of the inter-node transport: frames simultaneously in
-    /// flight toward any one node (see
+    /// Credit window of the **inter-node** transport: frames simultaneously
+    /// in flight toward any one node over the NIC (see
     /// [`bst_runtime::comm::CommConfig::window`]).
     pub comm_window: usize,
-    /// Link cost model of the transport; [`LinkShaper::off`] (the default)
-    /// delivers as fast as threads move messages, so numeric runs aren't
-    /// slowed. Use [`LinkShaper::summit_nic`] for shaped traces.
+    /// Credit window of the **intra-node** (and loopback) transport —
+    /// independent of [`ExecOptions::comm_window`] so a saturated NIC
+    /// window can't throttle same-physical-node traffic (see
+    /// [`bst_runtime::comm::CommConfig::intra_window`]).
+    pub intra_window: usize,
+    /// Link cost model of the **inter-node** transport; [`LinkShaper::off`]
+    /// (the default) delivers as fast as threads move messages, so numeric
+    /// runs aren't slowed. Use [`LinkShaper::summit_nic`] for shaped traces.
     pub link_shaper: LinkShaper,
+    /// Link cost model of the **intra-node** transport (ranks sharing a
+    /// physical node). Only meaningful with [`ExecOptions::node_size`] > 1;
+    /// [`LinkShaper::summit_intra`] for shaped traces.
+    pub intra_shaper: LinkShaper,
+    /// Engine nodes (ranks) per *physical* node of the modeled machine
+    /// (see [`bst_runtime::comm::Topology`]). `1` — the default — makes
+    /// every remote link inter-node, the flat legacy behaviour.
+    pub node_size: usize,
+    /// Communication primitives the lowering emits (see [`Collectives`]).
+    pub collectives: Collectives,
     /// Delivery ordering of each node's progress thread; the seeded
     /// [`DeliveryPolicy::Reorder`] stressor must not change any numeric
     /// result.
@@ -92,7 +125,11 @@ impl Default for ExecOptions {
             fault_plan: None,
             retry: RetryPolicy::default(),
             comm_window: DEFAULT_CREDIT_WINDOW,
+            intra_window: DEFAULT_CREDIT_WINDOW,
             link_shaper: LinkShaper::off(),
+            intra_shaper: LinkShaper::off(),
+            node_size: 1,
+            collectives: Collectives::default(),
             delivery: DeliveryPolicy::InOrder,
         }
     }
@@ -164,9 +201,33 @@ impl ExecOptionsBuilder {
         self
     }
 
+    /// Sets [`ExecOptions::intra_window`] (clamped to ≥ 1).
+    pub fn intra_window(mut self, window: usize) -> Self {
+        self.opts.intra_window = window.max(1);
+        self
+    }
+
     /// Sets [`ExecOptions::link_shaper`].
     pub fn link_shaper(mut self, shaper: LinkShaper) -> Self {
         self.opts.link_shaper = shaper;
+        self
+    }
+
+    /// Sets [`ExecOptions::intra_shaper`].
+    pub fn intra_shaper(mut self, shaper: LinkShaper) -> Self {
+        self.opts.intra_shaper = shaper;
+        self
+    }
+
+    /// Sets [`ExecOptions::node_size`] (clamped to ≥ 1).
+    pub fn node_size(mut self, ranks_per_node: usize) -> Self {
+        self.opts.node_size = ranks_per_node.max(1);
+        self
+    }
+
+    /// Sets [`ExecOptions::collectives`].
+    pub fn collectives(mut self, collectives: Collectives) -> Self {
+        self.opts.collectives = collectives;
         self
     }
 

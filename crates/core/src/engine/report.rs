@@ -82,6 +82,11 @@ pub struct ExecReport {
     pub devices: Vec<((usize, usize), DeviceStats)>,
     /// Bytes of `A` tiles sent across node boundaries.
     pub a_network_bytes: u64,
+    /// Of [`ExecReport::a_network_bytes`], the bytes that crossed an
+    /// **inter-node** (NIC) link of the node-aware topology — the quantity
+    /// the collective trees minimise. Equal to `a_network_bytes` with
+    /// `node_size == 1` (every remote link is inter-node).
+    pub a_network_inter_bytes: u64,
     /// `A` tile messages sent (tree edges).
     pub a_messages: u64,
     /// `A` tile messages forwarded by non-owner nodes (tree interior hops).
@@ -148,16 +153,24 @@ impl ExecReport {
             for (node, cs) in self.comm.iter().enumerate() {
                 let host_peak = self.host_peak_bytes.get(node).copied().unwrap_or(0);
                 out.push_str(&format!(
-                    "comm n{node}: sent {} B / {} msgs, recv {} B / {} msgs, \
-                     dropped {}, dup {}, in-flight {}/{}, host peak {} B\n",
+                    "comm n{node}: sent {} B / {} msgs ({} B / {} msgs inter), \
+                     recv {} B / {} msgs ({} B / {} msgs inter), \
+                     dropped {}, dup {}, in-flight inter {}/{} intra {}/{}, \
+                     host peak {} B\n",
                     cs.sent_bytes,
                     cs.sent_msgs,
+                    cs.inter_sent_bytes,
+                    cs.inter_sent_msgs,
                     cs.recv_bytes,
                     cs.recv_msgs,
+                    cs.inter_recv_bytes,
+                    cs.inter_recv_msgs,
                     cs.dropped_msgs,
                     cs.duplicate_msgs,
                     cs.max_in_flight,
                     cs.credit_window,
+                    cs.intra_max_in_flight,
+                    cs.intra_credit_window,
                     host_peak,
                 ));
             }

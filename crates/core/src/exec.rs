@@ -36,7 +36,7 @@ use crate::error::ExecError;
 use crate::plan::ExecutionPlan;
 use crate::spec::ProblemSpec;
 
-pub use crate::engine::policies::{ExecOptions, ExecOptionsBuilder, KernelSelect};
+pub use crate::engine::policies::{Collectives, ExecOptions, ExecOptionsBuilder, KernelSelect};
 #[allow(deprecated)]
 pub use crate::engine::report::max_concurrent_genb;
 pub use crate::engine::report::{

@@ -228,6 +228,7 @@ impl FaultPlan {
             Op::FlushBlock { node, gpu, block } => {
                 fold(&[7, *node as u64, *gpu as u64, *block as u64])
             }
+            Op::ReduceC { node } => fold(&[9, *node as u64]),
         }
     }
 }

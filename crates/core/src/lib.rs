@@ -51,8 +51,8 @@ pub use error::{BstError, ExecError, GenError, ServiceError};
 #[allow(deprecated)]
 pub use exec::max_concurrent_genb;
 pub use exec::{
-    validate_trace_invariants, ExecOptions, ExecOptionsBuilder, ExecReport, ExecTraceData,
-    KernelSelect, RecoveryStats,
+    validate_trace_invariants, Collectives, ExecOptions, ExecOptionsBuilder, ExecReport,
+    ExecTraceData, KernelSelect, RecoveryStats,
 };
 pub use engine::report::BCacheRunStats;
 pub use fault::{FaultPlan, FaultSite, RetryPolicy};
@@ -64,4 +64,4 @@ pub use service::{
 pub use spec::ProblemSpec;
 // The transport knob types [`ExecOptions`] carries, so callers configuring a
 // run don't need a direct `bst-runtime` dependency.
-pub use bst_runtime::comm::{DeliveryPolicy, LinkShaper, NodeCommStats};
+pub use bst_runtime::comm::{DeliveryPolicy, LinkClass, LinkShaper, NodeCommStats, Topology};
