@@ -3,6 +3,7 @@
 //! cost, and the numeric end-to-end pipeline at small scale.
 
 use bst_contract::{DeviceConfig, ExecutionPlan, GridConfig, PlannerConfig, ProblemSpec};
+use bst_runtime::engine::{infallible, Engine};
 use bst_runtime::graph::{TaskGraph, WorkerId};
 use bst_runtime::ptg::{space_2d, PtgProgram};
 use bst_sparse::generate::{generate, SyntheticParams};
@@ -30,9 +31,17 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("independent_tasks", |b| {
         b.iter(|| {
-            g.execute(&workers, |_| 0u64, |&i, _, acc| {
-                *acc = acc.wrapping_add(i as u64);
-            })
+            match Engine::new().run(
+                &g,
+                &workers,
+                |_| 0u64,
+                infallible(|&i: &usize, _, acc: &mut u64| {
+                    *acc = acc.wrapping_add(i as u64);
+                }),
+            ) {
+                Ok(_) => (),
+                Err(abort) => match abort.error {},
+            }
         });
     });
 
@@ -49,7 +58,15 @@ fn bench_engine_throughput(c: &mut Criterion) {
     }
     group.bench_function("chained_tasks", |b| {
         b.iter(|| {
-            g2.execute(&workers, |_| (), |_, _, _| {});
+            match Engine::new().run(
+                &g2,
+                &workers,
+                |_| (),
+                infallible(|_: &usize, _, _: &mut ()| {}),
+            ) {
+                Ok(_) => (),
+                Err(abort) => match abort.error {},
+            }
         });
     });
     group.finish();

@@ -1,16 +1,17 @@
 //! Parity gates for the collapsed engine: every tracing / clock / retry
 //! combination is a policy stack on `Engine::run` — gated byte-identical
 //! against the plain stack on a deterministic dataflow graph — plus one
-//! compatibility canary for the deprecated `execute()` wrapper and the
-//! numeric fault-free-vs-faulted agreement gate.
+//! canary for the `infallible` handler adapter and the numeric
+//! fault-free-vs-faulted agreement gate.
 //!
 //! Two levels:
 //!
 //! * **runtime level** — a deterministic dataflow graph (every task's value
 //!   is a pure function of its dependencies' values) executed through each
 //!   `Engine` policy stack, gated **byte-identical**, with every recorded
-//!   trace invariant-clean. One test keeps exercising the legacy
-//!   `TaskGraph::execute` wrapper as a compatibility canary;
+//!   trace invariant-clean. One test exercises the [`infallible`] adapter
+//!   (the migration target of the removed `TaskGraph::execute*` wrappers)
+//!   as a compatibility canary;
 //! * **core level** — the repro binaries' tiny numeric instance
 //!   (`repro_trace --numeric --tiny`), fault-free vs `--faults`-style
 //!   transient injection, gated at ≤ 1e-10 (fp accumulation order may
@@ -20,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bst_bench::{tiny_numeric_spec, traced_numeric_run};
 use bst_contract::{validate_trace_invariants, ExecOptions, FaultPlan};
-use bst_runtime::engine::Engine;
+use bst_runtime::engine::{infallible, Engine};
 use bst_runtime::graph::{RetryOptions, TaskError, TaskGraph, WorkerId};
 
 /// A layered deterministic DAG: task `t`'s value is a pure fold of its
@@ -114,12 +115,12 @@ fn tracing_and_clock_policies_match_plain_engine_byte_for_byte() {
     assert_eq!(plain, clocked, "shared-clock policy changed the bytes");
 }
 
-/// Compatibility canary: the one remaining deprecated wrapper exercise.
-/// `TaskGraph::execute` must keep delegating to the same scheduler —
-/// byte-identical to `Engine::new().run` on the same graph.
+/// Compatibility canary for the `execute*` wrapper removal: an infallible
+/// handler wrapped through [`infallible`] must delegate to the same
+/// scheduler — byte-identical to an explicit `Result`-returning handler on
+/// `Engine::new().run` over the same graph.
 #[test]
-#[allow(deprecated)]
-fn deprecated_execute_wrapper_still_matches_engine() {
+fn infallible_adapter_matches_explicit_handler() {
     let (graph, workers) = build_graph();
     let n = graph.len();
 
@@ -139,17 +140,25 @@ fn deprecated_execute_wrapper_still_matches_engine() {
             .unwrap();
     }
 
-    let legacy_out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let adapted_out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     {
-        let (g, o) = (&graph, &legacy_out);
-        g.execute(&workers, |_| (), |&id, _w, _c: &mut ()| {
-            o[id].store(value_of(g, o, id).to_bits(), Ordering::SeqCst);
-        });
+        let (g, o) = (&graph, &adapted_out);
+        match Engine::new().run(
+            g,
+            &workers,
+            |_| (),
+            infallible(|&id: &usize, _w, _c: &mut ()| {
+                o[id].store(value_of(g, o, id).to_bits(), Ordering::SeqCst);
+            }),
+        ) {
+            Ok(_) => (),
+            Err(abort) => match abort.error {},
+        }
     }
     assert_eq!(
         bits(&engine_out),
-        bits(&legacy_out),
-        "execute() canary diverged from Engine::run"
+        bits(&adapted_out),
+        "infallible() canary diverged from the explicit handler"
     );
 }
 

@@ -7,6 +7,7 @@
 //! bst plan     --molecule alkane:40 --nodes 2          # inspector output & §3.2.4 stats
 //! bst simulate --synthetic 48000x192000x192000:0.5 --nodes 16 [--gantt]
 //! bst verify   --synthetic 300x2400x2400:0.5 --nodes 2 # numeric run vs reference
+//! bst einsum   --synthetic 100x800x800:0.6             # spec-driven chain vs reference
 //! ```
 //!
 //! The argument grammar is deliberately tiny (no external parser): every
@@ -70,6 +71,10 @@ pub enum Command {
     /// submit the same contraction; plans and B tiles must be served from
     /// cache and every result must be bit-identical to the first.
     Serve,
+    /// Smoke-test the einsum frontend: lower a two-term chain
+    /// (`"ij,jk,kl->il"`, with the last factor generated on demand) into
+    /// planned products and verify the result against the dense reference.
+    Einsum,
 }
 
 /// Where the problem comes from.
@@ -107,7 +112,7 @@ fn err(msg: impl Into<String>) -> CliError {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: bst <info|plan|simulate|verify|serve> \
+pub const USAGE: &str = "usage: bst <info|plan|simulate|verify|serve|einsum> \
 [--molecule KIND:ARGS | --synthetic MxNxK:D] [--tiling v1|v2|v3] \
 [--nodes N] [--node-size S] [--p P] [--gpus G] [--seed S] [--gantt] \
 [--trace FILE.json] [--trace-summary] [--faults SEED] \
@@ -122,6 +127,7 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         Some("simulate") => Command::Simulate,
         Some("verify") => Command::Verify,
         Some("serve") => Command::Serve,
+        Some("einsum") => Command::Einsum,
         Some(other) => return Err(err(format!("unknown command {other}\n{USAGE}"))),
         None => return Err(err(USAGE)),
     };
@@ -516,6 +522,54 @@ received {} B / {} msgs ({} B inter-node)",
             }
             writeln!(out, "all warm results bit-identical to the cold run; service smoke OK")?;
         }
+        Command::Einsum => {
+            use bst_contract::einsum::Einsum;
+            use bst_sparse::matrix::tile_seed;
+            use bst_sparse::{BlockSparseMatrix, MatrixStructure};
+            let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), cli.seed);
+            let b = BlockSparseMatrix::random_from_structure(spec.b.clone(), cli.seed ^ 0xB);
+            // The third factor is generated on demand — the lowering must
+            // keep it on the stationary B side of its product.
+            let d_struct = MatrixStructure::dense(
+                spec.b.col_tiling().clone(),
+                spec.b.col_tiling().clone(),
+            );
+            let d_seed = cli.seed ^ 0xD;
+            let d_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
+                Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(d_seed, k, j))))
+            };
+            let outcome = Einsum::new("ij,jk,kl->il")
+                .operand(&a)
+                .operand(&b)
+                .on_demand(&d_struct, &d_gen)
+                .contract(config)?;
+            writeln!(
+                out,
+                "lowered \"ij,jk,kl->il\" into {} planned products ({} GEMMs), output order {}",
+                outcome.reports.len(),
+                outcome.reports.iter().map(|r| r.gemm_tasks).sum::<u64>(),
+                outcome.output_labels()
+            )?;
+            let d = BlockSparseMatrix::from_structure(d_struct.clone(), |k, j, r, cc| {
+                bst_tile::Tile::random(r, cc, tile_seed(d_seed, k, j))
+            });
+            let mut ab = BlockSparseMatrix::zeros(
+                spec.a.row_tiling().clone(),
+                spec.b.col_tiling().clone(),
+            );
+            ab.gemm_acc_reference(&a, &b);
+            let mut c_ref = BlockSparseMatrix::zeros(
+                spec.a.row_tiling().clone(),
+                d_struct.col_tiling().clone(),
+            );
+            c_ref.gemm_acc_reference(&ab, &d);
+            let diff = outcome.matrix().max_abs_diff(&c_ref);
+            writeln!(out, "max |C - C_ref| = {diff:.3e}")?;
+            if diff > 1e-10 {
+                return Err(Box::new(err("einsum smoke FAILED")));
+            }
+            writeln!(out, "einsum smoke OK")?;
+        }
     }
     Ok(())
 }
@@ -691,6 +745,18 @@ mod tests {
         assert!(s.contains("service smoke OK"), "{s}");
         // The 4 warm requests must all have hit the plan cache.
         assert!(s.contains("4 hits / 1 misses"), "{s}");
+    }
+
+    #[test]
+    fn run_einsum_smoke() {
+        let cli = parse(&args("einsum --synthetic 100x600x600:0.6 --nodes 2 --gpus 2")).unwrap();
+        assert_eq!(cli.command, Command::Einsum);
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("lowered \"ij,jk,kl->il\" into 2 planned products"), "{s}");
+        assert!(s.contains("output order il"), "{s}");
+        assert!(s.contains("einsum smoke OK"), "{s}");
     }
 
     #[test]

@@ -15,13 +15,15 @@
 //! * [`RetryPolicy`] — per-task attempt budget and backoff applied to
 //!   [`TaskError::Transient`] handler failures ([`RetryOptions`] is the
 //!   canonical implementation; [`RetryOptions::none`] makes every transient
-//!   error terminal, which is how the infallible wrappers run).
+//!   error terminal, which is how [`infallible`] handlers run).
 //!
 //! Policies compose instead of multiplying entry points: tracing × faults ×
 //! virtual time are picked independently with [`Engine::tracing`],
 //! [`Engine::with_clock`] and [`Engine::with_retry`], and every combination
-//! reaches the same scheduler body. The former `TaskGraph::execute*` methods
-//! survive as thin deprecated wrappers over this engine for one release.
+//! reaches the same scheduler body. (The former `TaskGraph::execute*`
+//! methods were deprecated wrappers over this engine for one release and
+//! are gone; handlers that cannot fail go through the [`infallible`]
+//! adapter instead.)
 //!
 //! # Scheduler semantics
 //!
@@ -419,9 +421,11 @@ impl<T: Tracer, C: Clock, R: RetryPolicy> Engine<T, C, R> {
 }
 
 /// Adapts an infallible handler to the engine's fallible signature with an
-/// uninhabited error type — used by the deprecated `TaskGraph::execute*`
-/// wrappers so they stay one-liners.
-pub(crate) fn infallible<P, Ctx, F>(
+/// uninhabited error type: `Engine::new().run(g, workers, mk_ctx,
+/// infallible(|payload, worker, ctx| ...))`. The returned
+/// [`RunAbort`]'s error is [`Infallible`], so `Err` arms can be discharged
+/// with `match abort.error {}`.
+pub fn infallible<P, Ctx, F>(
     run: F,
 ) -> impl Fn(&P, WorkerId, &mut Ctx, u32) -> Result<(), TaskError<Infallible>> + Sync
 where

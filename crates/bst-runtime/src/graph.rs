@@ -1,24 +1,21 @@
-//! Generic task DAG: tasks pinned to workers, plus the legacy `execute*`
-//! entry points.
+//! Generic task DAG: tasks pinned to workers.
 //!
 //! A [`TaskGraph`] is a DAG of payload-carrying tasks, each pinned to a
 //! [`WorkerId`] (a lane of a simulated node). Edges are plain dependencies;
 //! the caller decides whether an edge means "data flows here" or "control
 //! only" — the scheduler treats both identically, as PaRSEC's PTG does.
 //!
-//! Execution lives in [`crate::engine`]: [`Engine::run`] spawns one OS
-//! thread per worker; each worker pulls ready tasks from its own FIFO;
-//! completing a task decrements the indegree of its successors, enqueueing
-//! those that become ready onto *their* worker's FIFO. Worker panics
-//! propagate to the caller. The six `TaskGraph::execute*` methods below are
-//! deprecated one-release compatibility wrappers over that single engine —
-//! each fixes one combination of the [`Tracer`](crate::engine::Tracer) /
-//! [`Clock`](crate::engine::Clock) /
-//! [`RetryPolicy`](crate::engine::RetryPolicy) policies that
-//! [`Engine`] composes freely.
+//! Execution lives in [`crate::engine`]:
+//! [`Engine::run`](crate::engine::Engine::run) spawns one OS thread per
+//! worker; each worker pulls ready tasks from its own FIFO; completing a
+//! task decrements the indegree of its successors, enqueueing those that
+//! become ready onto *their* worker's FIFO. Worker panics propagate to the
+//! caller. Tracing, clocks and retry are composed as policies on
+//! [`Engine`](crate::engine::Engine) (fluent
+//! `.tracing()/.with_clock()/.with_retry()`); infallible handlers go
+//! through the [`infallible`](crate::engine::infallible) adapter.
 
-use crate::engine::{infallible, Engine};
-use crate::trace::{ExecTrace, TraceClock};
+use crate::trace::ExecTrace;
 
 /// Address of an execution lane: a node and a lane within it.
 ///
@@ -92,7 +89,7 @@ impl<E> TaskError<E> {
 }
 
 /// Why a fallible execution stopped early (returned by
-/// [`TaskGraph::execute_fallible`] as the `Err` case).
+/// [`Engine::run`](crate::engine::Engine::run) as the `Err` case).
 #[derive(Clone, Debug)]
 pub struct RunAbort<E> {
     /// The task whose failure ended the run.
@@ -202,185 +199,43 @@ impl<T> TaskGraph<T> {
     pub fn deps(&self, id: TaskId) -> &[TaskId] {
         &self.tasks[id].deps
     }
-
-    /// Executes the graph to completion.
-    ///
-    /// * `workers` — every lane that tasks are pinned to (a task pinned to a
-    ///   missing worker panics);
-    /// * `mk_ctx` — builds the per-worker mutable context (e.g. a device
-    ///   memory manager for GPU lanes);
-    /// * `run` — the task handler, called with the payload, the worker id
-    ///   and the worker's context.
-    ///
-    /// Tasks run as soon as all their dependencies completed; tasks on the
-    /// same worker run sequentially in ready order.
-    ///
-    /// # Panics
-    /// Propagates handler panics; panics on duplicate workers.
-    #[deprecated(since = "0.1.0", note = "use `engine::Engine::new().run(...)`")]
-    pub fn execute<C, F, M>(&self, workers: &[WorkerId], mk_ctx: M, run: F)
-    where
-        T: Sync,
-        C: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C) + Sync,
-    {
-        match Engine::new().run(self, workers, mk_ctx, infallible(run)) {
-            Ok(_) => (),
-            Err(abort) => match abort.error {},
-        }
-    }
-
-    /// Like [`TaskGraph::execute`], but records every task's life-cycle
-    /// (ready → running → done) and returns the resulting
-    /// [`ExecTrace`].
-    ///
-    /// Recording is lock-free by ownership: each worker thread appends to
-    /// its own event buffer (including the *ready* events of the successors
-    /// it releases), and the submitting thread owns the buffer of
-    /// initially-ready events. All timestamps share one monotonic epoch
-    /// started just before the first task is enqueued.
-    ///
-    /// # Panics
-    /// Same conditions as [`TaskGraph::execute`]. If a handler panics the
-    /// partial trace is discarded and the panic propagates.
-    #[deprecated(since = "0.1.0", note = "use `engine::Engine::new().tracing().run(...)`")]
-    pub fn execute_traced<C, F, M>(&self, workers: &[WorkerId], mk_ctx: M, run: F) -> ExecTrace
-    where
-        T: Sync,
-        C: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C) + Sync,
-    {
-        #[allow(deprecated)]
-        self.execute_traced_with_clock(workers, mk_ctx, run, TraceClock::start())
-    }
-
-    /// [`TaskGraph::execute_traced`] with a caller-supplied epoch, so the
-    /// caller can timestamp its own side channels (e.g. device-memory
-    /// occupancy samples taken inside handlers) on the same timeline as the
-    /// task events.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `engine::Engine::new().tracing().with_clock(clock).run(...)`"
-    )]
-    pub fn execute_traced_with_clock<C, F, M>(
-        &self,
-        workers: &[WorkerId],
-        mk_ctx: M,
-        run: F,
-        clock: TraceClock,
-    ) -> ExecTrace
-    where
-        T: Sync,
-        C: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C) + Sync,
-    {
-        match Engine::new().tracing().with_clock(clock).run(self, workers, mk_ctx, infallible(run))
-        {
-            Ok(r) => r.trace.expect("tracing was requested"),
-            Err(abort) => match abort.error {},
-        }
-    }
-
-    /// Executes the graph with a **fallible** handler: the handler returns
-    /// `Result<(), TaskError<E>>` and receives the 1-based attempt number as
-    /// its fourth argument.
-    ///
-    /// A [`TaskError::Transient`] failure is retried on the task's own
-    /// worker after exponential backoff ([`RetryOptions::backoff_us`]),
-    /// up to `retry.budget` total attempts. The failed task is re-enqueued
-    /// onto the *back* of its worker's FIFO **without** completing, so none
-    /// of its successors are released early and every dependency (data or
-    /// control) of the original DAG still holds. A [`TaskError::Fatal`]
-    /// error — or a transient one that exhausts its budget — aborts the
-    /// execution: all queues are poisoned and the first such error is
-    /// returned as a [`RunAbort`].
-    ///
-    /// # Panics
-    /// Propagates handler panics (a panic is not an error value); panics on
-    /// duplicate workers or tasks pinned to unknown workers.
-    #[deprecated(since = "0.1.0", note = "use `engine::Engine::new().with_retry(retry).run(...)`")]
-    pub fn execute_fallible<C, E, F, M>(
-        &self,
-        workers: &[WorkerId],
-        mk_ctx: M,
-        run: F,
-        retry: RetryOptions,
-    ) -> Result<FallibleRun, RunAbort<E>>
-    where
-        T: Sync,
-        C: Send,
-        E: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
-    {
-        Engine::new().with_retry(retry).run(self, workers, mk_ctx, run)
-    }
-
-    /// [`TaskGraph::execute_fallible`] with tracing on: failed attempts and
-    /// re-enqueues are recorded as
-    /// [`TracePhase::Failed`](crate::trace::TracePhase::Failed) /
-    /// [`TracePhase::Retried`](crate::trace::TracePhase::Retried) events in
-    /// the returned [`FallibleRun::trace`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `engine::Engine::new().tracing().with_retry(retry).run(...)`"
-    )]
-    pub fn execute_fallible_traced<C, E, F, M>(
-        &self,
-        workers: &[WorkerId],
-        mk_ctx: M,
-        run: F,
-        retry: RetryOptions,
-    ) -> Result<FallibleRun, RunAbort<E>>
-    where
-        T: Sync,
-        C: Send,
-        E: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
-    {
-        Engine::new().tracing().with_retry(retry).run(self, workers, mk_ctx, run)
-    }
-
-    /// [`TaskGraph::execute_fallible_traced`] with a caller-supplied epoch
-    /// (see [`TaskGraph::execute_traced_with_clock`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `engine::Engine::new().tracing().with_clock(clock).with_retry(retry).run(...)`"
-    )]
-    pub fn execute_fallible_traced_with_clock<C, E, F, M>(
-        &self,
-        workers: &[WorkerId],
-        mk_ctx: M,
-        run: F,
-        retry: RetryOptions,
-        clock: TraceClock,
-    ) -> Result<FallibleRun, RunAbort<E>>
-    where
-        T: Sync,
-        C: Send,
-        E: Send,
-        M: Fn(WorkerId) -> C + Sync,
-        F: Fn(&T, WorkerId, &mut C, u32) -> Result<(), TaskError<E>> + Sync,
-    {
-        Engine::new().tracing().with_clock(clock).with_retry(retry).run(self, workers, mk_ctx, run)
-    }
 }
 
 #[cfg(test)]
 mod tests {
-    // The legacy wrappers stay under test for their deprecation release.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::engine::{infallible, Engine};
     use std::sync::atomic::Ordering;
     use parking_lot::Mutex;
 
     fn w(node: usize, lane: usize) -> WorkerId {
         WorkerId { node, lane }
+    }
+
+    /// Runs `g` with an infallible handler through the engine.
+    fn exec<T: Sync, C: Send>(
+        g: &TaskGraph<T>,
+        workers: &[WorkerId],
+        mk_ctx: impl Fn(WorkerId) -> C + Sync,
+        run: impl Fn(&T, WorkerId, &mut C) + Sync,
+    ) {
+        match Engine::new().run(g, workers, mk_ctx, infallible(run)) {
+            Ok(_) => (),
+            Err(abort) => match abort.error {},
+        }
+    }
+
+    /// [`exec`] with tracing on, returning the recorded trace.
+    fn exec_traced<T: Sync, C: Send>(
+        g: &TaskGraph<T>,
+        workers: &[WorkerId],
+        mk_ctx: impl Fn(WorkerId) -> C + Sync,
+        run: impl Fn(&T, WorkerId, &mut C) + Sync,
+    ) -> ExecTrace {
+        match Engine::new().tracing().run(g, workers, mk_ctx, infallible(run)) {
+            Ok(r) => r.trace.expect("tracing was requested"),
+            Err(abort) => match abort.error {},
+        }
     }
 
     #[test]
@@ -417,7 +272,7 @@ mod tests {
             prev = Some(t);
         }
         let log = Mutex::new(Vec::new());
-        g.execute(&[w(0, 0), w(0, 1)], |_| (), |&i, _, _| {
+        exec(&g, &[w(0, 0), w(0, 1)], |_| (), |&i, _, _| {
             log.lock().push(i);
         });
         assert_eq!(*log.lock(), (0..n).collect::<Vec<_>>());
@@ -439,7 +294,7 @@ mod tests {
             g.add_dep(sink, m);
         }
         let order = Mutex::new(Vec::new());
-        g.execute(&[w(0, 0), w(1, 0), w(2, 0)], |_| (), |&s, _, _| {
+        exec(&g, &[w(0, 0), w(1, 0), w(2, 0)], |_| (), |&s, _, _| {
             order.lock().push(s);
         });
         let order = order.lock();
@@ -455,7 +310,7 @@ mod tests {
             g.add_task(i, w(i as usize % 4, 0));
         }
         let sums = Mutex::new(std::collections::HashMap::new());
-        g.execute(
+        exec(&g, 
             &[w(0, 0), w(1, 0), w(2, 0), w(3, 0)],
             |_| 0u64,
             |&v, wid, acc| {
@@ -472,7 +327,7 @@ mod tests {
     #[test]
     fn empty_graph_is_noop() {
         let g: TaskGraph<u32> = TaskGraph::new();
-        g.execute(&[w(0, 0)], |_| (), |_, _, _| panic!("no tasks"));
+        exec(&g, &[w(0, 0)], |_| (), |_, _, _| panic!("no tasks"));
     }
 
     #[test]
@@ -486,7 +341,7 @@ mod tests {
         g.add_dep(a1, a0);
         g.add_dep(a1, b0); // control edge
         let log = Mutex::new(Vec::new());
-        g.execute(&[w(0, 0), w(1, 0)], |_| (), |&s, _, _| {
+        exec(&g, &[w(0, 0), w(1, 0)], |_| (), |&s, _, _| {
             log.lock().push(s);
         });
         let log = log.lock();
@@ -513,7 +368,7 @@ mod tests {
             g.add_dep(t, prev);
             prev = t;
         }
-        let trace = g.execute_traced(&[w(0, 0), w(0, 1), w(1, 0)], |_| (), |_, _, _| {
+        let trace = exec_traced(&g, &[w(0, 0), w(0, 1), w(1, 0)], |_| (), |_, _, _| {
             std::hint::black_box((0..100).sum::<u64>());
         });
         assert_eq!(trace.validate(&g), Vec::new());
@@ -527,7 +382,7 @@ mod tests {
     #[test]
     fn traced_empty_graph_yields_empty_trace() {
         let g: TaskGraph<u32> = TaskGraph::new();
-        let trace = g.execute_traced(&[w(0, 0)], |_| (), |_, _, _| panic!("no tasks"));
+        let trace = exec_traced(&g, &[w(0, 0)], |_| (), |_, _, _| panic!("no tasks"));
         assert_eq!(trace.event_count(), 0);
         assert!(trace.validate(&g).is_empty());
     }
@@ -541,7 +396,7 @@ mod tests {
             g.add_task(i, w(i as usize % 3, 0));
         }
         let count = std::sync::atomic::AtomicUsize::new(0);
-        g.execute(&[w(0, 0), w(1, 0), w(2, 0)], |_| (), |_, _, _| {
+        exec(&g, &[w(0, 0), w(1, 0), w(2, 0)], |_| (), |_, _, _| {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 200);
@@ -552,7 +407,7 @@ mod tests {
     fn traced_handler_panic_still_propagates() {
         let mut g: TaskGraph<u32> = TaskGraph::new();
         g.add_task(1, w(0, 0));
-        g.execute_traced(&[w(0, 0)], |_| (), |_, _, _| panic!("boom"));
+        exec_traced(&g, &[w(0, 0)], |_| (), |_, _, _| panic!("boom"));
     }
 
     #[test]
@@ -560,7 +415,7 @@ mod tests {
     fn handler_panic_propagates() {
         let mut g: TaskGraph<u32> = TaskGraph::new();
         g.add_task(1, w(0, 0));
-        g.execute(&[w(0, 0)], |_| (), |_, _, _| panic!("boom"));
+        exec(&g, &[w(0, 0)], |_| (), |_, _, _| panic!("boom"));
     }
 
     #[test]
@@ -578,18 +433,20 @@ mod tests {
         g.add_dep(sink, solid);
 
         let order = Mutex::new(Vec::new());
-        let run = g
-            .execute_fallible_traced(
+        let run = Engine::new()
+            .tracing()
+            .with_retry(RetryOptions { budget: 4, backoff_base_us: 1, backoff_max_us: 10 })
+            .run(
+                &g,
                 &[w(0, 0), w(0, 1), w(1, 0)],
                 |_| (),
-                |&name, _, _, attempt| {
+                |&name: &&str, _, _, attempt| {
                     if name == "flaky" && attempt <= 2 {
                         return Err(TaskError::Transient(format!("attempt {attempt}")));
                     }
                     order.lock().push(name);
                     Ok(())
                 },
-                RetryOptions { budget: 4, backoff_base_us: 1, backoff_max_us: 10 },
             )
             .expect("recovers within budget");
         assert_eq!(run.attempts[flaky], 3);
@@ -611,12 +468,13 @@ mod tests {
         let a = g.add_task(7, w(0, 0));
         let b = g.add_task(8, w(1, 0));
         g.add_dep(b, a);
-        let abort = g
-            .execute_fallible(
+        let abort = Engine::new()
+            .with_retry(RetryOptions { budget: 3, backoff_base_us: 1, backoff_max_us: 2 })
+            .run(
+                &g,
                 &[w(0, 0), w(1, 0)],
                 |_| (),
                 |_, _, _, _| Err::<(), _>(TaskError::Transient("still down")),
-                RetryOptions { budget: 3, backoff_base_us: 1, backoff_max_us: 2 },
             )
             .expect_err("budget must run out");
         assert_eq!(abort.task, a);
@@ -632,12 +490,13 @@ mod tests {
         // A dependent on another worker must not hang when the run aborts.
         let b = g.add_task(2, w(1, 0));
         g.add_dep(b, a);
-        let abort = g
-            .execute_fallible(
+        let abort = Engine::new()
+            .with_retry(RetryOptions::default())
+            .run(
+                &g,
                 &[w(0, 0), w(1, 0)],
                 |_| (),
                 |_, _, _, _| Err::<(), _>(TaskError::Fatal("corrupt")),
-                RetryOptions::default(),
             )
             .expect_err("fatal error must abort");
         assert_eq!(abort.attempts, 1);
@@ -665,7 +524,7 @@ mod tests {
         let a = g.add_task(0, w(0, 0));
         let b = g.add_task(1, w(1, 0));
         g.add_dep(b, a);
-        g.execute(&[w(0, 0), w(1, 0)], |_| (), |&v, _, _| {
+        exec(&g, &[w(0, 0), w(1, 0)], |_| (), |&v, _, _| {
             if v == 0 {
                 panic!("boom");
             }

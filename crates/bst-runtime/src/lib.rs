@@ -59,7 +59,7 @@ pub use comm::{
 };
 pub use data::{BCacheKey, BCacheStats, BTileCache, DataKey, TileStore};
 pub use device::{DeviceMemory, NodeResidency};
-pub use engine::{Clock, Engine, NoTracer, Recorder, Tracer};
+pub use engine::{infallible, Clock, Engine, NoTracer, Recorder, Tracer};
 pub use graph::{FallibleRun, RetryOptions, RunAbort, TaskError, TaskGraph, WorkerId};
 pub use ptg::PtgProgram;
 pub use trace::{ExecTrace, TaskRecord, TraceEvent, TracePhase};

@@ -203,14 +203,23 @@ pub fn space_1d(n: i64) -> impl Fn() -> Vec<Params> {
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the legacy execute* wrappers on purpose.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::engine::{infallible, Engine};
     use parking_lot::Mutex;
 
     fn w(node: usize, lane: usize) -> WorkerId {
         WorkerId { node, lane }
+    }
+
+    fn exec<T: Sync>(
+        g: &TaskGraph<T>,
+        workers: &[WorkerId],
+        run: impl Fn(&T, WorkerId, &mut ()) + Sync,
+    ) {
+        match Engine::new().run(g, workers, |_| (), infallible(run)) {
+            Ok(_) => (),
+            Err(abort) => match abort.error {},
+        }
     }
 
     #[test]
@@ -233,9 +242,9 @@ mod tests {
         let compiled = prog.compile();
         assert_eq!(compiled.graph.len(), 20);
         let log = Mutex::new(Vec::new());
-        compiled.graph.execute(
+        exec(
+            &compiled.graph,
             &[w(0, 0), w(1, 0), w(2, 0)],
-            |_| (),
             |(_, params), _, _| log.lock().push(params[0]),
         );
         assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
@@ -271,9 +280,9 @@ mod tests {
         assert_eq!(compiled.class_names, vec!["gen", "cell"]);
 
         let done = Mutex::new(std::collections::HashSet::new());
-        compiled.graph.execute(
+        exec(
+            &compiled.graph,
             &[w(0, 0), w(0, 1), w(1, 1)],
-            |_| (),
             |(ci, params), _, _| {
                 let mut done = done.lock();
                 if *ci == 1 {
@@ -318,7 +327,7 @@ mod tests {
         let compiled = prog.compile();
         assert_eq!(compiled.graph.len(), 5);
         let count = Mutex::new(0usize);
-        compiled.graph.execute(&[w(0, 0), w(1, 0)], |_| (), |(ci, _), _, _| {
+        exec(&compiled.graph, &[w(0, 0), w(1, 0)], |(ci, _), _, _| {
             let mut c = count.lock();
             if *ci == 1 {
                 assert_eq!(*c, 4, "reduce must run last");

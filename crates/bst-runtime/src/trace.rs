@@ -1,6 +1,7 @@
 //! Scheduler tracing and metrics.
 //!
-//! [`TaskGraph::execute_traced`](crate::graph::TaskGraph::execute_traced)
+//! A tracing engine run
+//! ([`Engine::tracing`](crate::engine::Engine::tracing))
 //! records the full life-cycle of every task — *ready* (last dependency
 //! completed, or initially dependency-free), *running* (a worker picked it
 //! up), *done* (the handler returned) — into **per-worker event buffers**
@@ -49,7 +50,7 @@ impl TraceClock {
 /// Life-cycle phase of a task, in causal order.
 ///
 /// The happy path is `Ready → Running → Done`. Under fallible execution
-/// ([`TaskGraph::execute_fallible`](crate::graph::TaskGraph::execute_fallible))
+/// (a retrying [`Engine::run`](crate::engine::Engine::run))
 /// a transient handler failure inserts `Failed → Retried → Running` cycles
 /// before the final `Done`, so a task with `n` failures records `n + 1`
 /// `Running` events, `n` `Failed` and `n` `Retried` — but still exactly one

@@ -2,7 +2,9 @@
 //! the engine under many workers and adversarial task shapes.
 
 use bst_runtime::data::DataKey;
+use bst_runtime::engine::{infallible, Engine};
 use bst_runtime::graph::{TaskGraph, WorkerId};
+use bst_runtime::trace::ExecTrace;
 use bst_runtime::TileStore;
 use bst_tile::Tile;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -10,6 +12,24 @@ use std::sync::Arc;
 
 fn w(node: usize, lane: usize) -> WorkerId {
     WorkerId { node, lane }
+}
+
+fn exec<T: Sync>(g: &TaskGraph<T>, workers: &[WorkerId], run: impl Fn(&T, WorkerId, &mut ()) + Sync) {
+    match Engine::new().run(g, workers, |_| (), infallible(run)) {
+        Ok(_) => (),
+        Err(abort) => match abort.error {},
+    }
+}
+
+fn exec_traced<T: Sync>(
+    g: &TaskGraph<T>,
+    workers: &[WorkerId],
+    run: impl Fn(&T, WorkerId, &mut ()) + Sync,
+) -> ExecTrace {
+    match Engine::new().tracing().run(g, workers, |_| (), infallible(run)) {
+        Ok(r) => r.trace.expect("tracing was requested"),
+        Err(abort) => match abort.error {},
+    }
 }
 
 #[test]
@@ -75,7 +95,7 @@ fn engine_handles_wide_diamond_graphs() {
         }
     }
     let count = AtomicUsize::new(0);
-    g.execute(&workers, |_| (), |_, _, _| {
+    exec(&g, &workers, |_, _, _| {
         count.fetch_add(1, Ordering::Relaxed);
     });
     assert_eq!(count.load(Ordering::Relaxed), 1 + 50 * 65);
@@ -104,7 +124,7 @@ fn traced_wide_diamond_graphs_stay_valid() {
         }
     }
     let count = AtomicUsize::new(0);
-    let trace = g.execute_traced(&workers, |_| (), |_, _, _| {
+    let trace = exec_traced(&g, &workers, |_, _, _| {
         count.fetch_add(1, Ordering::Relaxed);
     });
     assert_eq!(count.load(Ordering::Relaxed), g.len());
@@ -136,16 +156,16 @@ fn tracing_overhead_is_bounded() {
     let work = |v: &usize| std::hint::black_box((0..200).fold(*v, |a, x| a.wrapping_add(a ^ x)));
 
     // Warm up, then time both modes.
-    g.execute(&workers, |_| (), |v, _, _| {
+    exec(&g, &workers, |v, _, _| {
         work(v);
     });
     let t0 = std::time::Instant::now();
-    g.execute(&workers, |_| (), |v, _, _| {
+    exec(&g, &workers, |v, _, _| {
         work(v);
     });
     let untraced = t0.elapsed();
     let t1 = std::time::Instant::now();
-    let trace = g.execute_traced(&workers, |_| (), |v, _, _| {
+    let trace = exec_traced(&g, &workers, |v, _, _| {
         work(v);
     });
     let traced = t1.elapsed();
@@ -172,7 +192,7 @@ fn traced_stress_panic_still_propagates() {
         let t = g.add_task(i, workers[i % 6]);
         g.add_dep(t, root);
     }
-    g.execute_traced(&workers, |_| (), |v, _, _| {
+    exec_traced(&g, &workers, |v, _, _| {
         if *v == 150 {
             panic!("boom at 150");
         }
@@ -188,7 +208,7 @@ fn engine_many_executions_reuse_graph() {
     g.add_dep(b, a);
     for _ in 0..200 {
         let sum = AtomicUsize::new(0);
-        g.execute(&[w(0, 0), w(1, 0)], |_| (), |&v, _, _| {
+        exec(&g, &[w(0, 0), w(1, 0)], |&v, _, _| {
             sum.fetch_add(v, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 3);

@@ -3,12 +3,21 @@
 //! timestamps, exactly one Ready/Running/Done per task in that order,
 //! dependency spans never overlapping, and counts matching the DAG size.
 
+use bst_runtime::engine::{infallible, Engine};
 use bst_runtime::graph::{TaskGraph, WorkerId};
-use bst_runtime::trace::TracePhase;
+use bst_runtime::trace::{ExecTrace, TracePhase};
 use proptest::prelude::*;
 
 fn w(node: usize, lane: usize) -> WorkerId {
     WorkerId { node, lane }
+}
+
+fn exec_traced(g: &TaskGraph<usize>, workers: &[WorkerId]) -> ExecTrace {
+    match Engine::new().tracing().run(g, workers, |_| (), infallible(|_: &usize, _, _: &mut ()| {}))
+    {
+        Ok(r) => r.trace.expect("tracing was requested"),
+        Err(abort) => match abort.error {},
+    }
 }
 
 /// Builds a random DAG: `n` tasks pinned round-robin over the workers,
@@ -47,7 +56,7 @@ proptest! {
         lanes in 1usize..4,
     ) {
         let (g, workers) = build_dag(n, &raw_edges, nodes, lanes);
-        let trace = g.execute_traced(&workers, |_| (), |_, _, _| {});
+        let trace = exec_traced(&g, &workers);
         let errors = trace.validate(&g);
         prop_assert!(errors.is_empty(), "{errors:?}");
         prop_assert_eq!(trace.event_count(), 3 * n);
@@ -62,7 +71,7 @@ proptest! {
         lanes in 1usize..5,
     ) {
         let (g, workers) = build_dag(n, &raw_edges, 1, lanes);
-        let trace = g.execute_traced(&workers, |_| (), |_, _, _| {});
+        let trace = exec_traced(&g, &workers);
 
         for wt in &trace.workers {
             for pair in wt.events.windows(2) {
@@ -98,7 +107,7 @@ proptest! {
         lanes in 1usize..4,
     ) {
         let (g, workers) = build_dag(n, &raw_edges, nodes, lanes);
-        let trace = g.execute_traced(&workers, |_| (), |_, _, _| {});
+        let trace = exec_traced(&g, &workers);
         let spans = trace.task_spans();
         for task in 0..g.len() {
             for &dep in g.deps(task) {

@@ -68,6 +68,19 @@ impl Tensor4Meta {
         &self.tilings[m]
     }
 
+    /// All four per-mode tilings.
+    pub fn mode_tilings(&self) -> &[Tiling; 4] {
+        &self.tilings
+    }
+
+    /// Whether `structure`'s tilings are exactly this metadata's fused
+    /// `(0,1) × (2,3)` tilings — i.e. the structure is a valid matricised
+    /// frame for this tensor.
+    pub fn matches_matricised(&self, structure: &MatrixStructure) -> bool {
+        self.fused_row_tiling() == *structure.row_tiling()
+            && self.fused_col_tiling() == *structure.col_tiling()
+    }
+
     /// Number of tiles along mode `m`.
     pub fn tiles(&self, m: usize) -> usize {
         self.tilings[m].num_tiles()
@@ -163,6 +176,28 @@ impl BlockSparseTensor4 {
             gen(t0, t1, t2, t3, rows, cols)
         });
         Self { meta, matricised }
+    }
+
+    /// Wraps an already-materialised matricised matrix as an order-4
+    /// tensor — transpose-free: the tiles are shared, not copied. Fails if
+    /// `matrix`'s tilings are not `meta`'s fused `(0,1) × (2,3)` tilings.
+    pub fn from_matricised(
+        meta: Tensor4Meta,
+        matrix: crate::BlockSparseMatrix,
+    ) -> Result<Self, String> {
+        if !meta.matches_matricised(matrix.structure()) {
+            return Err(format!(
+                "matrix tilings ({} x {} tiles) are not the fused frame of the tensor metadata \
+({}·{} x {}·{} tiles)",
+                matrix.structure().tile_rows(),
+                matrix.structure().tile_cols(),
+                meta.tiles(0),
+                meta.tiles(1),
+                meta.tiles(2),
+                meta.tiles(3),
+            ));
+        }
+        Ok(Self { meta, matricised: matrix })
     }
 
     /// Builds a tensor with deterministic pseudo-random tiles.

@@ -1,11 +1,17 @@
 //! High-level convenience API: one-call block-sparse multiplication and the
-//! ABCD tensor contraction, wrapping inspector + executor.
+//! ABCD tensor contraction.
 //!
-//! These are the entry points a downstream application uses when it does
-//! not need to inspect plans or reports. All of them return
-//! `Result<_, BstError>`: planning problems ([`BstError::Plan`]) and
+//! Every entry point here is a thin shim over the
+//! [`einsum`](crate::einsum) frontend — `multiply` is
+//! `Einsum::new("ik,kj->ij")`, `multiply_on_demand` the same with an
+//! on-demand B, and `contract_abcd` is `Einsum::new("ijcd,cdab->ijab")`
+//! with an on-demand order-4 V. They remain for callers that do not need
+//! the builder's generality, and they stay bit-identical to the spec-driven
+//! path because they *are* that path. All of them return
+//! `Result<_, BstError>`: planning problems ([`BstError::Plan`]),
 //! execution failures ([`BstError::Exec`] — generator errors, device OOM, a
-//! spent retry budget) come back as typed values rather than panics.
+//! spent retry budget) and spec/lowering rejections ([`BstError::Spec`])
+//! come back as typed values rather than panics.
 //!
 //! ```
 //! use bst_contract::api::multiply;
@@ -31,45 +37,36 @@
 //! ```
 
 use crate::config::PlannerConfig;
-use crate::error::{BstError, GenError};
-use crate::exec::{execute_numeric, BGen, ExecReport};
-use crate::plan::ExecutionPlan;
-use crate::spec::ProblemSpec;
+use crate::einsum::Einsum;
+use crate::error::BstError;
+use crate::exec::{BGen, ExecReport};
 use bst_sparse::shape::SparseShape;
 use bst_sparse::tensor::BlockSparseTensor4;
 use bst_sparse::tensor::Tensor4Meta;
 use bst_sparse::{BlockSparseMatrix, MatrixStructure};
-use bst_tile::pool::TilePool;
-use bst_tile::Tile;
 
 /// Computes `A · B` for two materialised block-sparse matrices on the
 /// simulated distributed multi-GPU runtime.
 ///
 /// A tile that the structure marks non-zero but that is absent from `b`
-/// surfaces as [`GenError::MissingTile`] wrapped in the returned
+/// surfaces as [`GenError::MissingTile`](crate::error::GenError::MissingTile) wrapped in the returned
 /// [`BstError`] — not a panic.
 pub fn multiply(
     a: &BlockSparseMatrix,
     b: &BlockSparseMatrix,
     config: PlannerConfig,
 ) -> Result<BlockSparseMatrix, BstError> {
-    let spec = ProblemSpec::new(a.structure().clone(), b.structure().clone(), None);
-    let plan = ExecutionPlan::build(&spec, config)?;
-    // Serve B tiles by sharing the matrix's own Arcs — no copies, and a
-    // structurally-promised but absent tile becomes a typed error.
-    let b_gen = |k: usize, j: usize, _r: usize, _c: usize, _pool: &TilePool| {
-        b.tile_arc(k, j)
-            .cloned()
-            .ok_or(GenError::MissingTile { k, j })
-    };
-    let (c, _report) = execute_numeric(&spec, &plan, a, &b_gen)?;
-    Ok(c)
+    Ok(Einsum::new("ik,kj->ij")
+        .operand(a)
+        .operand(b)
+        .contract(config)?
+        .into_matrix())
 }
 
 /// Computes `A · B` with `B` generated on demand (the paper's mode for the
 /// huge stationary operand): `b_structure` describes `B`'s sparsity and
 /// `b_gen(k, j, rows, cols, pool)` materialises a tile when a node first
-/// needs it, or reports a [`GenError`] (transient ones are retried by the
+/// needs it, or reports a [`GenError`](crate::error::GenError) (transient ones are retried by the
 /// executor). `c_shape` optionally screens the result. Returns the result
 /// plus the execution report.
 pub fn multiply_on_demand(
@@ -79,9 +76,13 @@ pub fn multiply_on_demand(
     c_shape: Option<SparseShape>,
     config: PlannerConfig,
 ) -> Result<(BlockSparseMatrix, ExecReport), BstError> {
-    let spec = ProblemSpec::new(a.structure().clone(), b_structure.clone(), c_shape);
-    let plan = ExecutionPlan::build(&spec, config)?;
-    Ok(execute_numeric(&spec, &plan, a, b_gen)?)
+    let mut e = Einsum::new("ik,kj->ij").operand(a).on_demand(b_structure, b_gen);
+    if let Some(shape) = c_shape {
+        e = e.output_shape(shape);
+    }
+    let mut out = e.contract(config)?;
+    let report = out.reports.pop().expect("one lowered term");
+    Ok((out.into_matrix(), report))
 }
 
 /// Evaluates the ABCD contraction `R^{ij}_{ab} = Σ_{cd} T^{ij}_{cd}
@@ -89,6 +90,12 @@ pub fn multiply_on_demand(
 /// matricised structure of the integral tensor (generated on demand via
 /// `v_gen`), `r_shape` the screened result shape. Returns `R` as an
 /// order-4 tensor over `(i, j, a, b)` tilings.
+///
+/// `V`'s modes all carry the AO (unoccupied) tiling, i.e. the tiling of
+/// `t`'s modes 2/3 — so `R`'s column modes are `V`'s columns. A
+/// `v_structure` whose tilings disagree with that frame is rejected with a
+/// typed [`BstError::Spec`] error instead of silently mislabeling the
+/// result.
 pub fn contract_abcd(
     t: &BlockSparseTensor4,
     v_structure: &MatrixStructure,
@@ -96,27 +103,21 @@ pub fn contract_abcd(
     r_shape: Option<SparseShape>,
     config: PlannerConfig,
 ) -> Result<(BlockSparseTensor4, ExecReport), BstError> {
-    let (r_mat, report) =
-        multiply_on_demand(t.matricised(), v_structure, v_gen, r_shape, config)?;
-    let meta = Tensor4Meta::new([
-        t.meta().tiling(0).clone(),
-        t.meta().tiling(1).clone(),
-        // The result's column modes follow V's columns; for the ABCD term
-        // these share the AO tiling of T's column modes.
+    let v_meta = Tensor4Meta::new([
+        t.meta().tiling(2).clone(),
+        t.meta().tiling(3).clone(),
         t.meta().tiling(2).clone(),
         t.meta().tiling(3).clone(),
     ]);
-    let structure = r_mat.structure().clone();
-    let r = BlockSparseTensor4::from_structure(meta, structure, |t0, t1, t2, t3, rows, cols| {
-        let row = t0 * t.meta().tiles(1) + t1;
-        let col = t2 * t.meta().tiles(3) + t3;
-        // A structurally non-zero tile the screened execution never
-        // produced is numerically zero.
-        r_mat
-            .tile(row, col)
-            .cloned()
-            .unwrap_or_else(|| Tile::zeros(rows, cols))
-    });
+    let mut e = Einsum::new("ijcd,cdab->ijab")
+        .tensor(t)
+        .on_demand_tensor4(&v_meta, v_structure, v_gen);
+    if let Some(shape) = r_shape {
+        e = e.output_shape(shape);
+    }
+    let mut out = e.contract(config)?;
+    let report = out.reports.pop().expect("one lowered term");
+    let r = out.tensor4()?;
     Ok((r, report))
 }
 
@@ -124,8 +125,10 @@ pub fn contract_abcd(
 mod tests {
     use super::*;
     use crate::config::{DeviceConfig, GridConfig};
+    use crate::error::GenError;
     use bst_sparse::generate::{generate, SyntheticParams};
     use bst_sparse::matrix::tile_seed;
+    use bst_tile::pool::TilePool;
     use bst_tile::{Tile, Tiling};
     use std::sync::Arc;
 

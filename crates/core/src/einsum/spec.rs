@@ -1,0 +1,363 @@
+//! Einsum spec strings: parsing and index-level validation.
+//!
+//! The grammar is the familiar contraction subset of numpy/TiledArray
+//! einsum notation, restricted to what the planned engine can lower:
+//!
+//! ```text
+//! spec    := inputs "->" output
+//! inputs  := term ("," term)+
+//! term    := index{2} | index{4}        (matrix or order-4 tensor)
+//! output  := index{2} | index{4}
+//! index   := one ASCII letter
+//! ```
+//!
+//! Index semantics follow the einsum convention with two deliberate
+//! restrictions, both reported as typed [`SpecError`]s rather than silently
+//! producing an unplanned evaluation path:
+//!
+//! * an index appearing in **one** input must appear in the output (pure
+//!   reductions like `"ij->i"` have no planned-product lowering);
+//! * an index appearing in **two** inputs is contracted and must *not*
+//!   appear in the output (batched/Hadamard modes are not lowerable to
+//!   `C += A·B` products).
+//!
+//! Repeated indices inside a single term (traces/diagonals) and indices
+//! used by three or more terms are rejected for the same reason.
+
+use std::fmt;
+
+/// Why an einsum spec (or its binding to operands) was rejected. Carried by
+/// [`BstError::Spec`](crate::error::BstError::Spec).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec string does not match the grammar.
+    Parse {
+        /// The offending spec string.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An index letter occurs twice in one term or in the output.
+    RepeatedIndex {
+        /// `"output"` or the 0-based input term, rendered.
+        term: String,
+        /// The repeated index letter.
+        index: char,
+    },
+    /// An output index that no input term mentions.
+    UnknownOutputIndex {
+        /// The unknown index letter.
+        index: char,
+    },
+    /// A term (or the output) has a rank the engine cannot matricise.
+    UnsupportedRank {
+        /// `"output"` or the 0-based input term, rendered.
+        term: String,
+        /// The rank found.
+        rank: usize,
+    },
+    /// The number of bound operands differs from the number of spec terms.
+    OperandCount {
+        /// Terms in the spec.
+        expected: usize,
+        /// Operands bound to the builder.
+        got: usize,
+    },
+    /// An operand's rank disagrees with its spec term's rank.
+    RankMismatch {
+        /// 0-based input term.
+        term: usize,
+        /// Rank the spec term implies.
+        spec_rank: usize,
+        /// Rank of the operand actually bound.
+        operand_rank: usize,
+    },
+    /// An index is used by more than two input terms.
+    IndexArity {
+        /// The index letter.
+        index: char,
+        /// How many input terms use it.
+        count: usize,
+    },
+    /// An index appears in exactly one input but not in the output — a pure
+    /// reduction, which has no planned-product lowering.
+    Reduction {
+        /// The index letter.
+        index: char,
+    },
+    /// An index appears in two inputs *and* in the output — a batched mode,
+    /// not lowerable to a matrix product.
+    Batch {
+        /// The index letter.
+        index: char,
+    },
+    /// A contracted (or shared) index whose tilings disagree between its
+    /// two terms.
+    TilingMismatch {
+        /// The index letter.
+        index: char,
+        /// First term using the index (0-based).
+        first: usize,
+        /// Second term using the index (0-based).
+        second: usize,
+    },
+    /// An on-demand order-4 operand whose declared mode tilings do not fuse
+    /// to the tilings of the matricised structure supplied with it.
+    MatricisationMismatch {
+        /// 0-based input term.
+        term: usize,
+        /// Which fused side disagrees (`"row"` or `"column"`).
+        side: &'static str,
+    },
+    /// The expression cannot be lowered to a left-to-right chain of
+    /// transpose-free planned products.
+    Unlowerable {
+        /// 0-based binary term (the product introducing operand `term+1`).
+        term: usize,
+        /// Why the orientation search failed.
+        reason: String,
+    },
+    /// The requested output index order differs from the order the lowered
+    /// chain produces (a result transpose would be required).
+    OutputOrder {
+        /// The order the chain can produce.
+        achievable: String,
+        /// The order the spec requested.
+        requested: String,
+    },
+    /// The supplied output shape has the wrong tile dimensions.
+    ShapeDims {
+        /// Tile rows of the supplied shape.
+        rows: usize,
+        /// Tile columns of the supplied shape.
+        cols: usize,
+        /// Tile rows the lowered result has.
+        want_rows: usize,
+        /// Tile columns the lowered result has.
+        want_cols: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { spec, reason } => write!(f, "cannot parse {spec:?}: {reason}"),
+            SpecError::RepeatedIndex { term, index } => {
+                write!(f, "index '{index}' repeats within {term} (traces/diagonals unsupported)")
+            }
+            SpecError::UnknownOutputIndex { index } => {
+                write!(f, "output index '{index}' appears in no input term")
+            }
+            SpecError::UnsupportedRank { term, rank } => {
+                write!(f, "{term} has rank {rank}; only matrices (2) and order-4 tensors are supported")
+            }
+            SpecError::OperandCount { expected, got } => {
+                write!(f, "spec names {expected} operands but {got} were bound")
+            }
+            SpecError::RankMismatch { term, spec_rank, operand_rank } => write!(
+                f,
+                "term {term} is rank {spec_rank} in the spec but the bound operand is rank {operand_rank}"
+            ),
+            SpecError::IndexArity { index, count } => {
+                write!(f, "index '{index}' is used by {count} terms; at most 2 are lowerable")
+            }
+            SpecError::Reduction { index } => write!(
+                f,
+                "index '{index}' appears in one input but not the output; pure reductions are unsupported"
+            ),
+            SpecError::Batch { index } => write!(
+                f,
+                "index '{index}' is shared by two inputs and kept in the output; batched modes are unsupported"
+            ),
+            SpecError::TilingMismatch { index, first, second } => write!(
+                f,
+                "index '{index}' has different tilings in terms {first} and {second}"
+            ),
+            SpecError::MatricisationMismatch { term, side } => write!(
+                f,
+                "term {term}: the declared mode tilings do not fuse to the supplied structure's {side} tiling"
+            ),
+            SpecError::Unlowerable { term, reason } => {
+                write!(f, "binary term {term} has no transpose-free lowering: {reason}")
+            }
+            SpecError::OutputOrder { achievable, requested } => write!(
+                f,
+                "the lowered chain produces output order \"{achievable}\" but \"{requested}\" was requested (result transposes are unsupported)"
+            ),
+            SpecError::ShapeDims { rows, cols, want_rows, want_cols } => write!(
+                f,
+                "output shape is {rows}x{cols} tiles but the result is {want_rows}x{want_cols}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A parsed, index-validated einsum spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EinsumSpec {
+    inputs: Vec<Vec<char>>,
+    output: Vec<char>,
+}
+
+impl EinsumSpec {
+    /// Parses and validates a spec string (see the [module docs](self) for
+    /// the grammar and the index rules).
+    pub fn parse(spec: &str) -> Result<Self, SpecError> {
+        let parse_err = |reason: &str| SpecError::Parse {
+            spec: spec.to_string(),
+            reason: reason.to_string(),
+        };
+        let (lhs, rhs) = spec.split_once("->").ok_or_else(|| parse_err("missing \"->\""))?;
+        if rhs.contains("->") {
+            return Err(parse_err("more than one \"->\""));
+        }
+        let read_term = |s: &str| -> Result<Vec<char>, SpecError> {
+            let t = s.trim();
+            if t.is_empty() {
+                return Err(parse_err("empty term"));
+            }
+            t.chars()
+                .map(|c| {
+                    if c.is_ascii_alphabetic() {
+                        Ok(c)
+                    } else {
+                        Err(parse_err(&format!("index {c:?} is not an ASCII letter")))
+                    }
+                })
+                .collect()
+        };
+        let inputs: Vec<Vec<char>> =
+            lhs.split(',').map(read_term).collect::<Result<_, _>>()?;
+        if inputs.len() < 2 {
+            return Err(parse_err("at least two input terms are required"));
+        }
+        let output = read_term(rhs)?;
+
+        // Rank and intra-term repetition checks.
+        let term_name = |i: Option<usize>| match i {
+            Some(i) => format!("input term {i}"),
+            None => "the output".to_string(),
+        };
+        for (i, term) in inputs.iter().enumerate().map(|(i, t)| (Some(i), t)).chain(
+            std::iter::once((None, &output)),
+        ) {
+            if term.len() != 2 && term.len() != 4 {
+                return Err(SpecError::UnsupportedRank {
+                    term: term_name(i),
+                    rank: term.len(),
+                });
+            }
+            for (k, &c) in term.iter().enumerate() {
+                if term[..k].contains(&c) {
+                    return Err(SpecError::RepeatedIndex { term: term_name(i), index: c });
+                }
+            }
+        }
+
+        // Cross-term index arity: once ⇒ free (must reach the output),
+        // twice ⇒ contracted (must not), more ⇒ unsupported.
+        let mut seen: Vec<char> = Vec::new();
+        for term in &inputs {
+            for &c in term {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+        }
+        for &c in &output {
+            if !seen.contains(&c) {
+                return Err(SpecError::UnknownOutputIndex { index: c });
+            }
+        }
+        for &c in &seen {
+            let count = inputs.iter().filter(|t| t.contains(&c)).count();
+            let in_output = output.contains(&c);
+            match (count, in_output) {
+                (1, true) | (2, false) => {}
+                (1, false) => return Err(SpecError::Reduction { index: c }),
+                (2, true) => return Err(SpecError::Batch { index: c }),
+                (n, _) => return Err(SpecError::IndexArity { index: c, count: n }),
+            }
+        }
+        Ok(EinsumSpec { inputs, output })
+    }
+
+    /// The input terms, in spec order.
+    pub fn inputs(&self) -> &[Vec<char>] {
+        &self.inputs
+    }
+
+    /// The output term.
+    pub fn output(&self) -> &[char] {
+        &self.output
+    }
+
+    /// Number of operands the spec names.
+    pub fn num_operands(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_matrix_and_tensor_specs() {
+        let s = EinsumSpec::parse("ik,kj->ij").unwrap();
+        assert_eq!(s.num_operands(), 2);
+        assert_eq!(s.output(), &['i', 'j']);
+        let s = EinsumSpec::parse("ijcd,cdab->ijab").unwrap();
+        assert_eq!(s.inputs()[1], vec!['c', 'd', 'a', 'b']);
+        // Whitespace around terms is tolerated.
+        EinsumSpec::parse(" ij , jk -> ik ").unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_strings() {
+        assert!(matches!(EinsumSpec::parse("ik,kj"), Err(SpecError::Parse { .. })));
+        assert!(matches!(EinsumSpec::parse("ik->i2"), Err(SpecError::Parse { .. })));
+        assert!(matches!(EinsumSpec::parse("ik,->ij"), Err(SpecError::Parse { .. })));
+        assert!(matches!(EinsumSpec::parse("ik->ik"), Err(SpecError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_index_usage() {
+        assert!(matches!(
+            EinsumSpec::parse("ii,ij->ij"),
+            Err(SpecError::RepeatedIndex { .. })
+        ));
+        assert!(matches!(
+            EinsumSpec::parse("ik,kj->jj"),
+            Err(SpecError::RepeatedIndex { .. })
+        ));
+        assert!(matches!(
+            EinsumSpec::parse("ik,kj->iz"),
+            Err(SpecError::UnknownOutputIndex { index: 'z' })
+        ));
+        assert!(matches!(
+            EinsumSpec::parse("ikz,kj->ij"),
+            Err(SpecError::UnsupportedRank { .. })
+        ));
+        assert!(matches!(
+            EinsumSpec::parse("ik,kj->ikj"),
+            Err(SpecError::UnsupportedRank { .. })
+        ));
+        // k summed in one term only ⇒ reduction.
+        assert!(matches!(
+            EinsumSpec::parse("ik,lj->ij"),
+            Err(SpecError::Reduction { .. })
+        ));
+        // c shared by both inputs and kept in the output ⇒ batch.
+        assert!(matches!(
+            EinsumSpec::parse("icab,cdab->icdb"),
+            Err(SpecError::Batch { index: 'c' })
+        ));
+        assert!(matches!(
+            EinsumSpec::parse("ik,ki,ik->ik"),
+            Err(SpecError::IndexArity { index: 'i', count: 3 })
+        ));
+    }
+}

@@ -427,13 +427,3 @@ pub fn validate_trace_invariants(
 
     errors
 }
-
-/// Free-function form of [`ExecReport::max_concurrent_genb`].
-///
-/// # Panics
-/// Panics if the report carries no trace (run with
-/// [`ExecOptions::tracing`]).
-#[deprecated(since = "0.1.0", note = "use `ExecReport::max_concurrent_genb()`")]
-pub fn max_concurrent_genb(report: &ExecReport) -> usize {
-    report.max_concurrent_genb()
-}

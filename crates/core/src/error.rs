@@ -199,6 +199,9 @@ pub enum BstError {
     Exec(ExecError),
     /// The contraction service rejected or lost the request.
     Service(ServiceError),
+    /// An einsum spec failed to parse, or its lowering against the bound
+    /// operands was rejected.
+    Spec(crate::einsum::SpecError),
 }
 
 impl fmt::Display for BstError {
@@ -207,6 +210,7 @@ impl fmt::Display for BstError {
             BstError::Plan(e) => write!(f, "planning failed: {e}"),
             BstError::Exec(e) => write!(f, "execution failed: {e}"),
             BstError::Service(e) => write!(f, "service rejected request: {e}"),
+            BstError::Spec(e) => write!(f, "invalid einsum spec: {e}"),
         }
     }
 }
@@ -234,6 +238,12 @@ impl From<GenError> for BstError {
 impl From<ServiceError> for BstError {
     fn from(e: ServiceError) -> Self {
         BstError::Service(e)
+    }
+}
+
+impl From<crate::einsum::SpecError> for BstError {
+    fn from(e: crate::einsum::SpecError) -> Self {
+        BstError::Spec(e)
     }
 }
 

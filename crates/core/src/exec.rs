@@ -37,8 +37,6 @@ use crate::plan::ExecutionPlan;
 use crate::spec::ProblemSpec;
 
 pub use crate::engine::policies::{Collectives, ExecOptions, ExecOptionsBuilder, KernelSelect};
-#[allow(deprecated)]
-pub use crate::engine::report::max_concurrent_genb;
 pub use crate::engine::report::{
     validate_trace_invariants, DeviceMemLog, ExecReport, ExecTraceData, RecoveryStats,
 };

@@ -36,6 +36,7 @@ pub mod api;
 pub mod assign;
 pub mod chunk;
 pub mod config;
+pub mod einsum;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -47,9 +48,8 @@ pub mod spec;
 pub mod stationary_c;
 
 pub use config::{DeviceConfig, GridConfig, PlanError, PlannerConfig};
+pub use einsum::{Einsum, EinsumOutcome, EinsumSpec, SpecError};
 pub use error::{BstError, ExecError, GenError, ServiceError};
-#[allow(deprecated)]
-pub use exec::max_concurrent_genb;
 pub use exec::{
     validate_trace_invariants, Collectives, ExecOptions, ExecOptionsBuilder, ExecReport,
     ExecTraceData, KernelSelect, RecoveryStats,

@@ -1,0 +1,310 @@
+//! Integration + property tests for the einsum frontend: generated
+//! instances must agree with dense references, the legacy entry points
+//! must stay bit-identical to their spec-driven shims, chains must thread
+//! screened intermediates correctly through both execution paths, and
+//! malformed specs or bindings must come back as typed errors.
+
+use std::sync::Arc;
+
+use bst_contract::api::{contract_abcd, multiply};
+use bst_contract::einsum::{Einsum, SpecError};
+use bst_contract::{
+    BstError, ContractionService, DeviceConfig, GridConfig, PlannerConfig, ServiceBGen,
+    ServiceConfig,
+};
+use bst_sparse::generate::{generate, SyntheticParams};
+use bst_sparse::matrix::tile_seed;
+use bst_sparse::tensor::{BlockSparseTensor4, Tensor4Meta};
+use bst_sparse::{BlockSparseMatrix, MatrixStructure};
+use bst_tile::pool::TilePool;
+use bst_tile::{Tile, Tiling};
+use proptest::prelude::*;
+
+fn cfg(p: usize, q: usize, g: usize) -> PlannerConfig {
+    PlannerConfig::paper(
+        GridConfig { p, q },
+        DeviceConfig {
+            gpus_per_node: g,
+            gpu_mem_bytes: 1 << 20,
+        },
+    )
+}
+
+/// Dense reference for `A · B` over the engine's own tile accumulate.
+fn reference(a: &BlockSparseMatrix, b: &BlockSparseMatrix) -> BlockSparseMatrix {
+    let mut c = BlockSparseMatrix::zeros(
+        a.structure().row_tiling().clone(),
+        b.structure().col_tiling().clone(),
+    );
+    c.gemm_acc_reference(a, b);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single-term einsum on a generated block-sparse instance: the result
+    /// agrees with the dense reference and is bit-identical to the legacy
+    /// `multiply` entry point (which is now a shim over the same path).
+    #[test]
+    fn single_term_matches_dense_reference(seed in 0u64..200, q in 1usize..3) {
+        let prob = generate(&SyntheticParams {
+            m: 20, n: 40, k: 30, density: 0.6, tile_min: 3, tile_max: 8, seed,
+        });
+        let a = BlockSparseMatrix::random_from_structure(prob.a, seed ^ 1);
+        let b = BlockSparseMatrix::random_from_structure(prob.b, seed ^ 2);
+        let out = Einsum::new("ik,kj->ij")
+            .operand(&a)
+            .operand(&b)
+            .contract(cfg(1, q, 2))
+            .unwrap();
+        prop_assert_eq!(out.output_labels(), "ij");
+        prop_assert!(out.matrix().max_abs_diff(&reference(&a, &b)) <= 1e-10);
+        let legacy = multiply(&a, &b, cfg(1, q, 2)).unwrap();
+        prop_assert_eq!(out.matrix().max_abs_diff(&legacy), 0.0);
+    }
+
+    /// A two-term chain `A·B·D` with randomized tilings: the screened
+    /// intermediate threads between the lowered products and the final
+    /// result agrees with the dense reference to 1e-10.
+    #[test]
+    fn two_term_chain_matches_dense(
+        ti in prop::collection::vec(1u64..6, 1..4),
+        tj in prop::collection::vec(1u64..6, 1..4),
+        tk in prop::collection::vec(1u64..6, 1..4),
+        tl in prop::collection::vec(1u64..6, 1..4),
+        seed in 0u64..100,
+    ) {
+        let t = |sizes: &[u64]| Tiling::from_sizes(sizes);
+        let a = BlockSparseMatrix::random_from_structure(
+            MatrixStructure::dense(t(&ti), t(&tj)), seed ^ 1);
+        let b = BlockSparseMatrix::random_from_structure(
+            MatrixStructure::dense(t(&tj), t(&tk)), seed ^ 2);
+        let d = BlockSparseMatrix::random_from_structure(
+            MatrixStructure::dense(t(&tk), t(&tl)), seed ^ 3);
+        let out = Einsum::new("ij,jk,kl->il")
+            .operand(&a)
+            .operand(&b)
+            .operand(&d)
+            .contract(cfg(1, 1, 1))
+            .unwrap();
+        prop_assert_eq!(out.reports.len(), 2, "two lowered terms");
+        let expect = reference(&reference(&a, &b), &d);
+        prop_assert!(out.matrix().max_abs_diff(&expect) <= 1e-10);
+    }
+}
+
+/// The ABCD contraction as a *generated instance* of the frontend: driving
+/// the builder directly with the same spec and operands the legacy
+/// `contract_abcd` shim uses must be bit-identical (same plan, same
+/// reduction order), and both agree with a dense evaluation.
+#[test]
+fn abcd_generated_instance_is_bit_identical_to_contract_abcd() {
+    let o = Tiling::from_sizes(&[2, 2]);
+    let u = Tiling::from_sizes(&[3, 2, 3]);
+    let t_meta = Tensor4Meta::new([o.clone(), o.clone(), u.clone(), u.clone()]);
+    let t_struct = t_meta.matricise(|_, _, _, _| 1.0);
+    let t = BlockSparseTensor4::random_from_structure(t_meta, t_struct, 11);
+
+    let v_meta = Tensor4Meta::new([u.clone(), u.clone(), u.clone(), u.clone()]);
+    let v_struct = v_meta.matricise(|_, _, _, _| 1.0);
+    let v_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+        Ok(Arc::new(pool.random(r, c, tile_seed(12, k, j))))
+    };
+
+    let (r_legacy, _) = contract_abcd(&t, &v_struct, &v_gen, None, cfg(1, 1, 1)).unwrap();
+
+    let out = Einsum::new("ijcd,cdab->ijab")
+        .tensor(&t)
+        .on_demand_tensor4(&v_meta, &v_struct, &v_gen)
+        .contract(cfg(1, 1, 1))
+        .unwrap();
+    assert_eq!(out.output_labels(), "ijab");
+    let r = out.tensor4().unwrap();
+    assert_eq!(
+        r.matricised().max_abs_diff(r_legacy.matricised()),
+        0.0,
+        "the generated instance must be bit-identical to contract_abcd"
+    );
+
+    // Dense agreement: R(i,j,a,b) = sum_{c,d} T(i,j,c,d) V(c,d,a,b).
+    let v_mat = BlockSparseMatrix::from_structure(v_struct.clone(), |k, j, rr, cc| {
+        Tile::random(rr, cc, tile_seed(12, k, j))
+    });
+    let v_tensor = BlockSparseTensor4::from_structure(
+        Tensor4Meta::new([u.clone(), u.clone(), u.clone(), u.clone()]),
+        v_mat.structure().clone(),
+        |t0, t1, t2, t3, _r, _c| v_mat.tile(t0 * 3 + t1, t2 * 3 + t3).unwrap().clone(),
+    );
+    for (i, j, a, b) in [(0u64, 1, 2, 3), (3, 0, 7, 5), (1, 2, 0, 0)] {
+        let mut expect = 0.0;
+        for c in 0..8 {
+            for d in 0..8 {
+                expect += t.get(i, j, c, d) * v_tensor.get(c, d, a, b);
+            }
+        }
+        let got = r.get(i, j, a, b);
+        assert!((got - expect).abs() < 1e-10, "R({i},{j},{a},{b}) = {got}, expected {expect}");
+    }
+}
+
+/// The swapped orientation: `"jk,ij->ik"` has no direct lowering, so the
+/// frontend flips the product to `next · acc` — keeping the first operand
+/// stationary, which is exactly what an on-demand binding needs.
+#[test]
+fn swapped_orientation_keeps_first_operand_stationary() {
+    let prob = generate(&SyntheticParams {
+        m: 16, n: 24, k: 24, density: 0.8, tile_min: 3, tile_max: 6, seed: 7,
+    });
+    let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), 1);
+    let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+        Ok(Arc::new(pool.random(r, c, tile_seed(9, k, j))))
+    };
+    let out = Einsum::new("jk,ij->ik")
+        .on_demand(&prob.b, &b_gen)
+        .operand(&a)
+        .contract(cfg(1, 1, 1))
+        .unwrap();
+    assert_eq!(out.output_labels(), "ik");
+    let b = BlockSparseMatrix::from_structure(prob.b.clone(), |k, j, rr, cc| {
+        Tile::random(rr, cc, tile_seed(9, k, j))
+    });
+    assert!(out.matrix().max_abs_diff(&reference(&a, &b)) <= 1e-10);
+}
+
+/// A chain routed through a [`ContractionService`] is bit-identical to the
+/// direct path and reports per-term service accounting.
+#[test]
+fn chain_through_service_is_bit_identical_to_direct() {
+    let ti = Tiling::from_sizes(&[4, 3]);
+    let tj = Tiling::from_sizes(&[3, 4]);
+    let tk = Tiling::from_sizes(&[5, 2]);
+    let tl = Tiling::from_sizes(&[2, 5]);
+    let a = BlockSparseMatrix::random_from_structure(MatrixStructure::dense(ti, tj.clone()), 31);
+    let b = BlockSparseMatrix::random_from_structure(MatrixStructure::dense(tj, tk.clone()), 32);
+    let d_struct = MatrixStructure::dense(tk, tl);
+    let d_gen: ServiceBGen = Arc::new(|k, j, r, c, pool: &TilePool| {
+        Ok(Arc::new(pool.random(r, c, tile_seed(33, k, j))))
+    });
+
+    let build = || {
+        Einsum::new("ij,jk,kl->il")
+            .operand(&a)
+            .keyed(0xA1)
+            .operand(&b)
+            .keyed(0xB2)
+            .on_demand_shared(&d_struct, Arc::clone(&d_gen))
+            .keyed(0xD3)
+    };
+    let direct = build().contract(cfg(1, 1, 1)).unwrap();
+
+    let service = ContractionService::start(ServiceConfig::default());
+    let served = build().contract_on(&service, cfg(1, 1, 1)).unwrap();
+    assert_eq!(served.matrix().max_abs_diff(direct.matrix()), 0.0);
+    assert_eq!(served.request_stats.len(), 2, "one service request per term");
+    assert_eq!(direct.request_stats.len(), 0);
+}
+
+/// A borrowed on-demand generator cannot be shipped to service workers; the
+/// service path rejects it with a typed error instead of crossing the
+/// lifetime boundary.
+#[test]
+fn service_path_rejects_borrowed_generators() {
+    let prob = generate(&SyntheticParams {
+        m: 12, n: 16, k: 16, density: 1.0, tile_min: 3, tile_max: 5, seed: 8,
+    });
+    let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), 1);
+    let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+        Ok(Arc::new(pool.random(r, c, tile_seed(9, k, j))))
+    };
+    let service = ContractionService::start(ServiceConfig::default());
+    let err = Einsum::new("ik,kj->ij")
+        .operand(&a)
+        .on_demand(&prob.b, &b_gen)
+        .contract_on(&service, cfg(1, 1, 1))
+        .unwrap_err();
+    assert!(matches!(err, BstError::Service(_)), "got {err}");
+}
+
+/// Spec and binding rejections surface as typed [`BstError::Spec`] values:
+/// repeated output modes, rank-mismatched bindings, unknown output
+/// indices, wrong operand counts, disagreeing shared tilings, and
+/// orientations the transpose-free lowering cannot realise.
+#[test]
+fn invalid_specs_and_bindings_are_typed_errors() {
+    let prob = generate(&SyntheticParams {
+        m: 12, n: 16, k: 16, density: 1.0, tile_min: 3, tile_max: 5, seed: 9,
+    });
+    let a = BlockSparseMatrix::random_from_structure(prob.a.clone(), 1);
+    let b = BlockSparseMatrix::random_from_structure(prob.b.clone(), 2);
+    let config = cfg(1, 1, 1);
+
+    let spec_err = |e: Result<_, BstError>| match e.unwrap_err() {
+        BstError::Spec(s) => s,
+        other => panic!("expected BstError::Spec, got {other}"),
+    };
+
+    // Repeated output modes.
+    let e = spec_err(Einsum::new("ik,kj->jj").operand(&a).operand(&b).contract(config));
+    assert!(matches!(e, SpecError::RepeatedIndex { index: 'j', .. }), "{e}");
+
+    // Unknown output index.
+    let e = spec_err(Einsum::new("ik,kj->iz").operand(&a).operand(&b).contract(config));
+    assert_eq!(e, SpecError::UnknownOutputIndex { index: 'z' });
+
+    // A rank-4 spec term bound to a rank-2 operand.
+    let e = spec_err(Einsum::new("ijcd,cdab->ijab").operand(&a).operand(&b).contract(config));
+    assert_eq!(e, SpecError::RankMismatch { term: 0, spec_rank: 4, operand_rank: 2 });
+
+    // Operand count disagrees with the spec.
+    let e = spec_err(Einsum::new("ik,kj->ij").operand(&a).contract(config));
+    assert_eq!(e, SpecError::OperandCount { expected: 2, got: 1 });
+
+    // A shared index whose tilings disagree between its two terms.
+    let b_bad = BlockSparseMatrix::random_from_structure(
+        MatrixStructure::dense(
+            Tiling::uniform(prob.b.row_tiling().extent(), 4),
+            prob.b.col_tiling().clone(),
+        ),
+        2,
+    );
+    let e = spec_err(Einsum::new("ik,kj->ij").operand(&a).operand(&b_bad).contract(config));
+    assert!(matches!(e, SpecError::TilingMismatch { index: 'k', .. }), "{e}");
+
+    // The requested output order would need a result transpose.
+    let e = spec_err(Einsum::new("ik,kj->ji").operand(&a).operand(&b).contract(config));
+    assert!(matches!(e, SpecError::OutputOrder { .. }), "{e}");
+
+    // An on-demand operand forced onto the moving (A) side.
+    let b_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+        Ok(Arc::new(pool.random(r, c, tile_seed(9, k, j))))
+    };
+    let e = spec_err(
+        Einsum::new("ik,kj->ij").on_demand(&prob.a, &b_gen).operand(&b).contract(config),
+    );
+    assert!(matches!(e, SpecError::Unlowerable { term: 0, .. }), "{e}");
+}
+
+/// Regression for the `contract_abcd` metadata fix: a `v_structure` whose
+/// tilings disagree with `T`'s unoccupied modes used to silently mislabel
+/// the result's column tilings; it is now a typed rejection.
+#[test]
+fn contract_abcd_rejects_mismatched_v_tilings() {
+    let o = Tiling::from_sizes(&[2, 2]);
+    let u = Tiling::from_sizes(&[3, 2, 3]);
+    let t_meta = Tensor4Meta::new([o.clone(), o.clone(), u.clone(), u.clone()]);
+    let t_struct = t_meta.matricise(|_, _, _, _| 1.0);
+    let t = BlockSparseTensor4::random_from_structure(t_meta, t_struct, 11);
+
+    // Same 64x64 element space, but tiled uniformly instead of with the
+    // fused (u,u) tiling the T frame implies.
+    let v_bad = MatrixStructure::dense(Tiling::uniform(64, 8), Tiling::uniform(64, 8));
+    let v_gen = |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
+        Ok(Arc::new(pool.random(r, c, tile_seed(12, k, j))))
+    };
+    let err = contract_abcd(&t, &v_bad, &v_gen, None, cfg(1, 1, 1)).unwrap_err();
+    match err {
+        BstError::Spec(SpecError::MatricisationMismatch { term: 1, .. }) => {}
+        other => panic!("expected MatricisationMismatch on term 1, got {other}"),
+    }
+}
