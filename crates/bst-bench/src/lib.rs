@@ -19,7 +19,6 @@ use bst_sim::dbcsr::{simulate_dbcsr, DbcsrOom, DbcsrReport};
 use bst_sim::replay::simulate_best_p;
 use bst_sim::{simulate, Platform, SimReport};
 use bst_sparse::generate::{generate, SyntheticParams};
-use bst_sparse::matrix::tile_seed;
 use bst_sparse::BlockSparseMatrix;
 
 pub mod minijson;
@@ -198,10 +197,7 @@ pub fn traced_numeric_run(
     );
     let plan = ExecutionPlan::build(spec, config).expect("traced plan must build");
     let a = BlockSparseMatrix::random_from_structure(spec.a.clone(), seed);
-    let bseed = seed ^ 0xB;
-    let b_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &bst_tile::TilePool| {
-        Ok(std::sync::Arc::new(pool.random(r, c, tile_seed(bseed, k, j))))
-    };
+    let b_gen = bst_sparse::matrix::random_b_gen(seed ^ 0xB);
     execute_numeric_with(
         spec,
         &plan,

@@ -574,7 +574,7 @@ impl CommFabric {
         drop_in_flight: bool,
     ) -> Result<(), MessageDropped> {
         let ep = &self.endpoints[dst];
-        let bytes = msg.payload.bytes();
+        let bytes = msg.payload.stored_bytes();
         let class = self.topology.link_class(msg.src, dst);
         let gate = &ep.credits[gate_of(class)];
         gate.acquire();
@@ -598,7 +598,7 @@ impl CommFabric {
     /// code path) but are neither shaped nor counted as network traffic.
     pub fn reduce(&self, src: usize, dst: usize, part: CPart) {
         let ep = &self.endpoints[dst];
-        let bytes = part.tile.bytes();
+        let bytes = part.tile.stored_bytes();
         let class = self.topology.link_class(src, dst);
         ep.credits[gate_of(class)].acquire();
         if src != dst {
@@ -771,7 +771,7 @@ impl CommFabric {
         let ep = &self.endpoints[node];
         match frame {
             Frame::BcastA(msg) => {
-                let bytes = msg.payload.bytes();
+                let bytes = msg.payload.stored_bytes();
                 let class = self.topology.link_class(msg.src, node);
                 self.shape(node, class, bytes);
                 let mut delivered = ep.delivered.lock().unwrap_or_else(|e| e.into_inner());
@@ -790,7 +790,7 @@ impl CommFabric {
                 ep.credits[gate_of(class)].release();
             }
             Frame::ReduceC { part, src } => {
-                let bytes = part.tile.bytes();
+                let bytes = part.tile.stored_bytes();
                 let class = self.topology.link_class(src, node);
                 if src != node {
                     self.shape(node, class, bytes);

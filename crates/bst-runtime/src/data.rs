@@ -88,7 +88,7 @@ impl TileStore {
     /// producer per node.
     pub fn put(&self, key: DataKey, tile: Arc<Tile>, consumers: usize) {
         let mut inner = self.inner.lock();
-        inner.current_bytes += tile.bytes();
+        inner.current_bytes += tile.stored_bytes();
         inner.peak_bytes = inner.peak_bytes.max(inner.current_bytes);
         let prev = inner.entries.insert(
             key,
@@ -134,7 +134,7 @@ impl TileStore {
         assert!(e.remaining > 0, "over-consumption of {key:?}");
         e.remaining -= 1;
         if e.remaining == 0 {
-            let bytes = e.tile.bytes();
+            let bytes = e.tile.stored_bytes();
             inner.entries.remove(&key);
             inner.current_bytes -= bytes;
             true
@@ -148,7 +148,7 @@ impl TileStore {
     pub fn remove(&self, key: DataKey) -> Option<Arc<Tile>> {
         let mut inner = self.inner.lock();
         inner.entries.remove(&key).map(|e| {
-            inner.current_bytes -= e.tile.bytes();
+            inner.current_bytes -= e.tile.stored_bytes();
             e.tile
         })
     }
@@ -273,7 +273,7 @@ impl BTileCache {
                 inner.lru.insert(e.stamp, key);
                 inner.next_stamp += 1;
                 inner.stats.hits += 1;
-                inner.stats.bytes_saved += e.tile.bytes();
+                inner.stats.bytes_saved += e.tile.stored_bytes();
                 Some(Arc::clone(&e.tile))
             }
             None => {
@@ -288,7 +288,7 @@ impl BTileCache {
     /// cached; re-inserting a resident key only refreshes its recency (the
     /// generators a cache serves are deterministic — same key, same bytes).
     pub fn insert(&self, key: BCacheKey, tile: Arc<Tile>) {
-        let bytes = tile.bytes();
+        let bytes = tile.stored_bytes();
         if bytes > self.budget {
             return;
         }
@@ -305,7 +305,7 @@ impl BTileCache {
             let (&stamp, &victim) = inner.lru.iter().next().expect("non-empty over budget");
             inner.lru.remove(&stamp);
             let evicted = inner.entries.remove(&victim).expect("lru/entries in sync");
-            inner.stats.current_bytes -= evicted.tile.bytes();
+            inner.stats.current_bytes -= evicted.tile.stored_bytes();
             inner.stats.evictions += 1;
         }
         let stamp = inner.next_stamp;

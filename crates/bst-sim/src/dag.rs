@@ -32,6 +32,55 @@ fn ns(seconds: f64) -> u64 {
     (seconds * 1e9).round().max(0.0) as u64
 }
 
+/// Structure-only model of the engine's low-rank tile compression
+/// ([`ExecOptions::compress_tol`]). The replay sees tilings, not tile
+/// *content*, so it cannot know the rank a pivoted truncation would reveal;
+/// instead it assumes a fixed modeled rank fraction of `min(rows, cols)` and
+/// applies the same profitability rule the real compressor uses (factors
+/// must strictly beat dense bytes, else the tile stays dense). With
+/// `tol == 0.0` the model is the identity — every byte count matches the
+/// dense replay exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct CompressionModel {
+    /// The run's truncation tolerance; `0.0` disables the model.
+    pub tol: f64,
+    /// Modeled rank as a fraction of `min(rows, cols)` (clamped to (0, 1]).
+    pub rank_fraction: f64,
+}
+
+impl CompressionModel {
+    /// The rank fraction assumed when the caller gives no calibration —
+    /// roughly what a few-digit tolerance reveals on tiles with
+    /// geometrically decaying spectra.
+    pub const DEFAULT_RANK_FRACTION: f64 = 0.25;
+
+    /// The model implied by `opts`: identity when compression is off,
+    /// [`Self::DEFAULT_RANK_FRACTION`] otherwise.
+    pub fn from_options(opts: &ExecOptions) -> Self {
+        Self {
+            tol: opts.compress_tol,
+            rank_fraction: Self::DEFAULT_RANK_FRACTION,
+        }
+    }
+
+    /// Modeled stored bytes of a `rows x cols` f64 tile.
+    pub fn tile_bytes(&self, rows: u64, cols: u64) -> u64 {
+        let dense = rows * cols * 8;
+        if self.tol <= 0.0 {
+            return dense;
+        }
+        let rank = ((rows.min(cols) as f64) * self.rank_fraction.clamp(0.0, 1.0)).ceil() as u64;
+        // Same gate as bst_tile::lowrank::compress: a representation that
+        // wouldn't strictly beat dense bytes stays dense.
+        let max_profitable = (rows * cols).saturating_sub(1) / (rows + cols);
+        if rank == 0 || rank > max_profitable {
+            dense
+        } else {
+            rank * (rows + cols) * 8
+        }
+    }
+}
+
 /// Replays the numeric engine's lowered task DAG for `(spec, plan)` on
 /// `platform`, returning a traced [`ExecReport`] in the engine's task
 /// vocabulary. `opts` selects the same lowering policies the numeric engine
@@ -53,6 +102,16 @@ pub fn replay_dag(
     opts: &ExecOptions,
 ) -> ExecReport {
     let low = inspector::lower(spec, plan, opts);
+    // Compressed-byte model: when the run carries a compression tolerance,
+    // every A/B byte count below (wire, h2d, device residency) uses modeled
+    // stored bytes; C tiles always stay dense, exactly like the engine.
+    let cm = CompressionModel::from_options(opts);
+    let a_bytes = |i: usize, k: usize| {
+        cm.tile_bytes(spec.a.row_tiling().size(i), spec.a.col_tiling().size(k))
+    };
+    let b_bytes = |k: usize, j: usize| {
+        cm.tile_bytes(spec.b.row_tiling().size(k), spec.b.col_tiling().size(j))
+    };
     let (p, q) = (plan.config.grid.p, plan.config.grid.q);
     let n_nodes = p * q;
     let registries: Vec<Arc<NodeResidency>> =
@@ -83,7 +142,7 @@ pub fn replay_dag(
         let mut sample_after: Option<(usize, usize)> = None;
         let dur = match op {
             Op::SendA { i, k, to } => {
-                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                let bytes = a_bytes(*i as usize, *k as usize);
                 a_net += bytes;
                 if low.topology.link_class(w.node, *to) == LinkClass::Inter {
                     a_net_inter += bytes;
@@ -100,7 +159,7 @@ pub fn replay_dag(
                 // The shaped transfer: latency plus bytes over the link the
                 // hop actually crosses (NIC vs intra-node) — the same
                 // per-class model bst_runtime::comm::LinkShaper applies.
-                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                let bytes = a_bytes(*i as usize, *k as usize);
                 let shaper = match low.topology.link_class(*from, w.node) {
                     LinkClass::Inter => platform.link_shaper(),
                     _ => platform.intra_shaper(),
@@ -120,7 +179,7 @@ pub fn replay_dag(
                 let row = plan.nodes[*node].grid_row;
                 let (mut bytes, mut tiles) = (0u64, 0u64);
                 for (k, j) in inspector::block_b_tiles(spec, &bp.block) {
-                    let sz = spec.b.tile_bytes(k, j);
+                    let sz = b_bytes(k, j);
                     dev.load(DataKey::B(k as u32, j as u32), sz)
                         .expect("simulated device OOM on LoadBlock");
                     bytes += sz;
@@ -136,7 +195,7 @@ pub fn replay_dag(
             }
             Op::LoadA { i, k } => {
                 let dev = devices.get_mut(&w).expect("LoadA after LoadBlock on its lane");
-                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                let bytes = a_bytes(*i as usize, *k as usize);
                 dev.load(DataKey::A(*i, *k), bytes)
                     .expect("simulated device OOM on LoadA");
                 sample_after = Some((w.node, w.lane - 1));
@@ -209,7 +268,7 @@ pub fn replay_dag(
         lane_free.insert(w, end_ns);
         match op {
             Op::SendA { i, k, to } => {
-                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                let bytes = a_bytes(*i as usize, *k as usize);
                 let class = low.topology.link_class(w.node, *to);
                 comm_stats[w.node].sent_bytes += bytes;
                 comm_stats[w.node].sent_msgs += 1;
@@ -229,7 +288,7 @@ pub fn replay_dag(
                 });
             }
             Op::RecvA { i, k, from } => {
-                let bytes = spec.a.tile_area(*i as usize, *k as usize) * 8;
+                let bytes = a_bytes(*i as usize, *k as usize);
                 let class = low.topology.link_class(*from, w.node);
                 comm_stats[w.node].recv_bytes += bytes;
                 comm_stats[w.node].recv_msgs += 1;

@@ -162,3 +162,38 @@ fn genb_fanout_lowers_identically_for_both_consumers() {
         .collect();
     assert!(sim_lanes.iter().any(|&l| l > 2), "no dedicated GenB lane used");
 }
+
+#[test]
+fn compression_model_shrinks_replayed_bytes_but_not_the_dag() {
+    let (spec, plan, config) = problem();
+    let dense_opts = ExecOptions::builder().tracing(true).build();
+    let lossy_opts = ExecOptions::builder().tracing(true).compress_tol(1e-4).build();
+
+    let mut platform = Platform::summit(4);
+    platform.gpus_per_node = 2;
+    let dense = replay_dag(&spec, &plan, &platform, &dense_opts);
+    let lossy = replay_dag(&spec, &plan, &platform, &lossy_opts);
+
+    // Compression is a data-plane change: the task DAG is untouched.
+    assert_eq!(fingerprint(&dense), fingerprint(&lossy));
+    assert_eq!(dense.gemm_tasks, lossy.gemm_tasks);
+
+    // Modeled A wire bytes and device load volumes shrink strictly.
+    assert!(
+        lossy.a_network_bytes < dense.a_network_bytes,
+        "modeled A bytes did not shrink ({} vs {})",
+        lossy.a_network_bytes,
+        dense.a_network_bytes
+    );
+    let h2d = |r: &ExecReport| {
+        r.devices.iter().map(|(_, d)| d.h2d_bytes + d.d2d_bytes).sum::<u64>()
+    };
+    assert!(h2d(&lossy) < h2d(&dense), "modeled device loads did not shrink");
+
+    // The compressed schedule still passes the shared invariant checker.
+    let cap = config.device.gpu_mem_bytes;
+    assert_eq!(
+        validate_trace_invariants(&lossy, lossy_opts, cap),
+        Vec::<String>::new()
+    );
+}

@@ -205,6 +205,25 @@ pub fn tile_seed(matrix_seed: u64, r: usize, c: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A deterministic on-demand `B` generator over [`tile_seed`]: each call
+/// produces `pool.random(rows, cols, tile_seed(matrix_seed, k, j))`, so tile
+/// content is a pure function of identity wherever the closure runs — the
+/// same guarantee [`tile_seed`] gives materialised matrices, shared by every
+/// CLI/bench/test call site instead of each re-spelling the closure.
+///
+/// The generator is infallible; it is generic over the error type `E` so the
+/// one helper satisfies both the engine's `BGen` signature and the service's
+/// shared-generator signature without conversion shims.
+pub fn random_b_gen<E>(
+    matrix_seed: u64,
+) -> impl Fn(usize, usize, usize, usize, &bst_tile::TilePool) -> Result<Arc<Tile>, E>
+       + Send
+       + Sync
+       + Clone
+       + 'static {
+    move |k, j, rows, cols, pool| Ok(Arc::new(pool.random(rows, cols, tile_seed(matrix_seed, k, j))))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -95,10 +95,30 @@ impl KernelKind {
         }
     }
 
-    /// Runs `C ← alpha·A·B + C` with this kernel.
+    /// Runs `C ← alpha·A·B + C` with this kernel. Low-rank operands are
+    /// routed through [`crate::lowrank::gemm_lowrank`], which decomposes
+    /// the product into dense sub-GEMMs executed by this same kernel; the
+    /// `LR × LR` middle matrix is applied exactly (no re-compression — use
+    /// [`KernelKind::run_recompress`] to enable it).
     #[inline]
     pub fn run(self, alpha: f64, a: &Tile, b: &Tile, c: &mut Tile) {
-        (self.func())(alpha, a, b, c);
+        self.run_recompress(alpha, a, b, c, 0.0);
+    }
+
+    /// [`KernelKind::run`] with an explicit re-compression tolerance for
+    /// the `LR × LR` path: when both operands are low-rank and `tol > 0`,
+    /// the middle matrix `V_aᵀ·U_b` is itself truncated at `tol`, so the
+    /// applied rank can drop below `min(r_a, r_b)`. Dense×dense products
+    /// are dispatched straight to the kernel function — with dense
+    /// operands this is byte-identical to the pre-polymorphic path for
+    /// every `tol`.
+    #[inline]
+    pub fn run_recompress(self, alpha: f64, a: &Tile, b: &Tile, c: &mut Tile, tol: f64) {
+        if a.is_dense() && b.is_dense() {
+            (self.func())(alpha, a, b, c);
+        } else {
+            crate::lowrank::gemm_lowrank(self, alpha, a, b, c, tol);
+        }
     }
 
     /// Index of this kind in [`KernelKind::ALL`] (for counter arrays).

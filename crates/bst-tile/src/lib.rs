@@ -10,7 +10,10 @@
 //!
 //! * [`Tiling`] — an irregular partition of `0..extent`, with O(1) size/offset
 //!   queries and O(log n) coordinate lookup;
-//! * [`Tile`] — a dense, column-major `f64` block;
+//! * [`Tile`] — a column-major `f64` block, stored dense or as a truncated
+//!   low-rank factorization ([`Repr`]);
+//! * [`lowrank`] — the pivoted-QR truncation kernel and the rank-aware
+//!   GEMM routing behind [`kernel`] dispatch;
 //! * [`gemm`] — `C += A * B` kernels (naive reference, cache-blocked, a
 //!   family of packed register-blocked micro-kernels, and a rayon-parallel
 //!   variant) used by the simulated GPU executors;
@@ -26,11 +29,12 @@
 
 pub mod gemm;
 pub mod kernel;
+pub mod lowrank;
 pub mod pool;
 pub mod tile;
 pub mod tiling;
 
 pub use kernel::{KernelKind, KernelTable};
 pub use pool::TilePool;
-pub use tile::Tile;
+pub use tile::{Repr, Tile};
 pub use tiling::Tiling;

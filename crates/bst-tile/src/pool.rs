@@ -12,7 +12,7 @@
 //! a mutex — coarse, but the lock is held only for a `Vec` push/pop, never
 //! for the fill.
 
-use crate::tile::Tile;
+use crate::tile::{Repr, Tile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -108,17 +108,40 @@ impl TilePool {
         t
     }
 
-    /// Returns a tile's buffer to the pool for reuse.
+    /// Returns a tile's buffer(s) to the pool for reuse. A dense tile
+    /// shelves its one buffer; a low-rank tile shelves both factor buffers
+    /// (each on its own exact-length shelf), so compressed B tiles recycle
+    /// allocations just like dense ones. Either way the release counts
+    /// once — a tile handed back is a tile handed back.
     pub fn release(&self, tile: Tile) {
-        let data = tile.into_data();
+        let kept = match tile.into_repr() {
+            Repr::Dense(data) => self.shelve(data),
+            Repr::LowRank { u, v, .. } => {
+                let ku = self.shelve(u);
+                self.shelve(v) || ku
+            }
+        };
+        if kept {
+            self.released.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Shelves one buffer on its exact-length shelf; returns whether it was
+    /// kept. Zero-length buffers (rank-0 factors) are dropped silently.
+    fn shelve(&self, data: Vec<f64>) -> bool {
         let len = data.len();
+        if len == 0 {
+            return false;
+        }
         let mut shelves = self.shelves.lock().unwrap();
         let shelf = shelves.entry(len).or_default();
         if shelf.len() < self.shelf_cap {
             shelf.push(data);
-            self.released.fetch_add(1, Ordering::Relaxed);
+            true
         } else {
-            self.discarded.fetch_add(1, Ordering::Relaxed);
+            false
         }
     }
 
@@ -217,6 +240,21 @@ mod tests {
         }
         assert_eq!(pool.cached_buffers(), 2);
         assert_eq!(pool.stats().discarded, 3);
+    }
+
+    #[test]
+    fn lowrank_release_shelves_both_factor_buffers() {
+        let pool = TilePool::new();
+        // 6×4 rank-2: u has 12 elements, v has 8.
+        let t = Tile::from_factors(6, 4, vec![1.0; 12], vec![2.0; 8], 2);
+        pool.release(t);
+        assert_eq!(pool.stats().released, 1);
+        assert_eq!(pool.cached_buffers(), 2);
+        // Both factor buffers come back out on exact-length requests.
+        let a = pool.zeroed(3, 4); // 12 elements — the recycled u buffer
+        let b = pool.zeroed(2, 4); // 8 elements — the recycled v buffer
+        assert_eq!(pool.stats().hits, 2);
+        assert!(a.data().iter().chain(b.data()).all(|&x| x == 0.0));
     }
 
     #[test]

@@ -1,23 +1,52 @@
-//! Dense column-major `f64` tiles.
+//! Column-major `f64` tiles with a polymorphic storage representation.
 //!
 //! A [`Tile`] is the unit of storage, communication and computation: the
-//! non-zero blocks of a block-sparse matrix are dense tiles, and the GPU
+//! non-zero blocks of a block-sparse matrix are tiles, and the GPU
 //! executors multiply pairs of them with the kernels in [`crate::gemm`].
+//!
+//! A tile's *logical* value is always a dense `rows × cols` matrix; its
+//! *stored* representation ([`Repr`]) is either that dense buffer or a
+//! rank-`r` factorization `U·Vᵀ` produced by the pivoted-QR truncation in
+//! [`crate::lowrank`]. Every byte-accounting consumer (tile stores, comm
+//! links, caches) must use [`Tile::stored_bytes`] — the bytes the
+//! representation actually occupies — while [`Tile::bytes`] keeps reporting
+//! the logical dense footprint the planner budgets against.
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// A dense `rows × cols` block of `f64`, stored column-major (BLAS layout).
+/// The storage representation of a [`Tile`].
+///
+/// `Dense` holds the full column-major buffer. `LowRank` holds the factors
+/// of `T ≈ U·Vᵀ`: `u` is `rows × rank` column-major, `v` is `cols × rank`
+/// column-major (so `Vᵀ` is applied, never materialised). `rank == 0`
+/// encodes an exactly-zero tile with zero stored bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Repr {
+    /// Full dense column-major buffer of `rows * cols` elements.
+    Dense(Vec<f64>),
+    /// Truncated factorization `U·Vᵀ`.
+    LowRank {
+        /// `rows × rank`, column-major.
+        u: Vec<f64>,
+        /// `cols × rank`, column-major (the transpose is implicit).
+        v: Vec<f64>,
+        /// Number of retained factor columns.
+        rank: usize,
+    },
+}
+
+/// A `rows × cols` block of `f64` with a [`Repr`]-polymorphic storage.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tile {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    repr: Repr,
 }
 
 impl Tile {
-    /// Allocates a zero-filled tile.
+    /// Allocates a zero-filled dense tile.
     ///
     /// # Panics
     /// Panics if either dimension is zero.
@@ -26,18 +55,30 @@ impl Tile {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            repr: Repr::Dense(vec![0.0; rows * cols]),
         }
     }
 
-    /// Builds a tile from a column-major buffer.
+    /// Builds a dense tile from a column-major buffer.
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_data(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols);
         assert!(rows > 0 && cols > 0);
-        Self { rows, cols, data }
+        Self { rows, cols, repr: Repr::Dense(data) }
+    }
+
+    /// Builds a low-rank tile `U·Vᵀ` from its factor buffers (`u` is
+    /// `rows × rank`, `v` is `cols × rank`, both column-major).
+    ///
+    /// # Panics
+    /// Panics on factor-length mismatch or a degenerate logical shape.
+    pub fn from_factors(rows: usize, cols: usize, u: Vec<f64>, v: Vec<f64>, rank: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate tile {rows}x{cols}");
+        assert_eq!(u.len(), rows * rank, "U factor length");
+        assert_eq!(v.len(), cols * rank, "V factor length");
+        Self { rows, cols, repr: Repr::LowRank { u, v, rank } }
     }
 
     /// Fills a tile with deterministic pseudo-random values in `[-1, 1)`.
@@ -53,24 +94,107 @@ impl Tile {
         t
     }
 
+    /// A deterministic dense tile with a decaying singular spectrum:
+    /// `T = Σ_p exp(−decay·p) · x_p·y_pᵀ` over `min(rows, cols)` random
+    /// rank-one terms. With `decay` around 0.5–1.0 the tile is numerically
+    /// low-rank — the profile of clustered-AO integral blocks — so
+    /// [`Tile::compressed`] at a loose tolerance retains only a few factors.
+    /// Like [`Tile::random`], the content is a pure function of
+    /// `(rows, cols, seed, decay)`.
+    pub fn random_lowrank(rows: usize, cols: usize, seed: u64, decay: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate tile {rows}x{cols}");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let terms = rows.min(cols);
+        let mut data = vec![0.0; rows * cols];
+        let mut x = vec![0.0; rows];
+        let mut y = vec![0.0; cols];
+        for p in 0..terms {
+            for xi in &mut x {
+                *xi = rng.gen_range(-1.0..1.0);
+            }
+            for yi in &mut y {
+                *yi = rng.gen_range(-1.0..1.0);
+            }
+            let sigma = (-decay * p as f64).exp();
+            for (c, &yc) in y.iter().enumerate() {
+                let w = sigma * yc;
+                let col = &mut data[c * rows..(c + 1) * rows];
+                for (e, &xr) in col.iter_mut().zip(&x) {
+                    *e += w * xr;
+                }
+            }
+        }
+        Self::from_data(rows, cols, data)
+    }
+
     /// Overwrites every element with the same deterministic pseudo-random
-    /// sequence [`Tile::random`] produces for this shape and seed.
+    /// sequence [`Tile::random`] produces for this shape and seed. A
+    /// low-rank tile is re-densified first (the result is always dense).
     ///
     /// This is the in-place counterpart of [`Tile::random`] used by the
     /// buffer pool (`crate::pool::TilePool`) to regenerate tiles into
     /// recycled allocations: `pool.random(r, c, s)` and `Tile::random(r, c, s)`
     /// are bit-identical.
     pub fn fill_random(&mut self, seed: u64) {
+        if !self.is_dense() {
+            self.repr = Repr::Dense(vec![0.0; self.rows * self.cols]);
+        }
+        let Repr::Dense(data) = &mut self.repr else { unreachable!() };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        for x in &mut self.data {
+        for x in data {
             *x = rng.gen_range(-1.0..1.0);
         }
     }
 
-    /// Consumes the tile, returning its backing buffer (for recycling).
+    /// Consumes the tile, returning its dense backing buffer (for
+    /// recycling).
+    ///
+    /// # Panics
+    /// Panics on a low-rank tile — recycle those through
+    /// [`Tile::into_repr`], which hands back the factor buffers.
     #[inline]
     pub fn into_data(self) -> Vec<f64> {
-        self.data
+        match self.repr {
+            Repr::Dense(data) => data,
+            Repr::LowRank { .. } => panic!("into_data on a low-rank tile; use into_repr"),
+        }
+    }
+
+    /// Consumes the tile, returning its representation with the backing
+    /// buffers (dense buffer, or both factor buffers).
+    #[inline]
+    pub fn into_repr(self) -> Repr {
+        self.repr
+    }
+
+    /// The storage representation.
+    #[inline]
+    pub fn repr(&self) -> &Repr {
+        &self.repr
+    }
+
+    /// Whether the tile is stored dense.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// The retained rank of a low-rank tile; `None` when dense.
+    #[inline]
+    pub fn rank(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Dense(_) => None,
+            Repr::LowRank { rank, .. } => Some(*rank),
+        }
+    }
+
+    /// The `(u, v, rank)` factors of a low-rank tile; `None` when dense.
+    #[inline]
+    pub fn factors(&self) -> Option<(&[f64], &[f64], usize)> {
+        match &self.repr {
+            Repr::Dense(_) => None,
+            Repr::LowRank { u, v, rank } => Some((u, v, *rank)),
+        }
     }
 
     /// Number of rows.
@@ -85,74 +209,221 @@ impl Tile {
         self.cols
     }
 
-    /// Size in bytes of the payload (what travels on links and occupies
-    /// device memory).
+    /// Size in bytes of the *logical* dense payload (`rows · cols · 8`) —
+    /// what the planner budgets against, independent of representation.
+    /// Use [`Tile::stored_bytes`] for what actually occupies memory or a
+    /// link.
     #[inline]
     pub fn bytes(&self) -> u64 {
-        (self.data.len() * std::mem::size_of::<f64>()) as u64
+        (self.rows * self.cols * std::mem::size_of::<f64>()) as u64
     }
 
-    /// Element accessor (column-major).
+    /// Size in bytes of the stored representation — the dense buffer, or
+    /// both low-rank factors. This is what travels on links, occupies
+    /// stores/caches, and counts against byte budgets.
+    #[inline]
+    pub fn stored_bytes(&self) -> u64 {
+        let elems = match &self.repr {
+            Repr::Dense(data) => data.len(),
+            Repr::LowRank { u, v, .. } => u.len() + v.len(),
+        };
+        (elems * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Element accessor (column-major). Works for both representations; a
+    /// low-rank read is a rank-length dot product.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[c * self.rows + r]
-    }
-
-    /// Mutable element accessor (column-major).
-    #[inline]
-    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols);
-        &mut self.data[c * self.rows + r]
-    }
-
-    /// Raw column-major data.
-    #[inline]
-    pub fn data(&self) -> &[f64] {
-        &self.data
-    }
-
-    /// Raw mutable column-major data.
-    #[inline]
-    pub fn data_mut(&mut self) -> &mut [f64] {
-        &mut self.data
-    }
-
-    /// Frobenius norm — used for screening-based sparse shapes.
-    pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
-    }
-
-    /// Scales every element in place.
-    pub fn scale(&mut self, alpha: f64) {
-        for x in &mut self.data {
-            *x *= alpha;
+        match &self.repr {
+            Repr::Dense(data) => data[c * self.rows + r],
+            Repr::LowRank { u, v, rank } => {
+                let mut acc = 0.0;
+                for p in 0..*rank {
+                    acc += u[p * self.rows + r] * v[p * self.cols + c];
+                }
+                acc
+            }
         }
     }
 
-    /// `self += other`, element-wise.
+    /// Mutable element accessor (column-major).
     ///
     /// # Panics
-    /// Panics on shape mismatch.
+    /// Panics on a low-rank tile — factors are immutable; densify first.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        let rows = self.rows;
+        match &mut self.repr {
+            Repr::Dense(data) => &mut data[c * rows + r],
+            Repr::LowRank { .. } => panic!("get_mut on a low-rank tile; densify first"),
+        }
+    }
+
+    /// Raw column-major data of a dense tile.
+    ///
+    /// # Panics
+    /// Panics on a low-rank tile — use [`Tile::factors`] or
+    /// [`Tile::to_dense`].
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        match &self.repr {
+            Repr::Dense(data) => data,
+            Repr::LowRank { .. } => panic!("data() on a low-rank tile; use factors()/to_dense()"),
+        }
+    }
+
+    /// Raw mutable column-major data of a dense tile.
+    ///
+    /// # Panics
+    /// Panics on a low-rank tile.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        match &mut self.repr {
+            Repr::Dense(data) => data,
+            Repr::LowRank { .. } => panic!("data_mut() on a low-rank tile; densify first"),
+        }
+    }
+
+    /// The dense materialisation of this tile: a copy for a dense tile, the
+    /// evaluated product `U·Vᵀ` for a low-rank one.
+    pub fn to_dense(&self) -> Tile {
+        match &self.repr {
+            Repr::Dense(data) => Tile::from_data(self.rows, self.cols, data.clone()),
+            Repr::LowRank { u, v, rank } => {
+                let mut data = vec![0.0; self.rows * self.cols];
+                for p in 0..*rank {
+                    let up = &u[p * self.rows..(p + 1) * self.rows];
+                    let vp = &v[p * self.cols..(p + 1) * self.cols];
+                    for (c, &vc) in vp.iter().enumerate() {
+                        let col = &mut data[c * self.rows..(c + 1) * self.rows];
+                        for (e, &ur) in col.iter_mut().zip(up) {
+                            *e += ur * vc;
+                        }
+                    }
+                }
+                Tile::from_data(self.rows, self.cols, data)
+            }
+        }
+    }
+
+    /// Attempts a rank-revealing truncation of this tile at relative
+    /// tolerance `tol` (see [`crate::lowrank::compress`]). Returns the
+    /// low-rank tile when truncation succeeds **and** the factors occupy
+    /// strictly fewer bytes than the dense buffer; `None` (keep the
+    /// original) otherwise. `tol <= 0.0` never compresses — the `tol = 0.0`
+    /// execution path stays bit-identical to the dense engine.
+    pub fn compressed(&self, tol: f64) -> Option<Tile> {
+        match &self.repr {
+            Repr::Dense(data) => crate::lowrank::compress(self.rows, self.cols, data, tol)
+                .map(|(u, v, rank)| Tile::from_factors(self.rows, self.cols, u, v, rank)),
+            Repr::LowRank { .. } => None,
+        }
+    }
+
+    /// Frobenius norm — used for screening-based sparse shapes. For a
+    /// low-rank tile this is evaluated exactly from the factor Gram
+    /// matrices: `‖U·Vᵀ‖²_F = Σ_{p,q} (UᵀU)_{pq} (VᵀV)_{pq}`.
+    pub fn frobenius_norm(&self) -> f64 {
+        match &self.repr {
+            Repr::Dense(data) => data.iter().map(|x| x * x).sum::<f64>().sqrt(),
+            Repr::LowRank { u, v, rank } => {
+                let mut acc = 0.0;
+                for p in 0..*rank {
+                    for q in 0..*rank {
+                        let gu: f64 = u[p * self.rows..(p + 1) * self.rows]
+                            .iter()
+                            .zip(&u[q * self.rows..(q + 1) * self.rows])
+                            .map(|(a, b)| a * b)
+                            .sum();
+                        let gv: f64 = v[p * self.cols..(p + 1) * self.cols]
+                            .iter()
+                            .zip(&v[q * self.cols..(q + 1) * self.cols])
+                            .map(|(a, b)| a * b)
+                            .sum();
+                        acc += gu * gv;
+                    }
+                }
+                acc.max(0.0).sqrt()
+            }
+        }
+    }
+
+    /// Scales every element in place (a low-rank tile scales its `U`
+    /// factor — same logical result, no densification).
+    pub fn scale(&mut self, alpha: f64) {
+        match &mut self.repr {
+            Repr::Dense(data) => {
+                for x in data {
+                    *x *= alpha;
+                }
+            }
+            Repr::LowRank { u, .. } => {
+                for x in u {
+                    *x *= alpha;
+                }
+            }
+        }
+    }
+
+    /// `self += other`, element-wise. `self` must be dense (accumulators
+    /// always are); `other` may be low-rank, in which case its factor
+    /// product is accumulated without materialising it.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a low-rank `self`.
     pub fn add_assign(&mut self, other: &Tile) {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
             "tile shape mismatch in add_assign"
         );
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
+        let rows = self.rows;
+        let cols = self.cols;
+        let Repr::Dense(data) = &mut self.repr else {
+            panic!("add_assign into a low-rank tile; densify the accumulator first")
+        };
+        match &other.repr {
+            Repr::Dense(od) => {
+                for (a, b) in data.iter_mut().zip(od) {
+                    *a += b;
+                }
+            }
+            Repr::LowRank { u, v, rank } => {
+                for p in 0..*rank {
+                    let up = &u[p * rows..(p + 1) * rows];
+                    let vp = &v[p * cols..(p + 1) * cols];
+                    for (c, &vc) in vp.iter().enumerate() {
+                        let col = &mut data[c * rows..(c + 1) * rows];
+                        for (e, &ur) in col.iter_mut().zip(up) {
+                            *e += ur * vc;
+                        }
+                    }
+                }
+            }
         }
     }
 
-    /// Largest absolute difference to another tile of the same shape.
+    /// Largest absolute difference to another tile of the same shape
+    /// (representation-independent: low-rank operands are evaluated
+    /// element-wise).
     pub fn max_abs_diff(&self, other: &Tile) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&self.repr, &other.repr) {
+            return a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+        }
+        let mut worst = 0.0f64;
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                worst = worst.max((self.get(r, c) - other.get(r, c)).abs());
+            }
+        }
+        worst
     }
 }
 
@@ -166,6 +437,7 @@ mod tests {
         assert_eq!(t.rows(), 3);
         assert_eq!(t.cols(), 4);
         assert_eq!(t.bytes(), 96);
+        assert_eq!(t.stored_bytes(), 96);
         assert!(t.data().iter().all(|&x| x == 0.0));
     }
 
@@ -234,5 +506,69 @@ mod tests {
         let a = Tile::from_data(2, 1, vec![1.0, 2.0]);
         let b = Tile::from_data(2, 1, vec![1.5, 1.0]);
         assert!((a.max_abs_diff(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_tile_reads_like_its_product() {
+        // u = [1, 2]ᵀ, v = [3, 4, 5]ᵀ → T = u·vᵀ, 2×3 rank 1.
+        let t = Tile::from_factors(2, 3, vec![1.0, 2.0], vec![3.0, 4.0, 5.0], 1);
+        assert!(!t.is_dense());
+        assert_eq!(t.rank(), Some(1));
+        assert_eq!(t.get(0, 0), 3.0);
+        assert_eq!(t.get(1, 2), 10.0);
+        assert_eq!(t.stored_bytes(), 40); // (2 + 3) * 8
+        assert_eq!(t.bytes(), 48); // logical 2*3*8
+        let d = t.to_dense();
+        assert!(d.is_dense());
+        assert!(t.max_abs_diff(&d) == 0.0);
+    }
+
+    #[test]
+    fn lowrank_frobenius_matches_dense() {
+        let t = Tile::from_factors(
+            3,
+            4,
+            vec![1.0, -2.0, 0.5, 0.25, 1.5, -1.0],
+            vec![2.0, 0.0, 1.0, -1.0, 0.5, 1.0, -0.5, 2.0],
+            2,
+        );
+        let d = t.to_dense();
+        assert!((t.frobenius_norm() - d.frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowrank_scale_and_add_assign() {
+        let mut t = Tile::from_factors(2, 2, vec![1.0, 0.0], vec![1.0, 1.0], 1);
+        t.scale(2.0);
+        assert_eq!(t.get(0, 0), 2.0);
+        let mut acc = Tile::zeros(2, 2);
+        acc.add_assign(&t);
+        assert_eq!(acc.get(0, 1), 2.0);
+        assert_eq!(acc.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn rank_zero_tile_is_zero() {
+        let t = Tile::from_factors(3, 5, vec![], vec![], 0);
+        assert_eq!(t.stored_bytes(), 0);
+        assert_eq!(t.frobenius_norm(), 0.0);
+        assert!(t.max_abs_diff(&Tile::zeros(3, 5)) == 0.0);
+    }
+
+    #[test]
+    fn random_lowrank_is_deterministic_and_compressible() {
+        let a = Tile::random_lowrank(24, 20, 7, 0.8);
+        let b = Tile::random_lowrank(24, 20, 7, 0.8);
+        assert_eq!(a, b);
+        assert!(a.is_dense());
+        let lr = a.compressed(1e-2).expect("decaying spectrum compresses at 1e-2");
+        assert!(lr.stored_bytes() < a.stored_bytes());
+        assert!(lr.rank().unwrap() < 20);
+    }
+
+    #[test]
+    fn tol_zero_never_compresses() {
+        assert!(Tile::random_lowrank(16, 16, 3, 2.0).compressed(0.0).is_none());
+        assert!(Tile::random(8, 8, 1).compressed(-1.0).is_none());
     }
 }

@@ -1,9 +1,22 @@
-//! Property tests for tilings and GEMM kernels.
+//! Property tests for tilings, GEMM kernels and low-rank compression.
 
 use bst_tile::gemm::{gemm_blocked, gemm_naive, gemm_packed, gemm_parallel};
 use bst_tile::kernel::{select_heuristic, KernelKind, KernelTable};
 use bst_tile::{Tile, Tiling};
 use proptest::prelude::*;
+
+/// `‖a − b‖_F` by element (works for any representation mix).
+fn frob_diff(a: &Tile, b: &Tile) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    let mut s = 0.0;
+    for c in 0..a.cols() {
+        for r in 0..a.rows() {
+            let d = a.get(r, c) - b.get(r, c);
+            s += d * d;
+        }
+    }
+    s.sqrt()
+}
 
 /// Dimension generator biased to the adversarial edges of the kernels'
 /// blocking parameters: degenerate (1..5), around the cache block
@@ -142,5 +155,81 @@ proptest! {
             prop_assert!(s >= 5, "sliver {s}");
             prop_assert!(s <= 80, "giant {s}");
         }
+    }
+
+    /// Whenever compression succeeds, the reconstruction satisfies the
+    /// truncation contract `‖T − U·Vᵀ‖_F ≤ tol·‖T‖_F` and the factors
+    /// strictly beat dense storage.
+    #[test]
+    fn compression_roundtrip_respects_tolerance(
+        rows in 16usize..48,
+        cols in 16usize..48,
+        seed in 0u64..500,
+        decay in prop_oneof![Just(1.5f64), Just(2.0f64), Just(2.5f64)],
+        tol in prop_oneof![Just(1e-2f64), Just(1e-3f64)],
+    ) {
+        let t = Tile::random_lowrank(rows, cols, seed, decay);
+        if let Some(lr) = t.compressed(tol) {
+            prop_assert!(!lr.is_dense());
+            prop_assert!(lr.stored_bytes() < t.stored_bytes(), "unprofitable factors kept");
+            let bound = tol * t.frobenius_norm() * (1.0 + 1e-12);
+            let err = frob_diff(&t, &lr);
+            prop_assert!(err <= bound, "residual {err:.3e} above bound {bound:.3e}");
+        }
+    }
+
+    /// Rank-aware GEMM agrees with the dense reference for every operand
+    /// representation mix, within the error the truncations themselves
+    /// introduce.
+    #[test]
+    fn lowrank_gemm_agrees_with_dense(
+        m in 16usize..40,
+        k in 16usize..40,
+        n in 16usize..40,
+        seed in 0u64..200,
+    ) {
+        let tol = 1e-3;
+        let a = Tile::random_lowrank(m, k, seed, 2.0);
+        let b = Tile::random_lowrank(k, n, seed ^ 1, 2.0);
+        let a_lr = a.compressed(tol).unwrap_or_else(|| a.clone());
+        let b_lr = b.compressed(tol).unwrap_or_else(|| b.clone());
+        let mut reference = Tile::zeros(m, n);
+        gemm_naive(1.0, &a, &b, &mut reference);
+        // Truncating each operand perturbs the product by at most
+        // tol·(‖A‖‖B‖) per side (plus cross terms) — 3x covers it, 10x
+        // leaves slack for accumulation order.
+        let bound = 10.0 * tol * a.frobenius_norm() * b.frobenius_norm();
+        for (lhs, rhs) in [(&a_lr, &b), (&a, &b_lr), (&a_lr, &b_lr)] {
+            let mut c = Tile::zeros(m, n);
+            KernelKind::Blocked.run(1.0, lhs, rhs, &mut c);
+            let err = frob_diff(&reference, &c);
+            prop_assert!(err <= bound, "mixed-repr GEMM drifted {err:.3e} > {bound:.3e}");
+        }
+    }
+
+    /// A tile that is *exactly* rank `r` is recovered with rank ≤ r and
+    /// near-machine-precision reconstruction.
+    #[test]
+    fn exact_rank_is_recovered(
+        rows in 20usize..48,
+        cols in 20usize..48,
+        r in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        // Sum of r outer products of random vectors.
+        let mut t = Tile::zeros(rows, cols);
+        for p in 0..r {
+            let x = Tile::random(rows, 1, seed.wrapping_add(p as u64 * 2 + 1));
+            let y = Tile::random(cols, 1, seed.wrapping_add(p as u64 * 2 + 2));
+            for c in 0..cols {
+                for rr in 0..rows {
+                    *t.get_mut(rr, c) += x.get(rr, 0) * y.get(c, 0);
+                }
+            }
+        }
+        let lr = t.compressed(1e-10).expect("exact low rank must compress");
+        prop_assert!(lr.rank().unwrap() <= r, "rank {:?} > true rank {r}", lr.rank());
+        let err = frob_diff(&t, &lr);
+        prop_assert!(err <= 1e-8 * t.frobenius_norm().max(1.0));
     }
 }

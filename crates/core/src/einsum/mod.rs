@@ -343,6 +343,17 @@ impl<'a> Einsum<'a> {
         self
     }
 
+    /// Low-rank compression tolerance for every lowered term (sugar for
+    /// setting [`ExecOptions::compress_tol`] on [`Einsum::options`]):
+    /// operand tiles are truncated to `‖T − U·Vᵀ‖_F ≤ tol·‖T‖_F` as they
+    /// enter the runtime. `0.0` (the default) keeps every tile dense and
+    /// the contraction bit-identical to the uncompressed engine. Negative
+    /// values clamp to `0.0`.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.opts.compress_tol = tol.max(0.0);
+        self
+    }
+
     /// Parses, validates, lowers and executes the expression through the
     /// one-shot engine, one planned product per binary term.
     pub fn contract(self, config: PlannerConfig) -> Result<EinsumOutcome, BstError> {

@@ -72,6 +72,13 @@ pub(crate) struct HandlerEnv<'a> {
     pub fault: Option<FaultPlan>,
     /// `(p, q)` of the process grid (for `A` ownership).
     pub grid: (usize, usize),
+    /// Low-rank truncation tolerance ([`ExecOptions::compress_tol`]):
+    /// generated B tiles are compressed before caching/storing, and GEMMs
+    /// re-compress LR×LR middle products at this tolerance. `0.0` keeps
+    /// every path dense and bit-identical.
+    ///
+    /// [`ExecOptions::compress_tol`]: super::policies::ExecOptions::compress_tol
+    pub compress_tol: f64,
     pub counters: Counters,
     /// Per-(node, gpu) device statistics, pushed at each device's last flush.
     pub dev_stats: Mutex<Vec<((usize, usize), DeviceStats)>>,
@@ -136,7 +143,9 @@ impl HandlerEnv<'_> {
             (Op::SendA { i, k, to }, Ctx::Cpu) => {
                 let key = DataKey::A(*i, *k);
                 let tile = self.stores[w.node].get(w.node, key);
-                let bytes = tile.bytes();
+                // Count the bytes that actually cross the wire: a low-rank
+                // tile ships its factors, not the dense equivalent.
+                let bytes = tile.stored_bytes();
                 // The destination consumes the tile once per local device
                 // load plus once per tree hop it forwards.
                 let consumers = self.low.a_consumers(*to, (*i, *k));
@@ -198,7 +207,7 @@ impl HandlerEnv<'_> {
                 if let Some((cache, key)) = &cache_key {
                     if let Some(tile) = cache.get(*key) {
                         c.b_cache_hits.fetch_add(1, Ordering::Relaxed);
-                        c.b_cache_saved.fetch_add(tile.bytes(), Ordering::Relaxed);
+                        c.b_cache_saved.fetch_add(tile.stored_bytes(), Ordering::Relaxed);
                         self.stores[w.node].put(DataKey::B(*k, *j), tile, 1);
                         return Ok(());
                     }
@@ -222,6 +231,23 @@ impl HandlerEnv<'_> {
                     })));
                 }
                 c.bgens.fetch_add(1, Ordering::Relaxed);
+                // Rank-revealing truncation at generation time: everything
+                // downstream (cache, store, device load, GEMM) sees the
+                // compressed representation. `compressed` returns `None`
+                // when the factors wouldn't beat dense bytes, so stored
+                // sizes only ever shrink.
+                let tile = if self.compress_tol > 0.0 {
+                    match tile.compressed(self.compress_tol) {
+                        Some(lr) => {
+                            let lr = std::sync::Arc::new(lr);
+                            self.pools[w.node].release_arc(tile);
+                            lr
+                        }
+                        None => tile,
+                    }
+                } else {
+                    tile
+                };
                 if let Some((cache, key)) = &cache_key {
                     c.b_cache_misses.fetch_add(1, Ordering::Relaxed);
                     cache.insert(*key, std::sync::Arc::clone(&tile));
@@ -264,7 +290,7 @@ impl HandlerEnv<'_> {
                     None => KernelKind::Blocked,
                     Some(table) => table.select(ct.rows(), ct.cols(), at.cols()),
                 };
-                kind.run(1.0, &at, &bt, ct);
+                kind.run_recompress(1.0, &at, &bt, ct, self.compress_tol);
                 self.kernel_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
                 c.gemms.fetch_add(1, Ordering::Relaxed);
                 Ok(())

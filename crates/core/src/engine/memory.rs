@@ -63,14 +63,14 @@ impl MemoryManager {
 
     /// Transfers `A(i,k)` host→device (or refcounts it if already there).
     pub fn load_a(&mut self, t: (u32, u32), tile: Arc<Tile>) -> Result<(), DeviceOom> {
-        self.dev.load(DataKey::A(t.0, t.1), tile.bytes())?;
+        self.dev.load(DataKey::A(t.0, t.1), tile.stored_bytes())?;
         self.a_tiles.insert(t, tile);
         Ok(())
     }
 
     /// Transfers `B(k,j)` host→device as part of a block load.
     pub fn load_b(&mut self, t: (u32, u32), tile: Arc<Tile>) -> Result<(), DeviceOom> {
-        self.dev.load(DataKey::B(t.0, t.1), tile.bytes())?;
+        self.dev.load(DataKey::B(t.0, t.1), tile.stored_bytes())?;
         self.b_tiles.insert(t, tile);
         Ok(())
     }

@@ -130,7 +130,18 @@ pub(crate) fn run(
         if consumers > 0 {
             // Share the matrix's own Arc — A tiles are immutable for the
             // whole execution, so seeding is reference counting, not a copy.
-            stores[owner].put(bst_runtime::data::DataKey::A(t.0, t.1), Arc::clone(tile), consumers);
+            // Under a compression tolerance, truncate here instead: every
+            // downstream hop (BcastA wire bytes, device loads, GEMMs) then
+            // carries the low-rank factors.
+            let seeded = if opts.compress_tol > 0.0 {
+                match tile.compressed(opts.compress_tol) {
+                    Some(lr) => Arc::new(lr),
+                    None => Arc::clone(tile),
+                }
+            } else {
+                Arc::clone(tile)
+            };
+            stores[owner].put(bst_runtime::data::DataKey::A(t.0, t.1), seeded, consumers);
         }
     }
 
@@ -177,6 +188,7 @@ pub(crate) fn run(
         kernel_counts: KernelKind::ALL.iter().map(|_| AtomicU64::new(0)).collect(),
         fault: opts.fault_plan.filter(FaultPlan::is_active),
         grid: (p, q),
+        compress_tol: opts.compress_tol,
         counters: Counters::default(),
         dev_stats: Mutex::new(Vec::new()),
         mem_log: Mutex::new(DeviceMemLog::new()),

@@ -112,6 +112,14 @@ pub struct ExecOptions {
     /// [`DeliveryPolicy::Reorder`] stressor must not change any numeric
     /// result.
     pub delivery: DeliveryPolicy,
+    /// Relative Frobenius tolerance for low-rank tile compression
+    /// (`‖T − U·Vᵀ‖_F ≤ tol·‖T‖_F`). When positive, A tiles are truncated
+    /// as they seed the node stores and generated B tiles are truncated
+    /// before caching/storing, so compressed representations flow through
+    /// transport, caches and rank-aware GEMMs end to end. `0.0` (the
+    /// default) disables compression entirely — the execution is
+    /// bit-identical to the dense-only engine.
+    pub compress_tol: f64,
 }
 
 impl Default for ExecOptions {
@@ -131,6 +139,7 @@ impl Default for ExecOptions {
             node_size: 1,
             collectives: Collectives::default(),
             delivery: DeliveryPolicy::InOrder,
+            compress_tol: 0.0,
         }
     }
 }
@@ -234,6 +243,13 @@ impl ExecOptionsBuilder {
     /// Sets [`ExecOptions::delivery`].
     pub fn delivery(mut self, delivery: DeliveryPolicy) -> Self {
         self.opts.delivery = delivery;
+        self
+    }
+
+    /// Sets [`ExecOptions::compress_tol`] (negative values clamp to 0.0,
+    /// i.e. compression off).
+    pub fn compress_tol(mut self, tol: f64) -> Self {
+        self.opts.compress_tol = tol.max(0.0);
         self
     }
 

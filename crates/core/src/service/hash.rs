@@ -166,12 +166,14 @@ pub fn plan_key(spec: &ProblemSpec, cfg: &PlannerConfig, dead_nodes: &[usize]) -
 
 /// The B-tile cache namespace for one operand: its structure digest mixed
 /// with the caller's `b_key` (which distinguishes generators the structure
-/// cannot).
-pub fn b_ident(b: &MatrixStructure, b_key: u64) -> u64 {
+/// cannot) and the compression tolerance (a tile truncated at `1e-4` must
+/// never satisfy a request for the dense original or a different tolerance).
+pub fn b_ident(b: &MatrixStructure, b_key: u64, compress_tol: f64) -> u64 {
     let mut d = Digest::new();
     push_structure(&mut d, b);
     d.push(0x1DE7);
     d.push(b_key);
+    d.push(compress_tol.to_bits());
     d.finish()
 }
 
@@ -221,7 +223,15 @@ mod tests {
     #[test]
     fn b_ident_mixes_caller_key() {
         let b = structure(0);
-        assert_ne!(b_ident(&b, 1), b_ident(&b, 2));
-        assert_eq!(b_ident(&b, 7), b_ident(&structure(0), 7));
+        assert_ne!(b_ident(&b, 1, 0.0), b_ident(&b, 2, 0.0));
+        assert_eq!(b_ident(&b, 7, 0.0), b_ident(&structure(0), 7, 0.0));
+    }
+
+    #[test]
+    fn b_ident_mixes_compression_tolerance() {
+        let b = structure(0);
+        assert_ne!(b_ident(&b, 7, 0.0), b_ident(&b, 7, 1e-4));
+        assert_ne!(b_ident(&b, 7, 1e-4), b_ident(&b, 7, 1e-6));
+        assert_eq!(b_ident(&b, 7, 1e-4), b_ident(&structure(0), 7, 1e-4));
     }
 }

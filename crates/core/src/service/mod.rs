@@ -440,7 +440,7 @@ fn process(
     };
 
     let caches = caches_for(inner, req.config.grid.nodes());
-    let ident = hash::b_ident(&req.b_structure, req.b_key);
+    let ident = hash::b_ident(&req.b_structure, req.b_key, req.opts.compress_tol);
     let gen = Arc::clone(&req.b_gen);
     let b_gen = move |k: usize, j: usize, r: usize, c: usize, pool: &TilePool| {
         gen(k, j, r, c, pool)

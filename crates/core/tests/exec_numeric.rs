@@ -518,3 +518,63 @@ fn builder_matches_default_and_sets_knobs() {
     assert_eq!(o.fault_plan, Some(fp));
     assert_eq!(o.retry.budget, 9);
 }
+
+/// Runs one low-rank-friendly problem twice — dense and at `tol` — and
+/// returns `(c_dense, c_lossy, dense_sent_bytes, lossy_sent_bytes)`.
+fn lossy_pair(tol: f64) -> (BlockSparseMatrix, BlockSparseMatrix, u64, u64) {
+    // Tiles with geometrically decaying spectra (σ_p = e^{-1.5 p}): rank ~9
+    // reaches 1e-6, well under the 32×32 profitability ceiling of 15.
+    let a = MatrixStructure::dense(Tiling::uniform(96, 32), Tiling::uniform(64, 32));
+    let b = MatrixStructure::dense(Tiling::uniform(64, 32), Tiling::uniform(96, 32));
+    let spec = ProblemSpec::new(a, b, None);
+    let config = cfg(2, 2, 2, 1 << 20);
+    let plan = ExecutionPlan::build(&spec, config).unwrap();
+    let am = BlockSparseMatrix::from_structure(spec.a.clone(), |r, c, rows, cols| {
+        bst_tile::Tile::random_lowrank(rows, cols, tile_seed(31, r, c), 1.5)
+    });
+    let b_gen = |k: usize, j: usize, rows: usize, cols: usize, _p: &TilePool| {
+        Ok(Arc::new(bst_tile::Tile::random_lowrank(
+            rows,
+            cols,
+            tile_seed(31 ^ 0xB, k, j),
+            1.5,
+        )))
+    };
+    let run = |tol: f64| {
+        let opts = ExecOptions::builder().compress_tol(tol).build();
+        execute_numeric_with(&spec, &plan, &am, &b_gen, opts).expect("run")
+    };
+    let (c_dense, rep_dense) = run(0.0);
+    let (c_lossy, rep_lossy) = run(tol);
+    let sent = |rep: &bst_contract::exec::ExecReport| {
+        rep.comm.iter().map(|n| n.sent_bytes).sum::<u64>()
+    };
+    (c_dense, c_lossy, sent(&rep_dense), sent(&rep_lossy))
+}
+
+/// A positive tolerance keeps the result within a small multiple of the
+/// requested accuracy while strictly shrinking the bytes on the wire.
+#[test]
+fn compression_tolerance_bounds_error_and_cuts_wire_bytes() {
+    let tol = 1e-6;
+    let (c_dense, c_lossy, dense_bytes, lossy_bytes) = lossy_pair(tol);
+    assert!(
+        lossy_bytes < dense_bytes,
+        "compressed run must ship fewer bytes ({lossy_bytes} vs {dense_bytes})"
+    );
+    let diff = c_lossy.max_abs_diff(&c_dense);
+    assert!(
+        diff < 1e-3,
+        "lossy result drifted too far from dense: {diff:.3e}"
+    );
+    assert!(diff > 0.0, "a 1e-6 truncation should not be exact");
+}
+
+/// `compress_tol == 0.0` takes the dense code path everywhere — results are
+/// bit-identical to the default options, not merely close.
+#[test]
+fn zero_tolerance_is_bit_identical() {
+    let (c_dense, c_zero, dense_bytes, zero_bytes) = lossy_pair(0.0);
+    assert_eq!(dense_bytes, zero_bytes);
+    assert_eq!(c_zero.max_abs_diff(&c_dense), 0.0);
+}
