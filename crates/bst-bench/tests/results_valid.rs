@@ -1,0 +1,170 @@
+//! Gate sweep over the committed benchmark artifacts: every
+//! `results/BENCH_*.json` must re-parse and still satisfy the pass/gate
+//! fields it was generated under (the same gates CI's python steps
+//! re-check on freshly generated copies). A regressed or hand-edited
+//! artifact fails `cargo test` instead of silently shipping.
+
+use bst_bench::minijson::{parse, Value};
+use std::path::{Path, PathBuf};
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn load(path: &Path) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{}: unreadable: {e}", path.display()));
+    parse(&text).unwrap_or_else(|e| panic!("{}: does not parse: {e}", path.display()))
+}
+
+/// `doc[key]` as a number, or panic naming the file and field.
+fn num(doc: &Value, file: &str, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Value::as_num)
+        .unwrap_or_else(|| panic!("{file}: missing numeric \"{key}\""))
+}
+
+fn arr<'a>(doc: &'a Value, file: &str, key: &str) -> &'a [Value] {
+    doc.get(key)
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| panic!("{file}: missing array \"{key}\""))
+}
+
+fn assert_validated(doc: &Value, file: &str) {
+    assert_eq!(
+        doc.get("validated").and_then(Value::as_bool),
+        Some(true),
+        "{file}: validated flag is not true"
+    );
+}
+
+fn check_comm(doc: &Value, f: &str) {
+    assert_eq!(num(doc, f, "nodes"), 16.0, "{f}: wrong node count");
+    assert_eq!(num(doc, f, "node_size"), 4.0, "{f}: wrong node size");
+    let moved = num(doc, f, "bytes_moved");
+    assert!(moved > 0.0, "{f}: no bytes moved");
+    assert_eq!(moved, num(doc, f, "recv_bytes"), "{f}: byte conservation violated");
+    assert_eq!(num(doc, f, "reorder_max_diff"), 0.0, "{f}: reorder leg not bit-identical");
+    assert_eq!(num(doc, f, "shaped_max_diff"), 0.0, "{f}: shaped leg not bit-identical");
+    assert_eq!(num(doc, f, "faulted_max_diff"), 0.0, "{f}: faulted leg not bit-identical");
+    assert!(num(doc, f, "faulted_drops") > 0.0, "{f}: fault leg dropped nothing");
+    assert!(
+        num(doc, f, "inter_bytes_moved") <= num(doc, f, "unicast_inter_bytes"),
+        "{f}: tree moved more inter-node bytes than unicast"
+    );
+    assert!(num(doc, f, "a_inter_reduction") >= 2.0, "{f}: broadcast tree below 2x");
+    assert_eq!(arr(doc, f, "per_node").len(), 16, "{f}: per_node row count");
+    for row in arr(doc, f, "sweep") {
+        assert!(
+            num(row, f, "tree_inter_bytes") <= num(row, f, "unicast_inter_bytes"),
+            "{f}: a sweep point regressed above unicast"
+        );
+    }
+}
+
+fn check_service(doc: &Value, f: &str) {
+    assert_validated(doc, f);
+    assert!(num(doc, f, "plan_hits") > 0.0, "{f}: plan cache never hit");
+    assert_eq!(num(doc, f, "warm_vs_cold_max_diff"), 0.0, "{f}: warm results not bit-identical");
+    assert!(num(doc, f, "b_gen_reduction") >= 5.0, "{f}: B-generation reduction below 5x");
+}
+
+fn check_einsum(doc: &Value, f: &str) {
+    assert_validated(doc, f);
+    let abcd = doc.get("abcd").unwrap_or_else(|| panic!("{f}: missing \"abcd\""));
+    assert_eq!(num(abcd, f, "bit_diff"), 0.0, "{f}: ABCD not bit-identical");
+    let chain = doc.get("chain").unwrap_or_else(|| panic!("{f}: missing \"chain\""));
+    assert!(num(chain, f, "max_diff") <= 1e-10, "{f}: chain above 1e-10");
+    assert_eq!(num(chain, f, "terms"), 2.0, "{f}: chain term count");
+}
+
+fn check_lowrank(doc: &Value, f: &str) {
+    assert_validated(doc, f);
+    assert!(num(doc, f, "compression_ratio") >= 2.0, "{f}: compression below 2x");
+    let requested = num(doc, f, "requested_relative_error");
+    assert!(
+        num(doc, f, "worst_tile_relative_error") <= requested,
+        "{f}: a tile exceeded the requested tolerance"
+    );
+    assert!(
+        num(doc, f, "achieved_relative_error") <= 50.0 * requested,
+        "{f}: result error above the acceptance bound"
+    );
+    assert!(
+        num(doc, f, "lossy_wire_bytes") < num(doc, f, "dense_wire_bytes"),
+        "{f}: compression saved no wire bytes"
+    );
+    assert_eq!(num(doc, f, "max_stressor_diff"), 0.0, "{f}: tol=0.0 stressor diverged");
+}
+
+fn check_kernels(doc: &Value, f: &str) {
+    let shapes = arr(doc, f, "shapes");
+    assert!(!shapes.is_empty(), "{f}: no shapes benchmarked");
+    for s in shapes {
+        let winner = s
+            .get("winner")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("{f}: shape without winner"));
+        let gflops = s.get("gflops").unwrap_or_else(|| panic!("{f}: shape without gflops"));
+        let rate = gflops
+            .get(winner)
+            .and_then(Value::as_num)
+            .unwrap_or_else(|| panic!("{f}: winner \"{winner}\" not among the measured kernels"));
+        assert!(rate > 0.0, "{f}: winner at zero throughput");
+    }
+}
+
+fn check_net(doc: &Value, f: &str) {
+    assert_validated(doc, f);
+    assert_eq!(num(doc, f, "bit_identity_max_diff"), 0.0, "{f}: socket legs not bit-identical");
+    assert!(num(doc, f, "kill_max_diff") <= 1e-10, "{f}: degraded run above 1e-10");
+    assert_eq!(doc.get("kill_recovered").and_then(Value::as_bool), Some(true), "{f}: kill leg never recovered");
+    assert_eq!(num(doc, f, "kill_attempts"), 2.0, "{f}: kill leg attempts");
+    let legs = arr(doc, f, "legs");
+    assert_eq!(legs.len(), 4, "{f}: leg count");
+    for leg in legs {
+        assert!(num(leg, f, "sent_frames") > 0.0, "{f}: a leg moved no frames");
+    }
+}
+
+/// Sweeps every committed `BENCH_*.json`. Unknown artifacts fail loudly:
+/// adding a benchmark without registering its gates here would otherwise
+/// reopen the silent-regression hole this test closes.
+#[test]
+fn every_committed_bench_artifact_passes_its_gates() {
+    let dir = results_dir();
+    let mut seen = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("results/ directory") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let doc = load(&path);
+        match name.as_str() {
+            "BENCH_comm.json" => check_comm(&doc, &name),
+            "BENCH_service.json" => check_service(&doc, &name),
+            "BENCH_einsum.json" => check_einsum(&doc, &name),
+            "BENCH_lowrank.json" => check_lowrank(&doc, &name),
+            "BENCH_kernels.json" => check_kernels(&doc, &name),
+            "BENCH_net.json" => check_net(&doc, &name),
+            other => panic!(
+                "{other}: committed benchmark artifact with no registered gates — \
+add a checker to results_valid.rs"
+            ),
+        }
+        seen.push(name);
+    }
+    // The sweep must actually cover the committed set; an empty results/
+    // would vacuously pass otherwise.
+    for required in [
+        "BENCH_comm.json",
+        "BENCH_service.json",
+        "BENCH_einsum.json",
+        "BENCH_lowrank.json",
+        "BENCH_kernels.json",
+        "BENCH_net.json",
+    ] {
+        assert!(seen.iter().any(|s| s == required), "missing committed artifact {required}");
+    }
+}

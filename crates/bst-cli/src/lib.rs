@@ -20,6 +20,85 @@ use bst_sim::replay::{simulate_traced, Trace};
 use bst_sim::Platform;
 use bst_sparse::generate::{generate, SyntheticParams};
 
+pub mod net_run;
+
+pub use net_run::{job_config_text, launch_config, run_launch, run_worker, NetRunReport};
+
+/// Options shared by every numeric subcommand (`verify`/`einsum`/`serve`/
+/// `launch`) — and by the `key=value` job text a launcher ships to its
+/// workers. One parser serves both surfaces, so the flags can't drift
+/// between subcommands.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunOpts {
+    /// Node count (`--nodes`, or `-n` for `launch`).
+    pub nodes: usize,
+    /// Ranks per physical node: the transport routes collective trees so
+    /// broadcasts cross the inter-node link once per physical node at most
+    /// (1 = every rank its own node).
+    pub node_size: usize,
+    /// Low-rank compression tolerance: operand tiles are truncated to
+    /// `‖T − U·Vᵀ‖_F ≤ tol·‖T‖_F` on their way into the runtime. `0.0`
+    /// (the default) keeps every tile dense and the result bit-identical
+    /// to the uncompressed engine.
+    pub tolerance: f64,
+    /// Inject ~8% transient faults seeded from this value and verify the
+    /// executor recovers.
+    pub faults: Option<u64>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { nodes: 2, node_size: 1, tolerance: 0.0, faults: None }
+    }
+}
+
+impl RunOpts {
+    /// Consumes `flag` if it is one of the shared options, pulling its
+    /// value from `get`. Returns `Ok(false)` when the flag is not shared
+    /// (the caller reports it as unknown).
+    pub fn accept(
+        &mut self,
+        flag: &str,
+        get: impl FnOnce() -> Result<String, CliError>,
+    ) -> Result<bool, CliError> {
+        let key = match flag {
+            "--nodes" | "-n" => "nodes",
+            "--node-size" => "node-size",
+            "--tolerance" => "tolerance",
+            "--faults" => "faults",
+            _ => return Ok(false),
+        };
+        let raw = get()?;
+        self.set(key, &raw)
+    }
+
+    /// Applies one `key=value` pair (flag names without the leading `--`,
+    /// as they appear in a launcher's job text). Returns `Ok(false)` for
+    /// keys that are not shared options.
+    pub fn set(&mut self, key: &str, raw: &str) -> Result<bool, CliError> {
+        match key {
+            "nodes" => self.nodes = raw.parse().map_err(|_| err("bad --nodes"))?,
+            "node-size" | "node_size" => {
+                self.node_size = raw.parse().map_err(|_| err("bad --node-size"))?;
+                if self.node_size == 0 {
+                    return Err(err("--node-size must be >= 1"));
+                }
+            }
+            "tolerance" => {
+                self.tolerance = raw.parse().map_err(|_| err("bad --tolerance"))?;
+                if !(self.tolerance >= 0.0 && self.tolerance < 1.0) {
+                    return Err(err("--tolerance must be in [0, 1)"));
+                }
+            }
+            "faults" => {
+                self.faults = Some(raw.parse().map_err(|_| err("bad --faults seed"))?)
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Cli {
@@ -29,12 +108,8 @@ pub struct Cli {
     pub problem: ProblemKind,
     /// Tiling variant for chemistry problems.
     pub tiling: String,
-    /// Node count.
-    pub nodes: usize,
-    /// Ranks per physical node: the transport routes collective trees so
-    /// broadcasts cross the inter-node link once per physical node at most
-    /// (verify only; 1 = every rank its own node).
-    pub node_size: usize,
+    /// The options shared across the numeric subcommands.
+    pub opts: RunOpts,
     /// Grid-row parameter `p`.
     pub p: usize,
     /// GPUs per node.
@@ -45,20 +120,29 @@ pub struct Cli {
     pub trace: Option<String>,
     /// Print the per-task-kind / per-device trace summary (verify only).
     pub trace_summary: bool,
-    /// Inject ~8% transient faults seeded from this value and verify the
-    /// executor recovers (verify only).
-    pub faults: Option<u64>,
     /// Concurrent client threads (serve only).
     pub clients: usize,
     /// Requests per client thread (serve only).
     pub requests: usize,
-    /// Low-rank compression tolerance (verify/einsum only): operand tiles
-    /// are truncated to `‖T − U·Vᵀ‖_F ≤ tol·‖T‖_F` on their way into the
-    /// runtime. `0.0` (the default) keeps every tile dense and the result
-    /// bit-identical to the uncompressed engine.
-    pub tolerance: f64,
     /// RNG seed.
     pub seed: u64,
+    /// This process's rank (worker only).
+    pub rank: usize,
+    /// Total worker ranks in the run (worker only).
+    pub ranks: usize,
+    /// The launcher's control address to dial (worker only).
+    pub connect: Option<String>,
+    /// Socket transport of a multi-process run: `uds` (default) or `tcp`.
+    pub transport: String,
+    /// Crash drill (launch only): arm one rank to SIGKILL itself mid-run
+    /// and verify the fleet recovers via the degraded re-plan.
+    pub kill: Option<usize>,
+    /// Crash drill trigger: SIGKILL just before the n-th data-frame send
+    /// (worker: armed directly; launch: forwarded to the `--kill` rank).
+    pub die_after: Option<u64>,
+    /// Delivery-reorder stressor seed for the workers' local fabrics
+    /// (launch only): the socket run must stay bit-identical under it.
+    pub reorder: Option<u64>,
 }
 
 /// The available subcommands.
@@ -80,6 +164,14 @@ pub enum Command {
     /// (`"ij,jk,kl->il"`, with the last factor generated on demand) into
     /// planned products and verify the result against the dense reference.
     Einsum,
+    /// Run one rank of a multi-process execution: dial the launcher, join
+    /// the worker mesh, execute this node's slice of the plan against a
+    /// private `TileStore`, reduce results to rank 0.
+    Worker,
+    /// Spawn `-n P` worker processes over loopback sockets, run the job
+    /// across them, and gate the assembled result bit-identically against
+    /// the in-process channel transport.
+    Launch,
 }
 
 /// Where the problem comes from.
@@ -117,11 +209,13 @@ fn err(msg: impl Into<String>) -> CliError {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: bst <info|plan|simulate|verify|serve|einsum> \
+pub const USAGE: &str = "usage: bst <info|plan|simulate|verify|serve|einsum|launch|worker> \
 [--molecule KIND:ARGS | --synthetic MxNxK:D] [--tiling v1|v2|v3] \
 [--nodes N] [--node-size S] [--p P] [--gpus G] [--seed S] [--gantt] \
 [--trace FILE.json] [--trace-summary] [--faults SEED] \
-[--clients N] [--requests M] [--tolerance T]";
+[--clients N] [--requests M] [--tolerance T] \
+[--transport uds|tcp] [--kill RANK] [--die-after K] [--reorder SEED] \
+[--rank R --ranks N --connect ADDR]";
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Cli, CliError> {
@@ -133,6 +227,8 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         Some("verify") => Command::Verify,
         Some("serve") => Command::Serve,
         Some("einsum") => Command::Einsum,
+        Some("worker") => Command::Worker,
+        Some("launch") => Command::Launch,
         Some(other) => return Err(err(format!("unknown command {other}\n{USAGE}"))),
         None => return Err(err(USAGE)),
     };
@@ -140,18 +236,22 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         command,
         problem: ProblemKind::Molecule("alkane:20".into()),
         tiling: "v1".into(),
-        nodes: 2,
-        node_size: 1,
+        opts: RunOpts::default(),
         p: 1,
         gpus: 6,
         gantt: false,
         trace: None,
         trace_summary: false,
-        faults: None,
         clients: 2,
         requests: 3,
-        tolerance: 0.0,
         seed: 42,
+        rank: 0,
+        ranks: 1,
+        connect: None,
+        transport: "uds".into(),
+        kill: None,
+        die_after: None,
+        reorder: None,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, CliError> {
@@ -161,67 +261,70 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         };
         match flag.as_str() {
             "--molecule" => cli.problem = ProblemKind::Molecule(value("--molecule")?),
-            "--synthetic" => {
-                let v = value("--synthetic")?;
-                let (dims, density) = v
-                    .split_once(':')
-                    .ok_or_else(|| err("--synthetic wants MxNxK:density"))?;
-                let parts: Vec<&str> = dims.split('x').collect();
-                if parts.len() != 3 {
-                    return Err(err("--synthetic wants MxNxK:density"));
-                }
-                let parse_u = |s: &str| {
-                    s.parse::<u64>()
-                        .map_err(|_| err(format!("bad dimension {s}")))
-                };
-                cli.problem = ProblemKind::Synthetic {
-                    m: parse_u(parts[0])?,
-                    n: parse_u(parts[1])?,
-                    k: parse_u(parts[2])?,
-                    density: density
-                        .parse()
-                        .map_err(|_| err(format!("bad density {density}")))?,
-                };
-            }
+            "--synthetic" => cli.problem = parse_synthetic(&value("--synthetic")?)?,
             "--tiling" => cli.tiling = value("--tiling")?,
-            "--nodes" => {
-                cli.nodes = value("--nodes")?
-                    .parse()
-                    .map_err(|_| err("bad --nodes"))?
-            }
-            "--node-size" => {
-                cli.node_size =
-                    value("--node-size")?.parse().map_err(|_| err("bad --node-size"))?;
-                if cli.node_size == 0 {
-                    return Err(err("--node-size must be >= 1"));
-                }
-            }
             "--p" => cli.p = value("--p")?.parse().map_err(|_| err("bad --p"))?,
             "--gpus" => cli.gpus = value("--gpus")?.parse().map_err(|_| err("bad --gpus"))?,
             "--seed" => cli.seed = value("--seed")?.parse().map_err(|_| err("bad --seed"))?,
             "--gantt" => cli.gantt = true,
             "--trace" => cli.trace = Some(value("--trace")?),
             "--trace-summary" => cli.trace_summary = true,
-            "--faults" => {
-                cli.faults = Some(value("--faults")?.parse().map_err(|_| err("bad --faults seed"))?)
-            }
             "--clients" => {
                 cli.clients = value("--clients")?.parse().map_err(|_| err("bad --clients"))?
             }
             "--requests" => {
                 cli.requests = value("--requests")?.parse().map_err(|_| err("bad --requests"))?
             }
-            "--tolerance" => {
-                cli.tolerance =
-                    value("--tolerance")?.parse().map_err(|_| err("bad --tolerance"))?;
-                if !(cli.tolerance >= 0.0 && cli.tolerance < 1.0) {
-                    return Err(err("--tolerance must be in [0, 1)"));
+            "--rank" => cli.rank = value("--rank")?.parse().map_err(|_| err("bad --rank"))?,
+            "--ranks" => {
+                cli.ranks = value("--ranks")?.parse().map_err(|_| err("bad --ranks"))?
+            }
+            "--connect" => cli.connect = Some(value("--connect")?),
+            "--transport" => cli.transport = value("--transport")?,
+            "--kill" => {
+                cli.kill = Some(value("--kill")?.parse().map_err(|_| err("bad --kill"))?)
+            }
+            "--die-after" => {
+                cli.die_after =
+                    Some(value("--die-after")?.parse().map_err(|_| err("bad --die-after"))?)
+            }
+            "--reorder" => {
+                cli.reorder =
+                    Some(value("--reorder")?.parse().map_err(|_| err("bad --reorder seed"))?)
+            }
+            other => {
+                if !cli.opts.accept(other, || value(other))? {
+                    return Err(err(format!("unknown flag {other}\n{USAGE}")));
                 }
             }
-            other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
         }
     }
     Ok(cli)
+}
+
+/// Parses a `MxNxK:density` synthetic-problem descriptor — the value of
+/// `--synthetic`, also used in a launcher's `problem=synthetic:...` job
+/// text.
+pub fn parse_synthetic(v: &str) -> Result<ProblemKind, CliError> {
+    let (dims, density) = v
+        .split_once(':')
+        .ok_or_else(|| err("--synthetic wants MxNxK:density"))?;
+    let parts: Vec<&str> = dims.split('x').collect();
+    if parts.len() != 3 {
+        return Err(err("--synthetic wants MxNxK:density"));
+    }
+    let parse_u = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|_| err(format!("bad dimension {s}")))
+    };
+    Ok(ProblemKind::Synthetic {
+        m: parse_u(parts[0])?,
+        n: parse_u(parts[1])?,
+        k: parse_u(parts[2])?,
+        density: density
+            .parse()
+            .map_err(|_| err(format!("bad density {density}")))?,
+    })
 }
 
 /// Builds the molecule named by `spec` (`alkane:N`, `sheet:AxB`, `cluster:N`).
@@ -290,9 +393,17 @@ pub fn build_problem(cli: &Cli) -> Result<(ProblemSpec, Option<CcsdProblem>), Cl
 
 /// Runs the parsed command, writing human-readable output to `out`.
 pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+    // The multi-process commands don't take their problem from argv: a
+    // worker gets it from the launcher's job text, and `launch` builds it
+    // inside its reference run. Dispatch before the spec preamble.
+    match cli.command {
+        Command::Worker => return net_run::run_worker(cli).map_err(Into::into),
+        Command::Launch => return net_run::run_launch_cmd(cli, out),
+        _ => {}
+    }
     let (spec, chem) = build_problem(cli)?;
     let config = PlannerConfig::paper(
-        GridConfig::from_nodes(cli.nodes, cli.p),
+        GridConfig::from_nodes(cli.opts.nodes, cli.p),
         DeviceConfig {
             gpus_per_node: cli.gpus,
             gpu_mem_bytes: 16 << 30,
@@ -324,7 +435,7 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
         Command::Plan => {
             let plan = ExecutionPlan::build(&spec, config)?;
             let stats = plan.stats(&spec);
-            writeln!(out, "grid {}x{}, {} GPUs/node", cli.p, cli.nodes / cli.p, cli.gpus)?;
+            writeln!(out, "grid {}x{}, {} GPUs/node", cli.p, cli.opts.nodes / cli.p, cli.gpus)?;
             writeln!(
                 out,
                 "tasks {} | flops {:.3e} | blocks {} | chunks {} | imbalance {:.3}",
@@ -345,7 +456,7 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
         }
         Command::Simulate => {
             let platform = {
-                let mut p = Platform::summit(cli.nodes);
+                let mut p = Platform::summit(cli.opts.nodes);
                 p.gpus_per_node = cli.gpus;
                 p
             };
@@ -382,15 +493,15 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::e
             let b_gen = bst_sparse::matrix::random_b_gen(seed);
             let mut builder = bst_contract::ExecOptions::builder()
                 .tracing(cli.trace.is_some() || cli.trace_summary)
-                .node_size(cli.node_size)
-                .compress_tol(cli.tolerance);
-            if let Some(fault_seed) = cli.faults {
+                .node_size(cli.opts.node_size)
+                .compress_tol(cli.opts.tolerance);
+            if let Some(fault_seed) = cli.opts.faults {
                 builder = builder.fault_plan(bst_contract::FaultPlan::transient(fault_seed, 0.08));
             }
             let opts = builder.build();
             let (c, report) =
                 bst_contract::exec::execute_numeric_with(&spec, &plan, &a, &b_gen, opts)?;
-            if let Some(fault_seed) = cli.faults {
+            if let Some(fault_seed) = cli.opts.faults {
                 let r = &report.recovery;
                 writeln!(
                     out,
@@ -453,7 +564,7 @@ received {} B / {} msgs ({} B inter-node)",
                 std::fs::write(path, trace.chrome_trace_json())?;
                 writeln!(out, "wrote Chrome trace to {path} (open in chrome://tracing)")?;
             }
-            if cli.tolerance > 0.0 {
+            if cli.opts.tolerance > 0.0 {
                 // Lossy run: gate on the relative Frobenius error instead of
                 // the bitwise threshold. Per-tile truncation errors compound
                 // through the k-sum, so the acceptance bound is a small
@@ -462,9 +573,9 @@ received {} B / {} msgs ({} B inter-node)",
                 writeln!(
                     out,
                     "compression tolerance {:.1e}: relative Frobenius error {rel:.3e}",
-                    cli.tolerance
+                    cli.opts.tolerance
                 )?;
-                if rel > cli.tolerance * 50.0 {
+                if rel > cli.opts.tolerance * 50.0 {
                     return Err(Box::new(err("verification FAILED (compressed)")));
                 }
             } else if diff > 1e-9 {
@@ -562,7 +673,7 @@ received {} B / {} msgs ({} B inter-node)",
                 .operand(&a)
                 .operand(&b)
                 .on_demand(&d_struct, &d_gen)
-                .tolerance(cli.tolerance)
+                .tolerance(cli.opts.tolerance)
                 .contract(config)?;
             writeln!(
                 out,
@@ -586,14 +697,14 @@ received {} B / {} msgs ({} B inter-node)",
             c_ref.gemm_acc_reference(&ab, &d);
             let diff = outcome.matrix().max_abs_diff(&c_ref);
             writeln!(out, "max |C - C_ref| = {diff:.3e}")?;
-            if cli.tolerance > 0.0 {
+            if cli.opts.tolerance > 0.0 {
                 let rel = relative_frobenius_error(outcome.matrix(), &c_ref);
                 writeln!(
                     out,
                     "compression tolerance {:.1e}: relative Frobenius error {rel:.3e}",
-                    cli.tolerance
+                    cli.opts.tolerance
                 )?;
-                if rel > cli.tolerance * 50.0 {
+                if rel > cli.opts.tolerance * 50.0 {
                     return Err(Box::new(err("einsum smoke FAILED (compressed)")));
                 }
             } else if diff > 1e-10 {
@@ -601,6 +712,8 @@ received {} B / {} msgs ({} B inter-node)",
             }
             writeln!(out, "einsum smoke OK")?;
         }
+        // Dispatched before the spec preamble above.
+        Command::Worker | Command::Launch => unreachable!(),
     }
     Ok(())
 }
@@ -641,7 +754,7 @@ mod tests {
         let cli = parse(&args("info")).unwrap();
         assert_eq!(cli.command, Command::Info);
         assert_eq!(cli.tiling, "v1");
-        assert_eq!(cli.nodes, 2);
+        assert_eq!(cli.opts.nodes, 2);
     }
 
     #[test]
@@ -657,7 +770,7 @@ mod tests {
                 density: 0.5
             }
         );
-        assert_eq!(cli.nodes, 16);
+        assert_eq!(cli.opts.nodes, 16);
     }
 
     #[test]
@@ -757,7 +870,7 @@ mod tests {
     #[test]
     fn parse_faults_flag() {
         let cli = parse(&args("verify --synthetic 100x800x800:0.6 --faults 7")).unwrap();
-        assert_eq!(cli.faults, Some(7));
+        assert_eq!(cli.opts.faults, Some(7));
         assert!(parse(&args("verify --faults nope")).is_err());
         assert!(parse(&args("verify --faults")).is_err());
     }
@@ -829,7 +942,7 @@ mod tests {
     fn parse_node_size() {
         let cli = parse(&args("verify --synthetic 100x800x800:0.6 --nodes 4 --node-size 2"))
             .unwrap();
-        assert_eq!(cli.node_size, 2);
+        assert_eq!(cli.opts.node_size, 2);
         assert!(parse(&args("verify --node-size 0")).is_err());
         assert!(parse(&args("verify --node-size x")).is_err());
     }
@@ -837,8 +950,8 @@ mod tests {
     #[test]
     fn parse_tolerance_flag() {
         let cli = parse(&args("verify --synthetic 100x800x800:0.6 --tolerance 1e-4")).unwrap();
-        assert_eq!(cli.tolerance, 1e-4);
-        assert_eq!(parse(&args("verify")).unwrap().tolerance, 0.0);
+        assert_eq!(cli.opts.tolerance, 1e-4);
+        assert_eq!(parse(&args("verify")).unwrap().opts.tolerance, 0.0);
         assert!(parse(&args("verify --tolerance nope")).is_err());
         assert!(parse(&args("verify --tolerance -0.1")).is_err());
         assert!(parse(&args("verify --tolerance 1.5")).is_err());

@@ -1,0 +1,94 @@
+//! Process-level fault drills for the socket transport: real `bst worker`
+//! OS processes over loopback UDS, with one worker SIGKILLed mid-broadcast
+//! and with workers that never dial in. Both failure modes must surface as
+//! typed errors or a completed degraded run — never a hang.
+
+use bst_cli::{launch_config, run_launch};
+use bst_contract::error::BstError;
+use bst_net::{launch, NetError};
+use std::time::Duration;
+
+/// A small problem keeps each fleet run to a few seconds without making
+/// the broadcast tree trivial: 4 nodes on a 2x2 grid, multi-hop A
+/// forwarding.
+const PROBLEM: &str = "64x320x320:0.6";
+
+fn parse(args: &[&str]) -> bst_cli::Cli {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    bst_cli::parse(&args).expect("test CLI parses")
+}
+
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_bst").to_string(), "worker".into()]
+}
+
+/// Kill a worker after its *first* data-frame send: with a 2x2 grid the
+/// dying rank is mid-way through its `BcastA` duties (own sends and tree
+/// forward hops still pending), so peers are left waiting on deliveries
+/// that will never come. The launcher must detect the death (EOF or missed
+/// heartbeat), respawn the fleet with the rank written off, and the
+/// degraded re-plan must agree with the fault-free reference.
+#[test]
+fn worker_killed_mid_broadcast_recovers_degraded() {
+    let cli = parse(&[
+        "launch",
+        "--synthetic",
+        PROBLEM,
+        "-n",
+        "4",
+        "--kill",
+        "1",
+        "--die-after",
+        "1",
+    ]);
+    let lc = launch_config(&cli, worker_cmd()).expect("launch config");
+    let report = run_launch(&cli, &lc).expect("degraded run completes");
+    assert_eq!(
+        report.outcome.recovered_dead,
+        Some(1),
+        "rank 1 should have died and been written off"
+    );
+    assert_eq!(report.outcome.attempts, 2, "one clean attempt + one recovery rerun");
+    assert!(
+        report.max_diff <= 1e-10,
+        "degraded run disagrees with the fault-free reference: {:.3e}",
+        report.max_diff
+    );
+}
+
+/// A worker that never dials in (no `Hello` ever arrives) must trip the
+/// launcher's connect window as a typed
+/// `NetError::ConnectTimeout` carrying the honest head-count — not hang
+/// and not panic.
+#[test]
+fn launcher_times_out_on_silent_workers() {
+    let cli = parse(&["launch", "--synthetic", PROBLEM, "-n", "2"]);
+    // `sleep` balks at the appended `--rank ... --connect ...` argv and
+    // exits at once — either way no `Hello` ever reaches the launcher,
+    // which is the condition under test.
+    let mut lc = launch_config(&cli, vec!["sleep".into(), "30".into()]).expect("launch config");
+    lc.connect_timeout = Duration::from_secs(2);
+    match launch(&lc) {
+        Err(NetError::ConnectTimeout { expected, connected }) => {
+            assert_eq!(expected, 2);
+            assert_eq!(connected, 0, "no silent worker should count as connected");
+        }
+        Ok(_) => panic!("launch succeeded with workers that never connected"),
+        Err(e) => panic!("expected ConnectTimeout, got {e}"),
+    }
+}
+
+/// The same timeout must surface through the CLI error plumbing
+/// (`BstError::Net`) when driven via `run_launch`, so `bst launch` exits
+/// with a rendered diagnostic instead of an unwrap.
+#[test]
+fn connect_timeout_surfaces_as_bst_error() {
+    let cli = parse(&["launch", "--synthetic", PROBLEM, "-n", "2"]);
+    let mut lc = launch_config(&cli, vec!["sleep".into(), "30".into()]).expect("launch config");
+    lc.connect_timeout = Duration::from_secs(2);
+    match run_launch(&cli, &lc) {
+        Err(BstError::Net(NetError::ConnectTimeout { .. })) => {}
+        Ok(_) => panic!("run_launch succeeded with workers that never connected"),
+        Err(e) => panic!("expected BstError::Net(ConnectTimeout), got {e}"),
+    }
+}

@@ -1,0 +1,387 @@
+//! The launcher: spawn P worker processes, distribute the job, heartbeat
+//! the fleet, collect the result — and on a worker death, recover.
+//!
+//! Liveness has two detectors, both bounded:
+//!
+//! * **connection EOF** — a SIGKILLed process's sockets are closed by the
+//!   kernel, so its control connection EOFs within one scheduler tick;
+//!   this is the fast path;
+//! * **heartbeats** — [`Ctl::Ping`]/[`Ctl::Pong`] probes on the control
+//!   connections catch a worker that is frozen but still connected; a rank
+//!   whose last sign of life is older than the heartbeat timeout is
+//!   declared dead.
+//!
+//! Recovery mirrors the engine's single-process fault path (PR 3): a dead
+//! node is *written off*, not restarted in place. The launcher SIGKILLs
+//! the survivors (some are inevitably blocked waiting on frames the dead
+//! rank will never send), then reruns the whole fleet once with
+//! `dead_node=R` appended to the config — each worker's engine builds the
+//! same degraded re-plan the channel transport uses, writing off rank R's
+//! GPUs and generators while keeping its A-slice broadcast duties, so the
+//! rerun agrees with the fault-free run to the usual ≤ 1e-10.
+
+use crate::codec::{Ctl, Msg};
+use crate::socket::{read_msg, write_msg, Conn, Transport};
+use crate::NetError;
+use bst_tile::Tile;
+use std::collections::HashMap;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A multi-process run: how many workers, over which transport, running
+/// what job.
+#[derive(Clone, Debug)]
+pub struct LaunchConfig {
+    /// Number of worker processes (= engine nodes).
+    pub n: usize,
+    /// Socket family for control and data planes.
+    pub transport: Transport,
+    /// Worker argv prefix (e.g. `[bst, worker]`); the launcher appends
+    /// `--rank R --ranks N --connect ADDR --transport T` per worker.
+    pub worker_cmd: Vec<String>,
+    /// The job description shipped to every worker (opaque to the
+    /// transport; the launcher appends `peers=` / `dead_node=` lines).
+    pub config_text: String,
+    /// How long to wait for all workers to dial in (and to become ready).
+    pub connect_timeout: Duration,
+    /// A rank silent for longer than this is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Crash drill: pass `--die-after K` to one rank on the first attempt.
+    pub die_after: Option<(usize, u64)>,
+    /// How many dead-node recovery reruns to attempt (the engine's
+    /// single-fault model: 1).
+    pub max_respawns: usize,
+}
+
+impl LaunchConfig {
+    /// A config with the standing defaults: 60 s connect window, 10 s
+    /// heartbeat timeout, one recovery rerun, no crash drill.
+    pub fn new(
+        n: usize,
+        transport: Transport,
+        worker_cmd: Vec<String>,
+        config_text: String,
+    ) -> Self {
+        LaunchConfig {
+            n,
+            transport,
+            worker_cmd,
+            config_text,
+            connect_timeout: Duration::from_secs(60),
+            heartbeat_timeout: Duration::from_secs(10),
+            die_after: None,
+            max_respawns: 1,
+        }
+    }
+}
+
+/// One worker's wire statistics, as reported in its [`Ctl::Done`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The reporting rank.
+    pub rank: usize,
+    /// Data frames the rank put on the wire.
+    pub sent_msgs: u64,
+    /// Data frames the rank received over the wire.
+    pub recv_msgs: u64,
+}
+
+/// A completed multi-process run.
+#[derive(Clone, Debug)]
+pub struct LaunchOutcome {
+    /// Rank 0's assembled C tiles `(i, j, tile)`.
+    pub tiles: Vec<(u32, u32, Tile)>,
+    /// Per-rank wire statistics, sorted by rank.
+    pub stats: Vec<WorkerStats>,
+    /// The rank that died and was written off, when recovery ran.
+    pub recovered_dead: Option<usize>,
+    /// Fleet launches performed (1 = clean run, 2 = one recovery rerun).
+    pub attempts: usize,
+}
+
+/// Events the per-connection reader threads forward to the launch loop.
+enum Event {
+    Hello { rank: usize, data_addr: String, writer: Conn },
+    Ready { rank: usize },
+    Result { tiles: Vec<(u32, u32, Tile)> },
+    Done { stats: WorkerStats },
+    Pong { rank: usize },
+    Abort { reason: String },
+    Eof { rank: usize },
+}
+
+static LAUNCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Spawns and coordinates a fleet of `cfg.n` workers, returning rank 0's
+/// result tiles. A worker death (EOF or missed heartbeats) kills the
+/// surviving fleet and reruns once with the dead rank written off; a
+/// second death, a connect timeout, or a worker-side job failure surfaces
+/// as a typed [`NetError`].
+pub fn launch(cfg: &LaunchConfig) -> Result<LaunchOutcome, NetError> {
+    match run_attempt(cfg, None) {
+        Ok((tiles, stats)) => {
+            Ok(LaunchOutcome { tiles, stats, recovered_dead: None, attempts: 1 })
+        }
+        Err(NetError::WorkerDied { rank }) if cfg.max_respawns > 0 => {
+            let (tiles, stats) = run_attempt(cfg, Some(rank))?;
+            Ok(LaunchOutcome { tiles, stats, recovered_dead: Some(rank), attempts: 2 })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn control_hint() -> String {
+    let seq = LAUNCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join(format!("bst-net-{}-{seq}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn spawn_worker(
+    cfg: &LaunchConfig,
+    rank: usize,
+    addr: &str,
+    drill: bool,
+) -> Result<Child, NetError> {
+    let mut cmd = Command::new(&cfg.worker_cmd[0]);
+    cmd.args(&cfg.worker_cmd[1..])
+        .arg("--rank")
+        .arg(rank.to_string())
+        .arg("--ranks")
+        .arg(cfg.n.to_string())
+        .arg("--connect")
+        .arg(addr)
+        .arg("--transport")
+        .arg(cfg.transport.to_string())
+        .stdin(Stdio::null());
+    if drill {
+        if let Some((_, k)) = cfg.die_after {
+            cmd.arg("--die-after").arg(k.to_string());
+        }
+    }
+    cmd.spawn().map_err(|e| NetError::Spawn(format!("{}: {e}", cfg.worker_cmd[0])))
+}
+
+/// Reads frames off one worker's control connection, translating them to
+/// [`Event`]s until the connection closes.
+fn control_reader(rank: usize, mut conn: Conn, tx: Sender<Event>) {
+    loop {
+        let event = match read_msg(&mut conn) {
+            Ok(Some(Msg::Ctl(Ctl::Ready { rank }))) => Event::Ready { rank: rank as usize },
+            Ok(Some(Msg::Ctl(Ctl::Result { tiles }))) => Event::Result { tiles },
+            Ok(Some(Msg::Ctl(Ctl::Done { rank, sent_msgs, recv_msgs }))) => Event::Done {
+                stats: WorkerStats { rank: rank as usize, sent_msgs, recv_msgs },
+            },
+            Ok(Some(Msg::Ctl(Ctl::Pong(_)))) => Event::Pong { rank },
+            Ok(Some(Msg::Ctl(Ctl::Abort(reason)))) => Event::Abort { reason },
+            Ok(Some(_)) => continue,
+            Ok(None) | Err(_) => {
+                let _ = tx.send(Event::Eof { rank });
+                return;
+            }
+        };
+        if tx.send(event).is_err() {
+            return;
+        }
+    }
+}
+
+fn kill_fleet(children: &mut [Child]) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+fn recv_by(rx: &Receiver<Event>, deadline: Instant) -> Result<Event, RecvTimeoutError> {
+    let wait = deadline.saturating_duration_since(Instant::now());
+    rx.recv_timeout(wait)
+}
+
+type ControlConns = HashMap<usize, Arc<Mutex<Conn>>>;
+
+/// What one fleet attempt yields: rank 0's C tiles plus per-rank stats.
+type AttemptOutcome = Result<(Vec<(u32, u32, Tile)>, Vec<WorkerStats>), NetError>;
+
+fn send_to(conns: &ControlConns, rank: usize, msg: &Ctl) -> Result<(), NetError> {
+    let conn = conns
+        .get(&rank)
+        .ok_or_else(|| NetError::Protocol(format!("no control connection to rank {rank}")))?;
+    write_msg(&mut *conn.lock().unwrap(), &Msg::Ctl(msg.clone()))
+}
+
+fn run_attempt(cfg: &LaunchConfig, dead: Option<usize>) -> AttemptOutcome {
+    assert!(cfg.n >= 1 && !cfg.worker_cmd.is_empty());
+    let listener = cfg.transport.bind(&control_hint())?;
+    let control_addr = listener.local_addr()?;
+
+    let mut children: Vec<Child> = Vec::with_capacity(cfg.n);
+    for rank in 0..cfg.n {
+        let drill = dead.is_none() && cfg.die_after.is_some_and(|(r, _)| r == rank);
+        match spawn_worker(cfg, rank, &control_addr, drill) {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                kill_fleet(&mut children);
+                return Err(e);
+            }
+        }
+    }
+
+    // Accept thread: each inbound connection identifies itself with a
+    // Hello, hands its writer half (and data address) to the launch loop,
+    // then a dedicated reader translates the rest of its frames.
+    let (tx, rx) = channel::<Event>();
+    {
+        let n = cfg.n;
+        let tx = tx.clone();
+        std::thread::Builder::new()
+            .name("bst-net-accept".into())
+            .spawn(move || {
+                for _ in 0..n {
+                    let Ok(mut conn) = listener.accept() else { return };
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        if let Ok(Some(Msg::Ctl(Ctl::Hello { rank, addr }))) = read_msg(&mut conn)
+                        {
+                            let rank = rank as usize;
+                            let Ok(writer) = conn.try_clone() else { return };
+                            if tx.send(Event::Hello { rank, data_addr: addr, writer }).is_err() {
+                                return;
+                            }
+                            control_reader(rank, conn, tx);
+                        }
+                    });
+                }
+            })
+            .map_err(|e| NetError::Io(e.to_string()))?;
+    }
+
+    let result = drive_fleet(cfg, dead, &rx);
+    match &result {
+        Ok(_) => {
+            for child in children.iter_mut() {
+                let _ = child.wait();
+            }
+        }
+        Err(_) => kill_fleet(&mut children),
+    }
+    result
+}
+
+fn drive_fleet(cfg: &LaunchConfig, dead: Option<usize>, rx: &Receiver<Event>) -> AttemptOutcome {
+    let mut conns: ControlConns = HashMap::new();
+    let mut data_addrs: HashMap<usize, String> = HashMap::new();
+
+    // Phase 1: all workers dial in with their data addresses.
+    let deadline = Instant::now() + cfg.connect_timeout;
+    while conns.len() < cfg.n {
+        match recv_by(rx, deadline) {
+            Ok(Event::Hello { rank, data_addr, writer }) => {
+                data_addrs.insert(rank, data_addr);
+                conns.insert(rank, Arc::new(Mutex::new(writer)));
+            }
+            Ok(Event::Eof { rank }) => return Err(NetError::WorkerDied { rank }),
+            Ok(Event::Abort { reason, .. }) => return Err(NetError::Job(reason)),
+            Ok(_) => {}
+            Err(_) => {
+                return Err(NetError::ConnectTimeout { expected: cfg.n, connected: conns.len() })
+            }
+        }
+    }
+
+    // Phase 2: ship the job, with the peer directory (and the write-off on
+    // a recovery rerun) appended.
+    let peers_line: Vec<String> = (0..cfg.n).map(|r| format!("{r}@{}", data_addrs[&r])).collect();
+    let mut config = format!("{}\npeers={}", cfg.config_text.trim_end(), peers_line.join(","));
+    if let Some(r) = dead {
+        config.push_str(&format!("\ndead_node={r}"));
+    }
+    for rank in 0..cfg.n {
+        send_to(&conns, rank, &Ctl::Config(config.clone()))?;
+    }
+
+    // Phase 3: wait for every data mesh to complete.
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut ready = vec![false; cfg.n];
+    while ready.iter().any(|r| !r) {
+        match recv_by(rx, deadline) {
+            Ok(Event::Ready { rank }) if rank < cfg.n => ready[rank] = true,
+            Ok(Event::Eof { rank }) => return Err(NetError::WorkerDied { rank }),
+            Ok(Event::Abort { reason, .. }) => return Err(NetError::Job(reason)),
+            Ok(_) => {}
+            Err(_) => {
+                return Err(NetError::ConnectTimeout {
+                    expected: cfg.n,
+                    connected: ready.iter().filter(|r| **r).count(),
+                })
+            }
+        }
+    }
+
+    // Phase 4: run, heartbeat, collect.
+    for rank in 0..cfg.n {
+        send_to(&conns, rank, &Ctl::Start)?;
+    }
+    let ping_every = (cfg.heartbeat_timeout / 4).max(Duration::from_millis(50));
+    let mut last_seen = vec![Instant::now(); cfg.n];
+    let mut done: HashMap<usize, WorkerStats> = HashMap::new();
+    let mut tiles: Option<Vec<(u32, u32, Tile)>> = None;
+    let mut nonce = 0u64;
+    loop {
+        if done.len() == cfg.n {
+            if let Some(tiles) = tiles.take() {
+                let mut stats: Vec<WorkerStats> = done.into_values().collect();
+                stats.sort_by_key(|s| s.rank);
+                return Ok((tiles, stats));
+            }
+        }
+        match recv_by(rx, Instant::now() + ping_every) {
+            Ok(Event::Result { tiles: t }) => {
+                last_seen[0] = Instant::now();
+                tiles = Some(t);
+            }
+            Ok(Event::Done { stats }) => {
+                if stats.rank < cfg.n {
+                    last_seen[stats.rank] = Instant::now();
+                    done.insert(stats.rank, stats);
+                }
+            }
+            Ok(Event::Pong { rank }) | Ok(Event::Ready { rank }) => {
+                if rank < cfg.n {
+                    last_seen[rank] = Instant::now();
+                }
+            }
+            Ok(Event::Abort { reason, .. }) => return Err(NetError::Job(reason)),
+            Ok(Event::Eof { rank }) => {
+                // Natural EOF after Done is a worker exiting cleanly;
+                // anything else is a death.
+                if !done.contains_key(&rank) {
+                    return Err(NetError::WorkerDied { rank });
+                }
+            }
+            Ok(Event::Hello { .. }) => {}
+            Err(RecvTimeoutError::Timeout) => {
+                nonce += 1;
+                for rank in 0..cfg.n {
+                    if !done.contains_key(&rank) {
+                        // A failed ping write means the peer is gone; let
+                        // the EOF/heartbeat checks below classify it.
+                        let _ = send_to(&conns, rank, &Ctl::Ping(nonce));
+                    }
+                }
+                for (rank, seen) in last_seen.iter().enumerate() {
+                    if !done.contains_key(&rank) && seen.elapsed() > cfg.heartbeat_timeout {
+                        return Err(NetError::WorkerDied { rank });
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(NetError::Protocol("event channel closed".into()))
+            }
+        }
+    }
+}

@@ -46,6 +46,7 @@
 //! not arrival order — is what orders the computation.
 
 pub mod topology;
+pub mod wire;
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -59,6 +60,7 @@ use crate::data::{DataKey, TileStore};
 use crate::trace::{TraceClock, TracePhase};
 
 pub use topology::{LinkClass, Topology};
+pub use wire::{RemoteLink, Wire, WireError, WireFrame};
 
 /// Default credit window (frames in flight per receiving node, per link
 /// class).
@@ -242,11 +244,29 @@ enum Frame {
     Shutdown,
 }
 
-/// Error of [`CommFabric::send_tile`]: the message was dropped in flight
-/// (fault injection). The sender's tile was *not* consumed; a retry re-reads
-/// and re-sends it with a higher epoch.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MessageDropped;
+/// Error of [`CommFabric::send_tile`] / [`CommFabric::reduce`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// The message was dropped in flight (fault injection). The sender's
+    /// tile was *not* consumed; a retry re-reads and re-sends it with a
+    /// higher epoch — a **transient** failure by construction.
+    Dropped,
+    /// A remote peer's wire rejected the frame (multi-process transports
+    /// only — the peer process is gone). **Fatal** to the sending task:
+    /// recovery means a degraded re-plan, not a retry into a dead socket.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Dropped => write!(f, "message dropped in flight"),
+            SendError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
 
 /// One recorded transport event (only when [`CommConfig::clock`] is set).
 ///
@@ -472,11 +492,27 @@ pub struct CommFabric {
     delivery: DeliveryPolicy,
     clock: Option<TraceClock>,
     events: Mutex<Vec<CommEvent>>,
+    /// Multi-process mode: the one locally-hosted rank plus the wire to
+    /// everyone else (`None` = every rank is in-process, the default).
+    remote: Option<wire::RemoteLink>,
 }
 
 impl CommFabric {
     /// A fabric connecting `n_nodes` nodes under `cfg`.
     pub fn new(n_nodes: usize, cfg: CommConfig) -> Self {
+        Self::with_remote(n_nodes, cfg, None)
+    }
+
+    /// A fabric whose frames to ranks other than `remote.rank` leave the
+    /// process over `remote.wire` instead of an in-process inbox. Inbound
+    /// wire frames must be fed back through [`CommFabric::inject`] (the
+    /// caller runs the pump). With `remote: None` this is
+    /// [`CommFabric::new`].
+    pub fn with_remote(
+        n_nodes: usize,
+        cfg: CommConfig,
+        remote: Option<wire::RemoteLink>,
+    ) -> Self {
         let intra = cfg.intra_window.max(1);
         let inter = cfg.window.max(1);
         Self {
@@ -487,7 +523,14 @@ impl CommFabric {
             delivery: cfg.delivery,
             clock: cfg.clock,
             events: Mutex::new(Vec::new()),
+            remote,
         }
+    }
+
+    /// The remote rank/wire binding, when this fabric is one process of a
+    /// multi-process run.
+    pub fn remote(&self) -> Option<&wire::RemoteLink> {
+        self.remote.as_ref()
     }
 
     /// Number of connected nodes.
@@ -565,17 +608,38 @@ impl CommFabric {
     ///
     /// With `drop_in_flight`, the frame is charged as sent and then dropped
     /// by the fabric (the fault-injection site): the destination never sees
-    /// it, and [`MessageDropped`] tells the caller to retry — the retry
+    /// it, and [`SendError::Dropped`] tells the caller to retry — the retry
     /// re-sends with a higher [`TileMsg::epoch`].
+    ///
+    /// In multi-process mode ([`CommFabric::with_remote`]), a frame for a
+    /// rank this process doesn't host is shipped over the wire instead;
+    /// wire failures surface as the fatal [`SendError::Wire`]. Injected
+    /// drops fire *before* the wire, so a remote peer observes exactly one
+    /// delivery per key (re-sends carry a higher epoch and are suppressed
+    /// by the peer's dedup, same as in-process).
     pub fn send_tile(
         &self,
         dst: usize,
         msg: TileMsg,
         drop_in_flight: bool,
-    ) -> Result<(), MessageDropped> {
-        let ep = &self.endpoints[dst];
+    ) -> Result<(), SendError> {
         let bytes = msg.payload.stored_bytes();
         let class = self.topology.link_class(msg.src, dst);
+        if let Some(remote) = self.remote.as_ref().filter(|r| dst != r.rank) {
+            let src_ep = &self.endpoints[msg.src];
+            src_ep.count_sent(bytes, class);
+            self.record(TracePhase::Sent, msg.key, msg.src, dst, bytes, msg.epoch);
+            if drop_in_flight {
+                src_ep.dropped_msgs.fetch_add(1, Ordering::Relaxed);
+                self.record(TracePhase::Failed, msg.key, msg.src, dst, bytes, msg.epoch);
+                return Err(SendError::Dropped);
+            }
+            return remote
+                .wire
+                .send(WireFrame::Tile { dst, msg })
+                .map_err(SendError::Wire);
+        }
+        let ep = &self.endpoints[dst];
         let gate = &ep.credits[gate_of(class)];
         gate.acquire();
         let src_ep = &self.endpoints[msg.src];
@@ -585,7 +649,7 @@ impl CommFabric {
             src_ep.dropped_msgs.fetch_add(1, Ordering::Relaxed);
             self.record(TracePhase::Failed, msg.key, msg.src, dst, bytes, msg.epoch);
             gate.release();
-            return Err(MessageDropped);
+            return Err(SendError::Dropped);
         }
         ep.tx
             .send(Frame::BcastA(msg))
@@ -596,10 +660,21 @@ impl CommFabric {
     /// Sends a C partial sum from `src` one hop up the reduction tree to
     /// `dst`. Loopback (`src == dst`) frames still traverse the inbox (one
     /// code path) but are neither shaped nor counted as network traffic.
-    pub fn reduce(&self, src: usize, dst: usize, part: CPart) {
-        let ep = &self.endpoints[dst];
+    /// In multi-process mode, partials for a remote rank leave over the
+    /// wire ([`SendError::Wire`] on failure).
+    pub fn reduce(&self, src: usize, dst: usize, part: CPart) -> Result<(), SendError> {
         let bytes = part.tile.stored_bytes();
         let class = self.topology.link_class(src, dst);
+        if let Some(remote) = self.remote.as_ref().filter(|r| dst != r.rank) {
+            self.endpoints[src].count_sent(bytes, class);
+            let key = DataKey::C(part.i as u32, part.j as u32);
+            self.record(TracePhase::Sent, key, src, dst, bytes, 0);
+            return remote
+                .wire
+                .send(WireFrame::Part { dst, src, part })
+                .map_err(SendError::Wire);
+        }
+        let ep = &self.endpoints[dst];
         ep.credits[gate_of(class)].acquire();
         if src != dst {
             self.endpoints[src].count_sent(bytes, class);
@@ -609,6 +684,41 @@ impl CommFabric {
         ep.tx
             .send(Frame::ReduceC { part, src })
             .unwrap_or_else(|_| panic!("node {dst}'s progress thread is gone"));
+        Ok(())
+    }
+
+    /// Deposits an inbound wire frame into the destination rank's inbox —
+    /// the receive half of multi-process mode, called by the pump thread
+    /// draining [`Wire::recv`]. Acquires the destination's credit gate for
+    /// the link class (end-to-end flow control extends across processes:
+    /// the pump stalls, TCP/UDS backpressure stalls the sender). A frame
+    /// arriving after the local fabric shut down is dropped harmlessly.
+    pub fn inject(&self, frame: WireFrame) {
+        match frame {
+            WireFrame::Tile { dst, msg } => {
+                let class = self.topology.link_class(msg.src, dst);
+                let gate = &self.endpoints[dst].credits[gate_of(class)];
+                gate.acquire();
+                if self.endpoints[dst].tx.send(Frame::BcastA(msg)).is_err() {
+                    // Progress thread already exited (late frame after
+                    // shutdown): return the credit and drop the frame.
+                    gate.release();
+                }
+            }
+            WireFrame::Part { dst, src, part } => {
+                let class = self.topology.link_class(src, dst);
+                let gate = &self.endpoints[dst].credits[gate_of(class)];
+                gate.acquire();
+                if self
+                    .endpoints[dst]
+                    .tx
+                    .send(Frame::ReduceC { part, src })
+                    .is_err()
+                {
+                    gate.release();
+                }
+            }
+        }
     }
 
     /// Blocks until `key` has been delivered into `node`'s store (the
@@ -868,5 +978,120 @@ mod tests {
         assert_eq!(gate_of(LinkClass::Loopback), 0);
         assert_eq!(gate_of(LinkClass::Intra), 0);
         assert_eq!(gate_of(LinkClass::Inter), 1);
+    }
+
+    /// A wire that records sent frames and never fails.
+    struct RecordingWire {
+        sent: Mutex<Vec<WireFrame>>,
+    }
+
+    impl Wire for RecordingWire {
+        fn send(&self, frame: WireFrame) -> Result<(), WireError> {
+            self.sent.lock().unwrap().push(frame);
+            Ok(())
+        }
+        fn recv(&self) -> Option<WireFrame> {
+            None
+        }
+        fn close_inbound(&self) {}
+    }
+
+    fn a_msg(src: usize, i: u32, k: u32) -> TileMsg {
+        TileMsg {
+            key: DataKey::A(i, k),
+            payload: Arc::new(Tile::zeros(2, 2)),
+            epoch: 1,
+            src,
+            consumers: 1,
+        }
+    }
+
+    #[test]
+    fn remote_send_routes_over_wire() {
+        let wire = Arc::new(RecordingWire { sent: Mutex::new(Vec::new()) });
+        let fabric = CommFabric::with_remote(
+            4,
+            CommConfig::default(),
+            Some(RemoteLink { rank: 0, wire: wire.clone() }),
+        );
+        // A send to a remote rank leaves over the wire, never touches the
+        // (unstarted) local inboxes, and still counts on the src endpoint.
+        fabric.send_tile(2, a_msg(0, 3, 5), false).unwrap();
+        fabric
+            .reduce(0, 1, CPart { i: 0, j: 0, origin: (0, 0, 0), tile: Tile::zeros(2, 2) })
+            .unwrap();
+        let sent = wire.sent.lock().unwrap();
+        assert_eq!(sent.len(), 2);
+        assert_eq!(sent[0].dst(), 2);
+        assert_eq!(sent[1].dst(), 1);
+        let stats = fabric.node_stats();
+        assert_eq!(stats[0].sent_msgs, 2);
+        assert!(stats[0].sent_bytes > 0);
+    }
+
+    #[test]
+    fn remote_drop_fires_before_wire() {
+        let wire = Arc::new(RecordingWire { sent: Mutex::new(Vec::new()) });
+        let fabric = CommFabric::with_remote(
+            4,
+            CommConfig::default(),
+            Some(RemoteLink { rank: 0, wire: wire.clone() }),
+        );
+        let err = fabric.send_tile(3, a_msg(0, 1, 1), true).unwrap_err();
+        assert_eq!(err, SendError::Dropped);
+        assert!(wire.sent.lock().unwrap().is_empty(), "dropped frame hit the wire");
+        assert_eq!(fabric.node_stats()[0].dropped_msgs, 1);
+    }
+
+    /// A wire whose peer is gone: every send fails.
+    struct DeadWire;
+
+    impl Wire for DeadWire {
+        fn send(&self, frame: WireFrame) -> Result<(), WireError> {
+            Err(WireError { dst: frame.dst(), reason: "broken pipe".into() })
+        }
+        fn recv(&self) -> Option<WireFrame> {
+            None
+        }
+        fn close_inbound(&self) {}
+    }
+
+    #[test]
+    fn dead_wire_surfaces_fatal_send_error() {
+        let fabric = CommFabric::with_remote(
+            2,
+            CommConfig::default(),
+            Some(RemoteLink { rank: 0, wire: Arc::new(DeadWire) }),
+        );
+        match fabric.send_tile(1, a_msg(0, 0, 0), false) {
+            Err(SendError::Wire(e)) => assert_eq!(e.dst, 1),
+            other => panic!("expected a wire error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inject_delivers_into_local_store() {
+        let fabric = CommFabric::with_remote(
+            2,
+            CommConfig::default(),
+            Some(RemoteLink { rank: 1, wire: Arc::new(DeadWire) }),
+        );
+        let stores = vec![TileStore::for_node(0), TileStore::for_node(1)];
+        std::thread::scope(|s| {
+            fabric.start(s, &stores);
+            fabric.inject(WireFrame::Tile { dst: 1, msg: a_msg(0, 7, 2) });
+            fabric.wait_delivered(1, DataKey::A(7, 2));
+            fabric.inject(WireFrame::Part {
+                dst: 1,
+                src: 0,
+                part: CPart { i: 4, j: 6, origin: (0, 0, 0), tile: Tile::zeros(2, 2) },
+            });
+            let parts = fabric.take_reduced_at_least(1, 1);
+            assert_eq!(parts.len(), 1);
+            assert_eq!((parts[0].i, parts[0].j), (4, 6));
+            fabric.shutdown();
+        });
+        // A frame arriving after shutdown is dropped, not a panic.
+        fabric.inject(WireFrame::Tile { dst: 1, msg: a_msg(0, 9, 9) });
     }
 }

@@ -54,8 +54,8 @@ pub mod trace;
 
 pub use bst_tile::pool::{PoolStats, TilePool};
 pub use comm::{
-    CommConfig, CommEvent, CommFabric, CPart, DeliveryPolicy, LinkShaper, MessageDropped,
-    NodeCommStats, TileMsg,
+    CommConfig, CommEvent, CommFabric, CPart, DeliveryPolicy, LinkShaper, NodeCommStats,
+    RemoteLink, SendError, TileMsg, Wire, WireError, WireFrame,
 };
 pub use data::{BCacheKey, BCacheStats, BTileCache, DataKey, TileStore};
 pub use device::{DeviceMemory, NodeResidency};

@@ -219,9 +219,9 @@ fn reduce_frames_classify_per_link() {
     let stores: Vec<TileStore> = (0..4).map(TileStore::for_node).collect();
     std::thread::scope(|s| {
         fabric.start(s, &stores);
-        fabric.reduce(0, 0, part(0, 0)); // loopback: free
-        fabric.reduce(1, 0, part(1, 1)); // intra-node
-        fabric.reduce(2, 0, part(2, 2)); // inter-node
+        fabric.reduce(0, 0, part(0, 0)).unwrap(); // loopback: free
+        fabric.reduce(1, 0, part(1, 1)).unwrap(); // intra-node
+        fabric.reduce(2, 0, part(2, 2)).unwrap(); // inter-node
         let parts = fabric.take_reduced_at_least(0, 3);
         assert_eq!(parts.len(), 3, "all three partials arrive before the take returns");
         fabric.shutdown();

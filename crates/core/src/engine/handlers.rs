@@ -20,7 +20,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bst_runtime::comm::{CPart, CommFabric, LinkClass, TileMsg};
+use bst_runtime::comm::{CPart, CommFabric, LinkClass, SendError, TileMsg};
 use bst_runtime::data::{BCacheKey, DataKey};
 use bst_runtime::device::DeviceStats;
 use bst_runtime::graph::{TaskError, WorkerId};
@@ -37,6 +37,20 @@ use crate::error::{ExecError, GenError};
 use crate::fault::{FaultPlan, FaultSite};
 use crate::plan::ExecutionPlan;
 use crate::spec::ProblemSpec;
+
+/// Maps a reduction-path send failure to a task error. `reduce` carries no
+/// drop injection, so the only possible failure is a dead wire peer —
+/// fatal, recovered by the launcher's degraded re-plan.
+fn wire_fatal(op: &Op, e: SendError) -> TaskError<ExecError> {
+    match e {
+        SendError::Wire(e) => TaskError::Fatal(ExecError::Wire {
+            dst: e.dst,
+            detail: op.detail(),
+            reason: e.reason,
+        }),
+        SendError::Dropped => unreachable!("reduce frames are never drop-injected"),
+    }
+}
 
 /// Atomic tallies the handlers bump while the engine runs.
 #[derive(Default)]
@@ -175,7 +189,7 @@ impl HandlerEnv<'_> {
                         self.stores[w.node].consume(w.node, key);
                         Ok(())
                     }
-                    Err(_dropped) => {
+                    Err(SendError::Dropped) => {
                         self.counters.injected_send.fetch_add(1, Ordering::Relaxed);
                         Err(TaskError::Transient(ExecError::Injected {
                             site: FaultSite::Send,
@@ -183,6 +197,14 @@ impl HandlerEnv<'_> {
                             attempt,
                         }))
                     }
+                    // The peer process is gone: retrying into a dead socket
+                    // cannot succeed — fail fast so the launcher can run the
+                    // degraded re-plan.
+                    Err(SendError::Wire(e)) => Err(TaskError::Fatal(ExecError::Wire {
+                        dst: e.dst,
+                        detail: op.detail(),
+                        reason: e.reason,
+                    })),
                 }
             }
             (Op::RecvA { i, k, from: _ }, Ctx::Cpu) => {
@@ -335,16 +357,18 @@ impl HandlerEnv<'_> {
                     super::REDUCE_ROOT
                 };
                 for (i, j) in block_c_tiles(spec, &bp.block, row, self.grid.0) {
-                    self.fabric.reduce(
-                        w.node,
-                        dst,
-                        CPart {
-                            i,
-                            j,
-                            origin: (*node, *gpu, *block),
-                            tile: mm.evict_c((i as u32, j as u32)),
-                        },
-                    );
+                    self.fabric
+                        .reduce(
+                            w.node,
+                            dst,
+                            CPart {
+                                i,
+                                j,
+                                origin: (*node, *gpu, *block),
+                                tile: mm.evict_c((i as u32, j as u32)),
+                            },
+                        )
+                        .map_err(|e| wire_fatal(op, e))?;
                 }
                 mm.sample_mem();
                 if *block + 1 == plan.nodes[*node].gpus[*gpu].blocks.len() {
@@ -391,7 +415,9 @@ impl HandlerEnv<'_> {
                 // assembly to take.
                 let dst = rn.parent.unwrap_or(w.node);
                 for part in combined {
-                    self.fabric.reduce(w.node, dst, part);
+                    self.fabric
+                        .reduce(w.node, dst, part)
+                        .map_err(|e| wire_fatal(op, e))?;
                 }
                 Ok(())
             }

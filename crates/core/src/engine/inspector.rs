@@ -273,6 +273,69 @@ impl Lowered {
                 .map(|v| v.len())
                 .unwrap_or(0)
     }
+
+    /// The SPMD projection for multi-process execution: the sub-DAG of
+    /// tasks pinned to node `rank`, with cross-node edges dropped.
+    ///
+    /// Every process lowers the *full* plan (so broadcast trees, consumer
+    /// refcounts and reduction shapes are globally consistent), then keeps
+    /// only its own node's tasks. The dropped edges are exactly the ones
+    /// whose ordering the transport already enforces at runtime:
+    /// `SendA → RecvA` (the `RecvA` body blocks in
+    /// [`bst_runtime::comm::CommFabric::wait_delivered`] until the frame
+    /// arrives over the wire) and child-combine → parent-`ReduceC` (the
+    /// parent blocks in `take_reduced_at_least` for its structural count).
+    /// Relative task order is preserved, so the `dep < task` lowering
+    /// invariant keeps holding in the projection; the broadcast/consumption
+    /// maps stay global — a forwarder still needs the full fan-out picture.
+    pub fn restrict(&self, rank: usize) -> Lowered {
+        // The blocking waiters (`RecvA` in `wait_delivered`, `ReduceC` in
+        // `take_reduced_at_least`) move off the CPU lane onto a dedicated
+        // wait lane. In-process, the DAG's cross-node edges guarantee their
+        // frames are already in flight when they run; in the projection
+        // those edges are gone, so every `RecvA` is ready at seed time —
+        // and a blocking wait at the head of the shared CPU lane would
+        // starve the `SendA` hops queued behind it (two ranks each blocked
+        // ahead of the very send the other is waiting for). With lane 0
+        // send-only, progress is inductive over the broadcast tree depth.
+        let wait_lane = 1 + self
+            .workers
+            .iter()
+            .filter(|w| w.node == rank)
+            .map(|w| w.lane)
+            .max()
+            .unwrap_or(0);
+        let mut graph: TaskGraph<Op> = TaskGraph::new();
+        let mut remap: HashMap<TaskId, TaskId> = HashMap::new();
+        for id in 0..self.graph.len() {
+            let mut w = self.graph.worker(id);
+            if w.node != rank {
+                continue;
+            }
+            if matches!(self.graph.payload(id), Op::RecvA { .. } | Op::ReduceC { .. }) {
+                w = WorkerId { node: rank, lane: wait_lane };
+            }
+            let new_id = graph.add_task(self.graph.payload(id).clone(), w);
+            for &dep in self.graph.deps(id) {
+                if let Some(&mapped) = remap.get(&dep) {
+                    graph.add_dep(new_id, mapped);
+                }
+            }
+            remap.insert(id, new_id);
+        }
+        let mut workers: Vec<WorkerId> =
+            self.workers.iter().copied().filter(|w| w.node == rank).collect();
+        workers.push(WorkerId { node: rank, lane: wait_lane });
+        Lowered {
+            graph,
+            workers,
+            a_loads: self.a_loads.clone(),
+            sends: self.sends.clone(),
+            tree_children: self.tree_children.clone(),
+            topology: self.topology,
+            reduce: self.reduce.clone(),
+        }
+    }
 }
 
 /// Lowers `plan` to the task DAG. Pure in `(spec structure, plan, opts)` —

@@ -86,6 +86,13 @@ pub(crate) struct BCaches<'a> {
 
 /// Executes `plan` numerically under `opts` — the single engine path every
 /// public entry point funnels into.
+///
+/// With `remote: Some(link)`, the engine runs **SPMD over processes**: it
+/// lowers the full plan, restricts the DAG to `link.rank`'s tasks, seeds
+/// only that rank's A slice, and plugs `link.wire` into the fabric so
+/// frames for other ranks leave the process (and inbound frames are pumped
+/// back in). Every participating process must call with the same spec,
+/// plan and options for the global DAG to be consistent.
 pub(crate) fn run(
     spec: &ProblemSpec,
     plan: &ExecutionPlan,
@@ -93,6 +100,7 @@ pub(crate) fn run(
     b_gen: BGen<'_>,
     opts: ExecOptions,
     b_caches: Option<BCaches<'_>>,
+    remote: Option<bst_runtime::comm::RemoteLink>,
 ) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
     // ---- Degraded re-planning on a permanent node loss -------------------
     // The dead node's B columns move to its surviving row peers; its host
@@ -119,13 +127,25 @@ pub(crate) fn run(
     let n_nodes = p * q;
 
     // ---- Inspector: lower the plan to the task DAG -----------------------
+    // Multi-process mode lowers the full plan (global broadcast trees and
+    // reduction shapes), then keeps only this rank's tasks: the transport's
+    // blocking waits replace the dropped cross-node edges.
     let low = inspector::lower(spec, plan, &opts);
+    let low = match &remote {
+        Some(link) => low.restrict(link.rank),
+        None => low,
+    };
 
     // ---- Pre-seed the owner stores with A --------------------------------
+    // A worker process seeds only the slice its own rank owns; every other
+    // tile reaches it as a BcastA frame over the wire.
     let stores: Vec<TileStore> = (0..n_nodes).map(TileStore::for_node).collect();
     for (&(i, k), tile) in a.iter_tile_arcs() {
         let t = (i as u32, k as u32);
         let owner = owner_of(p, q, i, k);
+        if remote.as_ref().is_some_and(|link| owner != link.rank) {
+            continue;
+        }
         let consumers = low.a_consumers(owner, t);
         if consumers > 0 {
             // Share the matrix's own Arc — A tiles are immutable for the
@@ -161,7 +181,7 @@ pub(crate) fn run(
     // The transport: per-node bounded inboxes, one progress thread per node
     // (spawned into the scope below), credit backpressure, optional link
     // shaping and delivery reordering.
-    let fabric = CommFabric::new(
+    let fabric = CommFabric::with_remote(
         n_nodes,
         CommConfig {
             window: opts.comm_window.max(1),
@@ -172,6 +192,7 @@ pub(crate) fn run(
             delivery: opts.delivery,
             clock: opts.tracing.then_some(clock),
         },
+        remote.clone(),
     );
 
     let caching = b_caches.is_some();
@@ -218,6 +239,19 @@ pub(crate) fn run(
     // success *and* the abort path, so in-flight frames always drain.
     let run: Result<FallibleRun, RunAbort<ExecError>> = std::thread::scope(|s| {
         fabric.start(s, &stores);
+        // Multi-process mode: the pump thread feeds inbound wire frames
+        // into the fabric's inboxes. It exits when the wire's inbound side
+        // closes (below, after the local engine completed — or when the
+        // remote side shut the connections down).
+        if let Some(link) = &remote {
+            let wire = Arc::clone(&link.wire);
+            let pump_fabric = &fabric;
+            s.spawn(move || {
+                while let Some(frame) = wire.recv() {
+                    pump_fabric.inject(frame);
+                }
+            });
+        }
         let run = if opts.tracing {
             engine
                 .tracing()
@@ -226,6 +260,11 @@ pub(crate) fn run(
             engine.run(&low.graph, &low.workers, mk_ctx, handler)
         };
         fabric.shutdown();
+        if let Some(link) = &remote {
+            // Everything addressed to this rank has been consumed (the
+            // engine completed); unblock the pump so the scope can join.
+            link.wire.close_inbound();
+        }
         run
     });
     let run = match run {

@@ -128,6 +128,18 @@ pub enum ExecError {
     },
     /// Degraded re-planning after a node loss itself failed.
     Replan(PlanError),
+    /// A frame could not be shipped to a peer process (multi-process
+    /// transports): the peer's connection is gone. Fatal to the run —
+    /// recovery happens at the launcher (kill survivors, degraded
+    /// re-plan), not inside the engine.
+    Wire {
+        /// Destination rank of the failed send.
+        dst: usize,
+        /// The failing task's detail string.
+        detail: String,
+        /// The underlying wire error, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -146,6 +158,9 @@ impl fmt::Display for ExecError {
                 "task {detail} failed after {attempts} attempts; last error: {cause}"
             ),
             ExecError::Replan(e) => write!(f, "degraded re-planning failed: {e}"),
+            ExecError::Wire { dst, detail, reason } => {
+                write!(f, "wire send to rank {dst} failed during {detail}: {reason}")
+            }
         }
     }
 }
@@ -202,6 +217,9 @@ pub enum BstError {
     /// An einsum spec failed to parse, or its lowering against the bound
     /// operands was rejected.
     Spec(crate::einsum::SpecError),
+    /// The multi-process transport or launcher failed (socket errors,
+    /// connect timeouts, a worker death past the recovery budget).
+    Net(bst_net::NetError),
 }
 
 impl fmt::Display for BstError {
@@ -211,6 +229,7 @@ impl fmt::Display for BstError {
             BstError::Exec(e) => write!(f, "execution failed: {e}"),
             BstError::Service(e) => write!(f, "service rejected request: {e}"),
             BstError::Spec(e) => write!(f, "invalid einsum spec: {e}"),
+            BstError::Net(e) => write!(f, "multi-process run failed: {e}"),
         }
     }
 }
@@ -244,6 +263,12 @@ impl From<ServiceError> for BstError {
 impl From<crate::einsum::SpecError> for BstError {
     fn from(e: crate::einsum::SpecError) -> Self {
         BstError::Spec(e)
+    }
+}
+
+impl From<bst_net::NetError> for BstError {
+    fn from(e: bst_net::NetError) -> Self {
+        BstError::Net(e)
     }
 }
 

@@ -54,7 +54,7 @@ pub fn execute_numeric(
     a: &BlockSparseMatrix,
     b_gen: BGen<'_>,
 ) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
-    crate::engine::run(spec, plan, a, b_gen, ExecOptions::default(), None)
+    crate::engine::run(spec, plan, a, b_gen, ExecOptions::default(), None, None)
 }
 
 /// [`execute_numeric`] with selectable control-flow edges, fault injection
@@ -68,5 +68,36 @@ pub fn execute_numeric_with(
     b_gen: BGen<'_>,
     opts: ExecOptions,
 ) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
-    crate::engine::run(spec, plan, a, b_gen, opts, None)
+    crate::engine::run(spec, plan, a, b_gen, opts, None, None)
+}
+
+/// [`execute_numeric_with`] as **one rank of a multi-process run**: this
+/// process executes only node `rank`'s tasks of the plan; frames for other
+/// ranks leave over `wire` and inbound frames are pumped back in (the
+/// `bst-net` socket transports implement [`Wire`]).
+///
+/// Every participating process must call this with the same spec, plan,
+/// `a` and options (SPMD — each seeds only its own 2D-cyclic A slice).
+/// Only `rank == 0` assembles a meaningful `C`: partial sums reduce to the
+/// root's process; every other rank returns an empty matrix plus its local
+/// execution report. Requires [`Collectives::Tree`] (the default): the
+/// unicast root has no structural count to block on, so its final take
+/// would race the wire.
+///
+/// [`Wire`]: bst_runtime::comm::Wire
+pub fn execute_numeric_distributed(
+    spec: &ProblemSpec,
+    plan: &ExecutionPlan,
+    a: &BlockSparseMatrix,
+    b_gen: BGen<'_>,
+    opts: ExecOptions,
+    rank: usize,
+    wire: std::sync::Arc<dyn bst_runtime::comm::Wire>,
+) -> Result<(BlockSparseMatrix, ExecReport), ExecError> {
+    assert!(
+        matches!(opts.collectives, Collectives::Tree),
+        "distributed execution requires tree collectives"
+    );
+    let link = bst_runtime::comm::RemoteLink { rank, wire };
+    crate::engine::run(spec, plan, a, b_gen, opts, None, Some(link))
 }

@@ -453,6 +453,7 @@ fn process(
         &b_gen,
         req.opts,
         Some(BCaches { caches: &caches, ident }),
+        None,
     );
     if degraded {
         // The engine executed a replanned structure; the healthy cached
